@@ -1,0 +1,29 @@
+//! # attacksim — attacker models against configured HIDS populations
+//!
+//! Implements the paper's three attack evaluations (Section 6):
+//!
+//! * [`naive`] — an attacker with no knowledge of the host injects a flat
+//!   additive load `b`; sweeping `b` over the full range yields the
+//!   detection curves of Figure 4(a).
+//! * [`resourceful`] — a mimicry attacker who has profiled the host
+//!   computes the largest injection that still evades detection with a
+//!   target probability (90% in the paper); the per-host budgets are the
+//!   "hidden traffic" boxplots of Figure 4(b).
+//! * [`omniscient`] — the capacity *bound*: malware that watches live
+//!   traffic and fills every window exactly to the threshold;
+//! * [`replay`] — a real malware trace (the Storm zombie model from
+//!   `synthgen`) is overlaid additively on every user trace, yielding the
+//!   per-user ⟨FP, detection⟩ scatter of Figure 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod omniscient;
+pub mod replay;
+pub mod resourceful;
+
+pub use naive::{business_hour_windows, detection_curve, detection_fraction, NaiveAttack};
+pub use omniscient::{omniscient_budget, omniscient_population, total_capacity, OmniscientBudget};
+pub use replay::{replay_attack, replay_population, ReplayPerf};
+pub use resourceful::{evasion_budget, hidden_traffic, realized_evasion, EvasionBudget};

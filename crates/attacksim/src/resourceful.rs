@@ -1,0 +1,159 @@
+//! The resourceful (mimicry) attacker.
+//!
+//! The paper's strong threat model: the attacker has planted monitoring
+//! code on the zombie and knows both the host's traffic distribution and
+//! (by observing what does and doesn't trigger) its threshold. Being
+//! cautious, the attacker picks the largest injection `b` that still evades
+//! detection with probability ≥ `evade_prob` (0.9 in the paper):
+//!
+//! `b_i = max{ b : P(g_i + b < T_i) ≥ evade_prob }`
+//!
+//! The paper calls `T_i − g_i` the attacker's "room"; `b_i` over the whole
+//! population is the hidden-traffic distribution of Figure 4(b).
+
+use serde::{Deserialize, Serialize};
+use tailstats::EmpiricalDist;
+
+/// One host's computed evasion budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvasionBudget {
+    /// Largest integer injection that keeps evasion probability ≥ target
+    /// (0 when the threshold leaves no room).
+    pub budget: u64,
+    /// Evasion probability actually achieved at `budget` on the profiled
+    /// distribution.
+    pub profiled_evasion: f64,
+}
+
+/// Compute the evasion budget against `threshold` from the distribution
+/// the attacker profiled (integer feature lattice).
+pub fn evasion_budget(profiled: &EmpiricalDist, threshold: f64, evade_prob: f64) -> EvasionBudget {
+    // Supremum of real-valued shifts, then step down to the integer lattice
+    // (the strict inequality means an integer exactly at the supremum
+    // already fails).
+    let sup = profiled.max_shift_below(threshold, evade_prob);
+    let mut b = if sup <= 0.0 {
+        0
+    } else if sup.fract() == 0.0 {
+        (sup as u64).saturating_sub(1)
+    } else {
+        sup.floor() as u64
+    };
+    // Defensive: the empirical CDF is a step function; verify and back off
+    // if flooring still lands on a violating step.
+    while b > 0 && profiled.below(threshold - b as f64) < evade_prob {
+        b -= 1;
+    }
+    EvasionBudget {
+        budget: b,
+        profiled_evasion: profiled.below(threshold - b as f64),
+    }
+}
+
+/// Evasion budgets for a whole population (the paper's Figure 4(b) data).
+pub fn hidden_traffic(
+    profiled: &[EmpiricalDist],
+    thresholds: &[f64],
+    evade_prob: f64,
+) -> Vec<EvasionBudget> {
+    assert_eq!(profiled.len(), thresholds.len());
+    profiled
+        .iter()
+        .zip(thresholds)
+        .map(|(d, &t)| evasion_budget(d, t, evade_prob))
+        .collect()
+}
+
+/// The evasion rate the attacker *actually* achieves when the injection
+/// computed from the profiled week runs against the (different) test week:
+/// `P_test(g + b < T)`. Profiling error is the defender's friend.
+pub fn realized_evasion(test: &EmpiricalDist, threshold: f64, budget: u64) -> f64 {
+    test.below(threshold - budget as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: u64) -> EmpiricalDist {
+        EmpiricalDist::from_counts(&(0..n).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn budget_is_tight_against_strict_inequality() {
+        // g uniform over 0..=99; threshold 200; target 0.9.
+        let d = uniform(100);
+        let eb = evasion_budget(&d, 200.0, 0.9);
+        // Need the 90 smallest values (<= 89) strictly below 200:
+        // 89 + b < 200 => b <= 110.
+        assert_eq!(eb.budget, 110);
+        assert!(eb.profiled_evasion >= 0.9);
+        // One more unit would break the target.
+        assert!(d.below(200.0 - 111.0) < 0.9);
+    }
+
+    #[test]
+    fn no_room_means_zero_budget() {
+        let d = uniform(100);
+        // Threshold in the bulk: even b=0 can't reach 90% evasion...
+        let eb = evasion_budget(&d, 10.0, 0.9);
+        assert_eq!(eb.budget, 0);
+    }
+
+    #[test]
+    fn higher_threshold_more_room() {
+        let d = uniform(100);
+        let b_low = evasion_budget(&d, 150.0, 0.9).budget;
+        let b_high = evasion_budget(&d, 1500.0, 0.9).budget;
+        assert!(b_high > b_low);
+        assert_eq!(b_high - b_low, 1350);
+    }
+
+    #[test]
+    fn stricter_evasion_target_smaller_budget() {
+        let d = uniform(100);
+        let lax = evasion_budget(&d, 300.0, 0.5).budget;
+        let strict = evasion_budget(&d, 300.0, 0.99).budget;
+        assert!(strict < lax, "{strict} < {lax}");
+    }
+
+    #[test]
+    fn diversity_shrinks_population_budgets() {
+        // Two users: light (0..=9) and heavy (0..=999).
+        let light = uniform(10);
+        let heavy = uniform(1000);
+        // Homogeneous threshold driven by the heavy user:
+        let t_homog = 990.0;
+        let homog = hidden_traffic(&[light.clone(), heavy.clone()], &[t_homog, t_homog], 0.9);
+        // Diverse thresholds at each user's own 99th percentile:
+        let diverse = hidden_traffic(&[light.clone(), heavy.clone()], &[9.0, 990.0], 0.9);
+        // The light user's budget collapses from ~982 to ~1 under
+        // diversity; the heavy user is unchanged.
+        assert!(homog[0].budget > 900);
+        assert!(diverse[0].budget <= 2);
+        assert_eq!(homog[1].budget, diverse[1].budget);
+        let total_homog: u64 = homog.iter().map(|e| e.budget).sum();
+        let total_diverse: u64 = diverse.iter().map(|e| e.budget).sum();
+        assert!(total_diverse < total_homog / 2);
+    }
+
+    #[test]
+    fn realized_evasion_degrades_when_test_shifts_up() {
+        let profiled = uniform(100);
+        let eb = evasion_budget(&profiled, 200.0, 0.9);
+        // Test week is busier: values 50..=149.
+        let test = EmpiricalDist::from_counts(&(50..150).collect::<Vec<_>>());
+        let realized = realized_evasion(&test, 200.0, eb.budget);
+        assert!(
+            realized < eb.profiled_evasion,
+            "{realized} < {}",
+            eb.profiled_evasion
+        );
+    }
+
+    #[test]
+    fn zero_threshold_zero_budget() {
+        let d = uniform(10);
+        assert_eq!(evasion_budget(&d, 0.0, 0.9).budget, 0);
+    }
+}

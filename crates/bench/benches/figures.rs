@@ -1,0 +1,132 @@
+//! One benchmark per paper artifact: how long each table/figure takes to
+//! regenerate on a reduced corpus (the `repro` binary runs the full-scale
+//! version; these benches track the cost of the analysis itself).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use experiments::{ablation, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5, tab2, tab3, Corpus};
+use flowtab::FeatureKind;
+use synthgen::StormConfig;
+
+fn bench_corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        n_users: 60,
+        n_weeks: 2,
+        ..Default::default()
+    })
+}
+
+fn figures(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let tcp = FeatureKind::TcpConnections;
+
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+
+    group.bench_function("corpus_generation_60x2", |b| {
+        b.iter(|| {
+            black_box(Corpus::generate(CorpusConfig {
+                n_users: 60,
+                n_weeks: 2,
+                ..Default::default()
+            }))
+        })
+    });
+
+    group.bench_function("fig1_tail_curves", |b| {
+        b.iter(|| black_box(fig1::run(&corpus, 0)))
+    });
+
+    group.bench_function("fig2_scatter", |b| {
+        b.iter(|| black_box(fig2::run(&corpus, 0)))
+    });
+
+    group.bench_function("tab2_best_users", |b| {
+        b.iter(|| black_box(tab2::run(&corpus, 0, 10)))
+    });
+
+    group.bench_function("fig3a_utility_boxes", |b| {
+        b.iter(|| black_box(fig3::run_a(&corpus, tcp, 0.4)))
+    });
+
+    group.bench_function("fig3b_weight_sweep", |b| {
+        b.iter(|| black_box(fig3::run_b(&corpus, tcp, &[0.1, 0.5, 0.9])))
+    });
+
+    group.bench_function("tab3_console_alarms", |b| {
+        b.iter(|| black_box(tab3::run(&corpus, tcp)))
+    });
+
+    group.bench_function("fig4a_naive_curves", |b| {
+        b.iter(|| black_box(fig4::run_a(&corpus, tcp, 0, 32)))
+    });
+
+    group.bench_function("fig4b_mimicry_budgets", |b| {
+        b.iter(|| black_box(fig4::run_b(&corpus, tcp, 0, 0.9)))
+    });
+
+    group.bench_function("fig5_storm_replay", |b| {
+        b.iter(|| black_box(fig5::run(&corpus, 0, &StormConfig::default())))
+    });
+
+    group.bench_function("drift_analysis", |b| {
+        b.iter(|| black_box(drift::run(&corpus, tcp)))
+    });
+
+    group.bench_function("ablation_group_count", |b| {
+        b.iter(|| black_box(ablation::group_count(&corpus, tcp, 0.5)))
+    });
+
+    group.bench_function("ablation_kmeans_probe", |b| {
+        b.iter(|| black_box(ablation::kmeans_probe(&corpus, tcp)))
+    });
+
+    group.finish();
+}
+
+fn policies(c: &mut Criterion) {
+    use hids_core::{eval::evaluate_policy, EvalConfig, Grouping, PartialMethod, Policy, ThresholdHeuristic};
+    let corpus = bench_corpus();
+    let ds = corpus.dataset(FeatureKind::TcpConnections, 0);
+    let config = EvalConfig {
+        w: 0.4,
+        sweep: ds.default_sweep(),
+    };
+
+    let mut group = c.benchmark_group("policy");
+    group.sample_size(10);
+    for (name, grouping) in [
+        ("homogeneous", Grouping::Homogeneous),
+        ("full_diversity", Grouping::FullDiversity),
+        ("partial_8", Grouping::Partial(PartialMethod::EIGHT_PARTIAL)),
+    ] {
+        group.bench_function(format!("configure_eval_p99/{name}"), |b| {
+            b.iter_batched(
+                || Policy {
+                    grouping,
+                    heuristic: ThresholdHeuristic::P99,
+                },
+                |policy| black_box(evaluate_policy(&ds, &policy, &config)),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("configure_eval_utility/{name}"), |b| {
+            b.iter_batched(
+                || Policy {
+                    grouping,
+                    heuristic: ThresholdHeuristic::UtilityMax {
+                        w: 0.4,
+                        sweep: ds.default_sweep(),
+                    },
+                },
+                |policy| black_box(evaluate_policy(&ds, &policy, &config)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figures, policies);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Micro-benchmarks of the substrate layers: wire parsing, flow
+//! reconstruction, statistics, and trace generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use flowtab::{extract_features, FlowExtractor, FlowTableConfig, Windowing};
+use netpkt::testutil::{build_tcp_frame, FrameSpec};
+use netpkt::{EthernetFrame, Ipv4Packet, TcpFlags, TcpSegment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synthgen::{
+    render_flows_to_frames, render_window_flows, user_week_series, Population, PopulationConfig,
+};
+use tailstats::{EmpiricalDist, P2Quantile};
+
+fn packet_layer(c: &mut Criterion) {
+    let frame = build_tcp_frame(
+        &FrameSpec::default(),
+        TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+        42,
+        &[0xAB; 512],
+    );
+    let mut group = c.benchmark_group("netpkt");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("parse_eth_ip_tcp_512B", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::parse(black_box(&frame[..])).unwrap();
+            let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+            let tcp = TcpSegment::parse(ip.payload()).unwrap();
+            black_box((ip.src(), tcp.dst_port(), tcp.payload().len()))
+        })
+    });
+    group.bench_function("parse_and_verify_checksums_512B", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::parse(black_box(&frame[..])).unwrap();
+            let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+            let tcp = TcpSegment::parse(ip.payload()).unwrap();
+            black_box(ip.verify_checksum() && tcp.verify_checksum(ip.src(), ip.dst()))
+        })
+    });
+    group.bench_function("build_tcp_frame_512B", |b| {
+        b.iter(|| {
+            black_box(build_tcp_frame(
+                &FrameSpec::default(),
+                TcpFlags::syn_only(),
+                7,
+                &[0xCD; 512],
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn flow_layer(c: &mut Criterion) {
+    // Pre-render a realistic window of frames.
+    let pop = Population::sample(PopulationConfig {
+        n_users: 2,
+        ..Default::default()
+    });
+    let mut profile = pop.users[0].clone();
+    profile.levels = synthgen::TailLevels {
+        tcp: 300.0,
+        udp: 100.0,
+        dns: 60.0,
+    };
+    let week = user_week_series(&profile, 1, 0, Windowing::FIFTEEN_MIN);
+    let mut rng = StdRng::seed_from_u64(5);
+    let (w_idx, counts) = week
+        .windows
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| c.0.iter().sum::<u64>())
+        .map(|(i, c)| (i, *c))
+        .unwrap();
+    let flows = render_window_flows(&profile, &counts, w_idx, Windowing::FIFTEEN_MIN, &mut rng);
+    let frames = render_flows_to_frames(&flows, &mut rng);
+
+    let mut group = c.benchmark_group("flowtab");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("extract_flows_from_frames", |b| {
+        b.iter(|| {
+            let mut ex = FlowExtractor::new(FlowTableConfig::default());
+            for f in &frames {
+                let _ = ex.push_frame(f.ts, &f.frame);
+            }
+            black_box(ex.finish().len())
+        })
+    });
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("extract_features_from_flows", |b| {
+        b.iter(|| {
+            black_box(extract_features(
+                &flows,
+                profile.addr,
+                Windowing::FIFTEEN_MIN,
+                w_idx + 1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn stats_layer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples: Vec<u64> = (0..672).map(|_| rng.random_range(0..5_000)).collect();
+    let big: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>() * 1e4).collect();
+
+    let mut group = c.benchmark_group("tailstats");
+    group.bench_function("empirical_dist_build_672", |b| {
+        b.iter(|| black_box(EmpiricalDist::from_counts(&samples)))
+    });
+    let dist = EmpiricalDist::from_counts(&samples);
+    group.bench_function("quantile_lookup", |b| {
+        b.iter(|| black_box(dist.quantile(0.99)))
+    });
+    group.bench_function("exceedance_lookup", |b| {
+        b.iter(|| black_box(dist.exceedance(2_500.0)))
+    });
+    group.throughput(Throughput::Elements(big.len() as u64));
+    group.bench_function("p2_stream_100k", |b| {
+        b.iter(|| {
+            let mut p2 = P2Quantile::new(0.99);
+            for &x in &big {
+                p2.observe(x);
+            }
+            black_box(p2.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn generator_layer(c: &mut Criterion) {
+    let pop = Population::sample(PopulationConfig {
+        n_users: 8,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("synthgen");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(672));
+    group.bench_function("user_week_672_windows", |b| {
+        let mut user = 0usize;
+        b.iter(|| {
+            user = (user + 1) % pop.users.len();
+            black_box(user_week_series(
+                &pop.users[user],
+                pop.config.seed,
+                0,
+                Windowing::FIFTEEN_MIN,
+            ))
+        })
+    });
+    group.bench_function("storm_week", |b| {
+        b.iter(|| {
+            black_box(synthgen::storm_week_series(
+                &synthgen::StormConfig::default(),
+                Windowing::FIFTEEN_MIN,
+                0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, packet_layer, flow_layer, stats_layer, generator_layer);
+criterion_main!(benches);

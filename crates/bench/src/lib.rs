@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see `benches/figures.rs` (one benchmark per paper
+//! table/figure) and `benches/substrate.rs` (micro-benchmarks of the
+//! packet, flow, statistics and generator layers).

@@ -1,0 +1,430 @@
+//! Extensions: the ablations DESIGN.md calls out.
+//!
+//! * group count — the paper studied 2/3/5/8 groups and reported 8 best;
+//! * grouping method — knee heuristic vs k-means vs quantile bands, plus
+//!   the k-means "no natural clusters" probe (separation score);
+//! * heuristic family — percentile vs mean+kσ vs utility-max;
+//! * bin width — 5- vs 15-minute windows (the paper: conclusions hold).
+
+use flowtab::FeatureKind;
+use hids_core::{
+    eval::evaluate_policy, EvalConfig, Grouping, PartialMethod, Policy, ThresholdHeuristic,
+};
+use tailstats::{kmeans_1d, separation_score};
+
+use crate::data::{Corpus, CorpusConfig};
+use crate::report::{fnum, Table};
+
+/// Mean utility per group count (the partial-diversity ladder).
+#[derive(Debug, Clone)]
+pub struct GroupCountResult {
+    /// `(label, groups, mean utility)` rows, including the two extremes.
+    pub rows: Vec<(String, usize, f64)>,
+}
+
+/// Run the group-count ablation at the given FN weight.
+pub fn group_count(corpus: &Corpus, feature: FeatureKind, w: f64) -> GroupCountResult {
+    let ds = corpus.dataset(feature, 0);
+    let config = EvalConfig {
+        w,
+        sweep: ds.default_sweep(),
+    };
+    let mut rows = Vec::new();
+    let mut eval = |label: String, groups: usize, grouping: Grouping| {
+        let policy = Policy {
+            grouping,
+            heuristic: ThresholdHeuristic::P99,
+        };
+        let e = evaluate_policy(&ds, &policy, &config);
+        rows.push((label, groups, e.mean_utility()));
+    };
+    eval("homogeneous".into(), 1, Grouping::Homogeneous);
+    for k in [2usize, 3, 5, 8] {
+        let (top, bottom) = (k.div_ceil(2), k / 2);
+        let grouping = if k == 1 {
+            Grouping::Homogeneous
+        } else {
+            Grouping::Partial(PartialMethod::Knee {
+                top_fraction: 0.15,
+                top_groups: top,
+                bottom_groups: bottom.max(1),
+            })
+        };
+        eval(format!("{k}-partial (knee)"), k, grouping);
+    }
+    eval(
+        "full diversity".into(),
+        corpus.n_users(),
+        Grouping::FullDiversity,
+    );
+    GroupCountResult { rows }
+}
+
+/// Render the group-count ladder.
+pub fn group_count_table(r: &GroupCountResult) -> Table {
+    let mut t = Table::new(
+        "Ablation — mean utility vs number of groups (p99 heuristic)",
+        &["policy", "groups", "mean utility"],
+    );
+    for (label, groups, u) in &r.rows {
+        t.row(vec![label.clone(), groups.to_string(), fnum(*u)]);
+    }
+    t
+}
+
+/// Compare grouping methods at a fixed group count.
+pub fn grouping_methods(corpus: &Corpus, feature: FeatureKind, w: f64, k: usize) -> Table {
+    let ds = corpus.dataset(feature, 0);
+    let config = EvalConfig {
+        w,
+        sweep: ds.default_sweep(),
+    };
+    let mut t = Table::new(
+        &format!("Ablation — grouping method at {k} groups"),
+        &["method", "mean utility", "populated groups"],
+    );
+    for (label, method) in [
+        (
+            "knee (paper)",
+            PartialMethod::Knee {
+                top_fraction: 0.15,
+                top_groups: k.div_ceil(2),
+                bottom_groups: (k / 2).max(1),
+            },
+        ),
+        ("k-means (log)", PartialMethod::KMeans { k }),
+        ("quantile bands", PartialMethod::QuantileBands { k }),
+    ] {
+        let policy = Policy {
+            grouping: Grouping::Partial(method),
+            heuristic: ThresholdHeuristic::P99,
+        };
+        let e = evaluate_policy(&ds, &policy, &config);
+        t.row(vec![
+            label.to_string(),
+            fnum(e.mean_utility()),
+            e.outcome.populated_groups().to_string(),
+        ]);
+    }
+    t
+}
+
+/// The paper's negative k-means probe: is there natural cluster structure
+/// in per-user q99 values? Returns `(k, separation score)` rows; scores
+/// near the continuum baseline mean "no natural holes or boundaries".
+pub fn kmeans_probe(corpus: &Corpus, feature: FeatureKind) -> Vec<(usize, f64)> {
+    let q99 = corpus.q99(feature, 0);
+    let logs: Vec<f64> = q99.iter().map(|&x| x.max(0.5).log10()).collect();
+    let points: Vec<Vec<f64>> = logs.iter().map(|&x| vec![x]).collect();
+    [2usize, 3, 5, 8]
+        .iter()
+        .map(|&k| {
+            let r = kmeans_1d(&logs, k, 300);
+            (k, separation_score(&points, &r))
+        })
+        .collect()
+}
+
+/// Render the k-means probe.
+pub fn kmeans_probe_table(rows: &[(usize, f64)]) -> Table {
+    let mut t = Table::new(
+        "Ablation — k-means natural-cluster probe (log10 q99); low separation = no natural groups",
+        &["k", "separation score"],
+    );
+    for (k, s) in rows {
+        t.row(vec![k.to_string(), format!("{s:.3}")]);
+    }
+    t
+}
+
+/// Heuristic-family comparison under full diversity.
+pub fn heuristic_family(corpus: &Corpus, feature: FeatureKind, w: f64) -> Table {
+    let ds = corpus.dataset(feature, 0);
+    let config = EvalConfig {
+        w,
+        sweep: ds.default_sweep(),
+    };
+    let sweep = ds.default_sweep();
+    let mut t = Table::new(
+        "Ablation — threshold heuristic family (full diversity)",
+        &["heuristic", "mean utility", "mean FP", "mean FN"],
+    );
+    for (label, heuristic) in [
+        ("p99".to_string(), ThresholdHeuristic::P99),
+        ("p99.9".to_string(), ThresholdHeuristic::Percentile(0.999)),
+        ("mean+3σ".to_string(), ThresholdHeuristic::MeanSigma(3.0)),
+        (
+            format!("utility-max w={w}"),
+            ThresholdHeuristic::UtilityMax { w, sweep },
+        ),
+        (
+            "F-measure (1% prevalence)".to_string(),
+            ThresholdHeuristic::FMeasure {
+                prevalence: 0.01,
+                sweep,
+            },
+        ),
+    ] {
+        let policy = Policy {
+            grouping: Grouping::FullDiversity,
+            heuristic,
+        };
+        let e = evaluate_policy(&ds, &policy, &config);
+        let n = e.users.len() as f64;
+        let fp = e.users.iter().map(|u| u.fp).sum::<f64>() / n;
+        let fnr = e.users.iter().map(|u| u.fn_rate).sum::<f64>() / n;
+        t.row(vec![label, fnum(e.mean_utility()), fnum(fp), fnum(fnr)]);
+    }
+    t
+}
+
+/// Bin-width ablation: rerun the headline comparison at 5-minute windows
+/// (regenerates a corpus with the same seed but finer bins).
+pub fn bin_width(corpus_cfg: &CorpusConfig, feature: FeatureKind, w: f64) -> Table {
+    let mut t = Table::new(
+        "Ablation — window width (mean utility, p99 heuristic)",
+        &["window", "Homogeneous", "Full-Diversity", "8-Partial"],
+    );
+    for width in [900.0, 300.0] {
+        let corpus = Corpus::generate(CorpusConfig {
+            window_secs: width,
+            n_weeks: 2,
+            ..corpus_cfg.clone()
+        });
+        let ds = corpus.dataset(feature, 0);
+        let config = EvalConfig {
+            w,
+            sweep: ds.default_sweep(),
+        };
+        let mut cells = vec![format!("{} min", width / 60.0)];
+        for grouping in [
+            Grouping::Homogeneous,
+            Grouping::FullDiversity,
+            Grouping::Partial(PartialMethod::EIGHT_PARTIAL),
+        ] {
+            let e = evaluate_policy(
+                &ds,
+                &Policy {
+                    grouping,
+                    heuristic: ThresholdHeuristic::P99,
+                },
+                &config,
+            );
+            cells.push(fnum(e.mean_utility()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Attack-duration ablation: the naive attacker's detection probability as
+/// the campaign stretches over more windows (each extra window is another
+/// chance for some user's benign traffic to push the sum over threshold).
+pub fn attack_duration(corpus: &Corpus, feature: FeatureKind, attack_size: f64) -> Table {
+    use attacksim::{detection_fraction, NaiveAttack};
+    let ds = corpus.dataset(feature, 0);
+    let windowing = corpus.config.windowing();
+    let mut t = Table::new(
+        &format!("Ablation — naive-attack duration (size {attack_size:.0})"),
+        &["windows", "Homogeneous", "Full-Diversity", "8-Partial"],
+    );
+    for len in [1usize, 2, 4, 8, 16] {
+        let attack = NaiveAttack::new(
+            attacksim::business_hour_windows(windowing, 2, 10, len),
+        );
+        let mut cells = vec![len.to_string()];
+        for grouping in [
+            Grouping::Homogeneous,
+            Grouping::FullDiversity,
+            Grouping::Partial(PartialMethod::EIGHT_PARTIAL),
+        ] {
+            let thresholds = Policy {
+                grouping,
+                heuristic: ThresholdHeuristic::P99,
+            }
+            .configure(&ds.train)
+            .thresholds;
+            let frac = detection_fraction(&ds.test_counts, &thresholds, attack_size, &attack);
+            cells.push(fnum(frac));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// ROC headroom: the detection rate each user *could* achieve at a 1% FP
+/// budget (their own ROC curve) versus what the homogeneous threshold
+/// actually delivers them — the per-user cost of the monoculture, in ROC
+/// terms.
+pub fn roc_headroom(corpus: &Corpus, feature: FeatureKind) -> Table {
+    use hids_core::RocCurve;
+    let ds = corpus.dataset(feature, 0);
+    let sweep = ds.default_sweep();
+    let homog = Policy {
+        grouping: Grouping::Homogeneous,
+        heuristic: ThresholdHeuristic::P99,
+    }
+    .configure(&ds.train);
+    let t_global = homog.thresholds[0];
+
+    let mut own_at_1pct = Vec::with_capacity(ds.n_users());
+    let mut under_global = Vec::with_capacity(ds.n_users());
+    let mut aucs = Vec::with_capacity(ds.n_users());
+    for d in &ds.train {
+        let roc = RocCurve::compute(d, &sweep);
+        own_at_1pct.push(roc.detection_at_fp(0.01));
+        under_global.push(1.0 - sweep.mean_fn(d, t_global));
+        aucs.push(roc.auc());
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    let mut t = Table::new(
+        "Ablation — ROC headroom at a 1% FP budget",
+        &["statistic", "value"],
+    );
+    t.row(vec![
+        "mean detection (own threshold @1% FP)".into(),
+        fnum(mean(&own_at_1pct)),
+    ]);
+    t.row(vec![
+        "mean detection under global threshold".into(),
+        fnum(mean(&under_global)),
+    ]);
+    t.row(vec!["mean per-user AUC".into(), fnum(mean(&aucs))]);
+    let losers = own_at_1pct
+        .iter()
+        .zip(&under_global)
+        .filter(|(own, global)| **own > **global + 1e-9)
+        .count();
+    t.row(vec![
+        "users losing detection to the monoculture".into(),
+        format!("{losers}/{}", ds.n_users()),
+    ]);
+    t
+}
+
+/// Check the separation-score baseline claim used by [`kmeans_probe`]:
+/// synthetic well-separated blobs in the same log space score near 1.
+pub fn blob_baseline() -> f64 {
+    let mut values = Vec::new();
+    for i in 0..100 {
+        values.push(1.0 + f64::from(i % 10) * 0.001);
+        values.push(4.0 + f64::from(i % 10) * 0.001);
+    }
+    let points: Vec<Vec<f64>> = values.iter().map(|&x| vec![x]).collect();
+    let r = kmeans_1d(&values, 2, 200);
+    separation_score(&points, &r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig {
+            n_users: 60,
+            n_weeks: 2,
+            ..CorpusConfig::small()
+        })
+    }
+
+    #[test]
+    fn utility_improves_with_group_count() {
+        let c = corpus();
+        let r = group_count(&c, FeatureKind::TcpConnections, 0.5);
+        let homog = r.rows.first().unwrap().2;
+        let full = r.rows.last().unwrap().2;
+        let eight = r.rows.iter().find(|r| r.1 == 8).unwrap().2;
+        assert!(full >= homog);
+        assert!(eight >= homog);
+        assert!(
+            (full - eight) <= (full - homog) + 1e-9,
+            "8 groups closer to full diversity than monoculture is"
+        );
+    }
+
+    #[test]
+    fn population_has_no_natural_clusters_but_blobs_do() {
+        let c = corpus();
+        let probe = kmeans_probe(&c, FeatureKind::TcpConnections);
+        let baseline = blob_baseline();
+        for (k, score) in &probe {
+            assert!(
+                *score < baseline - 0.1,
+                "k={k}: population separation {score} should sit well below blob baseline {baseline}"
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_tables_render() {
+        let c = corpus();
+        assert_eq!(
+            group_count_table(&group_count(&c, FeatureKind::TcpConnections, 0.5)).len(),
+            6
+        );
+        assert_eq!(grouping_methods(&c, FeatureKind::TcpConnections, 0.5, 8).len(), 3);
+        assert_eq!(heuristic_family(&c, FeatureKind::TcpConnections, 0.4).len(), 5);
+        assert_eq!(
+            kmeans_probe_table(&kmeans_probe(&c, FeatureKind::TcpConnections)).len(),
+            4
+        );
+    }
+
+    #[test]
+    fn longer_attacks_detected_more_often() {
+        let c = corpus();
+        let ds = c.dataset(FeatureKind::TcpConnections, 0);
+        // A mid-sized attack: the population-median personal threshold.
+        let mut q99s: Vec<f64> = ds.train.iter().map(|d| d.quantile(0.99)).collect();
+        q99s.sort_by(|a, b| a.total_cmp(b));
+        let size = q99s[q99s.len() / 2];
+        let t = attack_duration(&c, FeatureKind::TcpConnections, size);
+        assert_eq!(t.len(), 5);
+        // Detection under full diversity is non-decreasing in duration.
+        let csv = t.to_csv();
+        let fractions: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse::<f64>().unwrap())
+            .collect();
+        for pair in fractions.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12, "{fractions:?}");
+        }
+    }
+
+    #[test]
+    fn monoculture_costs_most_users_roc_headroom() {
+        let c = corpus();
+        let t = roc_headroom(&c, FeatureKind::TcpConnections);
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        let get = |row: usize| -> f64 {
+            csv.lines()
+                .nth(row + 1)
+                .unwrap()
+                .split(',')
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let own = get(0);
+        let global = get(1);
+        assert!(
+            own > global,
+            "own-threshold detection at 1% FP ({own}) beats the global threshold ({global})"
+        );
+    }
+
+    #[test]
+    fn bin_width_table_covers_both_widths() {
+        let cfg = CorpusConfig {
+            n_users: 20,
+            n_weeks: 2,
+            ..CorpusConfig::small()
+        };
+        let t = bin_width(&cfg, FeatureKind::TcpConnections, 0.5);
+        assert_eq!(t.len(), 2);
+    }
+}

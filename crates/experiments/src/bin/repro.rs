@@ -1,0 +1,385 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--users N] [--weeks N] [--seed S] [--out DIR] [EXPERIMENT...]
+//!
+//! EXPERIMENT ∈ { fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b
+//!                drift ablation all }   (default: all)
+//! ```
+//!
+//! Prints each artifact as an aligned table and, when `--out` is given,
+//! writes the underlying data as CSV for external plotting.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::plot::{render as plot, ChartSpec, Series};
+use experiments::{
+    ablation, collab, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5, multifeat, ops,
+    report, seeds, tab2, tab3, Corpus, Table,
+};
+use flowtab::FeatureKind;
+use synthgen::StormConfig;
+
+struct Args {
+    users: usize,
+    weeks: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    experiments: Vec<String>,
+}
+
+fn usage() -> String {
+    "usage: repro [--users N] [--weeks N] [--seed S] [--out DIR] [EXPERIMENT...]\n\
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation all"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        users: 350,
+        weeks: 5,
+        seed: 0xC0FFEE,
+        out: None,
+        experiments: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--users" => args.users = value("--users")?.parse().map_err(|e| format!("{e}"))?,
+            "--weeks" => args.weeks = value("--weeks")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            exp => args.experiments.push(exp.to_string()),
+        }
+    }
+    if args.experiments.is_empty() {
+        args.experiments.push("all".to_string());
+    }
+    if args.weeks < 2 {
+        return Err("--weeks must be at least 2 (train + test)".into());
+    }
+    Ok(args)
+}
+
+fn emit(table: &Table, out: &Option<PathBuf>, name: &str) {
+    println!("{}", table.render());
+    if let Some(dir) = out {
+        if let Err(e) = report::write_csv(table, dir, name) {
+            eprintln!("warning: failed to write {name}.csv: {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let wants = |name: &str| {
+        args.experiments
+            .iter()
+            .any(|e| e == name || e == "all")
+    };
+
+    let cfg = CorpusConfig {
+        n_users: args.users,
+        n_weeks: args.weeks,
+        seed: args.seed,
+        ..Default::default()
+    };
+    eprintln!(
+        "generating corpus: {} users x {} weeks (seed {:#x})...",
+        cfg.n_users, cfg.n_weeks, cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let corpus = Corpus::generate(cfg.clone());
+    eprintln!("corpus ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let tcp = FeatureKind::TcpConnections;
+
+    if wants("validate") {
+        let report = synthgen::validate(&corpus.population, corpus.config.windowing());
+        println!("{}", report.render());
+        if !report.passed() {
+            eprintln!("warning: population failed calibration checks");
+        }
+    }
+
+    if wants("fig1") {
+        let r = fig1::run(&corpus, 0);
+        emit(&fig1::summary_table(&r), &args.out, "fig1_summary");
+        emit(&fig1::concentration_table(&r), &args.out, "fig1_concentration");
+        if let Some(curve) = r.curves.iter().find(|c| c.feature == tcp) {
+            let series = [
+                Series {
+                    label: "99th percentile",
+                    points: curve
+                        .points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i as f64, p.1.max(1.0)))
+                        .collect(),
+                },
+                Series {
+                    label: "99.9th percentile",
+                    points: curve
+                        .points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| (i as f64, p.2.max(1.0)))
+                        .collect(),
+                },
+            ];
+            println!(
+                "{}",
+                plot(
+                    &ChartSpec {
+                        title: "Fig. 1(a) — # TCP connections: per-user thresholds (sorted)",
+                        x_label: "user rank",
+                        y_label: "threshold",
+                        log_y: true,
+                        ..Default::default()
+                    },
+                    &series,
+                )
+            );
+        }
+        if args.out.is_some() {
+            for c in &r.curves {
+                let name = format!(
+                    "fig1_curve_{}",
+                    c.feature.name().replace('-', "_")
+                );
+                emit(&fig1::curve_table(c), &args.out, &name);
+            }
+        }
+    }
+    if wants("fig2") {
+        let r = fig2::run(&corpus, 0);
+        emit(&fig2::summary_table(&r), &args.out, "fig2_summary");
+        if args.out.is_some() {
+            emit(&fig2::scatter_table(&r), &args.out, "fig2_scatter");
+        }
+        let series = [Series {
+            label: "one point per user",
+            points: r
+                .points
+                .iter()
+                .map(|(_, x, y)| (x.max(1.0), y.max(1.0)))
+                .collect(),
+        }];
+        println!(
+            "{}",
+            plot(
+                &ChartSpec {
+                    title: "Fig. 2 — per-user 99th percentiles (log-log): TCP (x) vs UDP (y)",
+                    x_label: "tcp q99 (log)",
+                    y_label: "udp q99",
+                    log_x: true,
+                    log_y: true,
+                    ..Default::default()
+                },
+                &series,
+            )
+        );
+    }
+    if wants("tab2") {
+        let r = tab2::run(&corpus, 0, 10);
+        emit(&tab2::table(&r), &args.out, "tab2");
+    }
+    if wants("fig3a") {
+        let r = fig3::run_a(&corpus, tcp, 0.4);
+        emit(&fig3::table_a(&r), &args.out, "fig3a");
+    }
+    if wants("fig3b") {
+        let r = fig3::run_b(&corpus, tcp, &fig3::paper_weights());
+        emit(&fig3::table_b(&r), &args.out, "fig3b");
+        let labels = ["Homogeneous", "Full-Diversity", "8-Partial"];
+        let series: Vec<Series> = labels
+            .iter()
+            .enumerate()
+            .map(|(p, label)| Series {
+                label,
+                points: r
+                    .weights
+                    .iter()
+                    .zip(&r.means[p])
+                    .map(|(&w, &u)| (w, u))
+                    .collect(),
+            })
+            .collect();
+        println!(
+            "{}",
+            plot(
+                &ChartSpec {
+                    title: "Fig. 3(b) — mean utility vs w",
+                    x_label: "w",
+                    y_label: "utility",
+                    ..Default::default()
+                },
+                &series,
+            )
+        );
+    }
+    if wants("tab3") {
+        let r = tab3::run(&corpus, tcp);
+        emit(&tab3::table(&r), &args.out, "tab3");
+    }
+    if wants("fig4a") {
+        let r = fig4::run_a(&corpus, tcp, 0, 64);
+        emit(&fig4::table_a(&r), &args.out, "fig4a");
+        let labels = ["Homogeneous", "Full-Diversity", "8-Partial"];
+        let series: Vec<Series> = labels
+            .iter()
+            .enumerate()
+            .map(|(p, label)| Series {
+                label,
+                points: r.sizes.iter().zip(&r.curves[p]).map(|(&b, &f)| (b, f)).collect(),
+            })
+            .collect();
+        println!(
+            "{}",
+            plot(
+                &ChartSpec {
+                    title: "Fig. 4(a) — fraction of users alarming vs attack size",
+                    x_label: "attack size (log)",
+                    y_label: "fraction",
+                    log_x: true,
+                    ..Default::default()
+                },
+                &series,
+            )
+        );
+    }
+    if wants("fig4b") {
+        let r = fig4::run_b(&corpus, tcp, 0, 0.9);
+        emit(&fig4::table_b(&r), &args.out, "fig4b");
+        emit(&fig4::run_c(&corpus, tcp, 0), &args.out, "fig4c_omniscient");
+    }
+    if wants("fig5a") || wants("fig5b") {
+        let r = fig5::run(&corpus, 0, &StormConfig::default());
+        let wpw = corpus.config.windowing().windows_per_week() as f64;
+        emit(&fig5::summary_table(&r, wpw), &args.out, "fig5_summary");
+        if args.out.is_some() {
+            emit(&fig5::scatter_table(&r), &args.out, "fig5_scatter");
+        }
+        let fp_floor = 1.0 / wpw;
+        let series: Vec<Series> = r
+            .scatters
+            .iter()
+            .map(|s| Series {
+                label: s.policy,
+                points: s
+                    .points
+                    .iter()
+                    .map(|p| (p.fp.max(fp_floor), p.detection))
+                    .collect(),
+            })
+            .collect();
+        println!(
+            "{}",
+            plot(
+                &ChartSpec {
+                    title: "Fig. 5 — Storm replay: FP (log) vs detection, one point per user",
+                    x_label: "false positive rate (log)",
+                    y_label: "detection",
+                    log_x: true,
+                    ..Default::default()
+                },
+                &series,
+            )
+        );
+    }
+    if wants("multi") {
+        let r = multifeat::run(&corpus, 0, &StormConfig::default());
+        emit(&multifeat::table(&r), &args.out, "multifeat");
+    }
+    if wants("collab") {
+        let r = collab::run(&corpus, 0, &StormConfig::default());
+        emit(&collab::table(&r), &args.out, "collab");
+    }
+    if wants("seeds") {
+        // Five alternate populations at reduced scale: the qualitative
+        // conclusions must not depend on the master seed.
+        let r = seeds::run(&[1, 2, 3, 0xBEEF, 0xC0FFEE], args.users.min(120));
+        emit(&seeds::table(&r), &args.out, "seeds");
+        if !r.all_conclusions_hold() {
+            eprintln!("warning: a seed failed to reproduce a headline conclusion");
+        }
+    }
+    if wants("ops") {
+        emit(
+            &ops::triage_table(&corpus, tcp, &itconsole::TriageConfig::default()),
+            &args.out,
+            "ops_triage",
+        );
+        if corpus.config.n_weeks >= 3 {
+            emit(&ops::maintenance_table(&corpus, tcp), &args.out, "ops_maintenance");
+        }
+    }
+    if wants("drift") {
+        let r = drift::run(&corpus, tcp);
+        emit(&drift::table(&r), &args.out, "drift");
+    }
+    if wants("ablation") {
+        emit(
+            &ablation::group_count_table(&ablation::group_count(&corpus, tcp, 0.5)),
+            &args.out,
+            "ablation_groups",
+        );
+        emit(
+            &ablation::grouping_methods(&corpus, tcp, 0.5, 8),
+            &args.out,
+            "ablation_methods",
+        );
+        emit(
+            &ablation::heuristic_family(&corpus, tcp, 0.4),
+            &args.out,
+            "ablation_heuristics",
+        );
+        emit(
+            &ablation::kmeans_probe_table(&ablation::kmeans_probe(&corpus, tcp)),
+            &args.out,
+            "ablation_kmeans",
+        );
+        let ds_for_size = corpus.dataset(tcp, 0);
+        let mut q99s: Vec<f64> = ds_for_size.train.iter().map(|d| d.quantile(0.99)).collect();
+        q99s.sort_by(|a, b| a.total_cmp(b));
+        emit(
+            &ablation::attack_duration(&corpus, tcp, q99s[q99s.len() / 2]),
+            &args.out,
+            "ablation_duration",
+        );
+        emit(&ablation::roc_headroom(&corpus, tcp), &args.out, "ablation_roc");
+        // The bin-width ablation regenerates its own corpus, so run it on
+        // a reduced population to keep the runtime reasonable.
+        let small = CorpusConfig {
+            n_users: cfg.n_users.min(120),
+            n_weeks: 2,
+            ..cfg.clone()
+        };
+        emit(
+            &ablation::bin_width(&small, tcp, 0.5),
+            &args.out,
+            "ablation_binwidth",
+        );
+    }
+
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

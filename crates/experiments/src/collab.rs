@@ -1,0 +1,218 @@
+//! Extension: collaborative (sentinel) detection — the paper's §7.
+//!
+//! "Those users with high detection rates can inform other users when
+//! malicious events occur." Under diversity, the most sensitive users per
+//! feature act as sentinels; an advisory fires when a quorum of them alarm
+//! in the same window. This experiment sweeps sentinel-pool size and
+//! quorum against the Storm replay, measuring the coverage the advisory
+//! gives every user (including those whose own detectors missed) and the
+//! advisory false-alarm rate on clean weeks.
+
+use flowtab::FeatureKind;
+use hids_core::{Grouping, Policy, ThresholdHeuristic};
+use itconsole::{sentinel_consensus, SentinelConfig};
+use synthgen::{storm_week_series, StormConfig};
+
+use crate::data::Corpus;
+use crate::report::{fnum, Table};
+
+/// One sentinel configuration's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct CollabRow {
+    /// Sentinels enlisted.
+    pub n_sentinels: usize,
+    /// Quorum required.
+    pub quorum: usize,
+    /// Fraction of zombie-active windows covered by an advisory.
+    pub coverage: f64,
+    /// Fraction of clean windows that (wrongly) triggered an advisory.
+    pub false_advisories: f64,
+}
+
+/// The collaborative-detection sweep.
+#[derive(Debug, Clone)]
+pub struct CollabResult {
+    /// One row per (pool size, quorum) combination.
+    pub rows: Vec<CollabRow>,
+    /// Median per-user solo detection rate, for contrast.
+    pub median_solo_detection: f64,
+}
+
+/// Build the per-user alarm matrix for a (possibly attacked) test week.
+fn alarm_matrix(
+    test_counts: &[Vec<u64>],
+    thresholds: &[f64],
+    overlay: Option<&[u64]>,
+) -> Vec<Vec<bool>> {
+    test_counts
+        .iter()
+        .zip(thresholds)
+        .map(|(counts, &t)| {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(w, &g)| {
+                    let b = overlay.map_or(0, |z| z[w % z.len()]);
+                    (g + b) as f64 > t
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run the sentinel sweep on the Storm replay (full-diversity thresholds,
+/// `num-distinct-connections`).
+pub fn run(corpus: &Corpus, train_week: usize, storm: &StormConfig) -> CollabResult {
+    let feature = FeatureKind::DistinctConnections;
+    let ds = corpus.dataset(feature, train_week);
+    let thresholds = Policy {
+        grouping: Grouping::FullDiversity,
+        heuristic: ThresholdHeuristic::P99,
+    }
+    .configure(&ds.train)
+    .thresholds;
+
+    let zombie = storm_week_series(storm, corpus.config.windowing(), 0);
+    let zombie_counts = zombie.feature(feature);
+    let attack_windows: Vec<usize> = zombie_counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b > 0)
+        .map(|(w, _)| w)
+        .collect();
+
+    let attacked = alarm_matrix(&ds.test_counts, &thresholds, Some(&zombie_counts));
+    let clean = alarm_matrix(&ds.test_counts, &thresholds, None);
+    let n_windows = ds.test_counts.first().map_or(0, |c| c.len());
+
+    // Per-user solo detection for contrast.
+    let mut solo: Vec<f64> = attacked
+        .iter()
+        .map(|row| {
+            attack_windows
+                .iter()
+                .filter(|&&w| row.get(w).copied().unwrap_or(false))
+                .count() as f64
+                / attack_windows.len().max(1) as f64
+        })
+        .collect();
+    solo.sort_by(|a, b| a.total_cmp(b));
+    let median_solo_detection = solo[solo.len() / 2];
+
+    let mut rows = Vec::new();
+    for n_sentinels in [5usize, 10, 20] {
+        for quorum in [1usize, 3, 5] {
+            if quorum > n_sentinels {
+                continue;
+            }
+            let config = SentinelConfig {
+                n_sentinels,
+                quorum,
+            };
+            let advisories = sentinel_consensus(&attacked, &thresholds, &config);
+            let covered = advisories
+                .iter()
+                .filter(|w| attack_windows.contains(w))
+                .count();
+            let false_set = sentinel_consensus(&clean, &thresholds, &config);
+            rows.push(CollabRow {
+                n_sentinels,
+                quorum,
+                coverage: covered as f64 / attack_windows.len().max(1) as f64,
+                false_advisories: false_set.len() as f64 / n_windows.max(1) as f64,
+            });
+        }
+    }
+
+    CollabResult {
+        rows,
+        median_solo_detection,
+    }
+}
+
+/// Render the sweep.
+pub fn table(r: &CollabResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "Collaborative sentinel detection (Storm replay; median solo detection {:.2})",
+            r.median_solo_detection
+        ),
+        &["sentinels", "quorum", "advisory coverage", "false advisories"],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            row.n_sentinels.to_string(),
+            row.quorum.to_string(),
+            fnum(row.coverage),
+            fnum(row.false_advisories),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CorpusConfig;
+
+    fn result() -> CollabResult {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_users: 60,
+            n_weeks: 2,
+            ..CorpusConfig::small()
+        });
+        run(&corpus, 0, &StormConfig::default())
+    }
+
+    #[test]
+    fn advisories_beat_the_median_solo_detector() {
+        let r = result();
+        let best = r
+            .rows
+            .iter()
+            .filter(|x| x.quorum >= 3)
+            .map(|x| x.coverage)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best >= r.median_solo_detection,
+            "quorum advisories ({best:.2}) cover at least the median user ({:.2})",
+            r.median_solo_detection
+        );
+    }
+
+    #[test]
+    fn quorum_trades_coverage_for_false_advisories() {
+        let r = result();
+        let at = |s: usize, q: usize| {
+            r.rows
+                .iter()
+                .find(|x| x.n_sentinels == s && x.quorum == q)
+                .copied()
+                .expect("row exists")
+        };
+        // Stricter quorum cannot increase either rate.
+        assert!(at(10, 3).coverage <= at(10, 1).coverage + 1e-12);
+        assert!(at(10, 3).false_advisories <= at(10, 1).false_advisories + 1e-12);
+        assert!(at(10, 5).false_advisories <= at(10, 3).false_advisories + 1e-12);
+        // More sentinels at fixed quorum cannot decrease coverage.
+        assert!(at(20, 3).coverage >= at(5, 3).coverage - 1e-12);
+    }
+
+    #[test]
+    fn false_advisory_rate_small_with_quorum() {
+        let r = result();
+        for row in r.rows.iter().filter(|x| x.quorum >= 3) {
+            assert!(
+                row.false_advisories < 0.25,
+                "{row:?} false advisories bounded"
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let r = result();
+        assert_eq!(table(&r).len(), r.rows.len());
+        assert_eq!(r.rows.len(), 9);
+    }
+}

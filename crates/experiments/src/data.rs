@@ -1,0 +1,228 @@
+//! Corpus: the generated population traces every experiment consumes.
+
+use flowtab::{FeatureKind, FeatureSeries, Windowing};
+use hids_core::FeatureDataset;
+use serde::{Deserialize, Serialize};
+use synthgen::{user_week_series_trended, Population, PopulationConfig, UserProfile};
+
+/// Configuration of a reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of users (paper: 350).
+    pub n_users: usize,
+    /// Number of weeks (paper: 5, of which weeks 1→2 and 3→4 are used).
+    pub n_weeks: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Window width in seconds (paper default: 900).
+    pub window_secs: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_users: 350,
+            n_weeks: 5,
+            seed: 0xC0FFEE,
+            window_secs: 900.0,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small corpus for unit tests and doc examples.
+    pub fn small() -> Self {
+        Self {
+            n_users: 40,
+            n_weeks: 2,
+            ..Default::default()
+        }
+    }
+
+    /// The windowing implied by `window_secs`.
+    pub fn windowing(&self) -> Windowing {
+        Windowing {
+            width_secs: self.window_secs,
+        }
+    }
+}
+
+/// The generated corpus: profiles plus per-user, per-week feature series.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Run configuration.
+    pub config: CorpusConfig,
+    /// Sampled population.
+    pub population: Population,
+    /// `weeks[u][w]` is user `u`'s series for week `w`.
+    pub weeks: Vec<Vec<FeatureSeries>>,
+}
+
+impl Corpus {
+    /// Generate a corpus, parallelising across users with scoped threads.
+    pub fn generate(config: CorpusConfig) -> Self {
+        let population = Population::sample(PopulationConfig {
+            n_users: config.n_users,
+            seed: config.seed,
+            ..Default::default()
+        });
+        let windowing = config.windowing();
+        let n_weeks = config.n_weeks;
+        let seed = population.config.seed;
+        let trend = population.config.weekly_trend;
+
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(population.users.len().max(1));
+        let mut weeks: Vec<Vec<FeatureSeries>> = Vec::with_capacity(population.users.len());
+        crossbeam::thread::scope(|scope| {
+            let chunks: Vec<&[UserProfile]> = population
+                .users
+                .chunks(population.users.len().div_ceil(n_threads))
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|u| {
+                                (0..n_weeks)
+                                    .map(|w| user_week_series_trended(u, seed, w, windowing, trend))
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                weeks.extend(h.join().expect("generator thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        Self {
+            config,
+            population,
+            weeks,
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.weeks.len()
+    }
+
+    /// One user's series for one week.
+    pub fn series(&self, user: usize, week: usize) -> &FeatureSeries {
+        &self.weeks[user][week]
+    }
+
+    /// Train-on-week / test-on-next dataset for one feature.
+    ///
+    /// The paper trains on week 1 and tests on week 2, then trains on week
+    /// 3 and tests on week 4 (`train_week` ∈ {0, 2} in 0-based indexing).
+    pub fn dataset(&self, feature: FeatureKind, train_week: usize) -> FeatureDataset {
+        assert!(
+            train_week + 1 < self.config.n_weeks,
+            "need a following test week"
+        );
+        let train: Vec<FeatureSeries> = self
+            .weeks
+            .iter()
+            .map(|w| w[train_week].clone())
+            .collect();
+        let test: Vec<FeatureSeries> = self
+            .weeks
+            .iter()
+            .map(|w| w[train_week + 1].clone())
+            .collect();
+        FeatureDataset::from_series(&train, &test, feature)
+    }
+
+    /// The train→test splits the paper evaluates (weeks 1→2 and 3→4 when
+    /// five weeks exist; fewer with a smaller corpus).
+    pub fn splits(&self) -> Vec<usize> {
+        if self.config.n_weeks >= 4 {
+            vec![0, 2]
+        } else if self.config.n_weeks >= 2 {
+            vec![0]
+        } else {
+            vec![]
+        }
+    }
+
+    /// Per-user training 99th percentile for a feature (the summary the
+    /// grouping policies and Figures 1–2 are built from).
+    pub fn q99(&self, feature: FeatureKind, week: usize) -> Vec<f64> {
+        self.weeks
+            .iter()
+            .map(|w| {
+                tailstats::EmpiricalDist::from_counts(&w[week].feature(feature)).quantile(0.99)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_generates() {
+        let c = Corpus::generate(CorpusConfig::small());
+        assert_eq!(c.n_users(), 40);
+        assert_eq!(c.weeks[0].len(), 2);
+        assert_eq!(c.series(0, 0).len(), 672);
+        assert_eq!(c.splits(), vec![0]);
+    }
+
+    #[test]
+    fn corpus_matches_sequential_generation() {
+        let c = Corpus::generate(CorpusConfig {
+            n_users: 6,
+            n_weeks: 2,
+            ..CorpusConfig::small()
+        });
+        // Parallel generation must equal the sequential per-user streams.
+        let u = &c.population.users[3];
+        let expect = user_week_series_trended(
+            u,
+            c.population.config.seed,
+            1,
+            c.config.windowing(),
+            c.population.config.weekly_trend,
+        );
+        assert_eq!(*c.series(3, 1), expect);
+    }
+
+    #[test]
+    fn dataset_pairs_consecutive_weeks() {
+        let c = Corpus::generate(CorpusConfig::small());
+        let ds = c.dataset(FeatureKind::TcpConnections, 0);
+        assert_eq!(ds.n_users(), 40);
+        assert!(ds.max_observed() >= 1.0);
+    }
+
+    #[test]
+    fn five_week_corpus_has_two_splits() {
+        let c = Corpus::generate(CorpusConfig {
+            n_users: 3,
+            n_weeks: 5,
+            ..CorpusConfig::small()
+        });
+        assert_eq!(c.splits(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "following test week")]
+    fn dataset_needs_test_week() {
+        let c = Corpus::generate(CorpusConfig {
+            n_users: 2,
+            n_weeks: 2,
+            ..CorpusConfig::small()
+        });
+        let _ = c.dataset(FeatureKind::TcpConnections, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Figure 2: per-user fringe comparison across two features.
+//!
+//! Each point is one user; x = 99th percentile of TCP connections,
+//! y = 99th percentile of UDP connections. The paper's observation: users
+//! occupy the corners too — some are TCP-heavy but UDP-light and vice
+//! versa, so *who is best at detecting what* differs by feature.
+
+use flowtab::FeatureKind;
+
+use crate::data::Corpus;
+use crate::report::{fnum, Table};
+
+/// The scatter plus corner statistics.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// `(user, x = tcp q99, y = udp q99)`.
+    pub points: Vec<(u32, f64, f64)>,
+    /// Users in the lower-right corner (TCP-heavy, UDP-light).
+    pub tcp_heavy_udp_light: Vec<u32>,
+    /// Users in the upper-left corner (UDP-heavy, TCP-light).
+    pub udp_heavy_tcp_light: Vec<u32>,
+    /// Pearson correlation between log-scaled x and y.
+    pub log_correlation: f64,
+}
+
+/// Run the Figure-2 analysis (corner = above the 75th percentile in one
+/// feature and below the 25th in the other).
+pub fn run(corpus: &Corpus, week: usize) -> Fig2Result {
+    let x = corpus.q99(FeatureKind::TcpConnections, week);
+    let y = corpus.q99(FeatureKind::UdpConnections, week);
+    let points: Vec<(u32, f64, f64)> = x
+        .iter()
+        .zip(&y)
+        .enumerate()
+        .map(|(u, (&a, &b))| (u as u32, a, b))
+        .collect();
+
+    let quantile = |v: &[f64], q: f64| {
+        tailstats::EmpiricalDist::from_samples(v.to_vec()).quantile(q)
+    };
+    let (x_hi, x_lo) = (quantile(&x, 0.75), quantile(&x, 0.25));
+    let (y_hi, y_lo) = (quantile(&y, 0.75), quantile(&y, 0.25));
+
+    let tcp_heavy_udp_light = points
+        .iter()
+        .filter(|(_, a, b)| *a >= x_hi && *b <= y_lo)
+        .map(|(u, _, _)| *u)
+        .collect();
+    let udp_heavy_tcp_light = points
+        .iter()
+        .filter(|(_, a, b)| *b >= y_hi && *a <= x_lo)
+        .map(|(u, _, _)| *u)
+        .collect();
+
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|(_, a, b)| (a.max(1.0).log10(), b.max(1.0).log10()))
+        .collect();
+    let n = logs.len() as f64;
+    let mx = logs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = logs.iter().map(|p| p.1).sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (a, b) in &logs {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    let log_correlation = if sxx > 0.0 && syy > 0.0 {
+        sxy / (sxx * syy).sqrt()
+    } else {
+        0.0
+    };
+
+    Fig2Result {
+        points,
+        tcp_heavy_udp_light,
+        udp_heavy_tcp_light,
+        log_correlation,
+    }
+}
+
+/// Scatter as a CSV-ready table.
+pub fn scatter_table(r: &Fig2Result) -> Table {
+    let mut t = Table::new(
+        "Figure 2 — per-user 99th percentiles, TCP vs UDP",
+        &["user", "tcp_q99", "udp_q99"],
+    );
+    for (u, a, b) in &r.points {
+        t.row(vec![u.to_string(), fnum(*a), fnum(*b)]);
+    }
+    t
+}
+
+/// Summary of the corner populations.
+pub fn summary_table(r: &Fig2Result) -> Table {
+    let mut t = Table::new(
+        "Figure 2 — orientation corners",
+        &["statistic", "value"],
+    );
+    t.row(vec!["users".into(), r.points.len().to_string()]);
+    t.row(vec![
+        "tcp-heavy & udp-light".into(),
+        r.tcp_heavy_udp_light.len().to_string(),
+    ]);
+    t.row(vec![
+        "udp-heavy & tcp-light".into(),
+        r.udp_heavy_tcp_light.len().to_string(),
+    ]);
+    t.row(vec![
+        "log-log correlation".into(),
+        format!("{:.3}", r.log_correlation),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CorpusConfig;
+
+    #[test]
+    fn corners_are_nonempty_for_a_large_population() {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_users: 200,
+            ..CorpusConfig::small()
+        });
+        let r = run(&corpus, 0);
+        assert_eq!(r.points.len(), 200);
+        // Orientation independence must put some users in each corner.
+        assert!(
+            !r.tcp_heavy_udp_light.is_empty(),
+            "expected TCP-heavy/UDP-light corner users"
+        );
+        assert!(
+            !r.udp_heavy_tcp_light.is_empty(),
+            "expected UDP-heavy/TCP-light corner users"
+        );
+        // Correlated through the shared heaviness factor, but far from 1.
+        assert!(r.log_correlation > 0.05 && r.log_correlation < 0.95);
+    }
+
+    #[test]
+    fn corner_users_disjoint() {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_users: 100,
+            ..CorpusConfig::small()
+        });
+        let r = run(&corpus, 0);
+        for u in &r.tcp_heavy_udp_light {
+            assert!(!r.udp_heavy_tcp_light.contains(u));
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_users: 12,
+            ..CorpusConfig::small()
+        });
+        let r = run(&corpus, 0);
+        assert_eq!(scatter_table(&r).len(), 12);
+        assert_eq!(summary_table(&r).len(), 4);
+    }
+}

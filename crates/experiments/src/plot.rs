@@ -1,0 +1,258 @@
+//! Terminal (ASCII) charts, so `repro` output *shows* the figures rather
+//! than only tabulating them.
+//!
+//! One glyph per series, optional log axes (the paper's figures are mostly
+//! log-scale), min/max axis labels. Deliberately dependency-free.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartSpec<'a> {
+    /// Title line.
+    pub title: &'a str,
+    /// x-axis caption.
+    pub x_label: &'a str,
+    /// y-axis caption.
+    pub y_label: &'a str,
+    /// Plot-area width in characters.
+    pub width: usize,
+    /// Plot-area height in characters.
+    pub height: usize,
+    /// Log-scale x (values ≤ 0 are clamped to the smallest positive point).
+    pub log_x: bool,
+    /// Log-scale y.
+    pub log_y: bool,
+}
+
+impl Default for ChartSpec<'_> {
+    fn default() -> Self {
+        Self {
+            title: "",
+            x_label: "x",
+            y_label: "y",
+            width: 72,
+            height: 20,
+            log_x: false,
+            log_y: false,
+        }
+    }
+}
+
+const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+
+fn transform(v: f64, log: bool, floor: f64) -> f64 {
+    if log {
+        v.max(floor).log10()
+    } else {
+        v
+    }
+}
+
+/// Render the chart. Returns a multi-line string ending in a newline.
+pub fn render(spec: &ChartSpec, series: &[Series]) -> String {
+    let mut out = String::new();
+    if !spec.title.is_empty() {
+        out.push_str(spec.title);
+        out.push('\n');
+    }
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+
+    let pos_floor = |get: fn(&(f64, f64)) -> f64| {
+        all.iter()
+            .map(get)
+            .filter(|&v| v > 0.0)
+            .fold(f64::INFINITY, f64::min)
+            .clamp(1e-12, 1.0)
+    };
+    let fx = pos_floor(|p| p.0);
+    let fy = pos_floor(|p| p.1);
+
+    let xs: Vec<f64> = all.iter().map(|p| transform(p.0, spec.log_x, fx)).collect();
+    let ys: Vec<f64> = all.iter().map(|p| transform(p.1, spec.log_y, fy)).collect();
+    let (x_min, x_max) = bounds(&xs);
+    let (y_min, y_max) = bounds(&ys);
+
+    let w = spec.width.max(8);
+    let h = spec.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let tx = transform(x, spec.log_x, fx);
+            let ty = transform(y, spec.log_y, fy);
+            let col = scale(tx, x_min, x_max, w - 1);
+            let row = h - 1 - scale(ty, y_min, y_max, h - 1);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let y_top = axis_value(y_max, spec.log_y);
+    let y_bottom = axis_value(y_min, spec.log_y);
+    let label_w = 10usize;
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_top:>label_w$.4}")
+        } else if i == h - 1 {
+            format!("{y_bottom:>label_w$.4}")
+        } else if i == h / 2 {
+            format!("{:>label_w$}", spec.y_label)
+        } else {
+            " ".repeat(label_w)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_w));
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    let x_lo = axis_value(x_min, spec.log_x);
+    let x_hi = axis_value(x_max, spec.log_x);
+    let footer = format!(
+        "{}{:<12}{:^w$}{:>12}",
+        " ".repeat(label_w),
+        trim_num(x_lo),
+        spec.x_label,
+        trim_num(x_hi),
+        w = w.saturating_sub(24)
+    );
+    out.push_str(footer.trim_end());
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.label))
+        .collect();
+    out.push_str(&" ".repeat(label_w));
+    out.push_str(&legend.join("   "));
+    out.push('\n');
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, max_idx: usize) -> usize {
+    let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    (frac * max_idx as f64).round() as usize
+}
+
+fn axis_value(v: f64, log: bool) -> f64 {
+    if log {
+        10f64.powf(v)
+    } else {
+        v
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 1000.0 || (v != 0.0 && v.abs() < 0.01) {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChartSpec<'static> {
+        ChartSpec {
+            title: "demo",
+            x_label: "size",
+            y_label: "frac",
+            width: 40,
+            height: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let s = [
+            Series {
+                label: "a",
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            },
+            Series {
+                label: "b",
+                points: vec![(0.0, 1.0), (1.0, 0.0)],
+            },
+        ];
+        let chart = render(&spec(), &s);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('x'));
+        assert!(chart.contains("o a"));
+        assert!(chart.contains("x b"));
+        assert!(chart.contains("demo"));
+    }
+
+    #[test]
+    fn corners_land_in_corners() {
+        let s = [Series {
+            label: "a",
+            points: vec![(0.0, 0.0), (10.0, 10.0)],
+        }];
+        let chart = render(&spec(), &s);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Row 1 (after title) is the top of the grid: max y -> last col.
+        assert!(lines[1].ends_with('o'), "{chart}");
+        // Bottom grid row has the min point right after the axis bar.
+        let bottom = lines[10];
+        let after_bar = bottom.split('|').nth(1).unwrap();
+        assert!(after_bar.starts_with('o'), "{chart}");
+    }
+
+    #[test]
+    fn log_axes_do_not_panic_on_zero() {
+        let s = [Series {
+            label: "a",
+            points: vec![(0.0, 0.0), (100.0, 1000.0)],
+        }];
+        let mut sp = spec();
+        sp.log_x = true;
+        sp.log_y = true;
+        let chart = render(&sp, &s);
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let chart = render(&spec(), &[]);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let s = [Series {
+            label: "flat",
+            points: vec![(1.0, 5.0), (2.0, 5.0)],
+        }];
+        let chart = render(&spec(), &s);
+        assert!(chart.contains('o'));
+    }
+}

@@ -1,0 +1,235 @@
+//! Zeek-style `conn.log` text export/import for flow records.
+//!
+//! The paper processed its traces with Bro (now Zeek); emitting the same
+//! tab-separated connection-summary format makes our flow records directly
+//! comparable with a Zeek run over the exported pcaps, and gives the repo
+//! a human-greppable trace artifact.
+
+use std::net::Ipv4Addr;
+
+use crate::conn::TcpConnState;
+use crate::record::{AppProtocol, FlowRecord};
+use crate::tuple::{Endpoint, Transport};
+
+/// Render one record as a conn.log line:
+/// `ts  id.orig_h  id.orig_p  id.resp_h  id.resp_p  proto  service
+///  duration  orig_pkts  resp_pkts  orig_bytes  resp_bytes  conn_state`.
+pub fn to_line(r: &FlowRecord) -> String {
+    format!(
+        "{:.6}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{}\t{}\t{}\t{}\t{}",
+        r.first_ts,
+        r.initiator.addr,
+        r.initiator.port,
+        r.responder.addr,
+        r.responder.port,
+        proto_str(r.transport),
+        service_str(r.app),
+        r.duration(),
+        r.packets_fwd,
+        r.packets_rev,
+        r.bytes_fwd,
+        r.bytes_rev,
+        state_str(r.tcp_state, r.initiator_syn),
+    )
+}
+
+/// Render a whole trace with the header line.
+pub fn to_log(records: &[FlowRecord]) -> String {
+    let mut out = String::from(
+        "#fields\tts\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tproto\tservice\tduration\torig_pkts\tresp_pkts\torig_bytes\tresp_bytes\tconn_state\n",
+    );
+    for r in records {
+        out.push_str(&to_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one line back into a flow record (inverse of [`to_line`] for the
+/// fields the format carries; `syn_count` is reconstructed as 0/1 from the
+/// connection state).
+pub fn from_line(line: &str) -> Option<FlowRecord> {
+    let mut f = line.split('\t');
+    let first_ts: f64 = f.next()?.parse().ok()?;
+    let orig_h: Ipv4Addr = f.next()?.parse().ok()?;
+    let orig_p: u16 = f.next()?.parse().ok()?;
+    let resp_h: Ipv4Addr = f.next()?.parse().ok()?;
+    let resp_p: u16 = f.next()?.parse().ok()?;
+    let transport = match f.next()? {
+        "tcp" => Transport::Tcp,
+        "udp" => Transport::Udp,
+        "icmp" => Transport::Icmp,
+        _ => return None,
+    };
+    let _service = f.next()?;
+    let duration: f64 = f.next()?.parse().ok()?;
+    let packets_fwd: u64 = f.next()?.parse().ok()?;
+    let packets_rev: u64 = f.next()?.parse().ok()?;
+    let bytes_fwd: u64 = f.next()?.parse().ok()?;
+    let bytes_rev: u64 = f.next()?.parse().ok()?;
+    let state = f.next()?;
+    let (tcp_state, initiator_syn) = parse_state(transport, state);
+    Some(FlowRecord {
+        initiator: Endpoint::new(orig_h, orig_p),
+        responder: Endpoint::new(resp_h, resp_p),
+        transport,
+        app: AppProtocol::classify(transport, resp_p),
+        first_ts,
+        last_ts: first_ts + duration,
+        packets_fwd,
+        packets_rev,
+        bytes_fwd,
+        bytes_rev,
+        initiator_syn,
+        syn_count: u32::from(initiator_syn),
+        tcp_state,
+    })
+}
+
+/// Parse a whole log (skipping `#` comment lines).
+pub fn from_log(text: &str) -> Vec<FlowRecord> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter_map(from_line)
+        .collect()
+}
+
+fn proto_str(t: Transport) -> &'static str {
+    match t {
+        Transport::Tcp => "tcp",
+        Transport::Udp => "udp",
+        Transport::Icmp => "icmp",
+    }
+}
+
+fn service_str(a: AppProtocol) -> &'static str {
+    match a {
+        AppProtocol::Dns => "dns",
+        AppProtocol::Http => "http",
+        AppProtocol::Https => "ssl",
+        AppProtocol::Smtp => "smtp",
+        AppProtocol::Other => "-",
+    }
+}
+
+/// Zeek-ish conn_state labels for the states our tracker distinguishes.
+fn state_str(state: Option<TcpConnState>, initiator_syn: bool) -> &'static str {
+    match state {
+        None => "-",
+        Some(TcpConnState::Closed) => "SF",
+        Some(TcpConnState::Reset) => "RSTO",
+        Some(TcpConnState::SynSent) => "S0",
+        Some(TcpConnState::SynReceived) => "S1",
+        Some(TcpConnState::Established) => "S1E",
+        Some(TcpConnState::FinWait) => "S2",
+        Some(TcpConnState::Midstream) => {
+            if initiator_syn {
+                "SH"
+            } else {
+                "OTH"
+            }
+        }
+    }
+}
+
+fn parse_state(transport: Transport, s: &str) -> (Option<TcpConnState>, bool) {
+    if transport != Transport::Tcp {
+        return (None, false);
+    }
+    match s {
+        "SF" => (Some(TcpConnState::Closed), true),
+        "RSTO" => (Some(TcpConnState::Reset), true),
+        "S0" => (Some(TcpConnState::SynSent), true),
+        "S1" => (Some(TcpConnState::SynReceived), true),
+        "S1E" => (Some(TcpConnState::Established), true),
+        "S2" => (Some(TcpConnState::FinWait), true),
+        "SH" => (Some(TcpConnState::Midstream), true),
+        _ => (Some(TcpConnState::Midstream), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FlowRecord {
+        FlowRecord {
+            initiator: Endpoint::new(Ipv4Addr::new(10, 1, 0, 3), 50123),
+            responder: Endpoint::new(Ipv4Addr::new(93, 184, 216, 34), 80),
+            transport: Transport::Tcp,
+            app: AppProtocol::Http,
+            first_ts: 1234.5,
+            last_ts: 1236.75,
+            packets_fwd: 8,
+            packets_rev: 6,
+            bytes_fwd: 900,
+            bytes_rev: 14000,
+            initiator_syn: true,
+            syn_count: 1,
+            tcp_state: Some(TcpConnState::Closed),
+        }
+    }
+
+    #[test]
+    fn line_roundtrip_preserves_core_fields() {
+        let r = record();
+        let parsed = from_line(&to_line(&r)).expect("parses");
+        assert_eq!(parsed.initiator, r.initiator);
+        assert_eq!(parsed.responder, r.responder);
+        assert_eq!(parsed.transport, r.transport);
+        assert_eq!(parsed.app, r.app);
+        assert!((parsed.first_ts - r.first_ts).abs() < 1e-6);
+        assert!((parsed.duration() - r.duration()).abs() < 1e-6);
+        assert_eq!(parsed.packets_fwd, r.packets_fwd);
+        assert_eq!(parsed.bytes_rev, r.bytes_rev);
+        assert_eq!(parsed.tcp_state, r.tcp_state);
+        assert!(parsed.initiator_syn);
+    }
+
+    #[test]
+    fn log_roundtrip_all_records() {
+        let mut records = vec![record()];
+        let mut udp = record();
+        udp.transport = Transport::Udp;
+        udp.responder.port = 53;
+        udp.app = AppProtocol::Dns;
+        udp.tcp_state = None;
+        udp.initiator_syn = false;
+        udp.syn_count = 0;
+        records.push(udp);
+
+        let text = to_log(&records);
+        assert!(text.starts_with("#fields"));
+        let parsed = from_log(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].app, AppProtocol::Dns);
+        assert_eq!(parsed[1].tcp_state, None);
+    }
+
+    #[test]
+    fn service_labels() {
+        let mut r = record();
+        assert!(to_line(&r).contains("\thttp\t"));
+        r.responder.port = 443;
+        r.app = AppProtocol::classify(r.transport, 443);
+        assert!(to_line(&r).contains("\tssl\t"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(from_line("not a log line").is_none());
+        assert!(from_line("").is_none());
+        assert!(from_line("1.0\t10.0.0.1\tnotaport\t1.2.3.4\t80\ttcp\t-\t0\t1\t1\t1\t1\tSF").is_none());
+        // Comment/garbage lines skipped by from_log.
+        assert_eq!(from_log("#comment\n\ngarbage\n").len(), 0);
+    }
+
+    #[test]
+    fn state_labels_distinguish_scan_from_established() {
+        let mut r = record();
+        r.tcp_state = Some(TcpConnState::SynSent);
+        assert!(to_line(&r).ends_with("S0"), "bare SYN = scan-like S0");
+        r.tcp_state = Some(TcpConnState::Reset);
+        assert!(to_line(&r).ends_with("RSTO"));
+    }
+}

@@ -1,0 +1,286 @@
+//! DNS transaction tracking.
+//!
+//! Matches queries to responses by `(client endpoint, transaction id)`,
+//! producing per-transaction records — the Bro-style view used to label
+//! DNS behaviour beyond simple connection counts: lookup latency, failure
+//! (NXDOMAIN/ServFail) rates, and unanswered-query counts, all of which
+//! are botnet C&C tells (Storm-era zombies issued storms of MX lookups
+//! with high failure rates).
+
+use std::collections::HashMap;
+
+use netpkt::dns::{DnsHeader, DnsQuestion, DNS_HEADER_LEN};
+use netpkt::{DnsRcode, DnsRecordType};
+
+use crate::tuple::Endpoint;
+
+/// One completed (or expired) DNS transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnsTransaction {
+    /// Client-side endpoint that issued the query.
+    pub client: Endpoint,
+    /// Transaction id.
+    pub txid: u16,
+    /// Queried name (first question).
+    pub name: String,
+    /// Query type.
+    pub qtype: DnsRecordType,
+    /// Time the query was seen.
+    pub query_ts: f64,
+    /// Time the response was seen, if any.
+    pub response_ts: Option<f64>,
+    /// Response code, if a response arrived.
+    pub rcode: Option<DnsRcode>,
+    /// Answer count from the response header.
+    pub answers: u16,
+}
+
+impl DnsTransaction {
+    /// Lookup latency in seconds, if answered.
+    pub fn latency(&self) -> Option<f64> {
+        self.response_ts.map(|r| (r - self.query_ts).max(0.0))
+    }
+
+    /// True when a response arrived with a non-error code.
+    pub fn succeeded(&self) -> bool {
+        matches!(self.rcode, Some(DnsRcode::NoError))
+    }
+}
+
+/// Aggregate statistics over completed transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DnsStats {
+    /// Queries observed.
+    pub queries: u64,
+    /// Responses matched to a query.
+    pub answered: u64,
+    /// NXDOMAIN responses.
+    pub nxdomain: u64,
+    /// ServFail responses.
+    pub servfail: u64,
+    /// Queries that timed out unanswered.
+    pub timed_out: u64,
+}
+
+impl DnsStats {
+    /// Fraction of answered queries that failed (NXDOMAIN or ServFail).
+    pub fn failure_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            (self.nxdomain + self.servfail) as f64 / self.answered as f64
+        }
+    }
+
+    /// Fraction of all queries never answered.
+    pub fn loss_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.timed_out as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Stateful query/response matcher.
+#[derive(Debug)]
+pub struct DnsTracker {
+    timeout: f64,
+    pending: HashMap<(Endpoint, u16), DnsTransaction>,
+    completed: Vec<DnsTransaction>,
+    stats: DnsStats,
+}
+
+impl DnsTracker {
+    /// Create a tracker; queries unanswered after `timeout` seconds are
+    /// flushed as timed out.
+    pub fn new(timeout: f64) -> Self {
+        Self {
+            timeout,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            stats: DnsStats::default(),
+        }
+    }
+
+    /// Feed the UDP payload of a packet on port 53.
+    ///
+    /// `client` is the non-53 endpoint of the datagram (the querier);
+    /// `from_client` says which direction this message travelled.
+    /// Malformed messages are counted as neither query nor response.
+    pub fn observe(&mut self, ts: f64, client: Endpoint, from_client: bool, payload: &[u8]) {
+        self.expire(ts);
+        let Ok(header) = DnsHeader::parse(payload) else {
+            return;
+        };
+        if from_client && !header.is_response {
+            let Ok((question, _)) = DnsQuestion::parse(payload, DNS_HEADER_LEN) else {
+                return;
+            };
+            self.stats.queries += 1;
+            self.pending.insert(
+                (client, header.id),
+                DnsTransaction {
+                    client,
+                    txid: header.id,
+                    name: question.name,
+                    qtype: question.qtype,
+                    query_ts: ts,
+                    response_ts: None,
+                    rcode: None,
+                    answers: 0,
+                },
+            );
+        } else if !from_client && header.is_response {
+            if let Some(mut tx) = self.pending.remove(&(client, header.id)) {
+                tx.response_ts = Some(ts);
+                tx.rcode = Some(header.rcode);
+                tx.answers = header.ancount;
+                self.stats.answered += 1;
+                match header.rcode {
+                    DnsRcode::NxDomain => self.stats.nxdomain += 1,
+                    DnsRcode::ServFail => self.stats.servfail += 1,
+                    _ => {}
+                }
+                self.completed.push(tx);
+            }
+        }
+    }
+
+    fn expire(&mut self, now: f64) {
+        let timeout = self.timeout;
+        let expired: Vec<(Endpoint, u16)> = self
+            .pending
+            .iter()
+            .filter(|(_, tx)| now - tx.query_ts > timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            if let Some(tx) = self.pending.remove(&key) {
+                self.stats.timed_out += 1;
+                self.completed.push(tx);
+            }
+        }
+    }
+
+    /// Statistics so far (timed-out queries only counted after expiry).
+    pub fn stats(&self) -> DnsStats {
+        self.stats
+    }
+
+    /// Finish the trace: expire everything pending and return all
+    /// transactions in query order.
+    pub fn finish(mut self) -> (Vec<DnsTransaction>, DnsStats) {
+        self.expire(f64::INFINITY);
+        self.completed
+            .sort_by(|a, b| a.query_ts.total_cmp(&b.query_ts));
+        (self.completed, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::dns::emit_query;
+    use std::net::Ipv4Addr;
+
+    fn client() -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 53124)
+    }
+
+    fn query_bytes(txid: u16, name: &str) -> Vec<u8> {
+        let mut buf = vec![0u8; 512];
+        let n = emit_query(&mut buf, txid, name, DnsRecordType::A).unwrap();
+        buf.truncate(n);
+        buf
+    }
+
+    /// Build a response by flipping QR (and setting rcode/ancount) on a
+    /// query's bytes.
+    fn response_bytes(txid: u16, name: &str, rcode: u8, answers: u16) -> Vec<u8> {
+        let mut buf = query_bytes(txid, name);
+        buf[2] |= 0x80; // QR = response
+        buf[3] = (buf[3] & 0xf0) | (rcode & 0x0f);
+        buf[6..8].copy_from_slice(&answers.to_be_bytes());
+        buf
+    }
+
+    #[test]
+    fn query_response_matched_with_latency() {
+        let mut t = DnsTracker::new(5.0);
+        t.observe(10.0, client(), true, &query_bytes(7, "example.com"));
+        t.observe(10.05, client(), false, &response_bytes(7, "example.com", 0, 2));
+        let (txs, stats) = t.finish();
+        assert_eq!(txs.len(), 1);
+        let tx = &txs[0];
+        assert_eq!(tx.name, "example.com");
+        assert_eq!(tx.answers, 2);
+        assert!(tx.succeeded());
+        assert!((tx.latency().unwrap() - 0.05).abs() < 1e-9);
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.timed_out, 0);
+    }
+
+    #[test]
+    fn unanswered_queries_time_out() {
+        let mut t = DnsTracker::new(2.0);
+        t.observe(0.0, client(), true, &query_bytes(1, "gone.example"));
+        // A later, unrelated query triggers the sweep.
+        t.observe(10.0, client(), true, &query_bytes(2, "other.example"));
+        assert_eq!(t.stats().timed_out, 1);
+        let (txs, stats) = t.finish();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(stats.timed_out, 2);
+        assert!((stats.loss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_rates_tracked() {
+        let mut t = DnsTracker::new(5.0);
+        for (txid, rcode) in [(1u16, 0u8), (2, 3), (3, 3), (4, 2)] {
+            t.observe(0.1 * f64::from(txid), client(), true, &query_bytes(txid, "mx.example"));
+            t.observe(
+                0.1 * f64::from(txid) + 0.01,
+                client(),
+                false,
+                &response_bytes(txid, "mx.example", rcode, 0),
+            );
+        }
+        let stats = t.stats();
+        assert_eq!(stats.answered, 4);
+        assert_eq!(stats.nxdomain, 2);
+        assert_eq!(stats.servfail, 1);
+        assert!((stats.failure_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_txid_not_matched() {
+        let mut t = DnsTracker::new(5.0);
+        t.observe(0.0, client(), true, &query_bytes(1, "a.example"));
+        t.observe(0.1, client(), false, &response_bytes(99, "a.example", 0, 1));
+        assert_eq!(t.stats().answered, 0);
+    }
+
+    #[test]
+    fn different_clients_tracked_separately() {
+        let other = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 40000);
+        let mut t = DnsTracker::new(5.0);
+        t.observe(0.0, client(), true, &query_bytes(5, "x.example"));
+        t.observe(0.0, other, true, &query_bytes(5, "y.example"));
+        t.observe(0.1, client(), false, &response_bytes(5, "x.example", 0, 1));
+        let (txs, stats) = t.finish();
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.timed_out, 1);
+        let answered: Vec<&DnsTransaction> =
+            txs.iter().filter(|x| x.response_ts.is_some()).collect();
+        assert_eq!(answered[0].name, "x.example");
+    }
+
+    #[test]
+    fn garbage_payloads_ignored() {
+        let mut t = DnsTracker::new(5.0);
+        t.observe(0.0, client(), true, &[0u8; 3]);
+        t.observe(0.0, client(), true, &[0xff; 40]);
+        assert_eq!(t.stats().queries, 0);
+    }
+}

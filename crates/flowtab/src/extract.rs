@@ -1,0 +1,239 @@
+//! Frame-level driver: parse captured Ethernet frames and feed the flow table.
+
+use std::net::Ipv4Addr;
+
+use crate::table::{FlowTable, FlowTableConfig};
+use crate::tuple::{Endpoint, FiveTuple, Transport};
+use crate::FlowRecord;
+use netpkt::{
+    EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, PcapPacket, TcpSegment,
+    UdpDatagram,
+};
+
+/// Why a frame was skipped rather than contributing to a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Frame failed to parse at some layer.
+    Parse(netpkt::Error),
+    /// EtherType we don't decode (ARP, IPv6, ...).
+    NonIpv4,
+    /// IP protocol we don't track.
+    UnsupportedProtocol,
+}
+
+impl From<netpkt::Error> for ExtractError {
+    fn from(e: netpkt::Error) -> Self {
+        ExtractError::Parse(e)
+    }
+}
+
+impl core::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExtractError::Parse(e) => write!(f, "frame parse error: {e}"),
+            ExtractError::NonIpv4 => write!(f, "not an IPv4 frame"),
+            ExtractError::UnsupportedProtocol => write!(f, "untracked IP protocol"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Counters describing what the extractor saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Frames fed in.
+    pub frames: u64,
+    /// Frames contributing to a flow.
+    pub accepted: u64,
+    /// Frames skipped (parse errors, non-IPv4, unsupported protocols).
+    pub skipped: u64,
+    /// Frames with invalid IPv4 header checksums (still skipped).
+    pub bad_ip_checksum: u64,
+}
+
+/// Parses frames and maintains a [`FlowTable`].
+#[derive(Debug)]
+pub struct FlowExtractor {
+    table: FlowTable,
+    stats: ExtractStats,
+}
+
+impl FlowExtractor {
+    /// Create an extractor with the given flow-table configuration.
+    pub fn new(config: FlowTableConfig) -> Self {
+        Self {
+            table: FlowTable::new(config),
+            stats: ExtractStats::default(),
+        }
+    }
+
+    /// Extraction counters so far.
+    pub fn stats(&self) -> ExtractStats {
+        self.stats
+    }
+
+    /// Feed one Ethernet frame captured at `ts` (seconds).
+    pub fn push_frame(&mut self, ts: f64, frame: &[u8]) -> Result<(), ExtractError> {
+        self.stats.frames += 1;
+        match self.decode_and_observe(ts, frame) {
+            Ok(()) => {
+                self.stats.accepted += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.skipped += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Feed one pcap record (Ethernet link type assumed).
+    pub fn push_pcap(&mut self, pkt: &PcapPacket) -> Result<(), ExtractError> {
+        self.push_frame(pkt.timestamp(), &pkt.data)
+    }
+
+    fn decode_and_observe(&mut self, ts: f64, frame: &[u8]) -> Result<(), ExtractError> {
+        let eth = EthernetFrame::parse(frame)?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Err(ExtractError::NonIpv4);
+        }
+        let ip = Ipv4Packet::parse(eth.payload())?;
+        if !ip.verify_checksum() {
+            self.stats.bad_ip_checksum += 1;
+            return Err(ExtractError::Parse(netpkt::Error::BadChecksum));
+        }
+        let (src, dst) = (ip.src(), ip.dst());
+        match ip.protocol() {
+            IpProtocol::Tcp => {
+                let tcp = TcpSegment::parse(ip.payload())?;
+                let tuple = tcp_tuple(src, dst, tcp.src_port(), tcp.dst_port());
+                self.table
+                    .observe(ts, tuple, tcp.payload().len(), Some(tcp.flags()));
+                Ok(())
+            }
+            IpProtocol::Udp => {
+                let udp = UdpDatagram::parse(ip.payload())?;
+                let tuple = FiveTuple::new(
+                    Endpoint::new(src, udp.src_port()),
+                    Endpoint::new(dst, udp.dst_port()),
+                    Transport::Udp,
+                );
+                self.table.observe(ts, tuple, udp.payload().len(), None);
+                Ok(())
+            }
+            IpProtocol::Icmp => {
+                let icmp = IcmpMessage::parse(ip.payload())?;
+                let tuple = FiveTuple::new(
+                    Endpoint::new(src, icmp.identifier()),
+                    Endpoint::new(dst, 0),
+                    Transport::Icmp,
+                );
+                self.table.observe(ts, tuple, icmp.payload().len(), None);
+                Ok(())
+            }
+            _ => Err(ExtractError::UnsupportedProtocol),
+        }
+    }
+
+    /// Harvest flow records completed so far.
+    pub fn harvest(&mut self) -> Vec<FlowRecord> {
+        self.table.harvest()
+    }
+
+    /// End the trace and return all flow records, sorted by start time.
+    pub fn finish(mut self) -> Vec<FlowRecord> {
+        self.table.drain()
+    }
+}
+
+fn tcp_tuple(src: Ipv4Addr, dst: Ipv4Addr, sport: u16, dport: u16) -> FiveTuple {
+    FiveTuple::new(
+        Endpoint::new(src, sport),
+        Endpoint::new(dst, dport),
+        Transport::Tcp,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AppProtocol;
+    use netpkt::testutil::{build_dns_query_frame, build_tcp_frame, build_udp_frame, FrameSpec};
+    use netpkt::TcpFlags;
+
+    #[test]
+    fn tcp_http_session_extracts_one_flow() {
+        let mut ex = FlowExtractor::new(FlowTableConfig::default());
+        let spec = FrameSpec::default();
+        ex.push_frame(0.0, &build_tcp_frame(&spec, TcpFlags::syn_only(), 1, &[]))
+            .unwrap();
+        ex.push_frame(0.1, &build_tcp_frame(&spec, TcpFlags(TcpFlags::ACK), 2, b"GET / HTTP/1.0"))
+            .unwrap();
+        let recs = ex.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].app, AppProtocol::Http);
+        assert_eq!(recs[0].packets_fwd, 2);
+        assert_eq!(recs[0].bytes_fwd, 14);
+        assert!(recs[0].initiator_syn);
+    }
+
+    #[test]
+    fn dns_and_udp_flows_separate() {
+        let mut ex = FlowExtractor::new(FlowTableConfig::default());
+        let spec = FrameSpec::default();
+        ex.push_frame(0.0, &build_dns_query_frame(&spec, 1, "example.com"))
+            .unwrap();
+        let other = FrameSpec {
+            dst_port: 12345,
+            ..FrameSpec::default()
+        };
+        ex.push_frame(0.1, &build_udp_frame(&other, b"hello"))
+            .unwrap();
+        let recs = ex.finish();
+        assert_eq!(recs.len(), 2);
+        let apps: Vec<AppProtocol> = recs.iter().map(|r| r.app).collect();
+        assert!(apps.contains(&AppProtocol::Dns));
+        assert!(apps.contains(&AppProtocol::Other));
+    }
+
+    #[test]
+    fn corrupt_frame_counted_and_skipped() {
+        let mut ex = FlowExtractor::new(FlowTableConfig::default());
+        let spec = FrameSpec::default();
+        let mut frame = build_tcp_frame(&spec, TcpFlags::syn_only(), 1, &[]);
+        frame[22] ^= 0xff; // corrupt an IP header byte (TTL) -> checksum fails
+        let err = ex.push_frame(0.0, &frame).unwrap_err();
+        assert_eq!(err, ExtractError::Parse(netpkt::Error::BadChecksum));
+        let stats = ex.stats();
+        assert_eq!(stats.frames, 1);
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.bad_ip_checksum, 1);
+        assert!(ex.finish().is_empty());
+    }
+
+    #[test]
+    fn short_garbage_rejected() {
+        let mut ex = FlowExtractor::new(FlowTableConfig::default());
+        assert!(ex.push_frame(0.0, &[0u8; 5]).is_err());
+        assert!(matches!(
+            ex.push_frame(0.0, &[0u8; 60]).unwrap_err(),
+            ExtractError::NonIpv4 | ExtractError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn stats_track_accepted() {
+        let mut ex = FlowExtractor::new(FlowTableConfig::default());
+        let spec = FrameSpec::default();
+        for i in 0..5u32 {
+            ex.push_frame(
+                f64::from(i) * 0.1,
+                &build_tcp_frame(&spec, TcpFlags(TcpFlags::ACK), i, b"x"),
+            )
+            .unwrap();
+        }
+        assert_eq!(ex.stats().accepted, 5);
+        assert_eq!(ex.stats().frames, 5);
+    }
+}

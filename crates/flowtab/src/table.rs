@@ -1,0 +1,342 @@
+//! The flow table: groups packets into flows and emits [`FlowRecord`]s.
+
+use std::collections::HashMap;
+
+use crate::conn::TcpTracker;
+use crate::record::{AppProtocol, FlowRecord};
+use crate::tuple::{FiveTuple, FlowDirection};
+use crate::tuple::FlowKey;
+use netpkt::TcpFlags;
+
+/// Flow-table tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTableConfig {
+    /// Evict a flow after this many seconds without a packet.
+    pub idle_timeout: f64,
+    /// Emit a record for (and re-key) a flow after this total lifetime,
+    /// so month-long connections still appear in per-window features.
+    pub active_timeout: f64,
+    /// Hard cap on concurrently tracked flows; when full, the stalest flow
+    /// is evicted to make room (mirrors real capture-tool behaviour under
+    /// scan floods).
+    pub max_flows: usize,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout: 60.0,
+            active_timeout: 3600.0,
+            max_flows: 1 << 20,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowEntry {
+    record: FlowRecord,
+    /// Orientation of the canonical key's `lo` endpoint: true when `lo` is
+    /// the initiator.
+    lo_is_initiator: bool,
+    tcp: Option<TcpTracker>,
+}
+
+/// Groups directed packets into bidirectional flows.
+///
+/// Call [`FlowTable::observe`] per packet (in timestamp order), harvesting
+/// any records it returns; call [`FlowTable::drain`] at end of trace.
+#[derive(Debug)]
+pub struct FlowTable {
+    config: FlowTableConfig,
+    flows: HashMap<FlowKey, FlowEntry>,
+    /// Completed records not yet harvested.
+    out: Vec<FlowRecord>,
+    last_sweep: f64,
+}
+
+impl FlowTable {
+    /// Create an empty table.
+    pub fn new(config: FlowTableConfig) -> Self {
+        Self {
+            config,
+            flows: HashMap::new(),
+            out: Vec::new(),
+            last_sweep: 0.0,
+        }
+    }
+
+    /// Number of currently open flows.
+    pub fn open_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Observe one packet.
+    ///
+    /// `payload_len` is the transport payload length; `tcp_flags` is `None`
+    /// for non-TCP packets. Timestamps must be non-decreasing; the table
+    /// sweeps for idle flows once per second of trace time.
+    pub fn observe(
+        &mut self,
+        ts: f64,
+        tuple: FiveTuple,
+        payload_len: usize,
+        tcp_flags: Option<TcpFlags>,
+    ) {
+        if ts - self.last_sweep >= 1.0 {
+            self.sweep(ts);
+            self.last_sweep = ts;
+        }
+
+        let (key, dir_vs_canonical) = tuple.canonical();
+
+        // Active-timeout / terminal-state rollover: if the existing entry is
+        // finished, flush it and start a new flow for this packet.
+        let needs_rollover = self.flows.get(&key).is_some_and(|e| {
+            ts - e.record.first_ts > self.config.active_timeout
+                || e.tcp.as_ref().is_some_and(|t| t.state().is_terminal())
+                    && tcp_flags.is_some_and(|f| f.syn() && !f.ack())
+        });
+        if needs_rollover {
+            if let Some(e) = self.flows.remove(&key) {
+                self.out.push(e.record);
+            }
+        }
+
+        if let Some(entry) = self.flows.get_mut(&key) {
+            let dir = if entry.lo_is_initiator {
+                dir_vs_canonical
+            } else {
+                dir_vs_canonical.reverse()
+            };
+            entry.record.last_ts = ts;
+            match dir {
+                FlowDirection::FromInitiator => {
+                    entry.record.packets_fwd += 1;
+                    entry.record.bytes_fwd += payload_len as u64;
+                }
+                FlowDirection::FromResponder => {
+                    entry.record.packets_rev += 1;
+                    entry.record.bytes_rev += payload_len as u64;
+                }
+            }
+            if let (Some(tracker), Some(flags)) = (entry.tcp.as_mut(), tcp_flags) {
+                tracker.observe(flags, dir);
+                entry.record.initiator_syn = tracker.initiator_syn();
+                entry.record.syn_count = tracker.syn_count();
+                entry.record.tcp_state = Some(tracker.state());
+            }
+            return;
+        }
+
+        if self.flows.len() >= self.config.max_flows {
+            self.evict_stalest();
+        }
+
+        // First packet defines the initiator.
+        let tcp = tcp_flags.map(|f| TcpTracker::new(f, FlowDirection::FromInitiator));
+        let record = FlowRecord {
+            initiator: tuple.src,
+            responder: tuple.dst,
+            transport: tuple.transport,
+            app: AppProtocol::classify(tuple.transport, tuple.dst.port),
+            first_ts: ts,
+            last_ts: ts,
+            packets_fwd: 1,
+            packets_rev: 0,
+            bytes_fwd: payload_len as u64,
+            bytes_rev: 0,
+            initiator_syn: tcp.as_ref().is_some_and(|t| t.initiator_syn()),
+            syn_count: tcp.as_ref().map_or(0, |t| t.syn_count()),
+            tcp_state: tcp.as_ref().map(|t| t.state()),
+        };
+        self.flows.insert(
+            key,
+            FlowEntry {
+                record,
+                lo_is_initiator: dir_vs_canonical == FlowDirection::FromInitiator,
+                tcp,
+            },
+        );
+    }
+
+    /// Harvest records completed so far (closed, reset, idle- or
+    /// active-timed-out flows).
+    pub fn harvest(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Flush everything (end of trace) and return all remaining records
+    /// plus anything not yet harvested.
+    pub fn drain(&mut self) -> Vec<FlowRecord> {
+        let mut all = std::mem::take(&mut self.out);
+        all.extend(self.flows.drain().map(|(_, e)| e.record));
+        all.sort_by(|a, b| a.first_ts.total_cmp(&b.first_ts));
+        all
+    }
+
+    fn sweep(&mut self, now: f64) {
+        let idle = self.config.idle_timeout;
+        let mut expired: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, e)| {
+                now - e.record.last_ts > idle
+                    || e.tcp.as_ref().is_some_and(|t| t.state().is_terminal())
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        // Deterministic output order regardless of hash-map iteration.
+        expired.sort_by_key(|k| (k.lo, k.hi));
+        for key in expired {
+            if let Some(e) = self.flows.remove(&key) {
+                self.out.push(e.record);
+            }
+        }
+    }
+
+    fn evict_stalest(&mut self) {
+        if let Some(key) = self
+            .flows
+            .iter()
+            .min_by(|a, b| a.1.record.last_ts.total_cmp(&b.1.record.last_ts))
+            .map(|(k, _)| *k)
+        {
+            if let Some(e) = self.flows.remove(&key) {
+                self.out.push(e.record);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::TcpConnState;
+    use crate::tuple::{Endpoint, Transport};
+    use std::net::Ipv4Addr;
+
+    fn ep(last: u8, port: u16) -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    fn tcp_tuple(sport: u16, dport: u16) -> FiveTuple {
+        FiveTuple::new(ep(1, sport), ep(2, dport), Transport::Tcp)
+    }
+
+    #[test]
+    fn bidirectional_packets_merge_into_one_flow() {
+        let mut tab = FlowTable::new(FlowTableConfig::default());
+        let fwd = tcp_tuple(50000, 80);
+        tab.observe(0.0, fwd, 0, Some(TcpFlags::syn_only()));
+        tab.observe(0.1, fwd.reversed(), 0, Some(TcpFlags::syn_ack()));
+        tab.observe(0.2, fwd, 10, Some(TcpFlags(TcpFlags::ACK)));
+        tab.observe(0.3, fwd.reversed(), 300, Some(TcpFlags(TcpFlags::ACK)));
+        assert_eq!(tab.open_flows(), 1);
+        let recs = tab.drain();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.initiator, ep(1, 50000));
+        assert_eq!(r.responder, ep(2, 80));
+        assert_eq!(r.packets_fwd, 2);
+        assert_eq!(r.packets_rev, 2);
+        assert_eq!(r.bytes_fwd, 10);
+        assert_eq!(r.bytes_rev, 300);
+        assert!(r.initiator_syn);
+        assert_eq!(r.app, AppProtocol::Http);
+        assert_eq!(r.tcp_state, Some(TcpConnState::Established));
+    }
+
+    #[test]
+    fn initiator_defined_by_first_packet_even_when_canonically_hi() {
+        // Source endpoint sorts *after* destination, so canonical `lo` is
+        // the responder; direction bookkeeping must still hold.
+        let fwd = FiveTuple::new(ep(9, 60000), ep(1, 80), Transport::Tcp);
+        let mut tab = FlowTable::new(FlowTableConfig::default());
+        tab.observe(0.0, fwd, 5, Some(TcpFlags::syn_only()));
+        tab.observe(0.1, fwd.reversed(), 7, Some(TcpFlags::syn_ack()));
+        let recs = tab.drain();
+        assert_eq!(recs[0].initiator, ep(9, 60000));
+        assert_eq!(recs[0].bytes_fwd, 5);
+        assert_eq!(recs[0].bytes_rev, 7);
+    }
+
+    #[test]
+    fn idle_timeout_splits_flows() {
+        let mut tab = FlowTable::new(FlowTableConfig {
+            idle_timeout: 10.0,
+            ..Default::default()
+        });
+        let t = FiveTuple::new(ep(1, 5000), ep(2, 9999), Transport::Udp);
+        tab.observe(0.0, t, 100, None);
+        tab.observe(1.0, t, 100, None);
+        // 20 s gap > idle timeout; sweep happens on the next packet.
+        tab.observe(21.0, t, 100, None);
+        let harvested = tab.harvest();
+        assert_eq!(harvested.len(), 1, "first flow evicted as idle");
+        assert_eq!(harvested[0].packets_fwd, 2);
+        let rest = tab.drain();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].packets_fwd, 1);
+    }
+
+    #[test]
+    fn terminal_tcp_flow_flushed_on_sweep_and_rekeyed_on_new_syn() {
+        let mut tab = FlowTable::new(FlowTableConfig::default());
+        let t = tcp_tuple(50001, 80);
+        tab.observe(0.0, t, 0, Some(TcpFlags::syn_only()));
+        tab.observe(0.1, t, 0, Some(TcpFlags(TcpFlags::RST)));
+        // New connection on the same five-tuple (port reuse).
+        tab.observe(0.2, t, 0, Some(TcpFlags::syn_only()));
+        let recs = tab.drain();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].tcp_state, Some(TcpConnState::Reset));
+        assert_eq!(recs[1].tcp_state, Some(TcpConnState::SynSent));
+    }
+
+    #[test]
+    fn capacity_evicts_stalest() {
+        let mut tab = FlowTable::new(FlowTableConfig {
+            max_flows: 2,
+            ..Default::default()
+        });
+        for (i, sport) in [40000u16, 40001, 40002].iter().enumerate() {
+            tab.observe(
+                i as f64 * 0.1,
+                tcp_tuple(*sport, 80),
+                0,
+                Some(TcpFlags::syn_only()),
+            );
+        }
+        assert_eq!(tab.open_flows(), 2);
+        let harvested = tab.harvest();
+        assert_eq!(harvested.len(), 1);
+        assert_eq!(harvested[0].initiator.port, 40000, "stalest evicted first");
+    }
+
+    #[test]
+    fn active_timeout_rolls_over_long_flows() {
+        let mut tab = FlowTable::new(FlowTableConfig {
+            active_timeout: 100.0,
+            idle_timeout: 1e9,
+            ..Default::default()
+        });
+        let t = FiveTuple::new(ep(1, 1234), ep(2, 9), Transport::Udp);
+        tab.observe(0.0, t, 1, None);
+        tab.observe(50.0, t, 1, None);
+        tab.observe(151.0, t, 1, None); // > active timeout after first_ts
+        let mut all = tab.harvest();
+        all.extend(tab.drain());
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn drain_sorted_by_first_ts() {
+        let mut tab = FlowTable::new(FlowTableConfig::default());
+        for (ts, sport) in [(5.0, 50005u16), (1.0, 50001), (3.0, 50003)] {
+            tab.observe(ts, tcp_tuple(sport, 80), 0, Some(TcpFlags::syn_only()));
+        }
+        let recs = tab.drain();
+        let times: Vec<f64> = recs.iter().map(|r| r.first_ts).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+}

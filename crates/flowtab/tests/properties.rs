@@ -1,0 +1,93 @@
+//! Property-based tests of flow reconstruction.
+
+use proptest::prelude::*;
+
+use flowtab::{Endpoint, FiveTuple, FlowTable, FlowTableConfig, Transport};
+use netpkt::TcpFlags;
+use std::net::Ipv4Addr;
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<[u8; 4]>(),
+        1024u16..65535,
+        any::<[u8; 4]>(),
+        1u16..1024,
+        prop_oneof![Just(Transport::Tcp), Just(Transport::Udp)],
+    )
+        .prop_map(|(sip, sport, dip, dport, transport)| {
+            FiveTuple::new(
+                Endpoint::new(Ipv4Addr::from(sip), sport),
+                Endpoint::new(Ipv4Addr::from(dip), dport),
+                transport,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonicalisation is direction-independent and involutive.
+    #[test]
+    fn canonical_key_direction_independent(t in arb_tuple()) {
+        let (k1, d1) = t.canonical();
+        let (k2, d2) = t.reversed().canonical();
+        prop_assert_eq!(k1, k2);
+        if t.src != t.dst {
+            prop_assert_ne!(d1, d2);
+        }
+        prop_assert_eq!(t.reversed().reversed(), t);
+    }
+
+    /// The flow table conserves packets and bytes: whatever goes in comes
+    /// out across the union of all emitted records.
+    #[test]
+    fn flow_table_conserves_traffic(
+        tuples in proptest::collection::vec(arb_tuple(), 1..8),
+        events in proptest::collection::vec((any::<proptest::sample::Index>(), 0usize..512, any::<bool>()), 1..200),
+    ) {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        let mut packets_in = 0u64;
+        let mut bytes_in = 0u64;
+        for (i, (which, len, reverse)) in events.iter().enumerate() {
+            let tuple = tuples[which.index(tuples.len())];
+            let tuple = if *reverse { tuple.reversed() } else { tuple };
+            let flags = (tuple.transport == Transport::Tcp).then_some(TcpFlags(TcpFlags::ACK));
+            table.observe(i as f64 * 0.001, tuple, *len, flags);
+            packets_in += 1;
+            bytes_in += *len as u64;
+        }
+        let mut records = table.harvest();
+        records.extend(table.drain());
+        let packets_out: u64 = records.iter().map(|r| r.total_packets()).sum();
+        let bytes_out: u64 = records.iter().map(|r| r.total_bytes()).sum();
+        prop_assert_eq!(packets_out, packets_in);
+        prop_assert_eq!(bytes_out, bytes_in);
+        // And no more flows than distinct canonical keys.
+        let mut keys: Vec<_> = tuples.iter().map(|t| t.canonical().0).collect();
+        keys.sort_by_key(|k| format!("{k:?}"));
+        keys.dedup();
+        prop_assert!(records.len() <= keys.len());
+    }
+
+    /// Records always have coherent timestamps and the initiator is the
+    /// first packet's source.
+    #[test]
+    fn record_invariants(
+        tuple in arb_tuple(),
+        lens in proptest::collection::vec(0usize..256, 1..30),
+    ) {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        for (i, len) in lens.iter().enumerate() {
+            let t = if i % 2 == 0 { tuple } else { tuple.reversed() };
+            table.observe(i as f64, t, *len, None);
+        }
+        let records = table.drain();
+        prop_assert_eq!(records.len(), 1);
+        let r = &records[0];
+        prop_assert_eq!(r.initiator, tuple.src);
+        prop_assert_eq!(r.responder, tuple.dst);
+        prop_assert!(r.last_ts >= r.first_ts);
+        prop_assert_eq!(r.packets_fwd, lens.len().div_ceil(2) as u64);
+        prop_assert_eq!(r.packets_rev, (lens.len() / 2) as u64);
+    }
+}

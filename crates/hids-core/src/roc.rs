@@ -1,0 +1,166 @@
+//! ROC analysis of a detector's threshold sweep.
+//!
+//! A threshold is one operating point on a host's ⟨FP, detection⟩ curve;
+//! the policies in this crate pick points, and this module exposes the
+//! whole curve — useful for understanding how much room a heuristic left
+//! on the table, and for the per-user operating-point scatters of the
+//! paper's Figure 5.
+
+use serde::{Deserialize, Serialize};
+use tailstats::EmpiricalDist;
+
+use crate::threshold::AttackSweep;
+
+/// One operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Threshold producing this point.
+    pub threshold: f64,
+    /// False-positive rate `P(g > T)`.
+    pub fp: f64,
+    /// Detection rate `1 − mean_b P(g + b < T)` under the attack sweep.
+    pub detection: f64,
+}
+
+/// A host's ROC curve over its benign distribution and an attack model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Points ordered by descending threshold (ascending FP).
+    pub points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Sweep every distinct observed value (plus one step above the max)
+    /// as a threshold.
+    pub fn compute(benign: &EmpiricalDist, sweep: &AttackSweep) -> Self {
+        let mut thresholds: Vec<f64> = Vec::new();
+        thresholds.push(benign.max() + 1.0);
+        let mut prev = f64::NAN;
+        for &v in benign.samples().iter().rev() {
+            if v != prev {
+                thresholds.push(v);
+                prev = v;
+            }
+        }
+        let points = thresholds
+            .into_iter()
+            .map(|t| RocPoint {
+                threshold: t,
+                fp: benign.exceedance(t),
+                detection: 1.0 - sweep.mean_fn(benign, t),
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// Area under the curve via trapezoidal integration over FP ∈ [0, 1]
+    /// (the flat extension beyond the last point counts at its detection).
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        let mut prev_fp = 0.0;
+        let mut prev_det = self.points.first().map_or(0.0, |p| p.detection);
+        for p in &self.points {
+            area += (p.fp - prev_fp) * (p.detection + prev_det) / 2.0;
+            prev_fp = p.fp;
+            prev_det = p.detection;
+        }
+        // Extend to FP = 1 at full detection (threshold below everything).
+        area += (1.0 - prev_fp) * (1.0 + prev_det) / 2.0;
+        area.clamp(0.0, 1.0)
+    }
+
+    /// The point with the highest detection subject to `fp ≤ budget`.
+    pub fn best_within_fp(&self, budget: f64) -> Option<RocPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.fp <= budget)
+            .max_by(|a, b| a.detection.total_cmp(&b.detection))
+            .copied()
+    }
+
+    /// Detection achieved at (approximately) the given FP rate — the
+    /// interpolation-free lookup used when comparing users at a common FP
+    /// budget.
+    pub fn detection_at_fp(&self, budget: f64) -> f64 {
+        self.best_within_fp(budget).map_or(0.0, |p| p.detection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: u64) -> EmpiricalDist {
+        EmpiricalDist::from_counts(&(0..n).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn endpoints_behave() {
+        let d = uniform(100);
+        let sweep = AttackSweep::up_to(200.0);
+        let roc = RocCurve::compute(&d, &sweep);
+        let first = roc.points.first().unwrap();
+        assert_eq!(first.fp, 0.0, "highest threshold has no FP");
+        let last = roc.points.last().unwrap();
+        assert!(last.fp > 0.9, "lowest threshold flags almost everything");
+        assert!(last.detection > first.detection);
+    }
+
+    #[test]
+    fn fp_ascends_detection_ascends() {
+        let d = uniform(500);
+        let sweep = AttackSweep::up_to(1000.0);
+        let roc = RocCurve::compute(&d, &sweep);
+        for pair in roc.points.windows(2) {
+            assert!(pair[1].fp >= pair[0].fp - 1e-12);
+            assert!(pair[1].detection >= pair[0].detection - 1e-12);
+        }
+    }
+
+    #[test]
+    fn auc_in_unit_interval_and_better_than_chance() {
+        let d = uniform(200);
+        let sweep = AttackSweep::up_to(400.0);
+        let roc = RocCurve::compute(&d, &sweep);
+        let auc = roc.auc();
+        assert!((0.0..=1.0).contains(&auc));
+        // Additive attacks are detectable: better than coin-flipping.
+        assert!(auc > 0.5, "auc {auc}");
+    }
+
+    #[test]
+    fn light_user_better_detector_at_fixed_fp() {
+        // The paper's core asymmetry, in ROC terms: against the same
+        // attack sizes a light user achieves higher detection at 1% FP.
+        let light = uniform(50);
+        let heavy = uniform(5000);
+        let sweep = AttackSweep::up_to(5000.0);
+        let roc_light = RocCurve::compute(&light, &sweep);
+        let roc_heavy = RocCurve::compute(&heavy, &sweep);
+        assert!(
+            roc_light.detection_at_fp(0.01) > roc_heavy.detection_at_fp(0.01),
+            "light {} vs heavy {}",
+            roc_light.detection_at_fp(0.01),
+            roc_heavy.detection_at_fp(0.01)
+        );
+    }
+
+    #[test]
+    fn best_within_budget_respects_budget() {
+        let d = uniform(100);
+        let sweep = AttackSweep::up_to(200.0);
+        let roc = RocCurve::compute(&d, &sweep);
+        let p = roc.best_within_fp(0.05).unwrap();
+        assert!(p.fp <= 0.05);
+        assert!(roc.best_within_fp(-1.0).is_none());
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let d = EmpiricalDist::from_counts(&[7, 7, 7]);
+        let sweep = AttackSweep::up_to(10.0);
+        let roc = RocCurve::compute(&d, &sweep);
+        assert_eq!(roc.points.len(), 2);
+        assert!(roc.auc() > 0.0);
+    }
+}

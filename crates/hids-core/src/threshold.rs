@@ -1,0 +1,242 @@
+//! Threshold-selection heuristics.
+
+use serde::{Deserialize, Serialize};
+use tailstats::EmpiricalDist;
+
+/// Parameters of the synthetic attack-size sweep used by the optimising
+/// heuristics (and by evaluation).
+///
+/// The paper sweeps "the entire range of possible attack sizes", capping at
+/// the largest per-window value any user ever produced ("clearly any attack
+/// larger than this will stand out on every user's HIDS"). The scalar FN a
+/// heuristic optimises averages over `n_points` sizes uniformly spaced in
+/// `[1, b_max]` — the averaging the paper leaves implicit (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackSweep {
+    /// Largest attack size considered.
+    pub b_max: f64,
+    /// Number of sweep points.
+    pub n_points: usize,
+}
+
+impl AttackSweep {
+    /// Build a sweep capped at the population maximum feature value.
+    pub fn up_to(b_max: f64) -> Self {
+        Self {
+            b_max: b_max.max(1.0),
+            n_points: 256,
+        }
+    }
+
+    /// The attack sizes, uniformly spaced in `[1, b_max]`.
+    pub fn sizes(&self) -> Vec<f64> {
+        let n = self.n_points.max(2);
+        (0..n)
+            .map(|i| 1.0 + (self.b_max - 1.0) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    /// Mean false-negative rate of threshold `t` against this sweep, under
+    /// traffic distribution `dist`: `mean_b P(g + b < t)`.
+    pub fn mean_fn(&self, dist: &EmpiricalDist, t: f64) -> f64 {
+        let sizes = self.sizes();
+        let sum: f64 = sizes.iter().map(|&b| dist.below(t - b)).sum();
+        sum / sizes.len() as f64
+    }
+}
+
+/// A rule mapping a training distribution to a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdHeuristic {
+    /// The q-th percentile of training traffic (operators' default: 0.99).
+    /// Uses the discrete (observed-value) quantile, as an IT console reads
+    /// it off a histogram.
+    Percentile(f64),
+    /// `mean + k·σ` of training traffic.
+    MeanSigma(f64),
+    /// Threshold maximising per-user utility `1 − [w·FN + (1−w)·FP]`
+    /// against the attack sweep.
+    UtilityMax {
+        /// FN weight `w ∈ [0, 1]`.
+        w: f64,
+        /// Attack model for the FN term.
+        sweep: AttackSweep,
+    },
+    /// Threshold maximising the F-measure (harmonic mean of precision and
+    /// recall) against the attack sweep, assuming attack windows occur with
+    /// the given prevalence.
+    FMeasure {
+        /// Fraction of windows assumed attacked (precision denominator).
+        prevalence: f64,
+        /// Attack model for the recall term.
+        sweep: AttackSweep,
+    },
+}
+
+impl ThresholdHeuristic {
+    /// The paper's default operator heuristic.
+    pub const P99: ThresholdHeuristic = ThresholdHeuristic::Percentile(0.99);
+
+    /// Compute a threshold from a training distribution.
+    pub fn threshold(&self, train: &EmpiricalDist) -> f64 {
+        match *self {
+            ThresholdHeuristic::Percentile(q) => train.quantile_discrete(q),
+            ThresholdHeuristic::MeanSigma(k) => train.mean() + k * train.stddev(),
+            ThresholdHeuristic::UtilityMax { w, sweep } => {
+                pick_best(train, |t| {
+                    let fp = train.exceedance(t);
+                    let fn_rate = sweep.mean_fn(train, t);
+                    1.0 - (w * fn_rate + (1.0 - w) * fp)
+                })
+            }
+            ThresholdHeuristic::FMeasure { prevalence, sweep } => {
+                pick_best(train, |t| {
+                    let fpr = train.exceedance(t);
+                    let recall = 1.0 - sweep.mean_fn(train, t);
+                    let tp = prevalence * recall;
+                    let fp = (1.0 - prevalence) * fpr;
+                    if tp + fp == 0.0 {
+                        0.0
+                    } else {
+                        let precision = tp / (tp + fp);
+                        if precision + recall == 0.0 {
+                            0.0
+                        } else {
+                            2.0 * precision * recall / (precision + recall)
+                        }
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Evaluate `score` at every candidate threshold (the distinct observed
+/// training values plus one step above the maximum) and return the argmax.
+/// Ties break towards the *lower* threshold (favouring detection).
+fn pick_best(train: &EmpiricalDist, score: impl Fn(f64) -> f64) -> f64 {
+    let mut best_t = train.max() + 1.0;
+    let mut best_s = score(best_t);
+    let mut prev = f64::NAN;
+    for &v in train.samples().iter().rev() {
+        if v == prev {
+            continue;
+        }
+        prev = v;
+        let s = score(v);
+        if s >= best_s {
+            best_s = s;
+            best_t = v;
+        }
+    }
+    best_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_counts(n: u64) -> EmpiricalDist {
+        EmpiricalDist::from_counts(&(0..n).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn percentile_heuristic_reads_discrete_quantile() {
+        let d = uniform_counts(100); // values 0..=99
+        let t = ThresholdHeuristic::P99.threshold(&d);
+        assert_eq!(t, 98.0);
+        assert!(d.exceedance(t) <= 0.011);
+    }
+
+    #[test]
+    fn mean_sigma_heuristic() {
+        let d = EmpiricalDist::from_samples(vec![0.0, 2.0, 4.0]);
+        let t = ThresholdHeuristic::MeanSigma(3.0).threshold(&d);
+        assert!((t - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_sizes_cover_range() {
+        let sweep = AttackSweep {
+            b_max: 100.0,
+            n_points: 10,
+        };
+        let sizes = sweep.sizes();
+        assert_eq!(sizes.len(), 10);
+        assert_eq!(sizes[0], 1.0);
+        assert_eq!(*sizes.last().unwrap(), 100.0);
+        assert!(sizes.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn mean_fn_monotone_in_threshold() {
+        let d = uniform_counts(1000);
+        let sweep = AttackSweep::up_to(2000.0);
+        let lo = sweep.mean_fn(&d, 100.0);
+        let hi = sweep.mean_fn(&d, 2000.0);
+        assert!(hi > lo, "higher thresholds miss more: {hi} > {lo}");
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn utility_max_balances_fp_and_fn() {
+        let d = uniform_counts(1000);
+        let sweep = AttackSweep::up_to(2000.0);
+        // All-FP weight: minimise false positives => threshold at the top.
+        let t_fp = ThresholdHeuristic::UtilityMax { w: 0.0, sweep }.threshold(&d);
+        // All-FN weight: minimise misses => threshold at the bottom.
+        let t_fn = ThresholdHeuristic::UtilityMax { w: 1.0, sweep }.threshold(&d);
+        assert!(t_fp > t_fn, "w=0 gives {t_fp}, w=1 gives {t_fn}");
+        let t_mid = ThresholdHeuristic::UtilityMax { w: 0.4, sweep }.threshold(&d);
+        assert!(t_mid <= t_fp && t_mid >= t_fn);
+    }
+
+    #[test]
+    fn utility_max_w0_has_no_false_positives() {
+        let d = uniform_counts(500);
+        let sweep = AttackSweep::up_to(1000.0);
+        let t = ThresholdHeuristic::UtilityMax { w: 0.0, sweep }.threshold(&d);
+        assert_eq!(d.exceedance(t), 0.0);
+    }
+
+    #[test]
+    fn fmeasure_prefers_low_thresholds_under_high_prevalence() {
+        let d = uniform_counts(1000);
+        let sweep = AttackSweep::up_to(2000.0);
+        let t_rare = ThresholdHeuristic::FMeasure {
+            prevalence: 0.001,
+            sweep,
+        }
+        .threshold(&d);
+        let t_common = ThresholdHeuristic::FMeasure {
+            prevalence: 0.5,
+            sweep,
+        }
+        .threshold(&d);
+        assert!(
+            t_common <= t_rare,
+            "common attacks push thresholds down: {t_common} <= {t_rare}"
+        );
+    }
+
+    #[test]
+    fn heuristics_scale_with_user_heaviness() {
+        // The core diversity observation: heavier users get higher
+        // thresholds under any sensible heuristic.
+        let light = uniform_counts(50);
+        let heavy = uniform_counts(5000);
+        for h in [
+            ThresholdHeuristic::P99,
+            ThresholdHeuristic::MeanSigma(3.0),
+            ThresholdHeuristic::UtilityMax {
+                w: 0.4,
+                sweep: AttackSweep::up_to(10_000.0),
+            },
+        ] {
+            assert!(
+                h.threshold(&heavy) > h.threshold(&light),
+                "{h:?} must separate heavy from light"
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-host alert batching.
+
+use hids_core::Alert;
+
+/// Accumulates a host's alerts and releases them in periodic batches, the
+/// way commercial HIDS agents ship to a management console.
+///
+/// Batches are cut on *window boundaries*: a batch covers
+/// `batch_windows` consecutive windows and is released when the first
+/// alert of a later batch period arrives (or on [`AlertBatcher::flush`]).
+#[derive(Debug)]
+pub struct AlertBatcher {
+    batch_windows: usize,
+    current_period: Option<usize>,
+    pending: Vec<Alert>,
+    ready: Vec<Vec<Alert>>,
+}
+
+impl AlertBatcher {
+    /// Create a batcher that cuts a batch every `batch_windows` windows.
+    ///
+    /// # Panics
+    /// Panics when `batch_windows` is zero.
+    pub fn new(batch_windows: usize) -> Self {
+        assert!(batch_windows > 0, "batch period must be positive");
+        Self {
+            batch_windows,
+            current_period: None,
+            pending: Vec::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// Add one alert (alerts must arrive in window order per host).
+    pub fn push(&mut self, alert: Alert) {
+        let period = alert.window / self.batch_windows;
+        match self.current_period {
+            Some(p) if p == period => {}
+            Some(_) => {
+                let batch = std::mem::take(&mut self.pending);
+                if !batch.is_empty() {
+                    self.ready.push(batch);
+                }
+                self.current_period = Some(period);
+            }
+            None => self.current_period = Some(period),
+        }
+        self.pending.push(alert);
+    }
+
+    /// Take any complete batches.
+    pub fn take_ready(&mut self) -> Vec<Vec<Alert>> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Flush everything, including the in-progress batch.
+    pub fn flush(&mut self) -> Vec<Vec<Alert>> {
+        let mut out = std::mem::take(&mut self.ready);
+        let last = std::mem::take(&mut self.pending);
+        if !last.is_empty() {
+            out.push(last);
+        }
+        self.current_period = None;
+        out
+    }
+
+    /// Alerts waiting in the current period.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtab::FeatureKind;
+
+    fn alert(window: usize) -> Alert {
+        Alert {
+            user: 1,
+            window,
+            feature: FeatureKind::TcpConnections,
+            observed: 100,
+            threshold: 50.0,
+        }
+    }
+
+    #[test]
+    fn batches_cut_on_period_boundaries() {
+        let mut b = AlertBatcher::new(4);
+        for w in [0, 1, 3, 4, 5, 9] {
+            b.push(alert(w));
+        }
+        let ready = b.take_ready();
+        assert_eq!(ready.len(), 2);
+        assert_eq!(ready[0].len(), 3); // windows 0,1,3 (period 0)
+        assert_eq!(ready[1].len(), 2); // windows 4,5 (period 1)
+        assert_eq!(b.pending_len(), 1); // window 9 (period 2) in progress
+        let flushed = b.flush();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0][0].window, 9);
+    }
+
+    #[test]
+    fn quiet_hosts_ship_nothing() {
+        let mut b = AlertBatcher::new(96);
+        assert!(b.take_ready().is_empty());
+        assert!(b.flush().is_empty());
+    }
+
+    #[test]
+    fn single_period_all_in_one_batch() {
+        let mut b = AlertBatcher::new(1000);
+        for w in 0..10 {
+            b.push(alert(w));
+        }
+        assert!(b.take_ready().is_empty(), "period not yet complete");
+        let f = b.flush();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].len(), 10);
+    }
+
+    #[test]
+    fn flush_resets_state() {
+        let mut b = AlertBatcher::new(2);
+        b.push(alert(0));
+        b.flush();
+        b.push(alert(100));
+        let f = b.flush();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0][0].window, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = AlertBatcher::new(0);
+    }
+}

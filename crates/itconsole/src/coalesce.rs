@@ -1,0 +1,210 @@
+//! Alert coalescing and rate limiting.
+//!
+//! The operators in the paper's survey triage alarms by hand; commercial
+//! consoles therefore collapse repeated identical alerts ("TCP threshold
+//! exceeded on host 12, 40×") into one line with a count, and rate-limit
+//! pathological reporters. This module implements both stages between the
+//! raw ingest path and the operator queue.
+
+use flowtab::FeatureKind;
+use hids_core::Alert;
+use serde::{Deserialize, Serialize};
+
+/// A coalesced alert line as an operator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoalescedAlert {
+    /// Host that raised the alerts.
+    pub user: u32,
+    /// Feature exceeded.
+    pub feature: FeatureKind,
+    /// First window of the run.
+    pub first_window: usize,
+    /// Last window of the run.
+    pub last_window: usize,
+    /// Alerts collapsed into this line.
+    pub count: u64,
+    /// Largest observed excess over the threshold.
+    pub max_excess: f64,
+}
+
+/// Collapse consecutive same-(user, feature) alerts whose windows fall
+/// within `gap` of the previous one into single lines.
+///
+/// Input must be sorted by window per (user, feature) stream — the order
+/// detectors naturally produce. Distinct users/features interleave freely.
+pub fn coalesce(alerts: &[Alert], gap: usize) -> Vec<CoalescedAlert> {
+    let mut open: Vec<CoalescedAlert> = Vec::new();
+    let mut out: Vec<CoalescedAlert> = Vec::new();
+    for a in alerts {
+        let slot = open
+            .iter_mut()
+            .find(|c| c.user == a.user && c.feature == a.feature);
+        match slot {
+            Some(c) if a.window <= c.last_window + gap => {
+                c.last_window = a.window.max(c.last_window);
+                c.count += 1;
+                c.max_excess = c.max_excess.max(a.excess());
+            }
+            Some(c) => {
+                out.push(*c);
+                *c = line_of(a);
+            }
+            None => open.push(line_of(a)),
+        }
+    }
+    out.extend(open);
+    out.sort_by_key(|c| (c.first_window, c.user, c.feature.index()));
+    out
+}
+
+fn line_of(a: &Alert) -> CoalescedAlert {
+    CoalescedAlert {
+        user: a.user,
+        feature: a.feature,
+        first_window: a.window,
+        last_window: a.window,
+        count: 1,
+        max_excess: a.excess(),
+    }
+}
+
+/// Per-host token-bucket rate limiter for alert lines.
+///
+/// Hosts whose detectors misfire (e.g. a stale threshold after a usage
+/// change) can flood the console; the limiter drops their excess lines
+/// and reports how many were suppressed — itself a useful triage signal.
+#[derive(Debug)]
+pub struct RateLimiter {
+    capacity: f64,
+    refill_per_window: f64,
+    /// `(tokens, last_window)` per user id.
+    buckets: std::collections::HashMap<u32, (f64, usize)>,
+    suppressed: u64,
+}
+
+impl RateLimiter {
+    /// Allow bursts of `capacity` lines, refilling `refill_per_window`
+    /// tokens per window of elapsed trace time.
+    ///
+    /// # Panics
+    /// Panics on non-positive parameters.
+    pub fn new(capacity: f64, refill_per_window: f64) -> Self {
+        assert!(capacity > 0.0 && refill_per_window > 0.0);
+        Self {
+            capacity,
+            refill_per_window,
+            buckets: std::collections::HashMap::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Offer one line; returns true when it passes.
+    pub fn admit(&mut self, user: u32, window: usize) -> bool {
+        let (tokens, last) = self
+            .buckets
+            .entry(user)
+            .or_insert((self.capacity, window));
+        let elapsed = window.saturating_sub(*last) as f64;
+        *tokens = (*tokens + elapsed * self.refill_per_window).min(self.capacity);
+        *last = window.max(*last);
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            true
+        } else {
+            self.suppressed += 1;
+            false
+        }
+    }
+
+    /// Lines dropped so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(user: u32, window: usize, observed: u64) -> Alert {
+        Alert {
+            user,
+            window,
+            feature: FeatureKind::TcpConnections,
+            observed,
+            threshold: 100.0,
+        }
+    }
+
+    #[test]
+    fn consecutive_runs_collapse() {
+        let alerts = vec![
+            alert(1, 10, 150),
+            alert(1, 11, 200),
+            alert(1, 12, 120),
+            alert(1, 50, 500), // far later: new line
+        ];
+        let lines = coalesce(&alerts, 1);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].count, 3);
+        assert_eq!(lines[0].first_window, 10);
+        assert_eq!(lines[0].last_window, 12);
+        assert_eq!(lines[0].max_excess, 100.0);
+        assert_eq!(lines[1].count, 1);
+        assert_eq!(lines[1].max_excess, 400.0);
+    }
+
+    #[test]
+    fn gap_tolerance_bridges_holes() {
+        let alerts = vec![alert(1, 10, 150), alert(1, 13, 150)];
+        assert_eq!(coalesce(&alerts, 1).len(), 2);
+        assert_eq!(coalesce(&alerts, 3).len(), 1);
+    }
+
+    #[test]
+    fn users_and_features_kept_separate() {
+        let mut alerts = vec![alert(1, 10, 150), alert(2, 10, 150)];
+        alerts.push(Alert {
+            feature: FeatureKind::UdpConnections,
+            ..alert(1, 10, 150)
+        });
+        let lines = coalesce(&alerts, 5);
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(coalesce(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn rate_limiter_allows_burst_then_throttles() {
+        let mut rl = RateLimiter::new(3.0, 0.5);
+        assert!(rl.admit(1, 0));
+        assert!(rl.admit(1, 0));
+        assert!(rl.admit(1, 0));
+        assert!(!rl.admit(1, 0), "burst exhausted");
+        assert_eq!(rl.suppressed(), 1);
+        // Two windows later: one token refilled.
+        assert!(rl.admit(1, 2));
+        assert!(!rl.admit(1, 2));
+    }
+
+    #[test]
+    fn rate_limiter_per_user_buckets() {
+        let mut rl = RateLimiter::new(1.0, 0.1);
+        assert!(rl.admit(1, 0));
+        assert!(rl.admit(2, 0), "other users unaffected");
+        assert!(!rl.admit(1, 0));
+    }
+
+    #[test]
+    fn tokens_cap_at_capacity() {
+        let mut rl = RateLimiter::new(2.0, 1.0);
+        assert!(rl.admit(1, 0));
+        // Long quiet period must not bank unlimited tokens.
+        assert!(rl.admit(1, 1000));
+        assert!(rl.admit(1, 1000));
+        assert!(!rl.admit(1, 1000));
+    }
+}

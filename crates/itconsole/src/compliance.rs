@@ -1,0 +1,148 @@
+//! Policy-compliance audit.
+//!
+//! System administrators in the paper's survey favoured monocultures partly
+//! because "it is easier to check compliance for a large pool of employees
+//! when homogeneous configurations are used". This module makes that check
+//! explicit — and equally mechanical for diversity policies, which is part
+//! of the paper's rebuttal: compliance under grouping is a table lookup.
+
+use flowtab::FeatureKind;
+use hids_core::{Detector, PolicyOutcome};
+use serde::{Deserialize, Serialize};
+
+/// One host whose deployed configuration deviates from policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deviation {
+    /// Host index within the audited population.
+    pub user_index: usize,
+    /// Feature whose threshold deviates.
+    pub feature: FeatureKind,
+    /// Threshold the policy assigns.
+    pub expected: f64,
+    /// Threshold actually deployed (`None` = feature unmonitored).
+    pub deployed: Option<f64>,
+}
+
+/// Result of auditing a population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplianceReport {
+    /// Hosts audited.
+    pub audited: usize,
+    /// All deviations found.
+    pub deviations: Vec<Deviation>,
+}
+
+impl ComplianceReport {
+    /// True when every host matches policy.
+    pub fn compliant(&self) -> bool {
+        self.deviations.is_empty()
+    }
+
+    /// Fraction of hosts with at least one deviation.
+    pub fn deviation_rate(&self) -> f64 {
+        if self.audited == 0 {
+            return 0.0;
+        }
+        let mut users: Vec<usize> = self.deviations.iter().map(|d| d.user_index).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len() as f64 / self.audited as f64
+    }
+}
+
+/// Audit deployed detectors against a policy outcome for one feature.
+///
+/// Tolerance is absolute: |deployed − expected| ≤ `tolerance` passes
+/// (thresholds are counts; 0.0 demands exactness).
+pub fn audit(
+    detectors: &[Detector],
+    outcome: &PolicyOutcome,
+    feature: FeatureKind,
+    tolerance: f64,
+) -> ComplianceReport {
+    assert_eq!(
+        detectors.len(),
+        outcome.thresholds.len(),
+        "one detector per policy threshold"
+    );
+    let mut deviations = Vec::new();
+    for (i, (det, &expected)) in detectors.iter().zip(&outcome.thresholds).enumerate() {
+        match det.threshold(feature) {
+            Some(t) if (t - expected).abs() <= tolerance => {}
+            deployed => deviations.push(Deviation {
+                user_index: i,
+                feature,
+                expected,
+                deployed,
+            }),
+        }
+    }
+    ComplianceReport {
+        audited: detectors.len(),
+        deviations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(thresholds: Vec<f64>) -> PolicyOutcome {
+        let groups = (0..thresholds.len()).collect();
+        PolicyOutcome {
+            groups,
+            group_thresholds: thresholds.clone(),
+            thresholds,
+        }
+    }
+
+    fn deploy(thresholds: &[f64]) -> Vec<Detector> {
+        thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let mut d = Detector::new(i as u32);
+                d.set_threshold(FeatureKind::TcpConnections, t);
+                d
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compliant_population_passes() {
+        let out = outcome(vec![10.0, 20.0, 30.0]);
+        let dets = deploy(&[10.0, 20.0, 30.0]);
+        let report = audit(&dets, &out, FeatureKind::TcpConnections, 0.0);
+        assert!(report.compliant());
+        assert_eq!(report.deviation_rate(), 0.0);
+    }
+
+    #[test]
+    fn drifted_threshold_detected() {
+        let out = outcome(vec![10.0, 20.0]);
+        let dets = deploy(&[10.0, 25.0]);
+        let report = audit(&dets, &out, FeatureKind::TcpConnections, 1.0);
+        assert!(!report.compliant());
+        assert_eq!(report.deviations.len(), 1);
+        assert_eq!(report.deviations[0].user_index, 1);
+        assert_eq!(report.deviations[0].deployed, Some(25.0));
+        assert!((report.deviation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmonitored_feature_is_a_deviation() {
+        let out = outcome(vec![10.0]);
+        let dets = vec![Detector::new(0)]; // nothing configured
+        let report = audit(&dets, &out, FeatureKind::TcpConnections, 10.0);
+        assert_eq!(report.deviations.len(), 1);
+        assert_eq!(report.deviations[0].deployed, None);
+    }
+
+    #[test]
+    fn tolerance_allows_rounding() {
+        let out = outcome(vec![100.0]);
+        let dets = deploy(&[100.4]);
+        assert!(audit(&dets, &out, FeatureKind::TcpConnections, 0.5).compliant());
+        assert!(!audit(&dets, &out, FeatureKind::TcpConnections, 0.1).compliant());
+    }
+}

@@ -1,0 +1,37 @@
+//! # itconsole — the centralized IT operations side of the system
+//!
+//! The paper's HIDS deployment model has every end host batching alerts to
+//! a central console, which is also where the homogeneous policy computes
+//! its global threshold and where operators triage false positives (their
+//! survey: operators care most about the alarm volume reaching them —
+//! Table 3). This crate implements that operational layer:
+//!
+//! * [`batch`] — per-host alert batching (hosts ship periodically, not per
+//!   alert);
+//! * [`console`] — a thread-safe central aggregator with live per-user /
+//!   per-feature / per-week accounting, fed concurrently by host threads;
+//! * [`compliance`] — the audit an IT department runs to check deployed
+//!   thresholds against policy (the "easier to check compliance" argument
+//!   for monocultures, §1);
+//! * [`coalesce`](mod@coalesce) — alert coalescing and per-host rate limiting (the
+//!   console-side hygiene commercial products apply before the operator
+//!   queue);
+//! * [`sentinel`] — "best user" identification (Table 2) and a simple
+//!   collaborative-detection scheme over sentinel alarms (§7 future work).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod coalesce;
+pub mod compliance;
+pub mod console;
+pub mod sentinel;
+pub mod triage;
+
+pub use batch::AlertBatcher;
+pub use coalesce::{coalesce, CoalescedAlert, RateLimiter};
+pub use compliance::{audit, ComplianceReport, Deviation};
+pub use console::{CentralConsole, ConsoleStats};
+pub use sentinel::{best_users, sentinel_consensus, SentinelConfig};
+pub use triage::{simulate_week, TriageConfig, TriageOutcome};

@@ -1,0 +1,153 @@
+//! Sentinel users and collaborative detection.
+//!
+//! Diversity makes some users naturally better detectors of a given attack
+//! type: those whose thresholds for the relevant feature are lowest
+//! ("best suited to catch stealthy behaviours", paper §5 / Table 2). The
+//! paper's future-work section proposes letting such sentinels warn
+//! everyone else; [`sentinel_consensus`] implements the simplest version —
+//! an advisory fires when enough sentinels alarm in the same window.
+
+use serde::{Deserialize, Serialize};
+
+/// Collaborative-detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SentinelConfig {
+    /// How many of the lowest-threshold users act as sentinels.
+    pub n_sentinels: usize,
+    /// Minimum sentinels alarming in one window to raise an advisory.
+    pub quorum: usize,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self {
+            n_sentinels: 10,
+            quorum: 3,
+        }
+    }
+}
+
+/// The `k` users with the lowest thresholds (the paper's "best users" per
+/// alarm type, Table 2). Returns user indices, most sensitive first; ties
+/// break by index for determinism.
+pub fn best_users(thresholds: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..thresholds.len()).collect();
+    order.sort_by(|&a, &b| thresholds[a].total_cmp(&thresholds[b]).then(a.cmp(&b)));
+    order.truncate(k);
+    order
+}
+
+/// Overlap between two best-user lists (the paper's observation that the
+/// best TCP detectors and best UDP detectors barely overlap).
+pub fn overlap(a: &[usize], b: &[usize]) -> usize {
+    a.iter().filter(|x| b.contains(x)).count()
+}
+
+/// Run sentinel consensus over a test week.
+///
+/// `alarm_matrix[user][window]` is true when that user's detector fired in
+/// that window. Returns the windows in which at least `quorum` of the
+/// sentinels fired — the advisories broadcast to the rest of the fleet.
+pub fn sentinel_consensus(
+    alarm_matrix: &[Vec<bool>],
+    thresholds: &[f64],
+    config: &SentinelConfig,
+) -> Vec<usize> {
+    assert_eq!(alarm_matrix.len(), thresholds.len());
+    if alarm_matrix.is_empty() {
+        return Vec::new();
+    }
+    let sentinels = best_users(thresholds, config.n_sentinels);
+    let n_windows = alarm_matrix.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut advisories = Vec::new();
+    for w in 0..n_windows {
+        let firing = sentinels
+            .iter()
+            .filter(|&&u| alarm_matrix[u].get(w).copied().unwrap_or(false))
+            .count();
+        if firing >= config.quorum {
+            advisories.push(w);
+        }
+    }
+    advisories
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_users_are_lowest_thresholds() {
+        let t = vec![50.0, 5.0, 500.0, 1.0, 20.0];
+        assert_eq!(best_users(&t, 3), vec![3, 1, 4]);
+        assert_eq!(best_users(&t, 10), vec![3, 1, 4, 0, 2]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let t = vec![10.0, 10.0, 10.0];
+        assert_eq!(best_users(&t, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn overlap_counts_shared_users() {
+        assert_eq!(overlap(&[1, 2, 3], &[3, 4, 5]), 1);
+        assert_eq!(overlap(&[1, 2], &[1, 2]), 2);
+        assert_eq!(overlap(&[], &[1]), 0);
+    }
+
+    #[test]
+    fn consensus_requires_quorum_of_sentinels() {
+        // 5 users; users 0,1,2 have the lowest thresholds (sentinels).
+        let thresholds = vec![1.0, 2.0, 3.0, 100.0, 200.0];
+        // Window 0: users 0,1 alarm (quorum 2 met).
+        // Window 1: only user 0 alarms.
+        // Window 2: users 3,4 alarm (non-sentinels: ignored).
+        let alarms = vec![
+            vec![true, true, false],
+            vec![true, false, false],
+            vec![false, false, false],
+            vec![false, false, true],
+            vec![false, false, true],
+        ];
+        let config = SentinelConfig {
+            n_sentinels: 3,
+            quorum: 2,
+        };
+        assert_eq!(sentinel_consensus(&alarms, &thresholds, &config), vec![0]);
+    }
+
+    #[test]
+    fn collaborative_detection_catches_what_heavy_users_miss() {
+        // A stealthy attack in window 1 alarms the three light users only;
+        // the advisory still covers the heavy users who saw nothing.
+        let thresholds = vec![5.0, 6.0, 7.0, 5000.0, 9000.0];
+        let alarms = vec![
+            vec![false, true],
+            vec![false, true],
+            vec![false, true],
+            vec![false, false],
+            vec![false, false],
+        ];
+        let advisories =
+            sentinel_consensus(&alarms, &thresholds, &SentinelConfig::default());
+        assert_eq!(advisories, vec![1]);
+    }
+
+    #[test]
+    fn ragged_rows_handled() {
+        let thresholds = vec![1.0, 2.0];
+        let alarms = vec![vec![true, true, true], vec![true]];
+        let config = SentinelConfig {
+            n_sentinels: 2,
+            quorum: 2,
+        };
+        assert_eq!(sentinel_consensus(&alarms, &thresholds, &config), vec![0]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let advisories = sentinel_consensus(&[], &[], &SentinelConfig::default());
+        assert!(advisories.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! ARP (IPv4-over-Ethernet) packets.
+//!
+//! The paper's collection tool "watched for changes in IP address,
+//! interfaces and location" — on a real LAN that watching sees ARP:
+//! gratuitous announcements on address changes, probes on DHCP. The
+//! renderer can emit them and the extractor recognises (and skips) them.
+
+use std::net::Ipv4Addr;
+
+use crate::ethernet::MacAddr;
+use crate::{check_len, get_u16, set_u16, Error, Result};
+
+/// Length of an IPv4-over-Ethernet ARP packet body.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+    /// Anything else.
+    Other(u16),
+}
+
+impl From<u16> for ArpOp {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => ArpOp::Other(other),
+        }
+    }
+}
+
+impl From<ArpOp> for u16 {
+    fn from(op: ArpOp) -> u16 {
+        match op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+            ArpOp::Other(v) => v,
+        }
+    }
+}
+
+/// A decoded ARP packet (IPv4 over Ethernet only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address.
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Parse an ARP body (the Ethernet payload).
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        check_len(buf, ARP_LEN)?;
+        // htype=1 (Ethernet), ptype=0x0800 (IPv4), hlen=6, plen=4.
+        if get_u16(buf, 0) != 1 || get_u16(buf, 2) != 0x0800 || buf[4] != 6 || buf[5] != 4 {
+            return Err(Error::Unsupported);
+        }
+        let mac = |o: usize| MacAddr([buf[o], buf[o + 1], buf[o + 2], buf[o + 3], buf[o + 4], buf[o + 5]]);
+        let ip = |o: usize| Ipv4Addr::new(buf[o], buf[o + 1], buf[o + 2], buf[o + 3]);
+        Ok(ArpPacket {
+            op: get_u16(buf, 6).into(),
+            sender_mac: mac(8),
+            sender_ip: ip(14),
+            target_mac: mac(18),
+            target_ip: ip(24),
+        })
+    }
+
+    /// Emit into `buf` (first [`ARP_LEN`] bytes).
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < ARP_LEN {
+            return Err(Error::Truncated {
+                needed: ARP_LEN,
+                got: buf.len(),
+            });
+        }
+        set_u16(buf, 0, 1);
+        set_u16(buf, 2, 0x0800);
+        buf[4] = 6;
+        buf[5] = 4;
+        set_u16(buf, 6, self.op.into());
+        buf[8..14].copy_from_slice(&self.sender_mac.0);
+        buf[14..18].copy_from_slice(&self.sender_ip.octets());
+        buf[18..24].copy_from_slice(&self.target_mac.0);
+        buf[24..28].copy_from_slice(&self.target_ip.octets());
+        Ok(())
+    }
+
+    /// A gratuitous announcement (sender == target), what hosts broadcast
+    /// after an address change.
+    pub fn gratuitous(mac: MacAddr, ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac: mac,
+            sender_ip: ip,
+            target_mac: MacAddr([0; 6]),
+            target_ip: ip,
+        }
+    }
+
+    /// True for a gratuitous announcement.
+    pub fn is_gratuitous(&self) -> bool {
+        self.sender_ip == self.target_ip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::from_host_id(1),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::from_host_id(2),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; ARP_LEN];
+        sample().emit(&mut buf).unwrap();
+        assert_eq!(ArpPacket::parse(&buf).unwrap(), sample());
+    }
+
+    #[test]
+    fn gratuitous_detected() {
+        let g = ArpPacket::gratuitous(MacAddr::from_host_id(9), Ipv4Addr::new(192, 168, 1, 5));
+        assert!(g.is_gratuitous());
+        assert!(!sample().is_gratuitous());
+        let mut buf = [0u8; ARP_LEN];
+        g.emit(&mut buf).unwrap();
+        assert!(ArpPacket::parse(&buf).unwrap().is_gratuitous());
+    }
+
+    #[test]
+    fn non_ethernet_ipv4_rejected() {
+        let mut buf = [0u8; ARP_LEN];
+        sample().emit(&mut buf).unwrap();
+        buf[1] = 6; // htype = Token Ring-ish
+        assert!(matches!(ArpPacket::parse(&buf), Err(Error::Unsupported)));
+        sample().emit(&mut buf).unwrap();
+        buf[5] = 16; // plen wrong
+        assert!(matches!(ArpPacket::parse(&buf), Err(Error::Unsupported)));
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(ArpPacket::parse(&[0u8; 27]).is_err());
+        let mut short = [0u8; 20];
+        assert!(sample().emit(&mut short).is_err());
+    }
+
+    #[test]
+    fn op_roundtrip() {
+        for raw in [1u16, 2, 3, 9] {
+            assert_eq!(u16::from(ArpOp::from(raw)), raw);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! ICMPv4 echo messages (the subset used for liveness probes in traces).
+
+use crate::checksum::internet_checksum;
+use crate::{check_len, get_u16, set_u16, Error, Result};
+
+/// ICMP header length (type, code, checksum, rest-of-header), in bytes.
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// ICMP message types understood by this stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Anything else.
+    Other(u8),
+}
+
+impl From<u8> for IcmpType {
+    fn from(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+impl From<IcmpType> for u8 {
+    fn from(t: IcmpType) -> u8 {
+        match t {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(v) => v,
+        }
+    }
+}
+
+/// A zero-copy view of an ICMPv4 message.
+#[derive(Debug, Clone)]
+pub struct IcmpMessage<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpMessage<T> {
+    /// Wrap `buffer`, validating minimum length.
+    pub fn parse(buffer: T) -> Result<Self> {
+        check_len(buffer.as_ref(), ICMP_HEADER_LEN)?;
+        Ok(Self { buffer })
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> IcmpType {
+        self.buffer.as_ref()[0].into()
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Echo identifier (meaningful for echo request/reply).
+    pub fn identifier(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 4)
+    }
+
+    /// Echo sequence number (meaningful for echo request/reply).
+    pub fn sequence(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 6)
+    }
+
+    /// Payload after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ICMP_HEADER_LEN..]
+    }
+
+    /// Verify the message checksum.
+    pub fn verify_checksum(&self) -> bool {
+        internet_checksum(self.buffer.as_ref()) == 0
+    }
+}
+
+/// Build an echo request/reply message into `buf`.
+///
+/// Returns the number of bytes written (`ICMP_HEADER_LEN + payload.len()`).
+pub fn emit_echo(
+    buf: &mut [u8],
+    msg_type: IcmpType,
+    identifier: u16,
+    sequence: u16,
+    payload: &[u8],
+) -> Result<usize> {
+    let needed = ICMP_HEADER_LEN + payload.len();
+    if buf.len() < needed {
+        return Err(Error::Truncated {
+            needed,
+            got: buf.len(),
+        });
+    }
+    buf[0] = msg_type.into();
+    buf[1] = 0;
+    set_u16(buf, 2, 0);
+    set_u16(buf, 4, identifier);
+    set_u16(buf, 6, sequence);
+    buf[ICMP_HEADER_LEN..needed].copy_from_slice(payload);
+    let ck = internet_checksum(&buf[..needed]);
+    set_u16(buf, 2, ck);
+    Ok(needed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut buf = [0u8; 64];
+        let n = emit_echo(&mut buf, IcmpType::EchoRequest, 0x1234, 7, b"ping-payload").unwrap();
+        let msg = IcmpMessage::parse(&buf[..n]).unwrap();
+        assert_eq!(msg.msg_type(), IcmpType::EchoRequest);
+        assert_eq!(msg.code(), 0);
+        assert_eq!(msg.identifier(), 0x1234);
+        assert_eq!(msg.sequence(), 7);
+        assert_eq!(msg.payload(), b"ping-payload");
+        assert!(msg.verify_checksum());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = [0u8; 16];
+        let n = emit_echo(&mut buf, IcmpType::EchoReply, 1, 1, b"abcd1234").unwrap();
+        buf[n - 1] ^= 0x80;
+        let msg = IcmpMessage::parse(&buf[..n]).unwrap();
+        assert!(!msg.verify_checksum());
+    }
+
+    #[test]
+    fn type_mapping_roundtrips() {
+        for raw in 0u8..=255 {
+            assert_eq!(u8::from(IcmpType::from(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(IcmpMessage::parse(&[0u8; 7][..]).is_err());
+        let mut buf = [0u8; 7];
+        assert!(emit_echo(&mut buf, IcmpType::EchoRequest, 0, 0, b"").is_err());
+    }
+}

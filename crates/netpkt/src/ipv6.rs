@@ -1,0 +1,158 @@
+//! Minimal IPv6 support: enough to recognise, classify and skip v6
+//! traffic in a capture (the 2007-era enterprise traces are IPv4, but a
+//! robust pipeline must not choke on stray v6 frames).
+
+use std::net::Ipv6Addr;
+
+use crate::ipv4::IpProtocol;
+use crate::{check_len, get_u16, Error, Result};
+
+/// Fixed IPv6 header length, in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// A zero-copy view of an IPv6 packet (fixed header only; extension
+/// headers are left in the payload).
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wrap `buffer`, validating version and payload length.
+    pub fn parse(buffer: T) -> Result<Self> {
+        let buf = buffer.as_ref();
+        check_len(buf, IPV6_HEADER_LEN)?;
+        if buf[0] >> 4 != 6 {
+            return Err(Error::Unsupported);
+        }
+        let payload_len = usize::from(get_u16(buf, 4));
+        if IPV6_HEADER_LEN + payload_len > buf.len() {
+            return Err(Error::BadLength);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Payload length from the header field.
+    pub fn payload_len(&self) -> usize {
+        usize::from(get_u16(self.buffer.as_ref(), 4))
+    }
+
+    /// Next-header (transport protocol or extension header) value, mapped
+    /// onto the shared [`IpProtocol`] space.
+    pub fn next_header(&self) -> IpProtocol {
+        self.buffer.as_ref()[6].into()
+    }
+
+    /// Hop limit (TTL analogue).
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv6Addr {
+        addr_at(self.buffer.as_ref(), 8)
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv6Addr {
+        addr_at(self.buffer.as_ref(), 24)
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[IPV6_HEADER_LEN..IPV6_HEADER_LEN + self.payload_len()]
+    }
+}
+
+fn addr_at(buf: &[u8], offset: usize) -> Ipv6Addr {
+    let mut o = [0u8; 16];
+    o.copy_from_slice(&buf[offset..offset + 16]);
+    Ipv6Addr::from(o)
+}
+
+/// Emit a minimal IPv6 header (no extension headers); the payload region
+/// is written by the caller afterwards.
+pub fn emit_header(
+    buf: &mut [u8],
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    next_header: IpProtocol,
+    payload_len: usize,
+) -> Result<()> {
+    let needed = IPV6_HEADER_LEN + payload_len;
+    if buf.len() < needed {
+        return Err(Error::Truncated {
+            needed,
+            got: buf.len(),
+        });
+    }
+    if payload_len > usize::from(u16::MAX) {
+        return Err(Error::BadLength);
+    }
+    buf[0] = 0x60;
+    buf[1] = 0;
+    buf[2] = 0;
+    buf[3] = 0;
+    crate::set_u16(buf, 4, payload_len as u16);
+    buf[6] = next_header.into();
+    buf[7] = 64;
+    buf[8..24].copy_from_slice(&src.octets());
+    buf[24..40].copy_from_slice(&dst.octets());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv6Addr, Ipv6Addr) {
+        (
+            "fd00::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; IPV6_HEADER_LEN + 8];
+        emit_header(&mut buf, src, dst, IpProtocol::Udp, 8).unwrap();
+        buf[IPV6_HEADER_LEN..].copy_from_slice(b"payload!");
+        let pkt = Ipv6Packet::parse(&buf[..]).unwrap();
+        assert_eq!(pkt.src(), src);
+        assert_eq!(pkt.dst(), dst);
+        assert_eq!(pkt.next_header(), IpProtocol::Udp);
+        assert_eq!(pkt.hop_limit(), 64);
+        assert_eq!(pkt.payload(), b"payload!");
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = [0u8; IPV6_HEADER_LEN];
+        buf[0] = 0x45;
+        assert!(matches!(Ipv6Packet::parse(&buf[..]), Err(Error::Unsupported)));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; IPV6_HEADER_LEN + 4];
+        emit_header(&mut buf, src, dst, IpProtocol::Tcp, 4).unwrap();
+        crate::set_u16(&mut buf, 4, 100); // claims more than the buffer
+        assert!(matches!(Ipv6Packet::parse(&buf[..]), Err(Error::BadLength)));
+    }
+
+    #[test]
+    fn payload_bounded_by_field() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; IPV6_HEADER_LEN + 20];
+        emit_header(&mut buf, src, dst, IpProtocol::Tcp, 4).unwrap();
+        let pkt = Ipv6Packet::parse(&buf[..]).unwrap();
+        assert_eq!(pkt.payload().len(), 4);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(Ipv6Packet::parse(&[0x60; 39][..]).is_err());
+    }
+}

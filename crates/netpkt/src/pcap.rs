@@ -1,0 +1,307 @@
+//! Classic libpcap capture-file reader and writer.
+//!
+//! Implements the original `.pcap` format (magic `0xa1b2c3d4`, microsecond
+//! timestamps), the format produced by the `windump` wrapper used for the
+//! paper's data collection. Both byte orders are accepted when reading;
+//! files are written little-endian.
+
+use std::io::{self, Read, Write};
+
+/// Data-link types we emit/accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkType {
+    /// Ethernet (DLT 1).
+    Ethernet,
+    /// Raw IP (DLT 101).
+    RawIp,
+    /// Anything else, value preserved.
+    Other(u32),
+}
+
+impl From<u32> for LinkType {
+    fn from(v: u32) -> Self {
+        match v {
+            1 => LinkType::Ethernet,
+            101 => LinkType::RawIp,
+            other => LinkType::Other(other),
+        }
+    }
+}
+
+impl From<LinkType> for u32 {
+    fn from(l: LinkType) -> u32 {
+        match l {
+            LinkType::Ethernet => 1,
+            LinkType::RawIp => 101,
+            LinkType::Other(v) => v,
+        }
+    }
+}
+
+const MAGIC_LE: u32 = 0xa1b2c3d4;
+const SNAPLEN_DEFAULT: u32 = 65535;
+
+/// One captured packet: timestamp plus frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Seconds since the Unix epoch.
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// Captured frame bytes (we always capture whole frames).
+    pub data: Vec<u8>,
+}
+
+impl PcapPacket {
+    /// Timestamp as fractional seconds.
+    pub fn timestamp(&self) -> f64 {
+        f64::from(self.ts_sec) + f64::from(self.ts_usec) / 1e6
+    }
+}
+
+/// Streaming pcap writer over any [`Write`].
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    packets_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header.
+    pub fn new(mut sink: W, link_type: LinkType) -> io::Result<Self> {
+        sink.write_all(&MAGIC_LE.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&SNAPLEN_DEFAULT.to_le_bytes())?;
+        sink.write_all(&u32::from(link_type).to_le_bytes())?;
+        Ok(Self {
+            sink,
+            packets_written: 0,
+        })
+    }
+
+    /// Append one packet record.
+    pub fn write_packet(&mut self, pkt: &PcapPacket) -> io::Result<()> {
+        let len = u32::try_from(pkt.data.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "packet too large"))?;
+        self.sink.write_all(&pkt.ts_sec.to_le_bytes())?;
+        self.sink.write_all(&pkt.ts_usec.to_le_bytes())?;
+        self.sink.write_all(&len.to_le_bytes())?; // incl_len
+        self.sink.write_all(&len.to_le_bytes())?; // orig_len
+        self.sink.write_all(&pkt.data)?;
+        self.packets_written += 1;
+        Ok(())
+    }
+
+    /// Number of packets written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets_written
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming pcap reader over any [`Read`].
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    source: R,
+    swapped: bool,
+    link_type: LinkType,
+    snaplen: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Open a capture, parsing and validating the global header.
+    pub fn new(mut source: R) -> io::Result<Self> {
+        let mut hdr = [0u8; 24];
+        source.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC_LE => false,
+            m if m == MAGIC_LE.swap_bytes() => true,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not a pcap file (bad magic)",
+                ))
+            }
+        };
+        let u32_at = |b: &[u8], o: usize| {
+            let raw = [b[o], b[o + 1], b[o + 2], b[o + 3]];
+            if swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let snaplen = u32_at(&hdr, 16);
+        let link_type = LinkType::from(u32_at(&hdr, 20));
+        Ok(Self {
+            source,
+            swapped,
+            link_type,
+            snaplen,
+        })
+    }
+
+    /// The capture's data-link type.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// The capture's snapshot length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Read the next packet; `Ok(None)` at clean end-of-file.
+    pub fn next_packet(&mut self) -> io::Result<Option<PcapPacket>> {
+        let mut rec = [0u8; 16];
+        match self.source.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let u32_at = |b: &[u8], o: usize| {
+            let raw = [b[o], b[o + 1], b[o + 2], b[o + 3]];
+            if self.swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let ts_sec = u32_at(&rec, 0);
+        let ts_usec = u32_at(&rec, 4);
+        let incl_len = u32_at(&rec, 8) as usize;
+        if incl_len > 0x0400_0000 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "pcap record length implausibly large",
+            ));
+        }
+        let mut data = vec![0u8; incl_len];
+        self.source.read_exact(&mut data)?;
+        Ok(Some(PcapPacket {
+            ts_sec,
+            ts_usec,
+            data,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = io::Result<PcapPacket>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packets() -> Vec<PcapPacket> {
+        (0u32..5)
+            .map(|i| PcapPacket {
+                ts_sec: 1_170_000_000 + i,
+                ts_usec: i * 1000,
+                data: vec![i as u8; 14 + i as usize],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let packets = sample_packets();
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        assert_eq!(w.packets_written(), 5);
+        let bytes = w.finish().unwrap();
+
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::Ethernet);
+        assert_eq!(r.snaplen(), 65535);
+        let read: Vec<PcapPacket> = (&mut r).map(|p| p.unwrap()).collect();
+        assert_eq!(read, packets);
+    }
+
+    #[test]
+    fn big_endian_capture_accepted() {
+        // Hand-build a big-endian header + one record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_LE.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0i32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&1500u32.to_be_bytes());
+        bytes.extend_from_slice(&101u32.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&8u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // incl_len
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // orig_len
+        bytes.extend_from_slice(&[0xaa, 0xbb, 0xcc]);
+
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::RawIp);
+        assert_eq!(r.snaplen(), 1500);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.ts_sec, 7);
+        assert_eq!(p.ts_usec, 8);
+        assert_eq!(p.data, vec![0xaa, 0xbb, 0xcc]);
+        assert!(r.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = [0u8; 24];
+        assert!(PcapReader::new(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        w.write_packet(&PcapPacket {
+            ts_sec: 0,
+            ts_usec: 0,
+            data: vec![1, 2, 3, 4],
+        })
+        .unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.truncate(bytes.len() - 2); // cut the packet body short
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(r.next_packet().is_err());
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Record header claiming a 1 GiB packet.
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0x4000_0000u32.to_le_bytes());
+        bytes.extend_from_slice(&0x4000_0000u32.to_le_bytes());
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(r.next_packet().is_err());
+    }
+
+    #[test]
+    fn timestamp_fractional() {
+        let p = PcapPacket {
+            ts_sec: 10,
+            ts_usec: 500_000,
+            data: vec![],
+        };
+        assert!((p.timestamp() - 10.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Helpers for building complete, valid frames in tests, doctests and the
+//! packet-rendering path of the trace generator.
+
+use std::net::Ipv4Addr;
+
+use crate::dns::{self, DnsRecordType};
+use crate::ethernet::{EtherType, EthernetRepr, MacAddr, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Repr, IPV4_MIN_HEADER_LEN};
+use crate::tcp::{TcpFlags, TcpRepr, TCP_MIN_HEADER_LEN};
+use crate::udp::{UdpRepr, UDP_HEADER_LEN};
+
+/// Parameters shared by all frame builders.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSpec {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IP.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP identification (varies per packet to keep frames distinct).
+    pub ip_id: u16,
+}
+
+impl Default for FrameSpec {
+    fn default() -> Self {
+        Self {
+            src_mac: MacAddr::from_host_id(1),
+            dst_mac: MacAddr::from_host_id(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(93, 184, 216, 34),
+            src_port: 49152,
+            dst_port: 80,
+            ip_id: 1,
+        }
+    }
+}
+
+/// Build a full Ethernet/IPv4/TCP frame with the given flags and payload.
+pub fn build_tcp_frame(spec: &FrameSpec, flags: TcpFlags, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let tcp = TcpRepr {
+        src_port: spec.src_port,
+        dst_port: spec.dst_port,
+        seq,
+        ack: 0,
+        flags,
+        window: 65535,
+        payload_len: payload.len(),
+    };
+    let ip = Ipv4Repr {
+        src: spec.src_ip,
+        dst: spec.dst_ip,
+        protocol: IpProtocol::Tcp,
+        payload_len: tcp.segment_len(),
+        ttl: 64,
+        identification: spec.ip_id,
+    };
+    let total = ETHERNET_HEADER_LEN + ip.total_len();
+    let mut frame = vec![0u8; total];
+    EthernetRepr {
+        src: spec.src_mac,
+        dst: spec.dst_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .emit(&mut frame)
+    .expect("frame sized for ethernet header");
+    ip.emit(&mut frame[ETHERNET_HEADER_LEN..])
+        .expect("frame sized for ip header");
+    let seg_start = ETHERNET_HEADER_LEN + IPV4_MIN_HEADER_LEN;
+    tcp.emit(&mut frame[seg_start..]).expect("frame sized for tcp");
+    frame[seg_start + TCP_MIN_HEADER_LEN..].copy_from_slice(payload);
+    TcpRepr::fill_checksum(&mut frame[seg_start..], spec.src_ip, spec.dst_ip);
+    frame
+}
+
+/// Build a full Ethernet/IPv4/UDP frame with the given payload.
+pub fn build_udp_frame(spec: &FrameSpec, payload: &[u8]) -> Vec<u8> {
+    let udp = UdpRepr {
+        src_port: spec.src_port,
+        dst_port: spec.dst_port,
+        payload_len: payload.len(),
+    };
+    let ip = Ipv4Repr {
+        src: spec.src_ip,
+        dst: spec.dst_ip,
+        protocol: IpProtocol::Udp,
+        payload_len: udp.datagram_len(),
+        ttl: 64,
+        identification: spec.ip_id,
+    };
+    let total = ETHERNET_HEADER_LEN + ip.total_len();
+    let mut frame = vec![0u8; total];
+    EthernetRepr {
+        src: spec.src_mac,
+        dst: spec.dst_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .emit(&mut frame)
+    .expect("frame sized for ethernet header");
+    ip.emit(&mut frame[ETHERNET_HEADER_LEN..])
+        .expect("frame sized for ip header");
+    let dg_start = ETHERNET_HEADER_LEN + IPV4_MIN_HEADER_LEN;
+    udp.emit(&mut frame[dg_start..]).expect("frame sized for udp");
+    frame[dg_start + UDP_HEADER_LEN..].copy_from_slice(payload);
+    UdpRepr::fill_checksum(&mut frame[dg_start..], spec.src_ip, spec.dst_ip);
+    frame
+}
+
+/// Build a DNS A-record query frame to `dst_ip:53`.
+pub fn build_dns_query_frame(spec: &FrameSpec, txid: u16, name: &str) -> Vec<u8> {
+    let mut msg = vec![0u8; dns::DNS_HEADER_LEN + dns::encoded_name_len(name) + 4];
+    let n = dns::emit_query(&mut msg, txid, name, DnsRecordType::A).expect("valid query name");
+    msg.truncate(n);
+    let mut spec = *spec;
+    spec.dst_port = 53;
+    build_udp_frame(&spec, &msg)
+}
+
+/// A canned TCP SYN frame (used in crate-level doctests).
+pub fn sample_tcp_syn() -> Vec<u8> {
+    build_tcp_frame(&FrameSpec::default(), TcpFlags::syn_only(), 1000, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
+
+    #[test]
+    fn tcp_frame_is_fully_valid() {
+        let spec = FrameSpec::default();
+        let frame = build_tcp_frame(&spec, TcpFlags::syn_ack(), 42, b"hi");
+        let eth = EthernetFrame::parse(&frame[..]).unwrap();
+        let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::parse(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+        assert_eq!(tcp.payload(), b"hi");
+        assert!(tcp.flags().syn() && tcp.flags().ack());
+        assert_eq!(tcp.seq(), 42);
+    }
+
+    #[test]
+    fn udp_frame_is_fully_valid() {
+        let spec = FrameSpec {
+            dst_port: 5353,
+            ..FrameSpec::default()
+        };
+        let frame = build_udp_frame(&spec, b"payload");
+        let eth = EthernetFrame::parse(&frame[..]).unwrap();
+        let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let udp = UdpDatagram::parse(ip.payload()).unwrap();
+        assert!(udp.verify_checksum(ip.src(), ip.dst()));
+        assert_eq!(udp.dst_port(), 5353);
+        assert_eq!(udp.payload(), b"payload");
+    }
+
+    #[test]
+    fn dns_query_frame_parses_back() {
+        let frame = build_dns_query_frame(&FrameSpec::default(), 77, "intranet.corp.example");
+        let eth = EthernetFrame::parse(&frame[..]).unwrap();
+        let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+        let udp = UdpDatagram::parse(ip.payload()).unwrap();
+        assert_eq!(udp.dst_port(), 53);
+        let hdr = crate::dns::DnsHeader::parse(udp.payload()).unwrap();
+        assert_eq!(hdr.id, 77);
+        let (q, _) = crate::dns::DnsQuestion::parse(udp.payload(), 12).unwrap();
+        assert_eq!(q.name, "intranet.corp.example");
+    }
+}

@@ -1,0 +1,185 @@
+//! UDP datagram view and builder.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::pseudo_header_checksum;
+use crate::{check_len, get_u16, set_u16, Error, Result};
+
+/// UDP header length, in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A zero-copy view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap `buffer`, validating the length field.
+    pub fn parse(buffer: T) -> Result<Self> {
+        let buf = buffer.as_ref();
+        check_len(buf, UDP_HEADER_LEN)?;
+        let len = usize::from(get_u16(buf, 4));
+        if len < UDP_HEADER_LEN || len > buf.len() {
+            return Err(Error::BadLength);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 2)
+    }
+
+    /// Datagram length (header + payload) from the length field.
+    pub fn len(&self) -> usize {
+        usize::from(get_u16(self.buffer.as_ref(), 4))
+    }
+
+    /// True when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == UDP_HEADER_LEN
+    }
+
+    /// Checksum field value (zero means "not computed" in UDP/IPv4).
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), 6)
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[UDP_HEADER_LEN..self.len()]
+    }
+
+    /// Verify the checksum (treats an all-zero checksum field as valid, per
+    /// RFC 768 which makes the UDP checksum optional over IPv4).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        pseudo_header_checksum(src, dst, 17, &self.buffer.as_ref()[..self.len()]) == 0
+    }
+}
+
+/// Plain representation used to emit a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length that will follow the header.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Total emitted datagram length.
+    pub fn datagram_len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header; the caller writes the payload then calls
+    /// [`UdpRepr::fill_checksum`].
+    pub fn emit(&self, buf: &mut [u8]) -> Result<()> {
+        let needed = self.datagram_len();
+        if buf.len() < needed {
+            return Err(Error::Truncated {
+                needed,
+                got: buf.len(),
+            });
+        }
+        if needed > usize::from(u16::MAX) {
+            return Err(Error::BadLength);
+        }
+        set_u16(buf, 0, self.src_port);
+        set_u16(buf, 2, self.dst_port);
+        set_u16(buf, 4, needed as u16);
+        set_u16(buf, 6, 0);
+        Ok(())
+    }
+
+    /// Compute and store the checksum over `datagram` (header + payload).
+    /// A computed checksum of zero is transmitted as `0xffff` per RFC 768.
+    pub fn fill_checksum(datagram: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr) {
+        set_u16(datagram, 6, 0);
+        let ck = pseudo_header_checksum(src, dst, 17, datagram);
+        set_u16(datagram, 6, if ck == 0 { 0xffff } else { ck });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 10);
+    const DST: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+
+    fn emit_sample(payload: &[u8]) -> Vec<u8> {
+        let repr = UdpRepr {
+            src_port: 53124,
+            dst_port: 53,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.datagram_len()];
+        repr.emit(&mut buf).unwrap();
+        buf[UDP_HEADER_LEN..].copy_from_slice(payload);
+        UdpRepr::fill_checksum(&mut buf, SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let buf = emit_sample(b"query");
+        let dg = UdpDatagram::parse(&buf[..]).unwrap();
+        assert_eq!(dg.src_port(), 53124);
+        assert_eq!(dg.dst_port(), 53);
+        assert_eq!(dg.len(), 13);
+        assert!(!dg.is_empty());
+        assert_eq!(dg.payload(), b"query");
+        assert!(dg.verify_checksum(SRC, DST));
+        assert!(!dg.verify_checksum(SRC, Ipv4Addr::new(8, 8, 4, 4)));
+    }
+
+    #[test]
+    fn zero_checksum_treated_as_valid() {
+        let mut buf = emit_sample(b"x");
+        set_u16(&mut buf, 6, 0);
+        let dg = UdpDatagram::parse(&buf[..]).unwrap();
+        assert!(dg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn length_field_validated() {
+        let mut buf = emit_sample(b"abc");
+        set_u16(&mut buf, 4, 4); // below header size
+        assert!(matches!(UdpDatagram::parse(&buf[..]), Err(Error::BadLength)));
+        set_u16(&mut buf, 4, 200); // beyond buffer
+        assert!(matches!(UdpDatagram::parse(&buf[..]), Err(Error::BadLength)));
+    }
+
+    #[test]
+    fn payload_bounded_by_length_field() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 2,
+        };
+        let mut buf = vec![0u8; repr.datagram_len() + 10]; // slack after datagram
+        repr.emit(&mut buf).unwrap();
+        let dg = UdpDatagram::parse(&buf[..]).unwrap();
+        assert_eq!(dg.payload().len(), 2);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let buf = emit_sample(b"");
+        let dg = UdpDatagram::parse(&buf[..]).unwrap();
+        assert!(dg.is_empty());
+        assert_eq!(dg.payload(), b"");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the wire-format layer.
+
+use proptest::prelude::*;
+
+use netpkt::checksum::{internet_checksum, Checksum};
+use netpkt::dns::{emit_query, DnsHeader, DnsQuestion, DnsRecordType, DNS_HEADER_LEN};
+use netpkt::{ArpOp, ArpPacket, MacAddr, TcpFlags};
+use std::net::Ipv4Addr;
+
+/// Valid DNS labels: 1..=20 lowercase alphanumerics.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,20}", 1..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splitting the data at any point never changes the checksum.
+    #[test]
+    fn checksum_split_invariant(data in proptest::collection::vec(any::<u8>(), 0..400), split in any::<proptest::sample::Index>()) {
+        let oneshot = internet_checksum(&data);
+        let at = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut c = Checksum::new();
+        c.push(&data[..at]);
+        c.push(&data[at..]);
+        prop_assert_eq!(c.finish(), oneshot);
+    }
+
+    /// Filling a checksum field always verifies; flipping any bit after
+    /// filling always fails verification.
+    #[test]
+    fn checksum_fill_verify(mut data in proptest::collection::vec(any::<u8>(), 4..200), flip_at in any::<proptest::sample::Index>(), bit in 0u8..8) {
+        let len = data.len();
+        data[0] = 0;
+        data[1] = 0;
+        let ck = internet_checksum(&data);
+        data[0..2].copy_from_slice(&ck.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&data), 0);
+        let i = flip_at.index(len);
+        data[i] ^= 1 << bit;
+        prop_assert_ne!(internet_checksum(&data), 0, "flip at {} bit {}", i, bit);
+    }
+
+    /// Any valid name round-trips through DNS query encode/parse.
+    #[test]
+    fn dns_name_roundtrip(name in arb_name(), id in any::<u16>()) {
+        let mut buf = vec![0u8; 512];
+        let n = emit_query(&mut buf, id, &name, DnsRecordType::A).unwrap();
+        let header = DnsHeader::parse(&buf[..n]).unwrap();
+        prop_assert_eq!(header.id, id);
+        let (q, end) = DnsQuestion::parse(&buf[..n], DNS_HEADER_LEN).unwrap();
+        prop_assert_eq!(q.name, name);
+        prop_assert_eq!(end, n);
+    }
+
+    /// ARP packets round-trip for arbitrary addresses and operations.
+    #[test]
+    fn arp_roundtrip(smac in any::<[u8; 6]>(), tmac in any::<[u8; 6]>(), sip in any::<[u8; 4]>(), tip in any::<[u8; 4]>(), op in any::<u16>()) {
+        let pkt = ArpPacket {
+            op: ArpOp::from(op),
+            sender_mac: MacAddr(smac),
+            sender_ip: Ipv4Addr::from(sip),
+            target_mac: MacAddr(tmac),
+            target_ip: Ipv4Addr::from(tip),
+        };
+        let mut buf = [0u8; netpkt::ARP_LEN];
+        pkt.emit(&mut buf).unwrap();
+        prop_assert_eq!(ArpPacket::parse(&buf).unwrap(), pkt);
+    }
+
+    /// TCP flag bits survive the flag-byte mask independently.
+    #[test]
+    fn tcp_flags_bits(bits in 0u8..64) {
+        let f = TcpFlags(bits);
+        prop_assert_eq!(f.syn(), bits & 0x02 != 0);
+        prop_assert_eq!(f.ack(), bits & 0x10 != 0);
+        prop_assert_eq!(f.fin(), bits & 0x01 != 0);
+        prop_assert_eq!(f.rst(), bits & 0x04 != 0);
+        // Display never panics and mentions SYN iff set.
+        let s = f.to_string();
+        prop_assert_eq!(s.contains("SYN"), f.syn());
+    }
+}

@@ -1,0 +1,207 @@
+//! Population validation: check a generated corpus against the calibration
+//! targets the whole reproduction depends on.
+//!
+//! Anyone who changes `PopulationConfig` (or writes their own profiles)
+//! can run this report to confirm the population still has the paper's
+//! statistical anatomy before trusting downstream experiments. The same
+//! checks run in CI as tests; this module exposes them as data.
+
+use flowtab::{FeatureKind, Windowing};
+use tailstats::{gini, EmpiricalDist};
+
+use crate::counts::{invariants_hold, user_week_series_trended};
+use crate::profile::Population;
+
+/// One calibration check's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// What was checked.
+    pub name: &'static str,
+    /// The measured value.
+    pub measured: f64,
+    /// Acceptable range (inclusive).
+    pub expected: (f64, f64),
+}
+
+impl Check {
+    /// True when the measured value lies in the expected band.
+    pub fn passed(&self) -> bool {
+        (self.expected.0..=self.expected.1).contains(&self.measured)
+    }
+}
+
+/// The full validation report.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// All checks, in presentation order.
+    pub checks: Vec<Check>,
+    /// Count-model invariant violations found (must be zero).
+    pub invariant_violations: u64,
+}
+
+impl ValidationReport {
+    /// True when every check passed and no invariant was violated.
+    pub fn passed(&self) -> bool {
+        self.invariant_violations == 0 && self.checks.iter().all(Check::passed)
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("population validation\n");
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  [{}] {:<42} {:>10.3}  (expect {:.2}..{:.2})\n",
+                if c.passed() { "ok" } else { "!!" },
+                c.name,
+                c.measured,
+                c.expected.0,
+                c.expected.1,
+            ));
+        }
+        out.push_str(&format!(
+            "  [{}] {:<42} {:>10}\n",
+            if self.invariant_violations == 0 {
+                "ok"
+            } else {
+                "!!"
+            },
+            "count-model invariant violations",
+            self.invariant_violations,
+        ));
+        out
+    }
+}
+
+/// Validate one generated week of a population against the Fig.-1 anatomy.
+pub fn validate(pop: &Population, windowing: Windowing) -> ValidationReport {
+    let mut q99_tcp = Vec::with_capacity(pop.users.len());
+    let mut q99_dns = Vec::with_capacity(pop.users.len());
+    let mut tail_ratio = Vec::with_capacity(pop.users.len());
+    let mut zero_frac = Vec::with_capacity(pop.users.len());
+    let mut violations = 0u64;
+
+    for user in &pop.users {
+        let s = user_week_series_trended(user, pop.config.seed, 0, windowing, pop.config.weekly_trend);
+        violations += s.windows.iter().filter(|c| !invariants_hold(c)).count() as u64;
+        let tcp = EmpiricalDist::from_counts(&s.feature(FeatureKind::TcpConnections));
+        let dns = EmpiricalDist::from_counts(&s.feature(FeatureKind::DnsConnections));
+        let q99 = tcp.quantile(0.99).max(1.0);
+        q99_tcp.push(q99);
+        q99_dns.push(dns.quantile(0.99).max(1.0));
+        tail_ratio.push(tcp.quantile(0.999).max(1.0) / q99);
+        let zeros = s
+            .windows
+            .iter()
+            .filter(|c| c.0.iter().all(|&v| v == 0))
+            .count();
+        zero_frac.push(zeros as f64 / s.len() as f64);
+    }
+
+    let span = |v: &[f64]| {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(0.0f64, f64::max);
+        (hi / lo).log10()
+    };
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+
+    let tcp_span = span(&q99_tcp);
+    let dns_span = span(&q99_dns);
+    let heavy_frac =
+        pop.users.iter().filter(|u| u.heavy).count() as f64 / pop.users.len().max(1) as f64;
+
+    let checks = vec![
+        Check {
+            name: "TCP q99 span across users (decades)",
+            measured: tcp_span,
+            expected: (2.0, 5.0),
+        },
+        Check {
+            name: "DNS span minus TCP span (decades)",
+            measured: dns_span - tcp_span,
+            expected: (-5.0, 0.0),
+        },
+        Check {
+            name: "median within-user q999/q99 ratio",
+            measured: median(&mut tail_ratio),
+            expected: (1.05, 8.0),
+        },
+        Check {
+            name: "median fraction of all-zero windows",
+            measured: median(&mut zero_frac),
+            expected: (0.25, 0.9),
+        },
+        Check {
+            name: "heavy-user fraction (knee population)",
+            measured: heavy_frac,
+            expected: (0.05, 0.25),
+        },
+        Check {
+            name: "Gini of per-user q99 (heaviness concentration)",
+            measured: gini(&q99_tcp),
+            expected: (0.5, 0.99),
+        },
+    ];
+
+    ValidationReport {
+        checks,
+        invariant_violations: violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PopulationConfig;
+
+    #[test]
+    fn default_population_validates() {
+        let pop = Population::sample(PopulationConfig {
+            n_users: 120,
+            ..Default::default()
+        });
+        let report = validate(&pop, Windowing::FIFTEEN_MIN);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn degenerate_population_fails() {
+        // A population with no heavy users and no spread must fail the
+        // span/knee checks.
+        let mut pop = Population::sample(PopulationConfig {
+            n_users: 40,
+            ..Default::default()
+        });
+        for u in &mut pop.users {
+            u.heavy = false;
+            u.levels = crate::profile::TailLevels {
+                tcp: 50.0,
+                udp: 20.0,
+                dns: 10.0,
+            };
+        }
+        let report = validate(&pop, Windowing::FIFTEEN_MIN);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name.contains("span") && !c.passed()));
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let check = Check {
+            name: "demo",
+            measured: 10.0,
+            expected: (0.0, 1.0),
+        };
+        assert!(!check.passed());
+        let report = ValidationReport {
+            checks: vec![check],
+            invariant_violations: 0,
+        };
+        assert!(report.render().contains("[!!]"));
+    }
+}

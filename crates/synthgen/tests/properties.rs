@@ -1,0 +1,103 @@
+//! Property-based tests of the synthetic enterprise generator.
+
+use proptest::prelude::*;
+
+use flowtab::{extract_features, Windowing};
+use synthgen::{
+    invariants_hold, render_window_flows, stream_rng, user_week_series, Population,
+    PopulationConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every window of every generated week satisfies the structural
+    /// invariants, for arbitrary seeds and both bin widths.
+    #[test]
+    fn all_windows_satisfy_invariants(seed in any::<u64>(), five_min in any::<bool>()) {
+        let pop = Population::sample(PopulationConfig {
+            n_users: 6,
+            seed,
+            ..Default::default()
+        });
+        let windowing = if five_min { Windowing::FIVE_MIN } else { Windowing::FIFTEEN_MIN };
+        for user in &pop.users {
+            let s = user_week_series(user, seed, 0, windowing);
+            prop_assert_eq!(s.len(), windowing.windows_per_week());
+            for c in &s.windows {
+                prop_assert!(invariants_hold(c), "{:?}", c);
+            }
+        }
+    }
+
+    /// The flow renderer reproduces arbitrary real generated windows
+    /// exactly (sampled across users/seeds, beyond the unit tests' fixed
+    /// profiles).
+    #[test]
+    fn renderer_round_trips_generated_windows(seed in any::<u64>(), user_idx in 0usize..6) {
+        let pop = Population::sample(PopulationConfig {
+            n_users: 6,
+            seed,
+            ..Default::default()
+        });
+        let user = &pop.users[user_idx];
+        let windowing = Windowing::FIFTEEN_MIN;
+        let week = user_week_series(user, seed, 0, windowing);
+        let mut rng = stream_rng(seed ^ 1, user.id, 9);
+        let mut checked = 0;
+        for (w, counts) in week.windows.iter().enumerate() {
+            let total: u64 = (0..6).map(|i| counts.0[i]).sum();
+            if total == 0 || total > 20_000 {
+                continue;
+            }
+            let flows = render_window_flows(user, counts, w, windowing, &mut rng);
+            let got = extract_features(&flows, user.addr, windowing, w + 1);
+            prop_assert_eq!(&got.windows[w], counts, "window {}", w);
+            checked += 1;
+            if checked >= 5 {
+                break;
+            }
+        }
+    }
+
+    /// Weeks are deterministic per (seed, user, week) and independent:
+    /// regenerating any one week gives identical counts regardless of
+    /// whether other weeks were generated.
+    #[test]
+    fn weeks_independent_and_deterministic(seed in any::<u64>(), week in 0usize..4) {
+        let pop = Population::sample(PopulationConfig {
+            n_users: 3,
+            seed,
+            ..Default::default()
+        });
+        let user = &pop.users[1];
+        let direct = user_week_series(user, seed, week, Windowing::FIFTEEN_MIN);
+        // Generate some other weeks first; must not perturb this week.
+        for w in 0..3 {
+            let _ = user_week_series(user, seed, w + 10, Windowing::FIFTEEN_MIN);
+        }
+        let again = user_week_series(user, seed, week, Windowing::FIFTEEN_MIN);
+        prop_assert_eq!(direct, again);
+    }
+
+    /// Population statistics respond to the config: more users, more
+    /// profiles; heavy fraction within binomial plausibility.
+    #[test]
+    fn population_shape(seed in any::<u64>(), n in 20usize..120) {
+        let pop = Population::sample(PopulationConfig {
+            n_users: n,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(pop.users.len(), n);
+        let heavy = pop.users.iter().filter(|u| u.heavy).count() as f64 / n as f64;
+        // 13% ± generous binomial slack for small n.
+        prop_assert!(heavy <= 0.40, "heavy fraction {heavy}");
+        for u in &pop.users {
+            prop_assert!(u.levels.tcp >= 1.0);
+            prop_assert!(u.levels.udp >= 1.0);
+            prop_assert!(u.levels.dns >= 1.0);
+            prop_assert!(u.sess_rate_tcp > 0.0);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Empirical distribution over stored samples.
+
+/// An empirical distribution built from a batch of observations.
+///
+/// This is the object every end host builds from its training week: the
+/// sorted per-window feature counts, from which percentile thresholds and
+/// exceedance probabilities are read off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalDist {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// Build from samples. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN/infinities — the callers
+    /// in this workspace always have at least one bin per window.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Self { sorted: samples }
+    }
+
+    /// Build from integer counts (the common case for feature bins).
+    pub fn from_counts(counts: &[u64]) -> Self {
+        Self::from_samples(counts.iter().map(|&c| c as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction requires at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Unbiased sample standard deviation (0 for a single sample).
+    pub fn stddev(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self.sorted.iter().map(|x| (x - mean).powi(2)).sum();
+        (ss / (n - 1) as f64).sqrt()
+    }
+
+    /// Quantile by linear interpolation (Hyndman–Fan type 7, the R/NumPy
+    /// default). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// The smallest stored sample `v` such that at least `q·n` samples are
+    /// `≤ v` (a value that actually occurred; used where the paper extracts
+    /// "the 99th percentile value" of integer counts).
+    pub fn quantile_discrete(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// Empirical CDF: fraction of samples `≤ x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Exceedance probability: fraction of samples strictly greater than
+    /// `x`. For a threshold `T` this is exactly the false-positive rate
+    /// `P(g > T)`.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Fraction of samples strictly below `x`: for an attack of size `b`
+    /// and threshold `T`, `P(g + b < T) = below(T - b)` is the paper's
+    /// false-negative rate.
+    pub fn below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Largest shift `b ≥ 0` such that `P(X + b < t) ≥ prob`, i.e. the
+    /// mimicry attacker's evasion budget against threshold `t`.
+    ///
+    /// Returns 0 when even `b = 0` cannot achieve `prob` (the threshold
+    /// already sits deep inside the distribution).
+    pub fn max_shift_below(&self, t: f64, prob: f64) -> f64 {
+        let n = self.sorted.len();
+        let need = (prob * n as f64).ceil() as usize;
+        if need == 0 {
+            // Any b works; cap at t - min so the flow stays non-negative.
+            return (t - self.min()).max(0.0);
+        }
+        if need > n {
+            return 0.0;
+        }
+        // Need the `need` smallest samples to stay strictly below t after
+        // the shift: x_(need) + b < t  =>  b < t - x_(need).
+        let x = self.sorted[need - 1];
+        // Largest b satisfying the strict inequality on integer-valued
+        // features is t - x - 1, but features may be non-integral after
+        // interpolation; use the open-interval supremum minus an epsilon-
+        // free formulation: return the bound itself clamped at 0, and let
+        // callers on integer lattices floor it.
+        (t - x).max(0.0)
+    }
+
+    /// Borrow the sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Merge several distributions into the pooled ("ensembled") global
+    /// distribution the homogeneous policy computes at the IT console.
+    ///
+    /// # Panics
+    /// Panics if `dists` is empty.
+    pub fn pool<'a>(dists: impl IntoIterator<Item = &'a EmpiricalDist>) -> EmpiricalDist {
+        let mut all: Vec<f64> = Vec::new();
+        for d in dists {
+            all.extend_from_slice(&d.sorted);
+        }
+        EmpiricalDist::from_samples(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(v: &[f64]) -> EmpiricalDist {
+        EmpiricalDist::from_samples(v.to_vec())
+    }
+
+    #[test]
+    fn quantile_interpolation_matches_numpy_type7() {
+        let d = dist(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 4.0);
+        assert!((d.quantile(0.5) - 2.5).abs() < 1e-12);
+        assert!((d.quantile(0.25) - 1.75).abs() < 1e-12);
+        assert!((d.quantile(0.99) - 3.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_discrete_returns_observed_values() {
+        let d = dist(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(d.quantile_discrete(0.0), 10.0);
+        assert_eq!(d.quantile_discrete(0.2), 10.0);
+        assert_eq!(d.quantile_discrete(0.21), 20.0);
+        assert_eq!(d.quantile_discrete(0.99), 50.0);
+        assert_eq!(d.quantile_discrete(1.0), 50.0);
+    }
+
+    #[test]
+    fn cdf_exceedance_below_consistency() {
+        let d = dist(&[1.0, 1.0, 2.0, 3.0]);
+        assert!((d.cdf(1.0) - 0.5).abs() < 1e-12);
+        assert!((d.cdf(0.5) - 0.0).abs() < 1e-12);
+        assert!((d.exceedance(2.0) - 0.25).abs() < 1e-12);
+        assert!((d.below(2.0) - 0.5).abs() < 1e-12);
+        assert!((d.below(1.0) - 0.0).abs() < 1e-12);
+        assert_eq!(d.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn single_sample_degenerate() {
+        let d = dist(&[7.0]);
+        assert_eq!(d.quantile(0.3), 7.0);
+        assert_eq!(d.stddev(), 0.0);
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn max_shift_below_mimicry_budget() {
+        // Samples 0..=99; threshold 200, want P(X + b < 200) >= 0.9.
+        let d = EmpiricalDist::from_counts(&(0u64..100).collect::<Vec<_>>());
+        // Need the 90 smallest (x = 89) below: b = 200 - 89 = 111.
+        let b = d.max_shift_below(200.0, 0.9);
+        assert!((b - 111.0).abs() < 1e-12);
+        // Shifting by exactly b keeps 89 + 111 = 200 NOT below 200; the
+        // budget is a supremum. One less is safe:
+        assert!(d.below(200.0 - (b - 1.0)) >= 0.9);
+    }
+
+    #[test]
+    fn max_shift_below_zero_when_threshold_inside_bulk() {
+        let d = EmpiricalDist::from_counts(&[10, 10, 10, 10]);
+        // P(X + b < 5) can never reach 0.9 even at b=0.
+        assert_eq!(d.max_shift_below(5.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn pooling_matches_concatenation() {
+        let a = dist(&[1.0, 5.0]);
+        let b = dist(&[2.0, 10.0]);
+        let pooled = EmpiricalDist::pool([&a, &b]);
+        assert_eq!(pooled.len(), 4);
+        assert_eq!(pooled.samples(), &[1.0, 2.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let d = dist(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        assert!((d.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(d.min(), 2.0);
+        assert_eq!(d.max(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_rejected() {
+        let _ = EmpiricalDist::from_samples(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = EmpiricalDist::from_samples(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Exponentially-weighted moving average.
+
+/// EWMA smoother: `s ← α·x + (1−α)·s`.
+///
+/// Used for smoothing weekly threshold updates (the paper observes that
+/// raw week-over-week 99th percentiles are unstable; smoothing is the
+/// obvious operational mitigation and is exercised in the drift ablation).
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create a smoother with weight `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when alpha is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Self { alpha, value: None }
+    }
+
+    /// Feed one observation, returning the updated smoothed value.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(s) => self.alpha * x + (1.0 - self.alpha) * s,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current smoothed value, if any observation has arrived.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Reset to the empty state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initialises() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(10.0), 10.0);
+    }
+
+    #[test]
+    fn smooths_towards_new_values() {
+        let mut e = Ewma::new(0.5);
+        e.observe(0.0);
+        assert_eq!(e.observe(10.0), 5.0);
+        assert_eq!(e.observe(10.0), 7.5);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.observe(1.0);
+        assert_eq!(e.observe(42.0), 42.0);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = Ewma::new(0.2);
+        e.observe(100.0);
+        e.reset();
+        assert_eq!(e.observe(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+}

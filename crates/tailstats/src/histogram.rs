@@ -1,0 +1,179 @@
+//! Log-binned histograms for heavy-tailed count data.
+
+/// A histogram whose bins grow geometrically, suited to data spanning
+/// several orders of magnitude (exactly the situation in the paper's
+/// Figure 1, where per-user thresholds span 3–4 decades).
+///
+/// Bin 0 holds the value 0; bin `i ≥ 1` holds values in
+/// `[base^(i-1), base^i)` scaled by `unit`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    base: f64,
+    unit: f64,
+    counts: Vec<u64>,
+    total: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram with geometric `base > 1`, starting resolution
+    /// `unit > 0`, and `bins` bins (excluding the zero bin).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(base: f64, unit: f64, bins: usize) -> Self {
+        assert!(base > 1.0, "base must exceed 1");
+        assert!(unit > 0.0, "unit must be positive");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            base,
+            unit,
+            counts: vec![0; bins + 1],
+            total: 0,
+            overflow: 0,
+        }
+    }
+
+    /// A (2.0, 1.0, 40)-histogram covering u64-ish count data.
+    pub fn for_counts() -> Self {
+        Self::new(2.0, 1.0, 40)
+    }
+
+    fn bin_index(&self, x: f64) -> Option<usize> {
+        if x < 0.0 {
+            return None;
+        }
+        let scaled = x / self.unit;
+        if scaled < 1.0 {
+            return Some(0);
+        }
+        let idx = scaled.log(self.base).floor() as usize + 1;
+        if idx < self.counts.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Record one observation. Values ≥ the last bin's upper edge go to an
+    /// overflow counter; negative values are ignored.
+    pub fn record(&mut self, x: f64) {
+        match self.bin_index(x) {
+            Some(i) => {
+                self.counts[i] += 1;
+                self.total += 1;
+            }
+            None if x >= 0.0 => {
+                self.overflow += 1;
+                self.total += 1;
+            }
+            None => {}
+        }
+    }
+
+    /// Total recorded observations (including overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations past the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lower(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            self.unit * self.base.powi(i as i32 - 1)
+        }
+    }
+
+    /// Iterate `(lower_edge, count)` for all bins.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_lower(i), c))
+    }
+
+    /// Approximate quantile from bin lower edges (conservative: returns the
+    /// lower edge of the bin containing the q-th observation).
+    pub fn quantile_lower_bound(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bin_lower(i);
+            }
+        }
+        self.bin_lower(self.counts.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_small_values_in_bin_zero() {
+        let mut h = LogHistogram::new(2.0, 1.0, 8);
+        h.record(0.0);
+        h.record(0.5);
+        let (edge, count) = h.bins().next().unwrap();
+        assert_eq!(edge, 0.0);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn powers_of_two_binning() {
+        let mut h = LogHistogram::new(2.0, 1.0, 8);
+        for x in [1.0, 1.9, 2.0, 3.9, 4.0, 7.9, 8.0] {
+            h.record(x);
+        }
+        let counts: Vec<u64> = h.bins().map(|(_, c)| c).collect();
+        // bin1 [1,2): 2, bin2 [2,4): 2, bin3 [4,8): 2, bin4 [8,16): 1
+        assert_eq!(&counts[1..5], &[2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut h = LogHistogram::new(2.0, 1.0, 3); // bins up to [4,8)
+        h.record(100.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn negative_ignored() {
+        let mut h = LogHistogram::for_counts();
+        h.record(-1.0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn quantile_lower_bound_tracks_mass() {
+        let mut h = LogHistogram::new(2.0, 1.0, 16);
+        // 90 observations at 1, 10 at 1000.
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        assert_eq!(h.quantile_lower_bound(0.5), 1.0);
+        let q95 = h.quantile_lower_bound(0.95);
+        assert!(q95 >= 512.0, "q95 bin edge {q95}");
+    }
+
+    #[test]
+    fn empty_quantile_zero() {
+        let h = LogHistogram::for_counts();
+        assert_eq!(h.quantile_lower_bound(0.99), 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Binary-classification metrics: confusion counts, precision/recall, F-measure.
+
+/// Confusion-matrix counts for a detector evaluated against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Attack windows flagged.
+    pub true_positives: u64,
+    /// Benign windows flagged.
+    pub false_positives: u64,
+    /// Benign windows passed.
+    pub true_negatives: u64,
+    /// Attack windows missed.
+    pub false_negatives: u64,
+}
+
+impl Confusion {
+    /// Accumulate one labelled decision.
+    pub fn record(&mut self, is_attack: bool, flagged: bool) {
+        match (is_attack, flagged) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Merge counts from another evaluation.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Total decisions.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Precision = TP / (TP + FP); 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall (detection rate) = TP / (TP + FN); 1.0 with no attacks.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// False-positive rate = FP / (FP + TN); 0.0 with no benign windows.
+    pub fn fp_rate(&self) -> f64 {
+        let denom = self.false_positives + self.true_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / denom as f64
+        }
+    }
+
+    /// False-negative rate = FN / (TP + FN); 0.0 with no attacks.
+    pub fn fn_rate(&self) -> f64 {
+        1.0 - self.recall()
+    }
+
+    /// F-measure (harmonic mean of precision and recall), the threshold-
+    /// selection objective mentioned in the paper's Section 4.
+    pub fn f1(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+
+    /// General F-beta score.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        let b2 = beta * beta;
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        (1.0 + b2) * p * r / (b2 * p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Confusion {
+        Confusion {
+            true_positives: 8,
+            false_positives: 2,
+            true_negatives: 88,
+            false_negatives: 2,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let c = sample();
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.fp_rate() - 2.0 / 90.0).abs() < 1e-12);
+        assert!((c.fn_rate() - 0.2).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+        assert_eq!(c.total(), 100);
+    }
+
+    #[test]
+    fn record_routes_to_cells() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!(
+            c,
+            Confusion {
+                true_positives: 1,
+                false_positives: 1,
+                true_negatives: 1,
+                false_negatives: 1
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.fp_rate(), 0.0);
+        assert_eq!(c.fn_rate(), 0.0);
+    }
+
+    #[test]
+    fn f_beta_weights_recall() {
+        let c = Confusion {
+            true_positives: 5,
+            false_positives: 0,
+            true_negatives: 0,
+            false_negatives: 5,
+        };
+        // precision 1, recall 0.5: F2 leans towards recall (lower).
+        assert!(c.f_beta(2.0) < c.f_beta(0.5));
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.total(), 200);
+        assert_eq!(a.true_positives, 16);
+    }
+
+    #[test]
+    fn all_wrong_f1_zero() {
+        let c = Confusion {
+            true_positives: 0,
+            false_positives: 3,
+            true_negatives: 0,
+            false_negatives: 7,
+        };
+        assert_eq!(c.f1(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator.
+//!
+//! Jain & Chlamtac, "The P² algorithm for dynamic calculation of quantiles
+//! and histograms without storing observations", CACM 1985. Five markers
+//! track the running quantile in O(1) memory — the natural fit for the
+//! in-NIC/AMT feature monitoring the paper anticipates, where a host cannot
+//! buffer a week of per-window counts.
+
+/// Streaming estimator for a single quantile `q`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based, as in the paper).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen; first five are buffered verbatim.
+    count: usize,
+    initial: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside the open unit interval.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: [0.0; 5],
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if self.count < 5 {
+            self.initial[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.initial.sort_by(|a, b| a.total_cmp(b));
+                self.heights = self.initial;
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k containing x and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + sign / (np - nm)
+            * ((n - nm + sign) * (hp - h) / (np - n) + (np - n - sign) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate.
+    ///
+    /// Before five observations have arrived, falls back to the exact
+    /// quantile of the buffered values (or 0 with no data).
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut buf: Vec<f64> = self.initial[..self.count].to_vec();
+            buf.sort_by(|a, b| a.total_cmp(b));
+            let pos = self.q * (buf.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            return buf[lo] * (1.0 - frac) + buf[hi] * frac;
+        }
+        self.heights[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::EmpiricalDist;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut p2 = P2Quantile::new(0.5);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.random::<f64>()).collect();
+        for &x in &samples {
+            p2.observe(x);
+        }
+        assert!((p2.estimate() - 0.5).abs() < 0.02, "got {}", p2.estimate());
+    }
+
+    #[test]
+    fn p99_of_heavy_tailed_stream_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p2 = P2Quantile::new(0.99);
+        // Pareto-ish: x = (1-u)^(-1/1.5)
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| (1.0 - rng.random::<f64>()).powf(-1.0 / 1.5))
+            .collect();
+        for &x in &samples {
+            p2.observe(x);
+        }
+        let exact = EmpiricalDist::from_samples(samples).quantile(0.99);
+        let rel = (p2.estimate() - exact).abs() / exact;
+        assert!(rel < 0.15, "estimate {} vs exact {exact}", p2.estimate());
+    }
+
+    #[test]
+    fn small_streams_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        for x in [3.0, 1.0, 2.0] {
+            p2.observe(x);
+        }
+        assert!((p2.estimate() - 2.0).abs() < 1e-12);
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    fn no_data_estimate_is_zero() {
+        let p2 = P2Quantile::new(0.9);
+        assert_eq!(p2.estimate(), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_q_on_same_stream() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let data: Vec<f64> = (0..10_000).map(|_| rng.random::<f64>() * 100.0).collect();
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p90 = P2Quantile::new(0.9);
+        let mut p99 = P2Quantile::new(0.99);
+        for &x in &data {
+            p50.observe(x);
+            p90.observe(x);
+            p99.observe(x);
+        }
+        assert!(p50.estimate() < p90.estimate());
+        assert!(p90.estimate() < p99.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn out_of_range_q_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn constant_stream_converges_to_constant() {
+        let mut p2 = P2Quantile::new(0.99);
+        for _ in 0..100 {
+            p2.observe(5.0);
+        }
+        assert_eq!(p2.estimate(), 5.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the statistics layer.
+
+use proptest::prelude::*;
+
+use tailstats::{gini, ks_distance, lorenz_curve, EmpiricalDist, FiveNumber, Moments, P2Quantile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Five-number summaries are always ordered.
+    #[test]
+    fn fivenum_ordered(samples in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s = FiveNumber::from_samples(&samples);
+        prop_assert!(s.min <= s.whisker_lo + 1e-9);
+        prop_assert!(s.whisker_lo <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.whisker_hi + 1e-9);
+        prop_assert!(s.whisker_hi <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// Welford moments equal the two-pass computation.
+    #[test]
+    fn moments_match_two_pass(samples in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut m = Moments::new();
+        for &x in &samples {
+            m.observe(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((m.mean() - mean).abs() < 1e-6);
+        prop_assert!((m.variance() - var).abs() < 1e-6 * var.max(1.0));
+    }
+
+    /// P² stays within the sample range and close to the exact median on
+    /// larger streams.
+    #[test]
+    fn p2_bounded_by_range(samples in proptest::collection::vec(0f64..1e4, 5..2000)) {
+        let mut p2 = P2Quantile::new(0.5);
+        for &x in &samples {
+            p2.observe(x);
+        }
+        let d = EmpiricalDist::from_samples(samples.clone());
+        let est = p2.estimate();
+        prop_assert!(est >= d.min() - 1e-9 && est <= d.max() + 1e-9);
+        if samples.len() >= 500 {
+            let exact = d.quantile(0.5);
+            let spread = (d.max() - d.min()).max(1e-9);
+            prop_assert!((est - exact).abs() / spread < 0.25, "est {est} exact {exact}");
+        }
+    }
+
+    /// KS distance is a pseudo-metric: symmetric, zero on identity,
+    /// bounded by 1, triangle inequality.
+    #[test]
+    fn ks_pseudo_metric(
+        a in proptest::collection::vec(0u64..1000, 1..100),
+        b in proptest::collection::vec(0u64..1000, 1..100),
+        c in proptest::collection::vec(0u64..1000, 1..100),
+    ) {
+        let (da, db, dc) = (
+            EmpiricalDist::from_counts(&a),
+            EmpiricalDist::from_counts(&b),
+            EmpiricalDist::from_counts(&c),
+        );
+        prop_assert!(ks_distance(&da, &da) < 1e-12);
+        let ab = ks_distance(&da, &db);
+        prop_assert!((ks_distance(&db, &da) - ab).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        let (ac, cb) = (ks_distance(&da, &dc), ks_distance(&dc, &db));
+        prop_assert!(ab <= ac + cb + 1e-9);
+    }
+
+    /// Gini is scale-invariant and bounded; the Lorenz curve ends at (1,1).
+    #[test]
+    fn gini_lorenz_laws(values in proptest::collection::vec(0f64..1e4, 1..150), scale in 0.1f64..100.0) {
+        let g = gini(&values);
+        prop_assert!((0.0..=1.0).contains(&g), "gini {g}");
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        prop_assert!((gini(&scaled) - g).abs() < 1e-9, "scale invariance");
+        let lorenz = lorenz_curve(&values);
+        let last = lorenz.last().unwrap();
+        prop_assert!((last.0 - 1.0).abs() < 1e-12);
+        if values.iter().sum::<f64>() > 0.0 {
+            prop_assert!((last.1 - 1.0).abs() < 1e-9);
+        }
+        // Lorenz never exceeds the diagonal.
+        for (x, y) in &lorenz {
+            prop_assert!(*y <= *x + 1e-9);
+        }
+    }
+
+    /// Quantile and CDF are inverse-consistent: cdf(quantile(q)) >= q for
+    /// the discrete quantile.
+    #[test]
+    fn quantile_cdf_consistency(samples in proptest::collection::vec(0u64..10_000, 1..300), q in 0.01f64..0.999) {
+        let d = EmpiricalDist::from_counts(&samples);
+        let v = d.quantile_discrete(q);
+        prop_assert!(d.cdf(v) >= q - 1e-12, "cdf({v}) = {} < {q}", d.cdf(v));
+        // Exceedance complement.
+        prop_assert!((d.cdf(v) + d.exceedance(v) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! Export a synthetic user's week to a pcap file that Wireshark, tcpdump
+//! or Zeek can open — the bridge for evaluating *other* HIDS tools on the
+//! same calibrated population.
+//!
+//! ```sh
+//! cargo run --release --example export_trace -- [user_id] [out.pcap]
+//! ```
+
+use flowtab::Windowing;
+use synthgen::{export_user_week_to_file, Population, PopulationConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let user_id: usize = args
+        .next()
+        .map(|a| a.parse().expect("user_id must be an integer"))
+        .unwrap_or(42);
+    let out = args.next().unwrap_or_else(|| "user_week.pcap".to_string());
+
+    let pop = Population::sample(PopulationConfig::default());
+    let profile = pop
+        .users
+        .get(user_id)
+        .unwrap_or_else(|| panic!("user_id must be < {}", pop.users.len()));
+
+    println!(
+        "user {user_id}: heavy={} tcp-level={:.0} udp-level={:.0} dns-level={:.0}",
+        profile.heavy, profile.levels.tcp, profile.levels.udp, profile.levels.dns
+    );
+
+    let t0 = std::time::Instant::now();
+    let stats = export_user_week_to_file(
+        std::path::Path::new(&out),
+        profile,
+        pop.config.seed,
+        0,
+        pop.config.weekly_trend,
+        Windowing::FIFTEEN_MIN,
+    )
+    .expect("pcap export");
+
+    println!(
+        "wrote {out}: {} windows ({} empty, {} oversized), {} flows, {} frames in {:.1}s",
+        stats.windows,
+        stats.empty_windows,
+        stats.oversized_windows,
+        stats.flows,
+        stats.frames,
+        t0.elapsed().as_secs_f64()
+    );
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("capture size: {:.1} MiB", size as f64 / (1024.0 * 1024.0));
+    println!("open it with: wireshark {out}   (or: tcpdump -nr {out} | head)");
+}

@@ -1,0 +1,50 @@
+//! Policy comparison across the false-negative weight `w` — the workflow
+//! behind the paper's Figure 3, with a tunable population.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison -- [n_users] [seed]
+//! ```
+
+use experiments::{fig3, Corpus, CorpusConfig};
+use flowtab::FeatureKind;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_users: usize = args
+        .next()
+        .map(|a| a.parse().expect("n_users must be an integer"))
+        .unwrap_or(120);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be an integer"))
+        .unwrap_or(0xC0FFEE);
+
+    let corpus = Corpus::generate(CorpusConfig {
+        n_users,
+        n_weeks: 4, // two train->test splits, as in the paper
+        seed,
+        ..Default::default()
+    });
+
+    // Figure 3(a): per-user utility boxplots at w = 0.4 under the
+    // utility-maximising heuristic.
+    let a = fig3::run_a(&corpus, FeatureKind::TcpConnections, 0.4);
+    println!("{}", fig3::table_a(&a).render());
+    for b in &a.boxes {
+        println!("{:>16}: {}", b.policy, b.summary.describe());
+    }
+
+    // Figure 3(b): mean utility vs w under the operators' p99 heuristic.
+    let b = fig3::run_b(&corpus, FeatureKind::TcpConnections, &fig3::paper_weights());
+    println!("\n{}", fig3::table_b(&b).render());
+
+    // The paper's headline: the diversity gain grows with w.
+    let gap_low = b.means[1][0] - b.means[0][0];
+    let gap_high = b.means[1][8] - b.means[0][8];
+    println!(
+        "diversity-over-monoculture utility gap: {:.4} at w=0.1 -> {:.4} at w=0.9 ({}x)",
+        gap_low,
+        gap_high,
+        (gap_high / gap_low.max(1e-9)).round()
+    );
+}

@@ -1,0 +1,111 @@
+//! Quickstart: generate a small enterprise, configure the three policies,
+//! and compare every user's false-positive / false-negative balance.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use monoculture_hids::prelude::*;
+
+fn main() {
+    // 1. A synthetic enterprise: 60 users, two weeks of 15-minute windows.
+    //    (The paper's full population is 350 users / 5 weeks — see the
+    //    `repro` binary for the complete reproduction.)
+    let corpus = Corpus::generate(CorpusConfig {
+        n_users: 60,
+        n_weeks: 2,
+        ..Default::default()
+    });
+    println!(
+        "generated {} users x {} weeks ({} windows/week)",
+        corpus.n_users(),
+        corpus.config.n_weeks,
+        corpus.config.windowing().windows_per_week()
+    );
+
+    // 2. Train on week 0, test on week 1, tracking num-TCP-connections.
+    let ds = corpus.dataset(FeatureKind::TcpConnections, 0);
+    println!(
+        "largest per-window value any user produced: {}",
+        ds.max_observed()
+    );
+
+    // 3. Configure and evaluate the three enterprise policies.
+    let cfg = EvalConfig {
+        w: 0.4, // the paper's Figure-3(a) false-negative weight
+        sweep: ds.default_sweep(),
+    };
+    println!("\n{:>16} {:>10} {:>10} {:>10} {:>12}", "policy", "mean U", "mean FP", "mean FN", "alarms/week");
+    for (name, grouping) in [
+        ("homogeneous", Grouping::Homogeneous),
+        ("full-diversity", Grouping::FullDiversity),
+        ("8-partial", Grouping::Partial(PartialMethod::EIGHT_PARTIAL)),
+    ] {
+        let eval = evaluate_policy(
+            &ds,
+            &Policy {
+                grouping,
+                heuristic: ThresholdHeuristic::P99,
+            },
+            &cfg,
+        );
+        let n = eval.users.len() as f64;
+        let fp = eval.users.iter().map(|u| u.fp).sum::<f64>() / n;
+        let fnr = eval.users.iter().map(|u| u.fn_rate).sum::<f64>() / n;
+        println!(
+            "{:>16} {:>10.4} {:>10.4} {:>10.4} {:>12}",
+            name,
+            eval.mean_utility(),
+            fp,
+            fnr,
+            eval.total_false_alarms()
+        );
+    }
+
+    // 4. The monoculture's hidden cost: who actually suffers?
+    let homog = evaluate_policy(
+        &ds,
+        &Policy {
+            grouping: Grouping::Homogeneous,
+            heuristic: ThresholdHeuristic::P99,
+        },
+        &cfg,
+    );
+    let full = evaluate_policy(
+        &ds,
+        &Policy {
+            grouping: Grouping::FullDiversity,
+            heuristic: ThresholdHeuristic::P99,
+        },
+        &cfg,
+    );
+    let improved = homog
+        .users
+        .iter()
+        .zip(&full.users)
+        .filter(|(h, f)| f.utility > h.utility)
+        .count();
+    println!(
+        "\n{improved}/{} users see strictly better utility under full diversity",
+        corpus.n_users()
+    );
+    let light_fn_homog: Vec<f64> = homog
+        .users
+        .iter()
+        .zip(&corpus.population.users)
+        .filter(|(_, p)| !p.heavy)
+        .map(|(u, _)| u.fn_rate)
+        .collect();
+    let light_fn_full: Vec<f64> = full
+        .users
+        .iter()
+        .zip(&corpus.population.users)
+        .filter(|(_, p)| !p.heavy)
+        .map(|(u, _)| u.fn_rate)
+        .collect();
+    println!(
+        "light/medium users' missed-detection rate: homogeneous {:.3} vs full diversity {:.3}",
+        light_fn_homog.iter().sum::<f64>() / light_fn_homog.len() as f64,
+        light_fn_full.iter().sum::<f64>() / light_fn_full.len() as f64,
+    );
+}

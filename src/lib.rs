@@ -1,0 +1,96 @@
+//! # monoculture-hids
+//!
+//! A full reproduction of *“Impact of IT Monoculture on Behavioral End Host
+//! Intrusion Detection”* (Barman, Chandrashekar, Taft, Faloutsos, Huang,
+//! Giroire — ACM SIGCOMM WREN 2009), built as a workspace of reusable
+//! crates. This facade re-exports each layer's public API:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`netpkt`] | `netpkt` | wire formats (Ethernet/IPv4/TCP/UDP/DNS/ICMP) + pcap I/O |
+//! | [`flowtab`] | `flowtab` | flow reconstruction and the Table-1 feature extractor |
+//! | [`tailstats`] | `tailstats` | empirical distributions, quantiles, k-means, metrics |
+//! | [`synthgen`] | `synthgen` | the calibrated synthetic enterprise + Storm zombie |
+//! | [`hids`] | `hids-core` | threshold heuristics, grouping policies, evaluation |
+//! | [`attacksim`] | `attacksim` | naive / mimicry / replay attacker models |
+//! | [`itconsole`] | `itconsole` | alert batching, central console, sentinels |
+//! | [`experiments`] | `experiments` | every paper figure/table as a function |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use monoculture_hids::prelude::*;
+//!
+//! // A small synthetic enterprise: 20 users, 2 weeks of 15-minute bins.
+//! let corpus = Corpus::generate(CorpusConfig { n_users: 20, n_weeks: 2, ..Default::default() });
+//!
+//! // Train week 0, test week 1, for the num-TCP-connections feature.
+//! let ds = corpus.dataset(FeatureKind::TcpConnections, 0);
+//!
+//! // The monoculture policy vs per-host configuration.
+//! let cfg = EvalConfig { w: 0.4, sweep: ds.default_sweep() };
+//! let homog = evaluate_policy(&ds, &Policy { grouping: Grouping::Homogeneous,   heuristic: ThresholdHeuristic::P99 }, &cfg);
+//! let full  = evaluate_policy(&ds, &Policy { grouping: Grouping::FullDiversity, heuristic: ThresholdHeuristic::P99 }, &cfg);
+//! assert!(full.mean_utility() >= homog.mean_utility());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use attacksim;
+pub use experiments;
+pub use flowtab;
+pub use hids_core as hids;
+pub use itconsole;
+pub use netpkt;
+pub use synthgen;
+pub use tailstats;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use attacksim::{
+        detection_curve, evasion_budget, hidden_traffic, replay_population, NaiveAttack,
+    };
+    pub use experiments::{Corpus, CorpusConfig};
+    pub use flowtab::{
+        extract_features, FeatureCounts, FeatureKind, FeatureSeries, FlowExtractor, FlowRecord,
+        Windowing,
+    };
+    pub use hids_core::{
+        eval::evaluate_policy, Alert, AttackSweep, Detector, EvalConfig, FeatureDataset, Grouping,
+        PartialMethod, Policy, ThresholdHeuristic,
+    };
+    pub use itconsole::{best_users, AlertBatcher, CentralConsole, SentinelConfig};
+    pub use synthgen::{
+        generate_traces, storm_week_series, Population, PopulationConfig, StormConfig, UserProfile,
+    };
+    pub use tailstats::{EmpiricalDist, FiveNumber};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_an_end_to_end_path() {
+        let corpus = Corpus::generate(CorpusConfig {
+            n_users: 5,
+            n_weeks: 2,
+            ..Default::default()
+        });
+        let ds = corpus.dataset(FeatureKind::UdpConnections, 0);
+        let cfg = EvalConfig {
+            w: 0.4,
+            sweep: ds.default_sweep(),
+        };
+        let eval = evaluate_policy(
+            &ds,
+            &Policy {
+                grouping: Grouping::Partial(PartialMethod::EIGHT_PARTIAL),
+                heuristic: ThresholdHeuristic::P99,
+            },
+            &cfg,
+        );
+        assert_eq!(eval.users.len(), 5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Cross-crate integration: the complete system, packets to policy.
+
+use monoculture_hids::prelude::*;
+use synthgen::{render_flows_to_frames, render_window_flows, stream_rng};
+
+/// The full measurement + configuration + detection + console loop on a
+/// packet-level trace of one window, for several users.
+#[test]
+fn packets_to_console_round_trip() {
+    let pop = Population::sample(PopulationConfig {
+        n_users: 4,
+        ..Default::default()
+    });
+    let windowing = Windowing::FIFTEEN_MIN;
+    let console = CentralConsole::new(windowing.windows_per_week());
+
+    for user in &pop.users {
+        // Generate a week at count level and find a busy window.
+        let week = synthgen::user_week_series(user, pop.config.seed, 0, windowing);
+        let Some((w_idx, counts)) = week
+            .windows
+            .iter()
+            .enumerate()
+            .find(|(_, c)| {
+                let total: u64 = (0..6).map(|i| c.0[i]).sum();
+                (10..20_000).contains(&total)
+            })
+            .map(|(i, c)| (i, *c))
+        else {
+            continue;
+        };
+
+        // Render to packets and re-measure through the flow pipeline.
+        let mut rng = stream_rng(99, user.id, 0);
+        let flows = render_window_flows(user, &counts, w_idx, windowing, &mut rng);
+        let frames = render_flows_to_frames(&flows, &mut rng);
+        let mut ex = FlowExtractor::new(Default::default());
+        for f in &frames {
+            ex.push_frame(f.ts, &f.frame).expect("rendered frames parse");
+        }
+        let records = ex.finish();
+        let series = extract_features(&records, user.addr, windowing, w_idx + 1);
+        assert_eq!(series.windows[w_idx], counts, "measurement path agrees");
+
+        // Configure a detector from the user's own training data and run it
+        // over the measured window, batching alerts to the console.
+        let train = EmpiricalDist::from_counts(&week.feature(FeatureKind::TcpConnections));
+        let mut det = Detector::new(user.id);
+        det.set_threshold(
+            FeatureKind::TcpConnections,
+            ThresholdHeuristic::P99.threshold(&train),
+        );
+        let mut batcher = AlertBatcher::new(96);
+        for alert in det.evaluate(w_idx, &series.windows[w_idx]) {
+            batcher.push(alert);
+        }
+        for batch in batcher.flush() {
+            console.ingest_batch(&batch);
+        }
+    }
+
+    // The console accounted for whatever fired, without losing anything.
+    let stats = console.stats();
+    assert_eq!(
+        stats.total_alerts,
+        stats.per_user.values().sum::<u64>(),
+        "console bookkeeping is consistent"
+    );
+}
+
+/// Policies configured on generated traces must satisfy the structural
+/// relationships the paper relies on.
+#[test]
+fn policy_structure_on_generated_population() {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_users: 50,
+        n_weeks: 2,
+        ..Default::default()
+    });
+    let ds = corpus.dataset(FeatureKind::TcpConnections, 0);
+
+    let p99 = ThresholdHeuristic::P99;
+    let homog = Policy {
+        grouping: Grouping::Homogeneous,
+        heuristic: p99,
+    }
+    .configure(&ds.train);
+    let full = Policy {
+        grouping: Grouping::FullDiversity,
+        heuristic: p99,
+    }
+    .configure(&ds.train);
+    let partial = Policy {
+        grouping: Grouping::Partial(PartialMethod::EIGHT_PARTIAL),
+        heuristic: p99,
+    }
+    .configure(&ds.train);
+
+    // One threshold under monoculture, per-user under diversity.
+    assert_eq!(homog.populated_groups(), 1);
+    assert_eq!(full.populated_groups(), 50);
+    assert!(partial.populated_groups() <= 8 && partial.populated_groups() >= 2);
+
+    // The monoculture threshold sits above most users' own thresholds
+    // (the heavy users drag it up) — the paper's core observation.
+    let above = full
+        .thresholds
+        .iter()
+        .filter(|&&t| homog.thresholds[0] > t)
+        .count();
+    assert!(
+        above * 3 > 50 * 2,
+        "global threshold exceeds at least 2/3 of personal thresholds ({above}/50)"
+    );
+
+    // Partial thresholds track user heaviness in aggregate: the heavier
+    // half of the population averages a (much) higher group threshold than
+    // the lighter half. (Strict pairwise monotonicity is not guaranteed —
+    // bands are keyed on the interpolated q99 while thresholds come from
+    // pooled discrete quantiles.)
+    let mut idx: Vec<usize> = (0..50).collect();
+    idx.sort_by(|&a, &b| full.thresholds[a].total_cmp(&full.thresholds[b]));
+    let mean_partial = |users: &[usize]| -> f64 {
+        users.iter().map(|&u| partial.thresholds[u]).sum::<f64>() / users.len() as f64
+    };
+    assert!(
+        mean_partial(&idx[25..]) > 2.0 * mean_partial(&idx[..25]),
+        "heavier half gets far higher partial thresholds"
+    );
+}
+
+/// The naive attack sweep and the mimicry budget must tell the same story
+/// as the evaluation metrics for the same thresholds.
+#[test]
+fn attack_views_are_consistent_with_evaluation() {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_users: 40,
+        n_weeks: 2,
+        ..Default::default()
+    });
+    let ds = corpus.dataset(FeatureKind::TcpConnections, 0);
+    let cfg = EvalConfig {
+        w: 0.5,
+        sweep: ds.default_sweep(),
+    };
+
+    let full = evaluate_policy(
+        &ds,
+        &Policy {
+            grouping: Grouping::FullDiversity,
+            heuristic: ThresholdHeuristic::P99,
+        },
+        &cfg,
+    );
+    let thresholds: Vec<f64> = full.users.iter().map(|u| u.threshold).collect();
+
+    // A maximal naive attack alarms everyone.
+    let attack = NaiveAttack::default_for(corpus.config.windowing());
+    let huge = ds.max_observed() * 2.0;
+    let frac = detection_curve(&ds.test_counts, &thresholds, &[huge], &attack)[0].1;
+    assert_eq!(frac, 1.0);
+
+    // Mimicry budgets are bounded by the thresholds themselves.
+    let budgets = hidden_traffic(&ds.train, &thresholds, 0.9);
+    for (b, &t) in budgets.iter().zip(&thresholds) {
+        assert!((b.budget as f64) <= t, "budget {} <= threshold {t}", b.budget);
+    }
+}
+
+/// Storm replay, sentinels and best-user lists compose.
+#[test]
+fn sentinels_cover_storm_for_the_population() {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_users: 60,
+        n_weeks: 2,
+        ..Default::default()
+    });
+    let feature = FeatureKind::DistinctConnections;
+    let ds = corpus.dataset(feature, 0);
+    let thresholds = Policy {
+        grouping: Grouping::FullDiversity,
+        heuristic: ThresholdHeuristic::P99,
+    }
+    .configure(&ds.train)
+    .thresholds;
+
+    let zombie = storm_week_series(&StormConfig::default(), corpus.config.windowing(), 0);
+    let zombie_counts = zombie.feature(feature);
+    let perfs = replay_population(&ds.test_counts, &zombie_counts, &thresholds);
+    assert_eq!(perfs.len(), 60);
+
+    // The most sensitive users detect (weakly) more than the population
+    // median — the premise of collaborative detection.
+    let sentinels = best_users(&thresholds, 10);
+    let mut detections: Vec<f64> = perfs.iter().map(|p| p.detection).collect();
+    let sentinel_mean = sentinels
+        .iter()
+        .map(|&u| perfs[u].detection)
+        .sum::<f64>()
+        / 10.0;
+    detections.sort_by(|a, b| a.total_cmp(b));
+    let median = detections[30];
+    assert!(
+        sentinel_mean >= median - 1e-9,
+        "sentinels ({sentinel_mean:.3}) at least as good as the median user ({median:.3})"
+    );
+}

@@ -1,0 +1,221 @@
+//! The reproduction certificate: every table and figure's *shape* claims,
+//! checked on one mid-sized corpus (kept below the paper's 350×5 for test
+//! runtime; the `repro` binary regenerates the full-scale numbers recorded
+//! in EXPERIMENTS.md).
+
+use std::sync::OnceLock;
+
+use experiments::{ablation, drift, fig1, fig2, fig3, fig4, fig5, tab2, tab3, Corpus, CorpusConfig};
+use flowtab::FeatureKind;
+use synthgen::StormConfig;
+
+fn corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        Corpus::generate(CorpusConfig {
+            n_users: 150,
+            n_weeks: 4,
+            ..Default::default()
+        })
+    })
+}
+
+/// Fig. 1: thresholds span decades; DNS varies least; 99.9th a small
+/// factor above the 99th; a heavy-user knee at the top.
+#[test]
+fn fig1_tail_diversity() {
+    let r = fig1::run(corpus(), 0);
+    let span_of = |k: FeatureKind| {
+        r.curves
+            .iter()
+            .find(|c| c.feature == k)
+            .expect("curve exists")
+            .span_decades()
+    };
+    for k in [
+        FeatureKind::TcpConnections,
+        FeatureKind::TcpSyn,
+        FeatureKind::UdpConnections,
+        FeatureKind::DistinctConnections,
+        FeatureKind::HttpConnections,
+    ] {
+        assert!(span_of(k) >= 1.8, "{k}: span {:.2} decades", span_of(k));
+        assert!(span_of(k) >= span_of(FeatureKind::DnsConnections) - 0.3,
+            "{k} at least as dispersed as DNS");
+    }
+    for c in &r.curves {
+        let ratio = c.median_tail_ratio();
+        assert!((1.05..8.0).contains(&ratio), "{}: q999/q99 {ratio:.2}", c.feature);
+        // Knee: the top 10% of users sit far above the median user.
+        let n = c.points.len();
+        let median = c.points[n / 2].1.max(1.0);
+        let p90 = c.points[(n * 9) / 10].1.max(1.0);
+        assert!(p90 / median >= 2.0, "{}: knee ratio {:.1}", c.feature, p90 / median);
+    }
+}
+
+/// Fig. 2: users occupy opposite orientation corners.
+#[test]
+fn fig2_orientation_corners() {
+    let r = fig2::run(corpus(), 0);
+    assert!(!r.tcp_heavy_udp_light.is_empty());
+    assert!(!r.udp_heavy_tcp_light.is_empty());
+    assert!(r.log_correlation < 0.9, "features are not interchangeable");
+}
+
+/// Table 2: the best TCP detectors and best UDP detectors barely overlap.
+#[test]
+fn tab2_best_users_differ_by_alarm_type() {
+    let r = tab2::run(corpus(), 0, 10);
+    assert!(r.full.common() <= 6, "full-diversity overlap {}", r.full.common());
+    assert!(r.partial.common() <= 8, "partial overlap {}", r.partial.common());
+}
+
+/// Fig. 3(a): diversity dominates the monoculture for most users;
+/// 8-partial lands close to full diversity.
+#[test]
+fn fig3a_utility_ordering() {
+    let r = fig3::run_a(corpus(), FeatureKind::TcpConnections, 0.4);
+    let (homog, full, partial) = (
+        r.boxes[0].summary.mean,
+        r.boxes[1].summary.mean,
+        r.boxes[2].summary.mean,
+    );
+    assert!(full > homog, "full {full:.4} > homog {homog:.4}");
+    assert!(partial > homog, "partial {partial:.4} > homog {homog:.4}");
+    assert!(
+        (full - partial).abs() < (full - homog),
+        "partial closer to full than to the monoculture"
+    );
+    // Majority of individual users improve.
+    let improved = r.boxes[0]
+        .utilities
+        .iter()
+        .zip(&r.boxes[1].utilities)
+        .filter(|(h, f)| f > h)
+        .count();
+    assert!(improved * 3 > corpus().n_users() * 2, "improved {improved}");
+}
+
+/// Fig. 3(b): the diversity gain grows monotonically with the FN weight.
+#[test]
+fn fig3b_gap_grows_with_w() {
+    let r = fig3::run_b(corpus(), FeatureKind::TcpConnections, &fig3::paper_weights());
+    let gaps: Vec<f64> = (0..r.weights.len())
+        .map(|i| r.means[1][i] - r.means[0][i])
+        .collect();
+    for pair in gaps.windows(2) {
+        assert!(pair[1] >= pair[0] - 1e-9, "gap non-decreasing: {gaps:?}");
+    }
+    assert!(gaps[8] > gaps[0] * 3.0, "gap at w=0.9 several times w=0.1");
+    // All three curves decline with w (fixed p99 thresholds pay more FN).
+    for means in &r.means {
+        assert!(means[8] < means[0]);
+    }
+}
+
+/// Table 3: diversity policies cut the console's weekly alarm load — the
+/// dramatic effect shows under the utility heuristic (the paper's 3536 vs
+/// 1194/2328); under the p99 heuristic every policy targets the same 1%
+/// rate and our near-stationary population lands at parity (the paper's
+/// data drifted in diversity's favour; see EXPERIMENTS.md).
+#[test]
+fn tab3_console_alarms() {
+    let r = tab3::run(corpus(), FeatureKind::TcpConnections);
+    let util = &r.rows[1];
+    assert!(util.full_diversity * 2 < util.homogeneous,
+        "utility row: {} vs {}", util.full_diversity, util.homogeneous);
+    assert!(util.partial * 2 < util.homogeneous);
+    let p99 = &r.rows[0];
+    assert!(p99.full_diversity < p99.homogeneous * 3 / 2);
+    // Nominal rate is 1% of windows; everything stays the same order.
+    let nominal = (0.01 * 672.0 * corpus().n_users() as f64) as u64;
+    assert!(p99.homogeneous < nominal * 3);
+    assert!(p99.full_diversity > nominal / 10);
+}
+
+/// Fig. 4(a): diversity detects stealthy attacks the monoculture misses;
+/// every policy detects the maximal attack.
+#[test]
+fn fig4a_stealth_detection() {
+    let r = fig4::run_a(corpus(), FeatureKind::TcpConnections, 0, 64);
+    let stealth = r.sizes.len() / 10;
+    let mean = |c: &[f64]| c[1..=stealth].iter().sum::<f64>() / stealth as f64;
+    assert!(mean(&r.curves[1]) > mean(&r.curves[0]) + 0.05,
+        "full diversity leads on stealthy attacks: {:.3} vs {:.3}",
+        mean(&r.curves[1]), mean(&r.curves[0]));
+    assert!(mean(&r.curves[2]) > mean(&r.curves[0]),
+        "partial also leads the monoculture");
+    for c in &r.curves {
+        assert!(*c.last().expect("non-empty") >= 0.99);
+    }
+}
+
+/// Fig. 4(b): the mimicry attacker's median hidden traffic collapses under
+/// diversity (the paper reports roughly a 3x reduction).
+#[test]
+fn fig4b_hidden_traffic() {
+    let r = fig4::run_b(corpus(), FeatureKind::TcpConnections, 0, 0.9);
+    let medians: Vec<f64> = r.summaries.iter().map(|s| s.median).collect();
+    assert!(
+        medians[1] <= medians[0] / 2.0,
+        "full diversity at most half the homogeneous median ({} vs {})",
+        medians[1],
+        medians[0]
+    );
+    assert!(
+        medians[2] <= medians[0] / 2.0,
+        "8-partial too ({} vs {})",
+        medians[2],
+        medians[0]
+    );
+}
+
+/// Fig. 5: under the Storm replay, diversity pins FP near 1% with scattered
+/// detection; the monoculture scatters FP over orders of magnitude with
+/// detection pinned near the campaign duty cycle.
+#[test]
+fn fig5_storm_replay_shapes() {
+    let r = fig5::run(corpus(), 0, &StormConfig::default());
+    let wpw = corpus().config.windowing().windows_per_week() as f64;
+    let homog = &r.scatters[0];
+    let full = &r.scatters[1];
+    let partial = &r.scatters[2];
+
+    assert!(homog.fp_span_decades(wpw) > full.fp_span_decades(wpw) - 0.3);
+    assert!(full.median_fp() <= 0.02, "diversity FP near 1%: {}", full.median_fp());
+    assert!((0.25..=0.75).contains(&homog.median_detection()),
+        "homogeneous detection near the campaign duty cycle: {}", homog.median_detection());
+    // Diversity spreads detection rates.
+    let dets: Vec<f64> = full.points.iter().map(|p| p.detection).collect();
+    let hi = dets.iter().cloned().fold(0.0f64, f64::max);
+    let lo = dets.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(hi - lo > 0.3, "diverse detection spread {lo:.2}..{hi:.2}");
+    // Partial bounds FP at least as well as the monoculture (Fig. 5(b)).
+    assert!(partial.fp_span_decades(wpw) <= homog.fp_span_decades(wpw) + 1e-9);
+}
+
+/// §6.1 drift note: 99th-percentile thresholds do not deliver exactly 1%
+/// the following week.
+#[test]
+fn drift_off_nominal() {
+    let r = drift::run(corpus(), FeatureKind::TcpConnections);
+    let off = r
+        .realized_fp
+        .iter()
+        .filter(|&&fp| (fp - 0.01).abs() > 0.003)
+        .count();
+    assert!(off * 2 > r.realized_fp.len(), "most users drift off 1%: {off}");
+}
+
+/// §5 grouping note: k-means finds no natural clusters in the population,
+/// while synthetic blobs in the same space score near 1.
+#[test]
+fn no_natural_clusters() {
+    let probe = ablation::kmeans_probe(corpus(), FeatureKind::TcpConnections);
+    let baseline = ablation::blob_baseline();
+    assert!(baseline > 0.9);
+    for (k, score) in probe {
+        assert!(score < baseline - 0.1, "k={k}: {score:.3} vs blob {baseline:.3}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use flowtab::{FeatureKind, Windowing};
+use hids_core::{AttackSweep, Grouping, PartialMethod, Policy, ThresholdHeuristic};
+use netpkt::testutil::{build_tcp_frame, build_udp_frame, FrameSpec};
+use netpkt::{EthernetFrame, Ipv4Packet, TcpFlags, TcpSegment, UdpDatagram};
+use synthgen::{invariants_hold, user_week_series, Population, PopulationConfig};
+use tailstats::EmpiricalDist;
+
+fn arb_spec() -> impl Strategy<Value = FrameSpec> {
+    (
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        1024u16..65535,
+        1u16..65535,
+        any::<u16>(),
+    )
+        .prop_map(|(src, dst, sport, dport, ip_id)| FrameSpec {
+            src_ip: src.into(),
+            dst_ip: dst.into(),
+            src_port: sport,
+            dst_port: dport,
+            ip_id,
+            ..FrameSpec::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any TCP frame we build parses back to the same header fields with
+    /// valid checksums at both layers.
+    #[test]
+    fn tcp_frame_roundtrip(spec in arb_spec(), seq in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let frame = build_tcp_frame(&spec, TcpFlags::syn_only(), seq, &payload);
+        let eth = EthernetFrame::parse(&frame[..]).unwrap();
+        let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(ip.src(), spec.src_ip);
+        prop_assert_eq!(ip.dst(), spec.dst_ip);
+        let tcp = TcpSegment::parse(ip.payload()).unwrap();
+        prop_assert!(tcp.verify_checksum(ip.src(), ip.dst()));
+        prop_assert_eq!(tcp.src_port(), spec.src_port);
+        prop_assert_eq!(tcp.dst_port(), spec.dst_port);
+        prop_assert_eq!(tcp.seq(), seq);
+        prop_assert_eq!(tcp.payload(), &payload[..]);
+    }
+
+    /// Same for UDP frames.
+    #[test]
+    fn udp_frame_roundtrip(spec in arb_spec(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let frame = build_udp_frame(&spec, &payload);
+        let eth = EthernetFrame::parse(&frame[..]).unwrap();
+        let ip = Ipv4Packet::parse(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let udp = UdpDatagram::parse(ip.payload()).unwrap();
+        prop_assert!(udp.verify_checksum(ip.src(), ip.dst()));
+        prop_assert_eq!(udp.payload(), &payload[..]);
+    }
+
+    /// Corrupting any single byte of an IPv4 header is detected by the
+    /// header checksum.
+    #[test]
+    fn ip_header_corruption_detected(spec in arb_spec(), byte in 14usize..34, bit in 0u8..8) {
+        let mut frame = build_tcp_frame(&spec, TcpFlags::syn_only(), 1, &[]);
+        frame[byte] ^= 1 << bit;
+        let eth = EthernetFrame::parse(&frame[..]).unwrap();
+        if let Ok(ip) = Ipv4Packet::parse(eth.payload()) {
+            prop_assert!(!ip.verify_checksum());
+        }
+        // A parse error is also an acceptable detection.
+    }
+
+    /// Empirical-distribution laws: quantiles are monotone and bounded;
+    /// CDF/exceedance are complementary; `max_shift_below` honours its
+    /// contract.
+    #[test]
+    fn empirical_dist_laws(mut samples in proptest::collection::vec(0u64..100_000, 1..300), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        samples.sort_unstable();
+        let d = EmpiricalDist::from_counts(&samples);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        prop_assert!(d.quantile(lo) <= d.quantile(hi));
+        prop_assert!(d.quantile(0.0) >= d.min());
+        prop_assert!(d.quantile(1.0) <= d.max());
+        prop_assert!(d.quantile_discrete(lo) <= d.quantile_discrete(hi));
+
+        let x = d.quantile(q1);
+        prop_assert!((d.cdf(x) + d.exceedance(x) - 1.0).abs() < 1e-12);
+        prop_assert!(d.below(x) <= d.cdf(x) + 1e-12);
+
+        // Mimicry budget: the returned supremum, reduced to the lattice,
+        // satisfies P(g + b < t) >= prob.
+        let t = d.max() + 10.0;
+        let sup = d.max_shift_below(t, 0.9);
+        let b = if sup <= 0.0 { 0.0 } else { (sup - 1.0).max(0.0).floor() };
+        prop_assert!(d.below(t - b) >= 0.9);
+    }
+
+    /// Generated windows always satisfy the structural invariants, for any
+    /// seed and any user.
+    #[test]
+    fn generated_counts_satisfy_invariants(seed in any::<u64>(), user in 0u32..20) {
+        let pop = Population::sample(PopulationConfig { n_users: 20, seed, ..Default::default() });
+        let s = user_week_series(&pop.users[user as usize], seed, 0, Windowing::FIFTEEN_MIN);
+        for c in &s.windows {
+            prop_assert!(invariants_hold(c), "{c:?}");
+        }
+    }
+
+    /// Percentile thresholds are monotone in the percentile, and every
+    /// grouping policy assigns every user a finite threshold within the
+    /// population's observed range (plus one step).
+    #[test]
+    fn policy_thresholds_well_formed(seed in any::<u64>(), qa in 0.5f64..0.999, qb in 0.5f64..0.999) {
+        let pop = Population::sample(PopulationConfig { n_users: 12, seed, ..Default::default() });
+        let train: Vec<EmpiricalDist> = pop
+            .users
+            .iter()
+            .map(|u| {
+                let s = user_week_series(u, seed, 0, Windowing::FIFTEEN_MIN);
+                EmpiricalDist::from_counts(&s.feature(FeatureKind::TcpConnections))
+            })
+            .collect();
+        let (lo_q, hi_q) = (qa.min(qb), qa.max(qb));
+        let global_max = train.iter().map(|d| d.max()).fold(0.0f64, f64::max);
+
+        for grouping in [
+            Grouping::Homogeneous,
+            Grouping::FullDiversity,
+            Grouping::Partial(PartialMethod::EIGHT_PARTIAL),
+            Grouping::Partial(PartialMethod::KMeans { k: 3 }),
+            Grouping::Partial(PartialMethod::QuantileBands { k: 4 }),
+        ] {
+            let out_lo = Policy { grouping, heuristic: ThresholdHeuristic::Percentile(lo_q) }.configure(&train);
+            let out_hi = Policy { grouping, heuristic: ThresholdHeuristic::Percentile(hi_q) }.configure(&train);
+            for (a, b) in out_lo.thresholds.iter().zip(&out_hi.thresholds) {
+                prop_assert!(a.is_finite() && b.is_finite());
+                prop_assert!(b >= a, "percentile monotone: {b} >= {a}");
+                prop_assert!(*b <= global_max);
+                prop_assert!(*a >= 0.0);
+            }
+        }
+    }
+
+    /// The attack sweep's mean FN is monotone in the threshold and within
+    /// [0, 1] for arbitrary data.
+    #[test]
+    fn mean_fn_monotone(samples in proptest::collection::vec(0u64..10_000, 2..200), t1 in 0.0f64..20_000.0, t2 in 0.0f64..20_000.0) {
+        let d = EmpiricalDist::from_counts(&samples);
+        let sweep = AttackSweep::up_to(d.max() * 2.0 + 10.0);
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let f_lo = sweep.mean_fn(&d, lo);
+        let f_hi = sweep.mean_fn(&d, hi);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_hi >= f_lo);
+    }
+}
