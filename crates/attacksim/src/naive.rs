@@ -74,16 +74,18 @@ pub fn detection_fraction(
 }
 
 /// The full detection curve over a sweep of attack sizes.
+///
+/// Each size is an independent population pass, so the sweep parallelises
+/// across sizes via [`hids_core::par_map`] (output order is preserved).
 pub fn detection_curve(
     test_counts: &[Vec<u64>],
     thresholds: &[f64],
     sizes: &[f64],
     attack: &NaiveAttack,
 ) -> Vec<(f64, f64)> {
-    sizes
-        .iter()
-        .map(|&b| (b, detection_fraction(test_counts, thresholds, b, attack)))
-        .collect()
+    hids_core::par_map(sizes, |_, &b| {
+        (b, detection_fraction(test_counts, thresholds, b, attack))
+    })
 }
 
 #[cfg(test)]

@@ -60,11 +60,9 @@ pub fn replay_population(
     thresholds: &[f64],
 ) -> Vec<ReplayPerf> {
     assert_eq!(benign.len(), thresholds.len());
-    benign
-        .iter()
-        .zip(thresholds)
-        .map(|(counts, &t)| replay_attack(counts, zombie, t))
-        .collect()
+    hids_core::par_map_range(benign.len(), |i| {
+        replay_attack(&benign[i], zombie, thresholds[i])
+    })
 }
 
 #[cfg(test)]

@@ -57,11 +57,9 @@ pub fn hidden_traffic(
     evade_prob: f64,
 ) -> Vec<EvasionBudget> {
     assert_eq!(profiled.len(), thresholds.len());
-    profiled
-        .iter()
-        .zip(thresholds)
-        .map(|(d, &t)| evasion_budget(d, t, evade_prob))
-        .collect()
+    hids_core::par_map_range(profiled.len(), |i| {
+        evasion_budget(&profiled[i], thresholds[i], evade_prob)
+    })
 }
 
 /// The evasion rate the attacker *actually* achieves when the injection

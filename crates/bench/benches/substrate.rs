@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use flowtab::{extract_features, FlowExtractor, FlowTableConfig, Windowing};
+use hids_core::{AttackSweep, RocCurve, SweepTable, ThresholdHeuristic};
 use netpkt::testutil::{build_tcp_frame, FrameSpec};
 use netpkt::{EthernetFrame, Ipv4Packet, TcpFlags, TcpSegment};
 use rand::rngs::StdRng;
@@ -163,5 +164,66 @@ fn generator_layer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, packet_layer, flow_layer, stats_layer, generator_layer);
+/// The pre-kernel threshold selection: per candidate, one `exceedance`
+/// binary search plus an `AttackSweep::mean_fn` point query (itself one
+/// binary search per attack size). Kept here as the baseline the batched
+/// [`SweepTable`] kernel is measured against.
+fn naive_utility_threshold(dist: &EmpiricalDist, sweep: &AttackSweep, w: f64) -> f64 {
+    let samples = dist.samples();
+    let mut candidates: Vec<f64> = Vec::with_capacity(samples.len() + 1);
+    for &v in samples {
+        if candidates.last() != Some(&v) {
+            candidates.push(v);
+        }
+    }
+    candidates.push(dist.max() + 1.0);
+    let mut best_t = f64::NAN;
+    let mut best_s = f64::NEG_INFINITY;
+    for &t in candidates.iter().rev() {
+        let fp = dist.exceedance(t);
+        let fn_rate = sweep.mean_fn(dist, t);
+        let s = 1.0 - (w * fn_rate + (1.0 - w) * fp);
+        if s >= best_s {
+            best_s = s;
+            best_t = t;
+        }
+    }
+    best_t
+}
+
+fn sweep_kernel_layer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    // A paper-sized problem: one user-week (672 windows), 256 attack sizes.
+    let counts: Vec<u64> = (0..672).map(|_| rng.random_range(0..5_000)).collect();
+    let dist = EmpiricalDist::from_counts(&counts);
+    let sweep = AttackSweep::up_to(dist.max());
+
+    let mut group = c.benchmark_group("sweep_kernel");
+    group.bench_function("utility_threshold_naive_672w", |b| {
+        b.iter(|| black_box(naive_utility_threshold(&dist, &sweep, 0.4)))
+    });
+    let heuristic = ThresholdHeuristic::UtilityMax {
+        w: 0.4,
+        sweep: sweep.clone(),
+    };
+    group.bench_function("utility_threshold_kernel_672w", |b| {
+        b.iter(|| black_box(heuristic.threshold(&dist)))
+    });
+    group.bench_function("sweep_table_build_672w_x256", |b| {
+        b.iter(|| black_box(SweepTable::compute(&dist, &sweep)))
+    });
+    group.bench_function("roc_curve_672w_x256", |b| {
+        b.iter(|| black_box(RocCurve::compute(&dist, &sweep)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    packet_layer,
+    flow_layer,
+    stats_layer,
+    generator_layer,
+    sweep_kernel_layer
+);
 criterion_main!(benches);

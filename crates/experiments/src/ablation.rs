@@ -155,7 +155,10 @@ pub fn heuristic_family(corpus: &Corpus, feature: FeatureKind, w: f64) -> Table 
         ("mean+3σ".to_string(), ThresholdHeuristic::MeanSigma(3.0)),
         (
             format!("utility-max w={w}"),
-            ThresholdHeuristic::UtilityMax { w, sweep },
+            ThresholdHeuristic::UtilityMax {
+                w,
+                sweep: sweep.clone(),
+            },
         ),
         (
             "F-measure (1% prevalence)".to_string(),
@@ -267,15 +270,19 @@ pub fn roc_headroom(corpus: &Corpus, feature: FeatureKind) -> Table {
     .configure(&ds.train);
     let t_global = homog.thresholds[0];
 
-    let mut own_at_1pct = Vec::with_capacity(ds.n_users());
-    let mut under_global = Vec::with_capacity(ds.n_users());
-    let mut aucs = Vec::with_capacity(ds.n_users());
-    for d in &ds.train {
+    // Each user's ROC is independent — compute them in parallel, keeping
+    // user order so the summary statistics accumulate deterministically.
+    let per_user = hids_core::par_map(&ds.train, |_, d| {
         let roc = RocCurve::compute(d, &sweep);
-        own_at_1pct.push(roc.detection_at_fp(0.01));
-        under_global.push(1.0 - sweep.mean_fn(d, t_global));
-        aucs.push(roc.auc());
-    }
+        (
+            roc.detection_at_fp(0.01),
+            1.0 - sweep.mean_fn(d, t_global),
+            roc.auc(),
+        )
+    });
+    let own_at_1pct: Vec<f64> = per_user.iter().map(|r| r.0).collect();
+    let under_global: Vec<f64> = per_user.iter().map(|r| r.1).collect();
+    let aucs: Vec<f64> = per_user.iter().map(|r| r.2).collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
 
     let mut t = Table::new(

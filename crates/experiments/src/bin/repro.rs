@@ -1,17 +1,24 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--users N] [--weeks N] [--seed S] [--out DIR] [EXPERIMENT...]
+//! repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR]
+//!       [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b
 //!                drift ablation all }   (default: all)
 //! ```
 //!
 //! Prints each artifact as an aligned table and, when `--out` is given,
-//! writes the underlying data as CSV for external plotting.
+//! writes the underlying data as CSV for external plotting plus a
+//! `BENCH_repro.json` with per-experiment wall-clock timings.
+//!
+//! `--threads N` (or the `REPRO_THREADS` env var) pins the worker-thread
+//! count of the parallel evaluation engine; output is identical at any
+//! setting.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
@@ -25,12 +32,13 @@ struct Args {
     users: usize,
     weeks: usize,
     seed: u64,
+    threads: Option<usize>,
     out: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--out DIR] [EXPERIMENT...]\n\
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [EXPERIMENT...]\n\
      experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation all"
         .to_string()
 }
@@ -40,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         users: 350,
         weeks: 5,
         seed: 0xC0FFEE,
+        threads: None,
         out: None,
         experiments: Vec::new(),
     };
@@ -53,6 +62,9 @@ fn parse_args() -> Result<Args, String> {
             "--users" => args.users = value("--users")?.parse().map_err(|e| format!("{e}"))?,
             "--weeks" => args.weeks = value("--weeks")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -68,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
     if args.weeks < 2 {
         return Err("--weeks must be at least 2 (train + test)".into());
     }
+    if args.threads == Some(0) {
+        return Err("--threads must be at least 1".into());
+    }
     Ok(args)
 }
 
@@ -80,6 +95,26 @@ fn emit(table: &Table, out: &Option<PathBuf>, name: &str) {
     }
 }
 
+/// Serialise the timing ledger as JSON by hand (no serializer dependency).
+fn timings_json(args: &Args, timings: &[(String, f64)], total_secs: f64) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"users\": {},\n  \"weeks\": {},\n  \"seed\": {},\n  \"threads\": {},\n",
+        args.users,
+        args.weeks,
+        args.seed,
+        hids_core::current_threads()
+    ));
+    s.push_str("  \"timings_secs\": {\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        s.push_str(&format!("    \"{name}\": {secs:.3}{comma}\n"));
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!("  \"total_secs\": {total_secs:.3}\n}}\n"));
+    s
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -89,6 +124,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(n) = args.threads {
+        hids_core::set_threads(n);
+    }
 
     let wants = |name: &str| {
         args.experiments
@@ -103,24 +141,46 @@ fn main() -> ExitCode {
         ..Default::default()
     };
     eprintln!(
-        "generating corpus: {} users x {} weeks (seed {:#x})...",
-        cfg.n_users, cfg.n_weeks, cfg.seed
+        "generating corpus: {} users x {} weeks (seed {:#x}, {} threads)...",
+        cfg.n_users,
+        cfg.n_weeks,
+        cfg.seed,
+        hids_core::current_threads()
     );
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
     let corpus = Corpus::generate(cfg.clone());
-    eprintln!("corpus ready in {:.1}s", t0.elapsed().as_secs_f64());
+    let corpus_secs = t0.elapsed().as_secs_f64();
+    eprintln!("corpus ready in {corpus_secs:.1}s");
+
+    let mut timings: Vec<(String, f64)> = vec![("corpus".to_string(), corpus_secs)];
+
+    // Run one experiment under the wall-clock ledger.
+    macro_rules! experiment {
+        ($name:literal, $body:block) => {
+            experiment!($name, wants($name), $body)
+        };
+        ($name:literal, $cond:expr, $body:block) => {
+            if $cond {
+                let t = Instant::now();
+                $body
+                let secs = t.elapsed().as_secs_f64();
+                eprintln!("[timing] {}: {:.2}s", $name, secs);
+                timings.push(($name.to_string(), secs));
+            }
+        };
+    }
 
     let tcp = FeatureKind::TcpConnections;
 
-    if wants("validate") {
+    experiment!("validate", {
         let report = synthgen::validate(&corpus.population, corpus.config.windowing());
         println!("{}", report.render());
         if !report.passed() {
             eprintln!("warning: population failed calibration checks");
         }
-    }
+    });
 
-    if wants("fig1") {
+    experiment!("fig1", {
         let r = fig1::run(&corpus, 0);
         emit(&fig1::summary_table(&r), &args.out, "fig1_summary");
         emit(&fig1::concentration_table(&r), &args.out, "fig1_concentration");
@@ -168,8 +228,9 @@ fn main() -> ExitCode {
                 emit(&fig1::curve_table(c), &args.out, &name);
             }
         }
-    }
-    if wants("fig2") {
+    });
+
+    experiment!("fig2", {
         let r = fig2::run(&corpus, 0);
         emit(&fig2::summary_table(&r), &args.out, "fig2_summary");
         if args.out.is_some() {
@@ -197,16 +258,19 @@ fn main() -> ExitCode {
                 &series,
             )
         );
-    }
-    if wants("tab2") {
+    });
+
+    experiment!("tab2", {
         let r = tab2::run(&corpus, 0, 10);
         emit(&tab2::table(&r), &args.out, "tab2");
-    }
-    if wants("fig3a") {
+    });
+
+    experiment!("fig3a", {
         let r = fig3::run_a(&corpus, tcp, 0.4);
         emit(&fig3::table_a(&r), &args.out, "fig3a");
-    }
-    if wants("fig3b") {
+    });
+
+    experiment!("fig3b", {
         let r = fig3::run_b(&corpus, tcp, &fig3::paper_weights());
         emit(&fig3::table_b(&r), &args.out, "fig3b");
         let labels = ["Homogeneous", "Full-Diversity", "8-Partial"];
@@ -235,12 +299,14 @@ fn main() -> ExitCode {
                 &series,
             )
         );
-    }
-    if wants("tab3") {
+    });
+
+    experiment!("tab3", {
         let r = tab3::run(&corpus, tcp);
         emit(&tab3::table(&r), &args.out, "tab3");
-    }
-    if wants("fig4a") {
+    });
+
+    experiment!("fig4a", {
         let r = fig4::run_a(&corpus, tcp, 0, 64);
         emit(&fig4::table_a(&r), &args.out, "fig4a");
         let labels = ["Homogeneous", "Full-Diversity", "8-Partial"];
@@ -265,13 +331,15 @@ fn main() -> ExitCode {
                 &series,
             )
         );
-    }
-    if wants("fig4b") {
+    });
+
+    experiment!("fig4b", {
         let r = fig4::run_b(&corpus, tcp, 0, 0.9);
         emit(&fig4::table_b(&r), &args.out, "fig4b");
         emit(&fig4::run_c(&corpus, tcp, 0), &args.out, "fig4c_omniscient");
-    }
-    if wants("fig5a") || wants("fig5b") {
+    });
+
+    experiment!("fig5", wants("fig5a") || wants("fig5b"), {
         let r = fig5::run(&corpus, 0, &StormConfig::default());
         let wpw = corpus.config.windowing().windows_per_week() as f64;
         emit(&fig5::summary_table(&r, wpw), &args.out, "fig5_summary");
@@ -304,16 +372,19 @@ fn main() -> ExitCode {
                 &series,
             )
         );
-    }
-    if wants("multi") {
+    });
+
+    experiment!("multi", {
         let r = multifeat::run(&corpus, 0, &StormConfig::default());
         emit(&multifeat::table(&r), &args.out, "multifeat");
-    }
-    if wants("collab") {
+    });
+
+    experiment!("collab", {
         let r = collab::run(&corpus, 0, &StormConfig::default());
         emit(&collab::table(&r), &args.out, "collab");
-    }
-    if wants("seeds") {
+    });
+
+    experiment!("seeds", {
         // Five alternate populations at reduced scale: the qualitative
         // conclusions must not depend on the master seed.
         let r = seeds::run(&[1, 2, 3, 0xBEEF, 0xC0FFEE], args.users.min(120));
@@ -321,8 +392,9 @@ fn main() -> ExitCode {
         if !r.all_conclusions_hold() {
             eprintln!("warning: a seed failed to reproduce a headline conclusion");
         }
-    }
-    if wants("ops") {
+    });
+
+    experiment!("ops", {
         emit(
             &ops::triage_table(&corpus, tcp, &itconsole::TriageConfig::default()),
             &args.out,
@@ -331,12 +403,14 @@ fn main() -> ExitCode {
         if corpus.config.n_weeks >= 3 {
             emit(&ops::maintenance_table(&corpus, tcp), &args.out, "ops_maintenance");
         }
-    }
-    if wants("drift") {
+    });
+
+    experiment!("drift", {
         let r = drift::run(&corpus, tcp);
         emit(&drift::table(&r), &args.out, "drift");
-    }
-    if wants("ablation") {
+    });
+
+    experiment!("ablation", {
         emit(
             &ablation::group_count_table(&ablation::group_count(&corpus, tcp, 0.5)),
             &args.out,
@@ -378,8 +452,17 @@ fn main() -> ExitCode {
             &args.out,
             "ablation_binwidth",
         );
-    }
+    });
 
-    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    let total_secs = t0.elapsed().as_secs_f64();
+    if let Some(dir) = &args.out {
+        let json = timings_json(&args, &timings, total_secs);
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("BENCH_repro.json"), json))
+        {
+            eprintln!("warning: failed to write BENCH_repro.json: {e}");
+        }
+    }
+    eprintln!("done in {total_secs:.1}s");
     ExitCode::SUCCESS
 }

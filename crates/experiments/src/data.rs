@@ -59,7 +59,9 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Generate a corpus, parallelising across users with scoped threads.
+    /// Generate a corpus, parallelising across users via
+    /// [`hids_core::par_map`] (each user's weekly series derive from their
+    /// own seeded stream, so output is identical at any thread count).
     pub fn generate(config: CorpusConfig) -> Self {
         let population = Population::sample(PopulationConfig {
             n_users: config.n_users,
@@ -71,36 +73,11 @@ impl Corpus {
         let seed = population.config.seed;
         let trend = population.config.weekly_trend;
 
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(population.users.len().max(1));
-        let mut weeks: Vec<Vec<FeatureSeries>> = Vec::with_capacity(population.users.len());
-        crossbeam::thread::scope(|scope| {
-            let chunks: Vec<&[UserProfile]> = population
-                .users
-                .chunks(population.users.len().div_ceil(n_threads))
-                .collect();
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|u| {
-                                (0..n_weeks)
-                                    .map(|w| user_week_series_trended(u, seed, w, windowing, trend))
-                                    .collect::<Vec<_>>()
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                weeks.extend(h.join().expect("generator thread panicked"));
-            }
-        })
-        .expect("crossbeam scope");
+        let weeks = hids_core::par_map(&population.users, |_, u: &UserProfile| {
+            (0..n_weeks)
+                .map(|w| user_week_series_trended(u, seed, w, windowing, trend))
+                .collect::<Vec<_>>()
+        });
 
         Self {
             config,
@@ -156,12 +133,9 @@ impl Corpus {
     /// Per-user training 99th percentile for a feature (the summary the
     /// grouping policies and Figures 1–2 are built from).
     pub fn q99(&self, feature: FeatureKind, week: usize) -> Vec<f64> {
-        self.weeks
-            .iter()
-            .map(|w| {
-                tailstats::EmpiricalDist::from_counts(&w[week].feature(feature)).quantile(0.99)
-            })
-            .collect()
+        hids_core::par_map(&self.weeks, |_, w| {
+            tailstats::EmpiricalDist::from_counts(&w[week].feature(feature)).quantile(0.99)
+        })
     }
 }
 

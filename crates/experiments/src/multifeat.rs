@@ -71,7 +71,7 @@ pub fn run(corpus: &Corpus, train_week: usize, storm: &StormConfig) -> MultiFeat
             heuristic: ThresholdHeuristic::P99,
         };
         for features in FEATURE_SETS {
-            let multi = MultiPolicy::on(features, policy);
+            let multi = MultiPolicy::on(features, policy.clone());
             let eval = evaluate_multi(&train, &test, &multi);
             let detections = multi_detection(
                 &eval.detectors,

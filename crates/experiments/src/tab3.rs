@@ -60,22 +60,29 @@ fn console_alarms(ds: &FeatureDataset, policy: &Policy, feature: FeatureKind) ->
     let windowing = Windowing::FIFTEEN_MIN;
     let console = CentralConsole::new(windowing.windows_per_week());
 
-    for (user, (perf, counts)) in eval.users.iter().zip(&ds.test_counts).enumerate() {
+    // Each user's detector run is independent: build every user's alert
+    // batches in parallel, then ingest them in user order so the console
+    // sees a deterministic stream regardless of thread count.
+    let per_user_batches = hids_core::par_map(&eval.users, |user, perf| {
+        let counts = &ds.test_counts[user];
         let mut detector = Detector::new(user as u32);
         detector.set_threshold(feature, perf.threshold);
         let mut batcher = AlertBatcher::new(96); // ship once per day
+        let mut batches = Vec::new();
         for (w, &g) in counts.iter().enumerate() {
             let mut counts_one = flowtab::FeatureCounts::default();
             *counts_one.get_mut(feature) = g;
             for alert in detector.evaluate(w, &counts_one) {
                 batcher.push(alert);
             }
-            for batch in batcher.take_ready() {
-                console.ingest_batch(&batch);
-            }
+            batches.extend(batcher.take_ready());
         }
-        for batch in batcher.flush() {
-            console.ingest_batch(&batch);
+        batches.extend(batcher.flush());
+        batches
+    });
+    for batches in &per_user_batches {
+        for batch in batches {
+            console.ingest_batch(batch);
         }
     }
     console.stats().total_alerts
@@ -103,7 +110,7 @@ pub fn run(corpus: &Corpus, feature: FeatureKind) -> Tab3Result {
             {
                 let policy = Policy {
                     grouping,
-                    heuristic,
+                    heuristic: heuristic.clone(),
                 };
                 totals[slot] += console_alarms(&ds, &policy, feature);
             }

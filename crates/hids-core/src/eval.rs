@@ -73,7 +73,7 @@ impl FeatureDataset {
 }
 
 /// Evaluation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalConfig {
     /// FN weight in the utility `U = 1 − [w·FN + (1−w)·FP]`.
     pub w: f64,
@@ -146,28 +146,25 @@ pub fn evaluate_policy(
     config: &EvalConfig,
 ) -> PolicyEvaluation {
     let outcome = policy.configure(&dataset.train);
-    let users = outcome
-        .thresholds
-        .iter()
-        .zip(dataset.test.iter().zip(&dataset.test_counts))
-        .map(|(&t, (test, counts))| {
-            let fp = test.exceedance(t);
-            let fn_rate = config.sweep.mean_fn(test, t);
-            let utility = 1.0 - (config.w * fn_rate + (1.0 - config.w) * fp);
-            let false_alarms = counts.iter().filter(|&&c| c as f64 > t).count() as u64;
-            UserPerf {
-                threshold: t,
-                fp,
-                fn_rate,
-                utility,
-                false_alarms,
-            }
-        })
-        .collect();
+    let users = crate::par::par_map(&outcome.thresholds, |i, &t| {
+        let test = &dataset.test[i];
+        let counts = &dataset.test_counts[i];
+        let fp = test.exceedance(t);
+        let fn_rate = config.sweep.mean_fn(test, t);
+        let utility = 1.0 - (config.w * fn_rate + (1.0 - config.w) * fp);
+        let false_alarms = counts.iter().filter(|&&c| c as f64 > t).count() as u64;
+        UserPerf {
+            threshold: t,
+            fp,
+            fn_rate,
+            utility,
+            false_alarms,
+        }
+    });
     PolicyEvaluation {
         outcome,
         users,
-        config: *config,
+        config: config.clone(),
     }
 }
 
@@ -260,7 +257,10 @@ mod tests {
         let ds = dataset(16, 4);
         let sweep = ds.default_sweep();
         let gap = |w: f64| {
-            let config = EvalConfig { w, sweep };
+            let config = EvalConfig {
+                w,
+                sweep: sweep.clone(),
+            };
             let homog = evaluate_policy(&ds, &p99_policy(Grouping::Homogeneous), &config);
             let full = evaluate_policy(&ds, &p99_policy(Grouping::FullDiversity), &config);
             full.mean_utility() - homog.mean_utility()
@@ -334,7 +334,7 @@ mod tests {
         let ds = dataset(2, 1);
         assert_eq!(ds.max_observed(), 1900.0);
         let sweep = ds.default_sweep();
-        assert_eq!(sweep.b_max, 1900.0);
+        assert_eq!(sweep.b_max(), 1900.0);
     }
 
     #[test]

@@ -45,8 +45,10 @@ pub mod bundle;
 pub mod detector;
 pub mod eval;
 pub mod multi;
+pub mod par;
 pub mod policy;
 pub mod roc;
+pub mod sweep;
 pub mod threshold;
 
 pub use adaptive::{realized_fp_series, AdaptiveThreshold, UpdateStrategy};
@@ -54,6 +56,8 @@ pub use bundle::PolicyBundle;
 pub use detector::{Alert, Detector};
 pub use eval::{AttackSweep, EvalConfig, FeatureDataset, PolicyEvaluation, UserPerf};
 pub use multi::{evaluate_multi, multi_detection, MultiEvaluation, MultiPolicy, MultiUserPerf};
+pub use par::{current_threads, par_map, par_map_range, set_threads};
 pub use policy::{Grouping, PartialMethod, Policy, PolicyOutcome};
 pub use roc::{RocCurve, RocPoint};
+pub use sweep::SweepTable;
 pub use threshold::ThresholdHeuristic;

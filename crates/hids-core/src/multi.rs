@@ -29,14 +29,17 @@ impl MultiPolicy {
     /// The same policy on every one of the six features.
     pub fn uniform(policy: Policy) -> Self {
         Self {
-            per_feature: FeatureKind::ALL.iter().map(|&f| (f, policy)).collect(),
+            per_feature: FeatureKind::ALL
+                .iter()
+                .map(|&f| (f, policy.clone()))
+                .collect(),
         }
     }
 
     /// The same policy on a chosen subset of features.
     pub fn on(features: &[FeatureKind], policy: Policy) -> Self {
         Self {
-            per_feature: features.iter().map(|&f| (f, policy)).collect(),
+            per_feature: features.iter().map(|&f| (f, policy.clone())).collect(),
         }
     }
 

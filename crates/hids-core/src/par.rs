@@ -1,0 +1,143 @@
+//! Deterministic parallel map over per-user work.
+//!
+//! Every experiment in this workspace has the same shape — an independent
+//! computation per user (configure a detector, score a test week, build a
+//! ROC curve) — so one primitive covers them all: [`par_map`] splits the
+//! items into contiguous chunks, runs one scoped thread per chunk, and
+//! concatenates results in chunk order. Output order therefore equals
+//! input order **regardless of thread count**, which keeps every report
+//! byte-identical between `--threads 1` and `--threads N` (asserted by
+//! `tests/determinism.rs`).
+//!
+//! Thread count resolution, highest priority first:
+//! 1. [`set_threads`] (the `repro --threads N` flag),
+//! 2. the `REPRO_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker-thread count process-wide (0 clears the override).
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker-thread count [`par_map`] will use.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// `f` receives each item's index alongside the item, so seeded per-user
+/// work (e.g. deriving a user's RNG stream) stays reproducible.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = current_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, ch)| {
+                let f = &f;
+                let start = ci * chunk;
+                scope.spawn(move |_| {
+                    ch.iter()
+                        .enumerate()
+                        .map(|(j, x)| f(start + j, x))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+    })
+    .expect("par_map thread scope");
+    out
+}
+
+/// Map `f` over `0..n` in parallel, preserving order — the index-only
+/// form for loops that generate rather than transform.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let work = |_: usize, &x: &u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        set_threads(1);
+        let serial = par_map(&items, work);
+        set_threads(8);
+        let parallel = par_map(&items, work);
+        set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[42u32], |i, &x| (i, x)), vec![(0, 42)]);
+    }
+
+    #[test]
+    fn range_form_matches_slice_form() {
+        set_threads(4);
+        let a = par_map_range(100, |i| i * i);
+        set_threads(0);
+        assert_eq!(a, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn override_beats_env() {
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+        assert!(current_threads() >= 1);
+    }
+}

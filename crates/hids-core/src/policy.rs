@@ -68,7 +68,7 @@ impl PartialMethod {
 }
 
 /// A full configuration policy: grouping × threshold heuristic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Policy {
     /// How hosts are grouped.
     pub grouping: Grouping,
@@ -105,24 +105,23 @@ impl Policy {
         let groups = self.grouping.assign(train);
         let n_groups = groups.iter().copied().max().unwrap_or(0) + 1;
 
-        let mut group_thresholds = vec![f64::NAN; n_groups];
-        for (g, slot) in group_thresholds.iter_mut().enumerate() {
-            let members: Vec<&EmpiricalDist> = train
-                .iter()
-                .zip(&groups)
-                .filter(|(_, &gi)| gi == g)
-                .map(|(d, _)| d)
-                .collect();
-            if members.is_empty() {
-                continue;
-            }
-            let pooled = if members.len() == 1 {
-                members[0].clone()
-            } else {
-                EmpiricalDist::pool(members.iter().copied())
-            };
-            *slot = self.heuristic.threshold(&pooled);
+        // One pass to collect each group's member list (this was an
+        // O(users × groups) filter rescan per group).
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (u, &g) in groups.iter().enumerate() {
+            members[g].push(u);
         }
+
+        // Groups are independent: pool + heuristic per group in parallel.
+        // Under full diversity this is the per-user threshold fan-out.
+        let group_thresholds: Vec<f64> = crate::par::par_map(&members, |_, m| match m.len() {
+            0 => f64::NAN,
+            1 => self.heuristic.threshold(&train[m[0]]),
+            _ => {
+                let pooled = EmpiricalDist::pool(m.iter().map(|&u| &train[u]));
+                self.heuristic.threshold(&pooled)
+            }
+        });
 
         let thresholds = groups.iter().map(|&g| group_thresholds[g]).collect();
         PolicyOutcome {
@@ -283,12 +282,12 @@ mod tests {
         let p99 = ThresholdHeuristic::P99;
         let homog = Policy {
             grouping: Grouping::Homogeneous,
-            heuristic: p99,
+            heuristic: p99.clone(),
         }
         .configure(&train);
         let full = Policy {
             grouping: Grouping::FullDiversity,
-            heuristic: p99,
+            heuristic: p99.clone(),
         }
         .configure(&train);
         let partial = Policy {

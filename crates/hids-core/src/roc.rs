@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use tailstats::EmpiricalDist;
 
+use crate::sweep::SweepTable;
 use crate::threshold::AttackSweep;
 
 /// One operating point.
@@ -31,23 +32,16 @@ pub struct RocCurve {
 
 impl RocCurve {
     /// Sweep every distinct observed value (plus one step above the max)
-    /// as a threshold.
+    /// as a threshold, via the batched [`SweepTable`] kernel (one pass
+    /// instead of two binary-search queries per point).
     pub fn compute(benign: &EmpiricalDist, sweep: &AttackSweep) -> Self {
-        let mut thresholds: Vec<f64> = Vec::new();
-        thresholds.push(benign.max() + 1.0);
-        let mut prev = f64::NAN;
-        for &v in benign.samples().iter().rev() {
-            if v != prev {
-                thresholds.push(v);
-                prev = v;
-            }
-        }
-        let points = thresholds
-            .into_iter()
-            .map(|t| RocPoint {
-                threshold: t,
-                fp: benign.exceedance(t),
-                detection: 1.0 - sweep.mean_fn(benign, t),
+        let table = SweepTable::compute(benign, sweep);
+        let points = (0..table.len())
+            .rev() // table is ascending; ROC points descend by threshold
+            .map(|i| RocPoint {
+                threshold: table.thresholds()[i],
+                fp: table.fp()[i],
+                detection: 1.0 - table.mean_fn()[i],
             })
             .collect();
         Self { points }

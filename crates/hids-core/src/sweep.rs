@@ -1,0 +1,276 @@
+//! Single-pass threshold-sweep kernel.
+//!
+//! Everything the optimising heuristics and ROC analysis need — the
+//! false-positive rate and sweep-averaged false-negative rate of *every*
+//! candidate threshold of a distribution — computed in one batched pass.
+//!
+//! The naive formulation queries each candidate independently:
+//! `exceedance(t)` is a binary search and `mean_fn(dist, t)` is `S`
+//! binary searches (one per attack size), so scoring all `m` candidates
+//! costs `O(m · S · log n)` searches plus, historically, one size-grid
+//! allocation per candidate. But both quantities are monotone counts over
+//! *sorted* data: for a fixed attack size `b`, as the candidate threshold
+//! `t` ascends, the count of samples below `t − b` only grows. The kernel
+//! exploits this with a merge-style two-pointer sweep per attack size —
+//! `O(S · (n + m))` total, zero allocations beyond the three output
+//! vectors.
+//!
+//! The accumulation order matches the naive formulation exactly (outer
+//! loop over ascending attack sizes, each term `count/n` added in turn,
+//! one final division by `S`), so results are **bit-identical** to
+//! calling [`AttackSweep::mean_fn`] and `exceedance` per candidate — a
+//! property the equivalence suite in `tests/` asserts over random
+//! distributions.
+
+use tailstats::EmpiricalDist;
+
+use crate::threshold::AttackSweep;
+
+/// The scored candidate thresholds of one distribution under one attack
+/// sweep: ascending thresholds with each one's FP and mean-FN rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTable {
+    thresholds: Vec<f64>,
+    fp: Vec<f64>,
+    mean_fn: Vec<f64>,
+}
+
+impl SweepTable {
+    /// Score every candidate threshold — each distinct observed value of
+    /// `dist` plus one step above its maximum — against `sweep`.
+    pub fn compute(dist: &EmpiricalDist, sweep: &AttackSweep) -> Self {
+        let samples = dist.samples();
+        let n = samples.len();
+
+        // Ascending distinct values + (max + 1); alongside each, the
+        // count of samples ≤ it (its CDF numerator, free during the scan).
+        let mut thresholds: Vec<f64> = Vec::with_capacity(n + 1);
+        let mut le_counts: Vec<usize> = Vec::with_capacity(n + 1);
+        for (i, &v) in samples.iter().enumerate() {
+            if i + 1 == n || samples[i + 1] != v {
+                thresholds.push(v);
+                le_counts.push(i + 1);
+            }
+        }
+        thresholds.push(dist.max() + 1.0);
+        le_counts.push(n);
+        let m = thresholds.len();
+
+        let fp: Vec<f64> = le_counts
+            .iter()
+            .map(|&c| 1.0 - c as f64 / n as f64)
+            .collect();
+
+        // mean_fn[i] = mean over sizes b of P(g < t_i − b). Adding each
+        // size's `count/n` term per candidate (not summing raw counts)
+        // reproduces the naive float accumulation bit for bit; `frac`
+        // hoists the divisions out of the hot loops.
+        //
+        // Two exact shortcuts keep the passes cheap:
+        // * candidates with t ≤ b + min(samples) have a below-count of 0,
+        //   and `x + 0.0` is bitwise `x` for the non-negative accumulator,
+        //   so each size's zero prefix is skipped outright;
+        // * feature counts live on the integer lattice, so when every
+        //   sample is integral (and the value range is sane) the per-size
+        //   merge collapses to a branchless cumulative-count lookup:
+        //   #{g < t − b} = #{g ≤ ⌈t − b⌉ − 1}.
+        let frac: Vec<f64> = (0..=n).map(|k| k as f64 / n as f64).collect();
+        let sizes = sweep.sizes();
+        let mut acc = vec![0.0f64; m];
+        let lo = samples[0];
+        let hi = samples[n - 1];
+        let lattice = hi - lo <= (n as f64) * 64.0 + 4096.0
+            && lo.abs() <= 1e15
+            && hi.abs() <= 1e15
+            && samples.iter().all(|s| s.fract() == 0.0);
+        if lattice {
+            // cumf[j] = frac[#{samples ≤ lo + j}] — count-below folded
+            // straight into its already-divided term.
+            let range = (hi - lo) as usize;
+            let mut cum = vec![0usize; range + 1];
+            for &s in samples {
+                cum[(s - lo) as usize] += 1;
+            }
+            let mut running = 0usize;
+            let cumf: Vec<f64> = cum
+                .iter()
+                .map(|&c| {
+                    running += c;
+                    frac[running]
+                })
+                .collect();
+            for &b in sizes {
+                // The skip predicate evaluates the same `t − b` the loop
+                // body does, so prefix membership is decided on the exact
+                // rounded cut value.
+                let start = thresholds.partition_point(|&t| t - b <= lo);
+                for (slot, &t) in acc[start..].iter_mut().zip(&thresholds[start..]) {
+                    // t − b > lo (integral) here, so ⌈t − b⌉ − 1 ≥ lo and
+                    // the index is non-negative; the cast saturates for
+                    // oversized cuts and `min` clamps them to "all below".
+                    let j = ((t - b).ceil() - 1.0 - lo) as usize;
+                    *slot += cumf[j.min(range)];
+                }
+            }
+        } else {
+            // General reals: merge-style two-pointer pass per size — t
+            // ascends, so t − b ascends, so the strictly-below pointer
+            // only moves forward.
+            for &b in sizes {
+                let start = thresholds.partition_point(|&t| t - b <= lo);
+                let mut ptr = 0usize;
+                for (slot, &t) in acc[start..].iter_mut().zip(&thresholds[start..]) {
+                    let cut = t - b;
+                    while ptr < n && samples[ptr] < cut {
+                        ptr += 1;
+                    }
+                    *slot += frac[ptr];
+                }
+            }
+        }
+        let n_sizes = sizes.len() as f64;
+        let mean_fn: Vec<f64> = acc.into_iter().map(|s| s / n_sizes).collect();
+
+        Self {
+            thresholds,
+            fp,
+            mean_fn,
+        }
+    }
+
+    /// Number of candidate thresholds.
+    pub fn len(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Whether the table is empty (never, for a constructible
+    /// `EmpiricalDist`).
+    pub fn is_empty(&self) -> bool {
+        self.thresholds.is_empty()
+    }
+
+    /// Candidate thresholds, ascending.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// `fp[i]` = exceedance of `thresholds[i]` (descending in `i`).
+    pub fn fp(&self) -> &[f64] {
+        &self.fp
+    }
+
+    /// `mean_fn[i]` = sweep-averaged FN rate of `thresholds[i]`
+    /// (ascending in `i`).
+    pub fn mean_fn(&self) -> &[f64] {
+        &self.mean_fn
+    }
+
+    /// The threshold maximising `score(fp, mean_fn)`. Ties break towards
+    /// the lower threshold (favouring detection), matching the historical
+    /// descending-scan argmax.
+    pub fn best_by(&self, score: impl Fn(f64, f64) -> f64) -> f64 {
+        let mut best_i = 0usize;
+        let mut best_s = score(self.fp[0], self.mean_fn[0]);
+        for i in 1..self.thresholds.len() {
+            let s = score(self.fp[i], self.mean_fn[i]);
+            if s > best_s {
+                best_s = s;
+                best_i = i;
+            }
+        }
+        self.thresholds[best_i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_counts(n: u64) -> EmpiricalDist {
+        EmpiricalDist::from_counts(&(0..n).collect::<Vec<_>>())
+    }
+
+    /// The reference the kernel must reproduce bit for bit.
+    fn naive(dist: &EmpiricalDist, sweep: &AttackSweep) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut thresholds: Vec<f64> = Vec::new();
+        let mut prev = f64::NAN;
+        for &v in dist.samples() {
+            if v != prev {
+                thresholds.push(v);
+                prev = v;
+            }
+        }
+        thresholds.push(dist.max() + 1.0);
+        let fp = thresholds.iter().map(|&t| dist.exceedance(t)).collect();
+        let mean_fn = thresholds
+            .iter()
+            .map(|&t| sweep.mean_fn(dist, t))
+            .collect();
+        (thresholds, fp, mean_fn)
+    }
+
+    #[test]
+    fn matches_naive_bitwise_on_uniform() {
+        let d = uniform_counts(300);
+        let sweep = AttackSweep::up_to(600.0);
+        let table = SweepTable::compute(&d, &sweep);
+        let (t, fp, mean_fn) = naive(&d, &sweep);
+        assert_eq!(table.thresholds(), &t[..]);
+        assert_eq!(table.fp(), &fp[..]);
+        assert_eq!(table.mean_fn(), &mean_fn[..]);
+    }
+
+    #[test]
+    fn matches_naive_with_duplicates() {
+        let d = EmpiricalDist::from_counts(&[5, 5, 5, 9, 9, 12, 12, 12, 12, 40]);
+        let sweep = AttackSweep::new(30.0, 7);
+        let table = SweepTable::compute(&d, &sweep);
+        let (t, fp, mean_fn) = naive(&d, &sweep);
+        assert_eq!(table.thresholds(), &t[..]);
+        assert_eq!(table.fp(), &fp[..]);
+        assert_eq!(table.mean_fn(), &mean_fn[..]);
+    }
+
+    #[test]
+    fn degenerate_single_sample() {
+        let d = EmpiricalDist::from_counts(&[7]);
+        let sweep = AttackSweep::new(1.0, 2);
+        let table = SweepTable::compute(&d, &sweep);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.thresholds(), &[7.0, 8.0]);
+        assert_eq!(table.fp()[1], 0.0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_two_candidates() {
+        let d = EmpiricalDist::from_counts(&[3, 3, 3, 3]);
+        let sweep = AttackSweep::up_to(5.0);
+        let table = SweepTable::compute(&d, &sweep);
+        assert_eq!(table.len(), 2);
+        let (t, fp, mean_fn) = naive(&d, &sweep);
+        assert_eq!(table.thresholds(), &t[..]);
+        assert_eq!(table.fp(), &fp[..]);
+        assert_eq!(table.mean_fn(), &mean_fn[..]);
+    }
+
+    #[test]
+    fn monotone_fp_descending_fn_ascending() {
+        let d = uniform_counts(500);
+        let table = SweepTable::compute(&d, &AttackSweep::up_to(1000.0));
+        for w in table.fp().windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        for w in table.mean_fn().windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_by_tie_breaks_low() {
+        // Constant score: every candidate ties; the lowest must win, as
+        // the historical descending `>=` scan returned.
+        let d = uniform_counts(50);
+        let table = SweepTable::compute(&d, &AttackSweep::up_to(100.0));
+        assert_eq!(table.best_by(|_, _| 1.0), table.thresholds()[0]);
+    }
+}

@@ -1,7 +1,11 @@
 //! Threshold-selection heuristics.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use tailstats::EmpiricalDist;
+
+use crate::sweep::SweepTable;
 
 /// Parameters of the synthetic attack-size sweep used by the optimising
 /// heuristics (and by evaluation).
@@ -11,42 +15,66 @@ use tailstats::EmpiricalDist;
 /// larger than this will stand out on every user's HIDS"). The scalar FN a
 /// heuristic optimises averages over `n_points` sizes uniformly spaced in
 /// `[1, b_max]` — the averaging the paper leaves implicit (DESIGN.md §5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The sizes are materialised once at construction and shared (`Arc`) by
+/// clones: heuristics query `mean_fn` for every candidate threshold of
+/// every user, and reallocating the size grid per query dominated profile
+/// time before the batched [`SweepTable`] kernel existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttackSweep {
-    /// Largest attack size considered.
-    pub b_max: f64,
-    /// Number of sweep points.
-    pub n_points: usize,
+    b_max: f64,
+    n_points: usize,
+    sizes: Arc<[f64]>,
 }
 
 impl AttackSweep {
-    /// Build a sweep capped at the population maximum feature value.
-    pub fn up_to(b_max: f64) -> Self {
+    /// Build a sweep of `n_points` sizes uniformly spaced in `[1, b_max]`.
+    pub fn new(b_max: f64, n_points: usize) -> Self {
+        let n = n_points.max(2);
+        let sizes: Arc<[f64]> = (0..n)
+            .map(|i| 1.0 + (b_max - 1.0) * i as f64 / (n - 1) as f64)
+            .collect();
         Self {
-            b_max: b_max.max(1.0),
-            n_points: 256,
+            b_max,
+            n_points,
+            sizes,
         }
     }
 
-    /// The attack sizes, uniformly spaced in `[1, b_max]`.
-    pub fn sizes(&self) -> Vec<f64> {
-        let n = self.n_points.max(2);
-        (0..n)
-            .map(|i| 1.0 + (self.b_max - 1.0) * i as f64 / (n - 1) as f64)
-            .collect()
+    /// Build a sweep capped at the population maximum feature value.
+    pub fn up_to(b_max: f64) -> Self {
+        Self::new(b_max.max(1.0), 256)
+    }
+
+    /// Largest attack size considered.
+    pub fn b_max(&self) -> f64 {
+        self.b_max
+    }
+
+    /// Number of sweep points.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// The attack sizes, uniformly spaced in `[1, b_max]` (ascending).
+    pub fn sizes(&self) -> &[f64] {
+        &self.sizes
     }
 
     /// Mean false-negative rate of threshold `t` against this sweep, under
     /// traffic distribution `dist`: `mean_b P(g + b < t)`.
+    ///
+    /// Point query for a single already-chosen threshold. To evaluate
+    /// *every candidate* threshold of a distribution, use [`SweepTable`],
+    /// which computes all of them in one pass.
     pub fn mean_fn(&self, dist: &EmpiricalDist, t: f64) -> f64 {
-        let sizes = self.sizes();
-        let sum: f64 = sizes.iter().map(|&b| dist.below(t - b)).sum();
-        sum / sizes.len() as f64
+        let sum: f64 = self.sizes.iter().map(|&b| dist.below(t - b)).sum();
+        sum / self.sizes.len() as f64
     }
 }
 
 /// A rule mapping a training distribution to a threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ThresholdHeuristic {
     /// The q-th percentile of training traffic (operators' default: 0.99).
     /// Uses the discrete (observed-value) quantile, as an IT console reads
@@ -78,21 +106,21 @@ impl ThresholdHeuristic {
     pub const P99: ThresholdHeuristic = ThresholdHeuristic::Percentile(0.99);
 
     /// Compute a threshold from a training distribution.
+    ///
+    /// The optimising variants (`UtilityMax`, `FMeasure`) score every
+    /// candidate threshold — each distinct observed training value plus
+    /// one step above the maximum — via a single [`SweepTable`] pass and
+    /// return the argmax. Ties break towards the *lower* threshold
+    /// (favouring detection).
     pub fn threshold(&self, train: &EmpiricalDist) -> f64 {
-        match *self {
-            ThresholdHeuristic::Percentile(q) => train.quantile_discrete(q),
+        match self {
+            ThresholdHeuristic::Percentile(q) => train.quantile_discrete(*q),
             ThresholdHeuristic::MeanSigma(k) => train.mean() + k * train.stddev(),
-            ThresholdHeuristic::UtilityMax { w, sweep } => {
-                pick_best(train, |t| {
-                    let fp = train.exceedance(t);
-                    let fn_rate = sweep.mean_fn(train, t);
-                    1.0 - (w * fn_rate + (1.0 - w) * fp)
-                })
-            }
-            ThresholdHeuristic::FMeasure { prevalence, sweep } => {
-                pick_best(train, |t| {
-                    let fpr = train.exceedance(t);
-                    let recall = 1.0 - sweep.mean_fn(train, t);
+            ThresholdHeuristic::UtilityMax { w, sweep } => SweepTable::compute(train, sweep)
+                .best_by(|fp, fn_rate| 1.0 - (w * fn_rate + (1.0 - w) * fp)),
+            ThresholdHeuristic::FMeasure { prevalence, sweep } => SweepTable::compute(train, sweep)
+                .best_by(|fpr, fn_rate| {
+                    let recall = 1.0 - fn_rate;
                     let tp = prevalence * recall;
                     let fp = (1.0 - prevalence) * fpr;
                     if tp + fp == 0.0 {
@@ -105,31 +133,9 @@ impl ThresholdHeuristic {
                             2.0 * precision * recall / (precision + recall)
                         }
                     }
-                })
-            }
+                }),
         }
     }
-}
-
-/// Evaluate `score` at every candidate threshold (the distinct observed
-/// training values plus one step above the maximum) and return the argmax.
-/// Ties break towards the *lower* threshold (favouring detection).
-fn pick_best(train: &EmpiricalDist, score: impl Fn(f64) -> f64) -> f64 {
-    let mut best_t = train.max() + 1.0;
-    let mut best_s = score(best_t);
-    let mut prev = f64::NAN;
-    for &v in train.samples().iter().rev() {
-        if v == prev {
-            continue;
-        }
-        prev = v;
-        let s = score(v);
-        if s >= best_s {
-            best_s = s;
-            best_t = v;
-        }
-    }
-    best_t
 }
 
 #[cfg(test)]
@@ -157,10 +163,7 @@ mod tests {
 
     #[test]
     fn sweep_sizes_cover_range() {
-        let sweep = AttackSweep {
-            b_max: 100.0,
-            n_points: 10,
-        };
+        let sweep = AttackSweep::new(100.0, 10);
         let sizes = sweep.sizes();
         assert_eq!(sizes.len(), 10);
         assert_eq!(sizes[0], 1.0);
@@ -183,9 +186,17 @@ mod tests {
         let d = uniform_counts(1000);
         let sweep = AttackSweep::up_to(2000.0);
         // All-FP weight: minimise false positives => threshold at the top.
-        let t_fp = ThresholdHeuristic::UtilityMax { w: 0.0, sweep }.threshold(&d);
+        let t_fp = ThresholdHeuristic::UtilityMax {
+            w: 0.0,
+            sweep: sweep.clone(),
+        }
+        .threshold(&d);
         // All-FN weight: minimise misses => threshold at the bottom.
-        let t_fn = ThresholdHeuristic::UtilityMax { w: 1.0, sweep }.threshold(&d);
+        let t_fn = ThresholdHeuristic::UtilityMax {
+            w: 1.0,
+            sweep: sweep.clone(),
+        }
+        .threshold(&d);
         assert!(t_fp > t_fn, "w=0 gives {t_fp}, w=1 gives {t_fn}");
         let t_mid = ThresholdHeuristic::UtilityMax { w: 0.4, sweep }.threshold(&d);
         assert!(t_mid <= t_fp && t_mid >= t_fn);
@@ -205,7 +216,7 @@ mod tests {
         let sweep = AttackSweep::up_to(2000.0);
         let t_rare = ThresholdHeuristic::FMeasure {
             prevalence: 0.001,
-            sweep,
+            sweep: sweep.clone(),
         }
         .threshold(&d);
         let t_common = ThresholdHeuristic::FMeasure {

@@ -1,0 +1,167 @@
+//! The batched sweep kernel must be *bit-identical* to the naive
+//! per-candidate formulation it replaced: one `exceedance` query plus one
+//! `AttackSweep::mean_fn` query per candidate threshold, and the
+//! descending `>=`-argmax threshold pick. Property-tested over random
+//! integer-lattice distributions (the fast path), real-valued samples (the
+//! merge path), offset and wide-range lattices, and the degenerate shapes.
+
+use proptest::prelude::*;
+
+use hids_core::{AttackSweep, SweepTable, ThresholdHeuristic};
+use tailstats::EmpiricalDist;
+
+/// The pre-kernel reference: candidates are the distinct sample values
+/// plus one past the maximum; each is scored independently.
+fn naive_table(dist: &EmpiricalDist, sweep: &AttackSweep) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut thresholds: Vec<f64> = Vec::new();
+    for &v in dist.samples() {
+        if thresholds.last() != Some(&v) {
+            thresholds.push(v);
+        }
+    }
+    thresholds.push(dist.max() + 1.0);
+    let fp = thresholds.iter().map(|&t| dist.exceedance(t)).collect();
+    let mean_fn = thresholds.iter().map(|&t| sweep.mean_fn(dist, t)).collect();
+    (thresholds, fp, mean_fn)
+}
+
+/// The pre-kernel argmax: scan candidates from the top, keeping ties at
+/// the lowest threshold via `>=`.
+fn naive_best(
+    thresholds: &[f64],
+    fp: &[f64],
+    mean_fn: &[f64],
+    score: impl Fn(f64, f64) -> f64,
+) -> f64 {
+    let mut best_t = f64::NAN;
+    let mut best_s = f64::NEG_INFINITY;
+    for i in (0..thresholds.len()).rev() {
+        let s = score(fp[i], mean_fn[i]);
+        if s >= best_s {
+            best_s = s;
+            best_t = thresholds[i];
+        }
+    }
+    best_t
+}
+
+fn assert_bitwise_equal(dist: &EmpiricalDist, sweep: &AttackSweep) {
+    let table = SweepTable::compute(dist, sweep);
+    let (t, fp, mean_fn) = naive_table(dist, sweep);
+    prop_assert_eq!(table.thresholds(), &t[..]);
+    prop_assert_eq!(table.fp(), &fp[..]);
+    prop_assert_eq!(table.mean_fn(), &mean_fn[..]);
+    // And the argmax rewiring: ascending strict `>` equals the historical
+    // descending `>=`, for both heuristic families' score shapes.
+    let w = 0.4;
+    let utility = |fp: f64, fnr: f64| 1.0 - (w * fnr + (1.0 - w) * fp);
+    prop_assert_eq!(
+        table.best_by(utility).to_bits(),
+        naive_best(&t, &fp, &mean_fn, utility).to_bits()
+    );
+}
+
+fn arb_sweep() -> impl Strategy<Value = AttackSweep> {
+    (1.0f64..10_000.0, 2usize..300).prop_map(|(b_max, n)| AttackSweep::new(b_max, n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Integer feature counts (the paper's data shape — exercises the
+    /// lattice fast path).
+    #[test]
+    fn kernel_matches_naive_on_integer_counts(
+        counts in proptest::collection::vec(0u64..5_000, 1..700),
+        sweep in arb_sweep(),
+    ) {
+        let dist = EmpiricalDist::from_counts(&counts);
+        assert_bitwise_equal(&dist, &sweep);
+    }
+
+    /// Arbitrary real-valued samples (exercises the merge fallback).
+    #[test]
+    fn kernel_matches_naive_on_real_samples(
+        samples in proptest::collection::vec(0.0f64..1e4, 1..300),
+        sweep in arb_sweep(),
+    ) {
+        let dist = EmpiricalDist::from_samples(samples);
+        assert_bitwise_equal(&dist, &sweep);
+    }
+
+    /// Integer lattices far from zero: the count-table offset must not
+    /// perturb anything.
+    #[test]
+    fn kernel_matches_naive_on_offset_lattice(
+        base in 0u64..1_000_000_000,
+        counts in proptest::collection::vec(0u64..500, 1..200),
+        sweep in arb_sweep(),
+    ) {
+        let shifted: Vec<u64> = counts.iter().map(|&c| base + c).collect();
+        let dist = EmpiricalDist::from_counts(&shifted);
+        assert_bitwise_equal(&dist, &sweep);
+    }
+
+    /// Sparse integer values spanning a huge range (forces the lattice
+    /// gate to reject and take the merge path on integral data).
+    #[test]
+    fn kernel_matches_naive_on_wide_range_integers(
+        counts in proptest::collection::vec(0u64..1_000_000_000, 1..40),
+        sweep in arb_sweep(),
+    ) {
+        let dist = EmpiricalDist::from_counts(&counts);
+        assert_bitwise_equal(&dist, &sweep);
+    }
+
+    /// Degenerate shapes: a single sample, all-equal samples, and the
+    /// minimal sweep (b_max = 1 collapses the size grid to {1, 1}).
+    #[test]
+    fn kernel_matches_naive_on_degenerate_inputs(
+        value in 0u64..10_000,
+        n_copies in 1usize..50,
+        n_points in 2usize..20,
+    ) {
+        let dist = EmpiricalDist::from_counts(&vec![value; n_copies]);
+        assert_bitwise_equal(&dist, &AttackSweep::new(1.0, n_points));
+        assert_bitwise_equal(&dist, &AttackSweep::up_to(value as f64 + 1.0));
+    }
+
+    /// The heuristics built on the kernel agree with naive scoring end to
+    /// end: UtilityMax and FMeasure pick exactly the naive argmax.
+    #[test]
+    fn heuristics_match_naive_argmax(
+        counts in proptest::collection::vec(0u64..3_000, 2..400),
+        w in 0.05f64..0.95,
+        prevalence in 0.001f64..0.2,
+        sweep in arb_sweep(),
+    ) {
+        let dist = EmpiricalDist::from_counts(&counts);
+        let (t, fp, mean_fn) = naive_table(&dist, &sweep);
+
+        let utility = ThresholdHeuristic::UtilityMax { w, sweep: sweep.clone() }
+            .threshold(&dist);
+        let naive_u = naive_best(&t, &fp, &mean_fn, |fp, fnr| {
+            1.0 - (w * fnr + (1.0 - w) * fp)
+        });
+        prop_assert_eq!(utility.to_bits(), naive_u.to_bits());
+
+        let fmeasure = ThresholdHeuristic::FMeasure { prevalence, sweep: sweep.clone() }
+            .threshold(&dist);
+        let naive_f = naive_best(&t, &fp, &mean_fn, |fpr, fn_rate| {
+            let recall = 1.0 - fn_rate;
+            let tp = prevalence * recall;
+            let fp = (1.0 - prevalence) * fpr;
+            if tp + fp == 0.0 {
+                0.0
+            } else {
+                let precision = tp / (tp + fp);
+                if precision + recall == 0.0 {
+                    0.0
+                } else {
+                    2.0 * precision * recall / (precision + recall)
+                }
+            }
+        });
+        prop_assert_eq!(fmeasure.to_bits(), naive_f.to_bits());
+    }
+}

@@ -8,6 +8,10 @@
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalDist {
     sorted: Vec<f64>,
+    /// Cached at construction: heuristics read these once per threshold
+    /// candidate, so recomputing per call would be O(n) each time.
+    mean: f64,
+    stddev: f64,
 }
 
 impl EmpiricalDist {
@@ -23,11 +27,27 @@ impl EmpiricalDist {
             "samples must be finite"
         );
         samples.sort_by(|a, b| a.total_cmp(b));
-        Self { sorted: samples }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let ss: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum();
+            (ss / (n - 1) as f64).sqrt()
+        };
+        Self {
+            sorted: samples,
+            mean,
+            stddev,
+        }
     }
 
     /// Build from integer counts (the common case for feature bins).
+    /// Sorts in the integer domain first — cheaper comparisons than the
+    /// `total_cmp` float sort, which then sees already-ordered input.
     pub fn from_counts(counts: &[u64]) -> Self {
+        let mut counts = counts.to_vec();
+        counts.sort_unstable();
         Self::from_samples(counts.iter().map(|&c| c as f64).collect())
     }
 
@@ -36,9 +56,11 @@ impl EmpiricalDist {
         self.sorted.len()
     }
 
-    /// Always false: construction requires at least one sample.
+    /// Whether the distribution holds no samples. Construction requires at
+    /// least one sample, so this is false for any reachable value; it
+    /// delegates rather than hard-coding that invariant.
     pub fn is_empty(&self) -> bool {
-        false
+        self.sorted.is_empty()
     }
 
     /// Smallest sample.
@@ -51,20 +73,15 @@ impl EmpiricalDist {
         *self.sorted.last().expect("non-empty by construction")
     }
 
-    /// Sample mean.
+    /// Sample mean (cached at construction).
     pub fn mean(&self) -> f64 {
-        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        self.mean
     }
 
-    /// Unbiased sample standard deviation (0 for a single sample).
+    /// Unbiased sample standard deviation, 0 for a single sample (cached
+    /// at construction).
     pub fn stddev(&self) -> f64 {
-        let n = self.sorted.len();
-        if n < 2 {
-            return 0.0;
-        }
-        let mean = self.mean();
-        let ss: f64 = self.sorted.iter().map(|x| (x - mean).powi(2)).sum();
-        (ss / (n - 1) as f64).sqrt()
+        self.stddev
     }
 
     /// Quantile by linear interpolation (Hyndman–Fan type 7, the R/NumPy

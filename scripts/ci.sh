@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (referenced from ROADMAP.md).
+#
+# Builds the workspace, runs the root-package test suites, then smoke-runs
+# every criterion bench routine once (`-- --test` executes each benchmark
+# body without timing it, catching bit-rot in the bench harnesses).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench -p bench -- --test
+
+echo "ci.sh: all gates passed"

@@ -52,6 +52,38 @@ fn experiments_are_reproducible() {
     assert_eq!(f4a.budgets, f4b.budgets);
 }
 
+/// The parallel evaluation engine must be invisible in the output: every
+/// experiment's rendered CSV is byte-identical at 1 worker thread and at
+/// 8. (Runs the thread-count comparison in one process via
+/// `hids_core::set_threads`; the engine chunks work contiguously and
+/// joins in order, so scheduling can never reorder results.)
+#[test]
+fn experiment_csvs_identical_across_thread_counts() {
+    let run_all = |threads: usize| -> Vec<String> {
+        hids_core::set_threads(threads);
+        let corpus = Corpus::generate(cfg(99));
+        let tcp = FeatureKind::TcpConnections;
+        let out = vec![
+            fig1::summary_table(&fig1::run(&corpus, 0)).to_csv(),
+            tab3::table(&tab3::run(&corpus, tcp)).to_csv(),
+            fig4::table_b(&fig4::run_b(&corpus, tcp, 0, 0.9)).to_csv(),
+            experiments::fig5::summary_table(
+                &experiments::fig5::run(&corpus, 0, &synthgen::StormConfig::default()),
+                corpus.config.windowing().windows_per_week() as f64,
+            )
+            .to_csv(),
+            experiments::ablation::roc_headroom(&corpus, tcp).to_csv(),
+        ];
+        out
+    };
+    let single = run_all(1);
+    let eight = run_all(8);
+    hids_core::set_threads(0); // restore auto-detection for other tests
+    for (i, (a, b)) in single.iter().zip(&eight).enumerate() {
+        assert_eq!(a.as_bytes(), b.as_bytes(), "artifact {i} differs across thread counts");
+    }
+}
+
 #[test]
 fn corpora_independent_of_thread_count() {
     // Corpus::generate parallelises across users; the result must not

@@ -82,12 +82,12 @@ fn policy_structure_on_generated_population() {
     let p99 = ThresholdHeuristic::P99;
     let homog = Policy {
         grouping: Grouping::Homogeneous,
-        heuristic: p99,
+        heuristic: p99.clone(),
     }
     .configure(&ds.train);
     let full = Policy {
         grouping: Grouping::FullDiversity,
-        heuristic: p99,
+        heuristic: p99.clone(),
     }
     .configure(&ds.train);
     let partial = Policy {

@@ -145,7 +145,7 @@ fn multi_feature_union_bounds() {
     let single = evaluate_multi(
         &train,
         &test,
-        &MultiPolicy::on(&[FeatureKind::TcpConnections], policy),
+        &MultiPolicy::on(&[FeatureKind::TcpConnections], policy.clone()),
     );
     let all = evaluate_multi(&train, &test, &MultiPolicy::uniform(policy));
     assert!(all.mean_fp_any() >= single.mean_fp_any() - 1e-12);

@@ -1,0 +1,398 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Real wall-clock measurement with warmup, multiple samples, and a
+//! median ± spread report — enough to compare before/after kernels — but
+//! none of criterion's statistical machinery, HTML reports, or baselines.
+//!
+//! CLI: `--test` runs every benchmark routine once (smoke mode, used by
+//! `scripts/ci.sh`); a bare positional argument filters benchmark ids by
+//! substring; other flags are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stand-in always regenerates inputs per timed call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled by the timing loop.
+    measured_ns: f64,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Test,
+    Measure {
+        sample_size: usize,
+        measurement: Duration,
+    },
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Measure {
+                sample_size,
+                measurement,
+            } => {
+                // Warmup + per-iteration estimate.
+                let mut iters = 1u64;
+                let per_iter = loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(25) {
+                        break elapsed.as_secs_f64() / iters as f64;
+                    }
+                    iters = iters.saturating_mul(2);
+                };
+                let per_sample = measurement.as_secs_f64() / sample_size as f64;
+                let iters_per_sample = ((per_sample / per_iter) as u64).max(1);
+                let mut samples = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+                }
+                self.measured_ns = median(&mut samples) * 1e9;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                black_box(routine(input));
+            }
+            Mode::Measure { sample_size, .. } => {
+                let mut samples = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    samples.push(start.elapsed().as_secs_f64());
+                }
+                self.measured_ns = median(&mut samples) * 1e9;
+            }
+        }
+    }
+
+    /// `iter_batched` variant taking inputs by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                let mut input = setup();
+                black_box(routine(&mut input));
+            }
+            Mode::Measure { sample_size, .. } => {
+                let mut samples = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let mut input = setup();
+                    let start = Instant::now();
+                    black_box(routine(&mut input));
+                    samples.push(start.elapsed().as_secs_f64());
+                }
+                self.measured_ns = median(&mut samples) * 1e9;
+            }
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measurement: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filter: None,
+            measurement: Duration::from_millis(800),
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from command-line arguments (see module docs for the subset
+    /// understood).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => c.test_mode = true,
+                a if a.starts_with('-') => {} // accepted, ignored
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Override measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let group = self.default_sample_size;
+        self.run_one(id.to_string(), None, group, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mode = if self.test_mode {
+            Mode::Test
+        } else {
+            Mode::Measure {
+                sample_size,
+                measurement: self.measurement,
+            }
+        };
+        let mut bencher = Bencher {
+            mode,
+            measured_ns: 0.0,
+        };
+        if self.test_mode {
+            print!("Testing {id} ... ");
+            f(&mut bencher);
+            println!("ok");
+            return;
+        }
+        f(&mut bencher);
+        let ns = bencher.measured_ns;
+        let mut line = format!("{id:<48} time: [{}]", format_time(ns));
+        if let Some(tp) = throughput {
+            let per_sec = match tp {
+                Throughput::Bytes(b) => format!("{:.1} MiB/s", b as f64 / (ns * 1e-9) / (1 << 20) as f64),
+                Throughput::Elements(e) => format!("{:.3} Melem/s", e as f64 / (ns * 1e-9) / 1e6),
+            };
+            line.push_str(&format!("  thrpt: [{per_sec}]"));
+        }
+        println!("{line}");
+    }
+
+    /// Print the closing summary (no-op; per-bench lines already printed).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Report throughput alongside timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Define and immediately run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(id, throughput, sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(2.0e9).ends_with(" s"));
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_nonzero() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(20),
+            default_sample_size: 3,
+            ..Criterion::default()
+        };
+        let mut bencher_ns = 0.0;
+        c.run_one("t".into(), None, 3, |b| {
+            b.iter(|| std::hint::black_box((0..100).sum::<u64>()));
+            bencher_ns = b.measured_ns;
+        });
+        assert!(bencher_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match".into()),
+            ..Criterion::default()
+        };
+        let mut runs = 0;
+        c.bench_function("no-hit", |b| b.iter(|| runs += 1));
+        c.bench_function("match-this", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

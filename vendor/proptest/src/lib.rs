@@ -1,0 +1,564 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro, `Strategy` with `prop_map`, range and
+//! `any::<T>()` strategies, `collection::vec`, `sample::Index`, `Just`,
+//! `prop_oneof!`, and the `prop_assert*` macros. Sampling is deterministic
+//! (seeded per test from the test's name), there is **no shrinking**, and
+//! failures panic like ordinary `assert!`s with the case number included.
+//!
+//! Case count: `ProptestConfig::with_cases(n)` is honoured; the default is
+//! 64 cases and can be raised with the `PROPTEST_CASES` env var.
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test identifier (FNV-1a of the name) and case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values passing `f` (resamples; gives up after 1000
+    /// attempts like proptest's rejection cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Box the strategy (object form for heterogeneous collections).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Owned boxed strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+    }
+}
+
+/// Strategy producing a single constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].sample(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag = rng.unit_f64() * 2e6 - 1e6;
+        mag
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32((rng.below(0x7F - 0x20) + 0x20) as u32).unwrap()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+mod pattern;
+
+/// String strategies from a regex-like pattern (subset: literals, char
+/// classes, `{m,n}`/`{m}`/`*`/`+`/`?` quantifiers).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample_pattern(self, rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Acceptable size specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)` — vectors with length drawn from the
+    /// range and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling à la `proptest::sample`.
+
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection of not-yet-known length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve against a collection of length `len`.
+        ///
+        /// # Panics
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Runner configuration (only `cases` is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` macro and common strategies need.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Assert inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( @cfg($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), case as u64);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::for_case("t", 0);
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::for_case("t", 1);
+        let s = crate::collection::vec(any::<u8>(), 3..7);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_shapes() {
+        let mut rng = TestRng::for_case("t", 2);
+        let s = "[a-z0-9]{1,20}";
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((1..=20).contains(&v.len()), "{v}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn oneof_picks_all_arms() {
+        let mut rng = TestRng::for_case("t", 3);
+        let s = prop_oneof![Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself works end-to-end, including `mut` patterns.
+        #[test]
+        fn macro_end_to_end(mut v in crate::collection::vec(any::<u16>(), 0..8), x in 1u32..100) {
+            v.push(0);
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_eq!(*v.last().unwrap(), 0);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

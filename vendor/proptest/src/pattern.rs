@@ -1,0 +1,172 @@
+//! Minimal regex-subset sampler backing `&str` strategies.
+//!
+//! Supported syntax: literal characters, character classes
+//! (`[a-z0-9_.]`, ranges and literals, no negation), and the quantifiers
+//! `{m}`, `{m,n}`, `*`, `+`, `?` applying to the preceding element.
+//! Unbounded quantifiers cap at 8 repetitions.
+
+use super::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    Literal(char),
+    /// Inclusive ranges; single literals inside a class become (c, c).
+    Class(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Literal(c) => *c,
+            CharSet::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32)
+                            .expect("class range stays in char space");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements: Vec<Element> = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("escape at end of class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated character class in {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                // Trailing '-' is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = chars.next().unwrap();
+                                assert!(lo <= hi, "inverted range in {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                CharSet::Class(ranges)
+            }
+            '\\' => CharSet::Literal(chars.next().expect("escape at end of pattern")),
+            '.' => CharSet::Class(vec![(' ', '~')]),
+            other => CharSet::Literal(other),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                if let Some((m, n)) = spec.split_once(',') {
+                    let m: u32 = m.trim().parse().expect("quantifier min");
+                    let n: u32 = if n.trim().is_empty() {
+                        m + UNBOUNDED_CAP
+                    } else {
+                        n.trim().parse().expect("quantifier max")
+                    };
+                    (m, n)
+                } else {
+                    let m: u32 = spec.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        elements.push(Element { set, min, max });
+    }
+    elements
+}
+
+/// Draw one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for el in &elements {
+        let count = el.min + rng.below((el.max - el.min + 1) as u64) as u32;
+        for _ in 0..count {
+            out.push(el.set.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_case("pat", 0);
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::for_case("pat", 1);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escapes_and_optional() {
+        let mut rng = TestRng::for_case("pat", 2);
+        for _ in 0..50 {
+            let s = sample_pattern(r"x\.y?", &mut rng);
+            assert!(s == "x.y" || s == "x.");
+        }
+    }
+}

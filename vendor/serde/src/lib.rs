@@ -1,0 +1,38 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serialises anything (reports are hand-written CSV/JSON), so this
+//! stand-in provides marker traits plus a derive that emits empty impls.
+//! If a future PR needs real serialisation, swap this for the actual
+//! crates or grow these traits methods.
+
+/// Marker for types that could be serialised.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialised from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserialisable from owned data.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_for_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_for_primitives!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

@@ -1,0 +1,141 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize` marker
+//! impls (the vendored `serde` traits have no methods). Parses the item
+//! header with plain `proc_macro` token inspection — no syn/quote — which
+//! covers the non-generic and simply-generic types this workspace derives
+//! on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed header of a struct/enum definition: its name and the raw
+/// generic parameter tokens (empty for non-generic types).
+struct ItemHeader {
+    name: String,
+    generics: Vec<String>,
+}
+
+fn parse_header(input: TokenStream) -> ItemHeader {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (#[...]), visibility, and modifiers until the
+    // `struct`/`enum`/`union` keyword.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+                // `pub`, `pub(crate)` groups are consumed by the loop.
+            }
+            _ => {}
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    // Collect generic parameter *names* if a <...> list follows. Supports
+    // plain lifetimes and type parameters with optional bounds; bails on
+    // anything fancier.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut current = String::new();
+            let mut at_param_start = true;
+            let mut skipping_bounds = false;
+            for tt in tokens.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if !current.is_empty() {
+                            generics.push(std::mem::take(&mut current));
+                        }
+                        at_param_start = true;
+                        skipping_bounds = false;
+                        continue;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                        skipping_bounds = true;
+                        continue;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && at_param_start => {
+                        current.push('\'');
+                        continue;
+                    }
+                    TokenTree::Ident(id) if !skipping_bounds => {
+                        if at_param_start || current == "'" {
+                            current.push_str(&id.to_string());
+                            at_param_start = false;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if !current.is_empty() {
+                generics.push(current);
+            }
+        }
+    }
+    ItemHeader { name, generics }
+}
+
+fn render_impl(header: &ItemHeader, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+    let mut params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        params.push(lt.to_string());
+    }
+    params.extend(header.generics.iter().cloned());
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if header.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", header.generics.join(", "))
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+        name = header.name
+    )
+}
+
+/// Derive the (empty) `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    render_impl(&header, "serde::Serialize", None)
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derive the (empty) `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    render_impl(&header, "serde::Deserialize<'de>", Some("'de"))
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+// Silence the unused warning for Delimiter (kept for future attribute
+// handling if a type ever needs it).
+#[allow(dead_code)]
+fn _unused(d: Delimiter) -> Delimiter {
+    d
+}
