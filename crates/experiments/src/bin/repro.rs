@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR]
-//!       [EXPERIMENT...]
+//!       [--fault-seed S] [--fault-rate R] [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b
-//!                drift ablation all }   (default: all)
+//!                drift ablation chaos all }   (default: all)
 //! ```
 //!
 //! Prints each artifact as an aligned table and, when `--out` is given,
@@ -22,8 +22,8 @@ use std::time::Instant;
 
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
-    ablation, collab, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5, multifeat, ops,
-    report, seeds, tab2, tab3, Corpus, Table,
+    ablation, chaos, collab, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5, multifeat,
+    ops, report, seeds, tab2, tab3, Corpus, Table,
 };
 use flowtab::FeatureKind;
 use synthgen::StormConfig;
@@ -34,12 +34,14 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     out: Option<PathBuf>,
+    fault_seed: u64,
+    fault_rate: f64,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [EXPERIMENT...]\n\
-     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation all"
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [EXPERIMENT...]\n\
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos all"
         .to_string()
 }
 
@@ -50,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xC0FFEE,
         threads: None,
         out: None,
+        fault_seed: 0xFA17,
+        fault_rate: 0.2,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -66,6 +70,12 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--fault-seed" => {
+                args.fault_seed = value("--fault-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--fault-rate" => {
+                args.fault_rate = value("--fault-rate")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -82,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.threads == Some(0) {
         return Err("--threads must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&args.fault_rate) {
+        return Err("--fault-rate must be in [0, 1]".into());
     }
     Ok(args)
 }
@@ -408,6 +421,15 @@ fn main() -> ExitCode {
     experiment!("drift", {
         let r = drift::run(&corpus, tcp);
         emit(&drift::table(&r), &args.out, "drift");
+    });
+
+    experiment!("chaos", {
+        let ccfg = chaos::ChaosConfig::new(args.fault_seed, args.fault_rate);
+        let r = chaos::run(&corpus, tcp, &ccfg);
+        emit(&chaos::table(&r), &args.out, "chaos");
+        if let Err(e) = r.check() {
+            eprintln!("warning: chaos invariant violated: {e}");
+        }
     });
 
     experiment!("ablation", {

@@ -20,11 +20,13 @@
 //! | [`seeds`] | extension: seed sensitivity of the headline conclusions |
 //! | [`ops`] | extension: analyst triage cost & threshold maintenance |
 //! | [`ablation`] | extension: group count / binning / heuristic ablations |
+//! | [`chaos`] | extension: fault injection & degraded-mode behaviour |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod collab;
 pub mod data;
 pub mod drift;

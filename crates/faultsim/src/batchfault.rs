@@ -1,0 +1,149 @@
+//! Delivery faults on alert-batch streams: duplication and reordering.
+//!
+//! Alert batches travel from end hosts to the central console over a WAN
+//! that retransmits (duplicates) and races (reorders) messages. This
+//! module rewrites a batch sequence the way such a network would, so
+//! `itconsole`'s ingest path can be exercised against out-of-order and
+//! repeated delivery without a network in the loop.
+//!
+//! Generic over the batch payload (`T: Clone`) — the console tests use
+//! `Vec<Alert>`, the unit tests plain integers — and fully deterministic:
+//! duplication decisions are drawn first (in input order), then one
+//! adjacent-swap pass runs over the expanded stream.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+/// Knobs for delivery-path batch faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BatchFaults {
+    /// Per-batch probability of a duplicate delivery (copy inserted
+    /// immediately after the original, as a retransmitting link would).
+    pub dup_rate: f64,
+    /// Per-adjacent-pair probability of swapping delivery order.
+    pub reorder_rate: f64,
+}
+
+impl BatchFaults {
+    /// In-order, exactly-once delivery.
+    pub fn none() -> Self {
+        Self {
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+        }
+    }
+
+    /// True when `apply` is the identity.
+    pub fn is_none(&self) -> bool {
+        self.dup_rate == 0.0 && self.reorder_rate == 0.0
+    }
+
+    /// Rewrite `batches` as the faulty network would deliver them.
+    pub fn apply<T: Clone>(&self, batches: &[T], seed: u64) -> (Vec<T>, BatchFaultLog) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut log = BatchFaultLog::default();
+        let mut out: Vec<T> = Vec::with_capacity(batches.len());
+        for b in batches {
+            out.push(b.clone());
+            if self.dup_rate > 0.0 && rng.random_bool(self.dup_rate) {
+                out.push(b.clone());
+                log.duplicated += 1;
+            }
+        }
+        if self.reorder_rate > 0.0 {
+            for i in 1..out.len() {
+                if rng.random_bool(self.reorder_rate) {
+                    out.swap(i - 1, i);
+                    log.swaps += 1;
+                }
+            }
+        }
+        log.delivered = out.len() as u64;
+        (out, log)
+    }
+}
+
+/// What `BatchFaults::apply` did to one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct BatchFaultLog {
+    /// Batches in the delivered (output) stream.
+    pub delivered: u64,
+    /// Duplicate deliveries inserted.
+    pub duplicated: u64,
+    /// Adjacent swaps performed.
+    pub swaps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let batches: Vec<u32> = (0..10).collect();
+        let (out, log) = BatchFaults::none().apply(&batches, 5);
+        assert_eq!(out, batches);
+        assert_eq!(log.duplicated, 0);
+        assert_eq!(log.swaps, 0);
+        assert_eq!(log.delivered, 10);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let batches: Vec<u32> = (0..50).collect();
+        let f = BatchFaults {
+            dup_rate: 0.3,
+            reorder_rate: 0.3,
+        };
+        let (a, la) = f.apply(&batches, 1);
+        let (b, lb) = f.apply(&batches, 1);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = f.apply(&batches, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duplicates_preserve_multiset_plus_copies() {
+        let batches: Vec<u32> = (0..40).collect();
+        let f = BatchFaults {
+            dup_rate: 0.5,
+            reorder_rate: 0.5,
+        };
+        let (out, log) = f.apply(&batches, 9);
+        assert_eq!(out.len() as u64, 40 + log.duplicated);
+        assert_eq!(log.delivered, out.len() as u64);
+        // Every original batch still present at least once.
+        for v in &batches {
+            assert!(out.contains(v), "lost batch {v}");
+        }
+        // Faults never *invent* batches.
+        for v in &out {
+            assert!(batches.contains(v));
+        }
+    }
+
+    #[test]
+    fn full_dup_rate_doubles_stream() {
+        let batches: Vec<u32> = (0..7).collect();
+        let f = BatchFaults {
+            dup_rate: 1.0,
+            reorder_rate: 0.0,
+        };
+        let (out, log) = f.apply(&batches, 0);
+        assert_eq!(out.len(), 14);
+        assert_eq!(log.duplicated, 7);
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let f = BatchFaults {
+            dup_rate: 1.0,
+            reorder_rate: 1.0,
+        };
+        let (out, log) = f.apply(&Vec::<u32>::new(), 3);
+        assert!(out.is_empty());
+        assert_eq!(log.delivered, 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Byte-level pcap corruption.
+//!
+//! Models the on-disk failure modes seen in long-running capture archives:
+//! bit rot (random flips), partial writes (truncated tails), filesystem
+//! damage to record framing (forged `incl_len` fields) and clobbered global
+//! headers (bad magic). The corruptor walks the classic-pcap record chain
+//! with its own ~30-line parser so a bug in `netpkt` cannot mask itself:
+//! the code under attack never participates in generating the attack.
+//!
+//! All corruption is driven by a single seeded stream in a fixed order
+//! (forge lengths → flip bits → clobber magic → truncate), so a given
+//! `(ByteFaults, seed, input)` triple always yields the identical corrupted
+//! capture.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+/// Classic pcap magic, native byte order.
+const MAGIC_NATIVE: u32 = 0xa1b2_c3d4;
+/// Classic pcap magic, swapped byte order.
+const MAGIC_SWAPPED: u32 = 0xd4c3_b2a1;
+/// Global header length.
+const GLOBAL_HEADER_LEN: usize = 24;
+/// Record header length.
+const RECORD_HEADER_LEN: usize = 16;
+
+/// Knobs for byte-level capture corruption. All rates are probabilities
+/// in `[0, 1]`; zero everywhere means `apply` is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ByteFaults {
+    /// Per-byte probability of flipping one random bit.
+    pub bitflip_rate: f64,
+    /// Probability of truncating the capture at a random point past the
+    /// global header.
+    pub truncate_prob: f64,
+    /// Per-record probability of forging `incl_len` to an implausibly
+    /// large value (breaking the record chain at that point).
+    pub bad_length_rate: f64,
+    /// Clobber the global-header magic (makes the whole capture
+    /// unreadable to a strict reader).
+    pub corrupt_magic: bool,
+}
+
+impl ByteFaults {
+    /// No corruption at all.
+    pub fn none() -> Self {
+        Self {
+            bitflip_rate: 0.0,
+            truncate_prob: 0.0,
+            bad_length_rate: 0.0,
+            corrupt_magic: false,
+        }
+    }
+
+    /// True when `apply` cannot alter its input.
+    pub fn is_none(&self) -> bool {
+        self.bitflip_rate == 0.0
+            && self.truncate_prob == 0.0
+            && self.bad_length_rate == 0.0
+            && !self.corrupt_magic
+    }
+
+    /// Corrupt `capture` according to this schedule, deterministically in
+    /// `seed`. Returns the corrupted bytes and an accounting log.
+    pub fn apply(&self, capture: &[u8], seed: u64) -> (Vec<u8>, ByteFaultLog) {
+        let mut out = capture.to_vec();
+        let mut log = ByteFaultLog::default();
+        if self.is_none() {
+            return (out, log);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Phase 1: walk the record chain of the *original* bytes and forge
+        // lengths in the output, so one forgery does not derail the walk.
+        if let Some(swapped) = read_magic(capture) {
+            let mut pos = GLOBAL_HEADER_LEN;
+            while pos + RECORD_HEADER_LEN <= capture.len() {
+                let incl_len = read_u32(capture, pos + 8, swapped) as usize;
+                log.records_walked += 1;
+                if self.bad_length_rate > 0.0 && rng.random_bool(self.bad_length_rate) {
+                    let forged: u32 = rng.random_range(0x0500_0000u32..0xffff_0000u32);
+                    write_u32(&mut out, pos + 8, forged, swapped);
+                    log.records_length_forged += 1;
+                }
+                match pos.checked_add(RECORD_HEADER_LEN + incl_len) {
+                    Some(next) if next <= capture.len() => pos = next,
+                    _ => break,
+                }
+            }
+        }
+
+        // Phase 2: bit rot. The magic word is spared unless `corrupt_magic`
+        // asks for it explicitly, so the knobs stay independent.
+        if self.bitflip_rate > 0.0 {
+            for i in 4..out.len() {
+                if rng.random_bool(self.bitflip_rate) {
+                    let bit: u8 = rng.random_range(0u8..8);
+                    out[i] ^= 1 << bit;
+                    log.bits_flipped += 1;
+                }
+            }
+        }
+
+        // Phase 3: clobbered global header.
+        if self.corrupt_magic && !out.is_empty() {
+            out[0] ^= 0xff;
+            log.magic_corrupted = true;
+        }
+
+        // Phase 4: partial write — lose a random-length tail.
+        if self.truncate_prob > 0.0
+            && out.len() > GLOBAL_HEADER_LEN + 1
+            && rng.random_bool(self.truncate_prob)
+        {
+            let cut = rng.random_range(GLOBAL_HEADER_LEN + 1..out.len());
+            out.truncate(cut);
+            log.truncated_at = Some(cut);
+        }
+
+        (out, log)
+    }
+}
+
+/// What `ByteFaults::apply` actually did to one capture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ByteFaultLog {
+    /// Records visited by the length-forgery walk.
+    pub records_walked: u64,
+    /// Records whose `incl_len` was forged.
+    pub records_length_forged: u64,
+    /// Individual bits flipped.
+    pub bits_flipped: u64,
+    /// Whether the global-header magic was clobbered.
+    pub magic_corrupted: bool,
+    /// Byte offset the capture was truncated at, if it was.
+    pub truncated_at: Option<usize>,
+}
+
+impl ByteFaultLog {
+    /// True when no corruption was actually performed.
+    pub fn is_clean(&self) -> bool {
+        self.records_length_forged == 0
+            && self.bits_flipped == 0
+            && !self.magic_corrupted
+            && self.truncated_at.is_none()
+    }
+}
+
+/// Returns `Some(swapped)` if `buf` opens with a classic pcap magic.
+fn read_magic(buf: &[u8]) -> Option<bool> {
+    if buf.len() < GLOBAL_HEADER_LEN {
+        return None;
+    }
+    match u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) {
+        MAGIC_NATIVE => Some(false),
+        MAGIC_SWAPPED => Some(true),
+        _ => None,
+    }
+}
+
+fn read_u32(buf: &[u8], off: usize, swapped: bool) -> u32 {
+    let raw = [buf[off], buf[off + 1], buf[off + 2], buf[off + 3]];
+    if swapped {
+        u32::from_be_bytes(raw)
+    } else {
+        u32::from_le_bytes(raw)
+    }
+}
+
+fn write_u32(buf: &mut [u8], off: usize, value: u32, swapped: bool) {
+    let raw = if swapped {
+        value.to_be_bytes()
+    } else {
+        value.to_le_bytes()
+    };
+    buf[off..off + 4].copy_from_slice(&raw);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal valid little-endian capture: global header + `n` records of
+    /// `body` bytes each.
+    fn capture(n: usize, body: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NATIVE.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]); // thiszone + sigfigs
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // ethernet
+        for i in 0..n {
+            buf.extend_from_slice(&(1_200_000_000u32 + i as u32).to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&(body as u32).to_le_bytes());
+            buf.extend_from_slice(&(body as u32).to_le_bytes());
+            buf.extend_from_slice(&vec![0xaa; body]);
+        }
+        buf
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let cap = capture(4, 32);
+        let (out, log) = ByteFaults::none().apply(&cap, 99);
+        assert_eq!(out, cap);
+        assert!(log.is_clean());
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        let cap = capture(8, 40);
+        let faults = ByteFaults {
+            bitflip_rate: 0.01,
+            truncate_prob: 0.5,
+            bad_length_rate: 0.3,
+            corrupt_magic: false,
+        };
+        let (a, la) = faults.apply(&cap, 7);
+        let (b, lb) = faults.apply(&cap, 7);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = faults.apply(&cap, 8);
+        assert_ne!(a, c, "different seeds should corrupt differently");
+    }
+
+    #[test]
+    fn length_forgery_walks_every_record() {
+        let cap = capture(5, 16);
+        let faults = ByteFaults {
+            bad_length_rate: 1.0,
+            ..ByteFaults::none()
+        };
+        let (out, log) = faults.apply(&cap, 3);
+        assert_eq!(log.records_walked, 5);
+        assert_eq!(log.records_length_forged, 5);
+        // Every record's incl_len should now be implausibly large.
+        for i in 0..5 {
+            let off = GLOBAL_HEADER_LEN + i * (RECORD_HEADER_LEN + 16) + 8;
+            let v = read_u32(&out, off, false);
+            assert!(v >= 0x0500_0000, "record {i} incl_len {v:#x}");
+        }
+    }
+
+    #[test]
+    fn truncation_respects_header() {
+        let cap = capture(6, 64);
+        let faults = ByteFaults {
+            truncate_prob: 1.0,
+            ..ByteFaults::none()
+        };
+        for seed in 0..32 {
+            let (out, log) = faults.apply(&cap, seed);
+            let cut = log.truncated_at.expect("must truncate at prob 1");
+            assert_eq!(out.len(), cut);
+            assert!(cut > GLOBAL_HEADER_LEN);
+            assert!(cut < cap.len());
+        }
+    }
+
+    #[test]
+    fn magic_corruption_flags_and_flips() {
+        let cap = capture(1, 8);
+        let faults = ByteFaults {
+            corrupt_magic: true,
+            ..ByteFaults::none()
+        };
+        let (out, log) = faults.apply(&cap, 0);
+        assert!(log.magic_corrupted);
+        assert_ne!(read_magic(&out), Some(false));
+    }
+
+    #[test]
+    fn bitflips_spare_magic_word() {
+        let cap = capture(2, 512);
+        let faults = ByteFaults {
+            bitflip_rate: 1.0,
+            ..ByteFaults::none()
+        };
+        let (out, log) = faults.apply(&cap, 11);
+        assert_eq!(out[..4], cap[..4], "magic must survive bit rot phase");
+        assert_eq!(log.bits_flipped, (cap.len() - 4) as u64);
+    }
+
+    #[test]
+    fn garbage_input_never_panics() {
+        let faults = ByteFaults {
+            bitflip_rate: 0.1,
+            truncate_prob: 1.0,
+            bad_length_rate: 1.0,
+            corrupt_magic: true,
+        };
+        for len in [0usize, 3, 23, 24, 25, 100] {
+            let junk = vec![0x5a; len];
+            let (_, _) = faults.apply(&junk, 1);
+        }
+    }
+}

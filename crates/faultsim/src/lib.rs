@@ -1,0 +1,152 @@
+//! # faultsim — deterministic fault injection for the measurement pipeline
+//!
+//! The monoculture-HIDS reproduction assumes clean inputs end to end:
+//! well-formed pcap captures, complete per-host telemetry, in-order alert
+//! delivery. Real enterprise deployments get none of that — captures rot on
+//! disk, agents crash mid-week, WAN links duplicate and reorder batches.
+//! This crate produces *seeded, reproducible* versions of those failures so
+//! the hardened pipeline can be driven through them in tests and chaos
+//! experiments, and so any observed behaviour can be replayed exactly from
+//! `(plan, seed)`.
+//!
+//! Three fault classes, one per module:
+//!
+//! * [`bytes`] — byte-level pcap corruption (bit flips, truncation, forged
+//!   record lengths, bad magic), attacking `netpkt`'s capture readers;
+//! * [`telemetry`] — per-host window loss and dropout/rejoin episodes,
+//!   attacking `hids-core`'s evaluation layer;
+//! * [`batchfault`] — duplication and reordering of alert batches in
+//!   flight, attacking `itconsole`'s ingest path.
+//!
+//! A [`FaultPlan`] bundles all three behind a single master seed, deriving
+//! an independent deterministic stream per class, and scales with a single
+//! severity knob so experiments can sweep "corruption rate" as one axis.
+//!
+//! Everything here is pure: same plan + same input ⇒ bit-identical output,
+//! on every platform, at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batchfault;
+pub mod bytes;
+pub mod telemetry;
+
+pub use batchfault::{BatchFaultLog, BatchFaults};
+pub use bytes::{ByteFaultLog, ByteFaults};
+pub use telemetry::{TelemetryFaultLog, TelemetryFaults};
+
+/// Derive an independent sub-seed for one fault class from a master seed.
+///
+/// SplitMix64 finalizer over `master ^ f(tag)`: cheap, stateless, and the
+/// streams for distinct tags are uncorrelated for the generator sizes used
+/// here.
+pub(crate) fn subseed(master: u64, tag: u64) -> u64 {
+    let mut z = master ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A complete seeded fault schedule covering every pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; each fault class derives its own stream from it.
+    pub seed: u64,
+    /// Byte-level pcap corruption.
+    pub bytes: ByteFaults,
+    /// Telemetry window loss and host dropout.
+    pub telemetry: TelemetryFaults,
+    /// Alert-batch duplication and reordering.
+    pub batches: BatchFaults,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: every `apply` is the identity.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            bytes: ByteFaults::none(),
+            telemetry: TelemetryFaults::none(),
+            batches: BatchFaults::none(),
+        }
+    }
+
+    /// Scale a canonical fault mix by one severity knob in `[0, 1]`.
+    ///
+    /// `severity = 0` is [`FaultPlan::none`]; `severity = 1` is the
+    /// harshest schedule the chaos acceptance tests exercise (≈20% of
+    /// records corrupted, regular host dropouts, frequent batch faults).
+    pub fn with_severity(seed: u64, severity: f64) -> Self {
+        let s = severity.clamp(0.0, 1.0);
+        Self {
+            seed,
+            bytes: ByteFaults {
+                bitflip_rate: 0.002 * s,
+                truncate_prob: 0.5 * s,
+                bad_length_rate: 0.05 * s,
+                corrupt_magic: false,
+            },
+            telemetry: TelemetryFaults {
+                window_drop_rate: 0.10 * s,
+                dropout_prob: 0.5 * s,
+                dropout_max_windows: 96,
+            },
+            batches: BatchFaults {
+                dup_rate: 0.15 * s,
+                reorder_rate: 0.15 * s,
+            },
+        }
+    }
+
+    /// True when no fault class can alter its input.
+    pub fn is_none(&self) -> bool {
+        self.bytes.is_none() && self.telemetry.is_none() && self.batches.is_none()
+    }
+
+    /// Seed for the byte-corruption stream.
+    pub fn bytes_seed(&self) -> u64 {
+        subseed(self.seed, 1)
+    }
+
+    /// Seed for the telemetry-fault stream.
+    pub fn telemetry_seed(&self) -> u64 {
+        subseed(self.seed, 2)
+    }
+
+    /// Seed for the batch-fault stream.
+    pub fn batches_seed(&self) -> u64 {
+        subseed(self.seed, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subseeds_differ_per_tag_and_master() {
+        let a = subseed(42, 1);
+        let b = subseed(42, 2);
+        let c = subseed(43, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, subseed(42, 1), "subseed must be a pure function");
+    }
+
+    #[test]
+    fn none_plan_is_none() {
+        assert!(FaultPlan::none(7).is_none());
+        assert!(FaultPlan::with_severity(7, 0.0).is_none());
+        assert!(!FaultPlan::with_severity(7, 0.2).is_none());
+    }
+
+    #[test]
+    fn severity_is_clamped() {
+        let over = FaultPlan::with_severity(1, 5.0);
+        let one = FaultPlan::with_severity(1, 1.0);
+        assert_eq!(over, one);
+        let under = FaultPlan::with_severity(1, -3.0);
+        assert!(under.is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Telemetry faults: missing windows and host dropout/rejoin.
+//!
+//! The paper's evaluation assumes every host reports a feature count for
+//! every 15-minute window of every week. Deployed agents do not: they get
+//! rebooted, wedge under load, or lose their uplink for hours at a time.
+//! This module turns those failure modes into per-host boolean *coverage
+//! masks* (`true` = window observed) that the degraded-mode evaluator in
+//! `hids-core` consumes.
+//!
+//! Two mechanisms compose:
+//!
+//! * **window drops** — i.i.d. per-window loss (collector-side packet
+//!   loss, agent GC pauses);
+//! * **dropout episodes** — a contiguous run of missing windows per
+//!   affected host (crash + later rejoin), with seeded start and length.
+//!
+//! Masks are generated host-major in host order from one seeded stream, so
+//! a `(TelemetryFaults, seed, n_hosts, n_windows)` tuple always yields the
+//! identical schedule.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+/// Knobs for telemetry loss. Zero rates mean full coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TelemetryFaults {
+    /// Per-window i.i.d. probability a host's window goes missing.
+    pub window_drop_rate: f64,
+    /// Per-host probability of one dropout episode (crash + rejoin).
+    pub dropout_prob: f64,
+    /// Maximum episode length in windows (96 = one day at 15 min).
+    pub dropout_max_windows: usize,
+}
+
+impl TelemetryFaults {
+    /// No telemetry loss.
+    pub fn none() -> Self {
+        Self {
+            window_drop_rate: 0.0,
+            dropout_prob: 0.0,
+            dropout_max_windows: 0,
+        }
+    }
+
+    /// True when `apply` always yields full coverage.
+    pub fn is_none(&self) -> bool {
+        self.window_drop_rate == 0.0 && (self.dropout_prob == 0.0 || self.dropout_max_windows == 0)
+    }
+
+    /// Generate per-host coverage masks (`masks[host][window]`,
+    /// `true` = observed) plus an accounting log.
+    pub fn apply(
+        &self,
+        n_hosts: usize,
+        n_windows: usize,
+        seed: u64,
+    ) -> (Vec<Vec<bool>>, TelemetryFaultLog) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut log = TelemetryFaultLog::default();
+        let mut masks = Vec::with_capacity(n_hosts);
+        for _ in 0..n_hosts {
+            let mut mask = vec![true; n_windows];
+            if self.window_drop_rate > 0.0 {
+                for covered in mask.iter_mut() {
+                    if rng.random_bool(self.window_drop_rate) {
+                        *covered = false;
+                    }
+                }
+            }
+            if self.dropout_prob > 0.0
+                && self.dropout_max_windows > 0
+                && n_windows > 0
+                && rng.random_bool(self.dropout_prob)
+            {
+                let len = rng.random_range(1..=self.dropout_max_windows.min(n_windows));
+                let start = rng.random_range(0..=n_windows - len);
+                for covered in &mut mask[start..start + len] {
+                    *covered = false;
+                }
+                log.dropout_episodes += 1;
+            }
+            log.windows_dropped += mask.iter().filter(|&&c| !c).count() as u64;
+            log.hosts_fully_dark += u64::from(n_windows > 0 && mask.iter().all(|&c| !c));
+            masks.push(mask);
+        }
+        log.windows_total = (n_hosts * n_windows) as u64;
+        (masks, log)
+    }
+}
+
+/// What `TelemetryFaults::apply` actually removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TelemetryFaultLog {
+    /// Host×window cells in the schedule.
+    pub windows_total: u64,
+    /// Cells marked unobserved (drops and episodes combined).
+    pub windows_dropped: u64,
+    /// Dropout episodes injected.
+    pub dropout_episodes: u64,
+    /// Hosts left with zero coverage.
+    pub hosts_fully_dark: u64,
+}
+
+impl TelemetryFaultLog {
+    /// Fraction of host×window cells still observed.
+    pub fn coverage(&self) -> f64 {
+        if self.windows_total == 0 {
+            1.0
+        } else {
+            1.0 - self.windows_dropped as f64 / self.windows_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_gives_full_coverage() {
+        let (masks, log) = TelemetryFaults::none().apply(5, 100, 1);
+        assert_eq!(masks.len(), 5);
+        assert!(masks.iter().all(|m| m.iter().all(|&c| c)));
+        assert_eq!(log.windows_dropped, 0);
+        assert_eq!(log.coverage(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let f = TelemetryFaults {
+            window_drop_rate: 0.2,
+            dropout_prob: 0.5,
+            dropout_max_windows: 30,
+        };
+        let (a, la) = f.apply(20, 200, 9);
+        let (b, lb) = f.apply(20, 200, 9);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = f.apply(20, 200, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn log_counts_match_masks() {
+        let f = TelemetryFaults {
+            window_drop_rate: 0.3,
+            dropout_prob: 1.0,
+            dropout_max_windows: 50,
+        };
+        let (masks, log) = f.apply(8, 300, 4);
+        let dropped: u64 = masks
+            .iter()
+            .map(|m| m.iter().filter(|&&c| !c).count() as u64)
+            .sum();
+        assert_eq!(log.windows_dropped, dropped);
+        assert_eq!(log.windows_total, 8 * 300);
+        assert_eq!(log.dropout_episodes, 8);
+        assert!(log.coverage() < 1.0);
+    }
+
+    #[test]
+    fn episode_is_contiguous() {
+        let f = TelemetryFaults {
+            window_drop_rate: 0.0,
+            dropout_prob: 1.0,
+            dropout_max_windows: 40,
+        };
+        let (masks, _) = f.apply(10, 500, 77);
+        for mask in masks {
+            // Exactly one contiguous false run: count edges.
+            let mut edges = 0;
+            for w in mask.windows(2) {
+                if w[0] != w[1] {
+                    edges += 1;
+                }
+            }
+            assert!(edges <= 2, "non-contiguous episode: {edges} edges");
+        }
+    }
+
+    #[test]
+    fn zero_windows_never_panics() {
+        let f = TelemetryFaults {
+            window_drop_rate: 0.5,
+            dropout_prob: 1.0,
+            dropout_max_windows: 10,
+        };
+        let (masks, log) = f.apply(3, 0, 2);
+        assert!(masks.iter().all(|m| m.is_empty()));
+        assert_eq!(log.coverage(), 1.0);
+        assert_eq!(log.hosts_fully_dark, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-module determinism contract: a `FaultPlan` is a pure function of
+//! its seed — replaying the same plan over the same inputs must reproduce
+//! every corrupted byte, mask and batch exactly. The chaos experiments and
+//! the acceptance tests rely on this to make failures replayable.
+
+use faultsim::{BatchFaults, ByteFaults, FaultPlan, TelemetryFaults};
+use proptest::prelude::*;
+
+/// Build a small synthetic little-endian capture.
+fn capture(records: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&0xa1b2_c3d4u32.to_le_bytes());
+    buf.extend_from_slice(&[2, 0, 4, 0]);
+    buf.extend_from_slice(&[0u8; 8]);
+    buf.extend_from_slice(&65535u32.to_le_bytes());
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    for i in 0..records {
+        buf.extend_from_slice(&(1_300_000_000u32 + i as u32).to_le_bytes());
+        buf.extend_from_slice(&((i as u32) * 100).to_le_bytes());
+        buf.extend_from_slice(&48u32.to_le_bytes());
+        buf.extend_from_slice(&48u32.to_le_bytes());
+        buf.extend_from_slice(&vec![i as u8; 48]);
+    }
+    buf
+}
+
+#[test]
+fn plan_subseeds_are_distinct_streams() {
+    let plan = FaultPlan::with_severity(0xDEAD_BEEF, 0.5);
+    let seeds = [plan.bytes_seed(), plan.telemetry_seed(), plan.batches_seed()];
+    assert_ne!(seeds[0], seeds[1]);
+    assert_ne!(seeds[1], seeds[2]);
+    assert_ne!(seeds[0], seeds[2]);
+}
+
+#[test]
+fn severity_zero_plan_is_identity_everywhere() {
+    let plan = FaultPlan::with_severity(1, 0.0);
+    let cap = capture(6);
+    let (bytes, blog) = plan.bytes.apply(&cap, plan.bytes_seed());
+    assert_eq!(bytes, cap);
+    assert!(blog.is_clean());
+    let (masks, tlog) = plan.telemetry.apply(10, 96, plan.telemetry_seed());
+    assert!(masks.iter().all(|m| m.iter().all(|&c| c)));
+    assert_eq!(tlog.windows_dropped, 0);
+    let stream: Vec<u32> = (0..20).collect();
+    let (out, flog) = plan.batches.apply(&stream, plan.batches_seed());
+    assert_eq!(out, stream);
+    assert_eq!(flog.duplicated + flog.swaps, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying any plan reproduces byte-identical outputs across all
+    /// three fault classes.
+    #[test]
+    fn full_plan_replays_identically(seed in any::<u64>(), severity in 0.0f64..1.0) {
+        let plan = FaultPlan::with_severity(seed, severity);
+        let cap = capture(10);
+        let stream: Vec<u32> = (0..30).collect();
+
+        let run = |p: &FaultPlan| {
+            let b = p.bytes.apply(&cap, p.bytes_seed());
+            let t = p.telemetry.apply(12, 96, p.telemetry_seed());
+            let f = p.batches.apply(&stream, p.batches_seed());
+            (b, t, f)
+        };
+        let (b1, t1, f1) = run(&plan);
+        let (b2, t2, f2) = run(&plan);
+        prop_assert_eq!(b1, b2);
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(f1, f2);
+    }
+
+    /// Byte corruption accounting stays consistent for arbitrary knobs.
+    #[test]
+    fn byte_log_consistent(
+        seed in any::<u64>(),
+        bitflip in 0.0f64..0.05,
+        trunc in 0.0f64..1.0,
+        badlen in 0.0f64..1.0,
+    ) {
+        let faults = ByteFaults {
+            bitflip_rate: bitflip,
+            truncate_prob: trunc,
+            bad_length_rate: badlen,
+            corrupt_magic: false,
+        };
+        let cap = capture(8);
+        let (out, log) = faults.apply(&cap, seed);
+        prop_assert!(log.records_length_forged <= log.records_walked);
+        prop_assert!(out.len() <= cap.len());
+        match log.truncated_at {
+            Some(cut) => prop_assert_eq!(out.len(), cut),
+            None => prop_assert_eq!(out.len(), cap.len()),
+        }
+    }
+
+    /// Telemetry masks always agree with their log for arbitrary knobs.
+    #[test]
+    fn telemetry_log_consistent(
+        seed in any::<u64>(),
+        drop_rate in 0.0f64..1.0,
+        dropout in 0.0f64..1.0,
+        max_ep in 0usize..200,
+        hosts in 0usize..20,
+        windows in 0usize..300,
+    ) {
+        let faults = TelemetryFaults {
+            window_drop_rate: drop_rate,
+            dropout_prob: dropout,
+            dropout_max_windows: max_ep,
+        };
+        let (masks, log) = faults.apply(hosts, windows, seed);
+        prop_assert_eq!(masks.len(), hosts);
+        let dropped: u64 = masks
+            .iter()
+            .map(|m| m.iter().filter(|&&c| !c).count() as u64)
+            .sum();
+        prop_assert_eq!(log.windows_dropped, dropped);
+        prop_assert_eq!(log.windows_total, (hosts * windows) as u64);
+        prop_assert!(log.coverage() >= 0.0 && log.coverage() <= 1.0);
+    }
+
+    /// Batch faults never lose or invent payloads.
+    #[test]
+    fn batch_multiset_preserved(
+        seed in any::<u64>(),
+        dup in 0.0f64..1.0,
+        reorder in 0.0f64..1.0,
+        n in 0usize..60,
+    ) {
+        let faults = BatchFaults { dup_rate: dup, reorder_rate: reorder };
+        let stream: Vec<usize> = (0..n).collect();
+        let (out, log) = faults.apply(&stream, seed);
+        prop_assert_eq!(out.len() as u64, n as u64 + log.duplicated);
+        let mut counts = vec![0u64; n];
+        for v in &out {
+            counts[*v] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c >= 1) || n == 0);
+    }
+}

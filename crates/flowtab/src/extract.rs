@@ -6,23 +6,23 @@ use crate::table::{FlowTable, FlowTableConfig};
 use crate::tuple::{Endpoint, FiveTuple, Transport};
 use crate::FlowRecord;
 use netpkt::{
-    EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, PcapPacket, TcpSegment,
-    UdpDatagram,
+    DecodeError, EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, Layer,
+    LayerResultExt, PcapPacket, TcpSegment, UdpDatagram,
 };
 
 /// Why a frame was skipped rather than contributing to a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExtractError {
-    /// Frame failed to parse at some layer.
-    Parse(netpkt::Error),
+    /// Frame failed to parse, tagged with the layer that rejected it.
+    Parse(DecodeError),
     /// EtherType we don't decode (ARP, IPv6, ...).
     NonIpv4,
     /// IP protocol we don't track.
     UnsupportedProtocol,
 }
 
-impl From<netpkt::Error> for ExtractError {
-    fn from(e: netpkt::Error) -> Self {
+impl From<DecodeError> for ExtractError {
+    fn from(e: DecodeError) -> Self {
         ExtractError::Parse(e)
     }
 }
@@ -50,6 +50,21 @@ pub struct ExtractStats {
     pub skipped: u64,
     /// Frames with invalid IPv4 header checksums (still skipped).
     pub bad_ip_checksum: u64,
+    /// Parse failures by layer (dense by [`Layer::index`]); the loss
+    /// taxonomy operators read when judging a host's telemetry quality.
+    pub parse_errors: [u64; 9],
+}
+
+impl ExtractStats {
+    /// Parse failures recorded at one layer.
+    pub fn parse_errors_at(&self, layer: Layer) -> u64 {
+        self.parse_errors[layer.index()]
+    }
+
+    /// Total parse failures across all layers.
+    pub fn parse_errors_total(&self) -> u64 {
+        self.parse_errors.iter().sum()
+    }
 }
 
 /// Parses frames and maintains a [`FlowTable`].
@@ -83,6 +98,9 @@ impl FlowExtractor {
             }
             Err(e) => {
                 self.stats.skipped += 1;
+                if let ExtractError::Parse(d) = e {
+                    self.stats.parse_errors[d.layer.index()] += 1;
+                }
                 Err(e)
             }
         }
@@ -94,26 +112,28 @@ impl FlowExtractor {
     }
 
     fn decode_and_observe(&mut self, ts: f64, frame: &[u8]) -> Result<(), ExtractError> {
-        let eth = EthernetFrame::parse(frame)?;
+        let eth = EthernetFrame::parse(frame).at_layer(Layer::Ethernet)?;
         if eth.ethertype() != EtherType::Ipv4 {
             return Err(ExtractError::NonIpv4);
         }
-        let ip = Ipv4Packet::parse(eth.payload())?;
+        let ip = Ipv4Packet::parse(eth.payload()).at_layer(Layer::Ipv4)?;
         if !ip.verify_checksum() {
             self.stats.bad_ip_checksum += 1;
-            return Err(ExtractError::Parse(netpkt::Error::BadChecksum));
+            return Err(ExtractError::Parse(
+                netpkt::Error::BadChecksum.at(Layer::Ipv4),
+            ));
         }
         let (src, dst) = (ip.src(), ip.dst());
         match ip.protocol() {
             IpProtocol::Tcp => {
-                let tcp = TcpSegment::parse(ip.payload())?;
+                let tcp = TcpSegment::parse(ip.payload()).at_layer(Layer::Tcp)?;
                 let tuple = tcp_tuple(src, dst, tcp.src_port(), tcp.dst_port());
                 self.table
                     .observe(ts, tuple, tcp.payload().len(), Some(tcp.flags()));
                 Ok(())
             }
             IpProtocol::Udp => {
-                let udp = UdpDatagram::parse(ip.payload())?;
+                let udp = UdpDatagram::parse(ip.payload()).at_layer(Layer::Udp)?;
                 let tuple = FiveTuple::new(
                     Endpoint::new(src, udp.src_port()),
                     Endpoint::new(dst, udp.dst_port()),
@@ -123,7 +143,7 @@ impl FlowExtractor {
                 Ok(())
             }
             IpProtocol::Icmp => {
-                let icmp = IcmpMessage::parse(ip.payload())?;
+                let icmp = IcmpMessage::parse(ip.payload()).at_layer(Layer::Icmp)?;
                 let tuple = FiveTuple::new(
                     Endpoint::new(src, icmp.identifier()),
                     Endpoint::new(dst, 0),
@@ -204,11 +224,16 @@ mod tests {
         let mut frame = build_tcp_frame(&spec, TcpFlags::syn_only(), 1, &[]);
         frame[22] ^= 0xff; // corrupt an IP header byte (TTL) -> checksum fails
         let err = ex.push_frame(0.0, &frame).unwrap_err();
-        assert_eq!(err, ExtractError::Parse(netpkt::Error::BadChecksum));
+        assert_eq!(
+            err,
+            ExtractError::Parse(netpkt::Error::BadChecksum.at(Layer::Ipv4))
+        );
         let stats = ex.stats();
         assert_eq!(stats.frames, 1);
         assert_eq!(stats.skipped, 1);
         assert_eq!(stats.bad_ip_checksum, 1);
+        assert_eq!(stats.parse_errors_at(Layer::Ipv4), 1);
+        assert_eq!(stats.parse_errors_total(), 1);
         assert!(ex.finish().is_empty());
     }
 

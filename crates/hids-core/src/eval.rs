@@ -22,18 +22,69 @@ pub struct FeatureDataset {
     pub test_counts: Vec<Vec<u64>>,
 }
 
+/// Why a [`FeatureDataset`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Train and test slices cover different user counts.
+    PopulationMismatch {
+        /// Users in the training slice.
+        train: usize,
+        /// Users in the test slice.
+        test: usize,
+    },
+    /// No users at all.
+    EmptyPopulation,
+}
+
+impl core::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DatasetError::PopulationMismatch { train, test } => {
+                write!(f, "one train and one test per user (got {train} vs {test})")
+            }
+            DatasetError::EmptyPopulation => write!(f, "need at least one user"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
 impl FeatureDataset {
     /// Build from per-user train/test feature series.
     ///
     /// # Panics
-    /// Panics when the two slices differ in length or are empty.
+    /// Panics when the two slices differ in length or are empty; callers
+    /// fed by unreliable telemetry should use
+    /// [`FeatureDataset::try_from_series`].
     pub fn from_series(
         train: &[FeatureSeries],
         test: &[FeatureSeries],
         feature: FeatureKind,
     ) -> Self {
-        assert_eq!(train.len(), test.len(), "one train and one test per user");
-        assert!(!train.is_empty(), "need at least one user");
+        match Self::try_from_series(train, test, feature) {
+            Ok(ds) => ds,
+            Err(DatasetError::PopulationMismatch { .. }) => {
+                panic!("one train and one test per user")
+            }
+            Err(DatasetError::EmptyPopulation) => panic!("need at least one user"),
+        }
+    }
+
+    /// Fallible variant of [`FeatureDataset::from_series`].
+    pub fn try_from_series(
+        train: &[FeatureSeries],
+        test: &[FeatureSeries],
+        feature: FeatureKind,
+    ) -> Result<Self, DatasetError> {
+        if train.len() != test.len() {
+            return Err(DatasetError::PopulationMismatch {
+                train: train.len(),
+                test: test.len(),
+            });
+        }
+        if train.is_empty() {
+            return Err(DatasetError::EmptyPopulation);
+        }
         let train_d = train
             .iter()
             .map(|s| EmpiricalDist::from_counts(&s.feature(feature)))
@@ -43,12 +94,12 @@ impl FeatureDataset {
             .iter()
             .map(|c| EmpiricalDist::from_counts(c))
             .collect();
-        Self {
+        Ok(Self {
             feature,
             train: train_d,
             test: test_d,
             test_counts,
-        }
+        })
     }
 
     /// Number of users.

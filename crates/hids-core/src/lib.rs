@@ -42,6 +42,7 @@
 
 pub mod adaptive;
 pub mod bundle;
+pub mod degraded;
 pub mod detector;
 pub mod eval;
 pub mod multi;
@@ -53,11 +54,15 @@ pub mod threshold;
 
 pub use adaptive::{realized_fp_series, AdaptiveThreshold, UpdateStrategy};
 pub use bundle::PolicyBundle;
+pub use degraded::{
+    evaluate_policy_degraded, DegradedDataset, DegradedError, DegradedEvalConfig,
+    DegradedEvaluation, DegradedUserPerf, HostStatus,
+};
 pub use detector::{Alert, Detector};
-pub use eval::{AttackSweep, EvalConfig, FeatureDataset, PolicyEvaluation, UserPerf};
+pub use eval::{AttackSweep, DatasetError, EvalConfig, FeatureDataset, PolicyEvaluation, UserPerf};
 pub use multi::{evaluate_multi, multi_detection, MultiEvaluation, MultiPolicy, MultiUserPerf};
 pub use par::{current_threads, par_map, par_map_range, set_threads};
-pub use policy::{Grouping, PartialMethod, Policy, PolicyOutcome};
+pub use policy::{ConfigureError, Grouping, PartialMethod, Policy, PolicyOutcome};
 pub use roc::{RocCurve, RocPoint};
 pub use sweep::SweepTable;
 pub use threshold::ThresholdHeuristic;

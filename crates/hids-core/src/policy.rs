@@ -97,11 +97,44 @@ impl PolicyOutcome {
     }
 }
 
+/// Why a policy could not be configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigureError {
+    /// The training population was empty (e.g. every host dropped out).
+    EmptyPopulation,
+}
+
+impl core::fmt::Display for ConfigureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigureError::EmptyPopulation => {
+                write!(f, "cannot configure a policy over zero hosts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigureError {}
+
 impl Policy {
     /// Configure a population: assign groups and compute per-user
     /// thresholds from the users' training distributions.
+    ///
+    /// # Panics
+    /// Panics when `train` is empty; degraded-mode callers whose
+    /// population may have dropped out entirely should use
+    /// [`Policy::try_configure`].
     pub fn configure(&self, train: &[EmpiricalDist]) -> PolicyOutcome {
-        assert!(!train.is_empty(), "need at least one user");
+        self.try_configure(train)
+            .expect("need at least one user")
+    }
+
+    /// Fallible variant of [`Policy::configure`]: returns an error instead
+    /// of panicking when the population is empty.
+    pub fn try_configure(&self, train: &[EmpiricalDist]) -> Result<PolicyOutcome, ConfigureError> {
+        if train.is_empty() {
+            return Err(ConfigureError::EmptyPopulation);
+        }
         let groups = self.grouping.assign(train);
         let n_groups = groups.iter().copied().max().unwrap_or(0) + 1;
 
@@ -124,11 +157,11 @@ impl Policy {
         });
 
         let thresholds = groups.iter().map(|&g| group_thresholds[g]).collect();
-        PolicyOutcome {
+        Ok(PolicyOutcome {
             groups,
             thresholds,
             group_thresholds,
-        }
+        })
     }
 }
 
@@ -327,6 +360,21 @@ mod tests {
             counts[g] += 1;
         }
         assert_eq!(counts, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn try_configure_rejects_empty_population() {
+        let policy = Policy {
+            grouping: Grouping::Homogeneous,
+            heuristic: ThresholdHeuristic::P99,
+        };
+        assert_eq!(
+            policy.try_configure(&[]).unwrap_err(),
+            ConfigureError::EmptyPopulation
+        );
+        // And agrees with the panicking path when the population exists.
+        let train = continuum(6);
+        assert_eq!(policy.try_configure(&train).unwrap(), policy.configure(&train));
     }
 
     #[test]

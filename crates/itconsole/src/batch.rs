@@ -2,16 +2,34 @@
 
 use hids_core::Alert;
 
+/// What to do with an alert whose window precedes the batch period
+/// currently being filled (late delivery from a recovering agent, or a
+/// duplicated message on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// Append the late alert to the current batch: nothing is lost, and
+    /// the console can still attribute it by its window field.
+    #[default]
+    FoldIntoCurrent,
+    /// Discard late alerts (count them in [`AlertBatcher::late_alerts`]).
+    Drop,
+}
+
 /// Accumulates a host's alerts and releases them in periodic batches, the
 /// way commercial HIDS agents ship to a management console.
 ///
 /// Batches are cut on *window boundaries*: a batch covers
 /// `batch_windows` consecutive windows and is released when the first
-/// alert of a later batch period arrives (or on [`AlertBatcher::flush`]).
+/// alert of a *later* batch period arrives (or on [`AlertBatcher::flush`]).
+/// An alert for an earlier period — out-of-order delivery — never cuts a
+/// batch and never rewinds the current period; it is handled per the
+/// configured [`LatePolicy`] and counted.
 #[derive(Debug)]
 pub struct AlertBatcher {
     batch_windows: usize,
     current_period: Option<usize>,
+    late_policy: LatePolicy,
+    late_alerts: u64,
     pending: Vec<Alert>,
     ready: Vec<Vec<Alert>>,
 }
@@ -22,20 +40,41 @@ impl AlertBatcher {
     /// # Panics
     /// Panics when `batch_windows` is zero.
     pub fn new(batch_windows: usize) -> Self {
+        Self::with_late_policy(batch_windows, LatePolicy::default())
+    }
+
+    /// Like [`AlertBatcher::new`], choosing how late alerts are handled.
+    ///
+    /// # Panics
+    /// Panics when `batch_windows` is zero.
+    pub fn with_late_policy(batch_windows: usize, late_policy: LatePolicy) -> Self {
         assert!(batch_windows > 0, "batch period must be positive");
         Self {
             batch_windows,
             current_period: None,
+            late_policy,
+            late_alerts: 0,
             pending: Vec::new(),
             ready: Vec::new(),
         }
     }
 
-    /// Add one alert (alerts must arrive in window order per host).
+    /// Add one alert. Alerts nominally arrive in window order per host;
+    /// out-of-order (earlier-period) arrivals are tolerated per the
+    /// [`LatePolicy`] instead of corrupting period tracking.
     pub fn push(&mut self, alert: Alert) {
         let period = alert.window / self.batch_windows;
         match self.current_period {
             Some(p) if p == period => {}
+            Some(p) if period < p => {
+                // Late delivery: never cut a batch, never rewind.
+                self.late_alerts += 1;
+                match self.late_policy {
+                    LatePolicy::FoldIntoCurrent => self.pending.push(alert),
+                    LatePolicy::Drop => {}
+                }
+                return;
+            }
             Some(_) => {
                 let batch = std::mem::take(&mut self.pending);
                 if !batch.is_empty() {
@@ -46,6 +85,11 @@ impl AlertBatcher {
             None => self.current_period = Some(period),
         }
         self.pending.push(alert);
+    }
+
+    /// Alerts that arrived for an already-closed batch period.
+    pub fn late_alerts(&self) -> u64 {
+        self.late_alerts
     }
 
     /// Take any complete batches.
@@ -135,5 +179,75 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_rejected() {
         let _ = AlertBatcher::new(0);
+    }
+
+    /// Regression: an out-of-order alert from an earlier period used to cut
+    /// a spurious batch *and* rewind `current_period`, after which the next
+    /// in-order alert cut a second bogus batch. Late alerts must never cut.
+    #[test]
+    fn late_alert_does_not_cut_or_rewind() {
+        let mut b = AlertBatcher::new(4);
+        b.push(alert(8)); // period 2
+        b.push(alert(9));
+        b.push(alert(1)); // late: period 0, delivered out of order
+        assert!(
+            b.take_ready().is_empty(),
+            "late alert must not cut a batch"
+        );
+        assert_eq!(b.late_alerts(), 1);
+        b.push(alert(10)); // still period 2: must not cut either
+        assert!(
+            b.take_ready().is_empty(),
+            "period tracking must not rewind on late alerts"
+        );
+        // The late alert rode along in the current batch by default.
+        let f = b.flush();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].len(), 4);
+        assert!(f[0].iter().any(|a| a.window == 1));
+    }
+
+    #[test]
+    fn late_policy_drop_discards_but_counts() {
+        let mut b = AlertBatcher::with_late_policy(4, LatePolicy::Drop);
+        b.push(alert(8));
+        b.push(alert(1)); // late
+        b.push(alert(2)); // late
+        assert_eq!(b.late_alerts(), 2);
+        let f = b.flush();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].len(), 1, "dropped late alerts must not appear");
+        assert_eq!(f[0][0].window, 8);
+    }
+
+    /// Ordered streams never register late alerts — the fix must not
+    /// change the happy path.
+    #[test]
+    fn in_order_stream_has_no_late_alerts() {
+        let mut b = AlertBatcher::new(4);
+        for w in 0..40 {
+            b.push(alert(w));
+        }
+        assert_eq!(b.late_alerts(), 0);
+        let mut batches = b.take_ready();
+        batches.extend(b.flush());
+        assert_eq!(batches.len(), 10);
+        assert!(batches.iter().all(|batch| batch.len() == 4));
+    }
+
+    /// A duplicated batch boundary (same period arriving twice around a
+    /// later one) leaves batch count and totals sane.
+    #[test]
+    fn duplicate_period_after_advance_is_late() {
+        let mut b = AlertBatcher::new(2);
+        b.push(alert(0));
+        b.push(alert(2)); // cuts period 0
+        b.push(alert(0)); // duplicate delivery of window 0
+        let ready = b.take_ready();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(b.late_alerts(), 1);
+        let f = b.flush();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].len(), 2); // window 2 + folded duplicate
     }
 }

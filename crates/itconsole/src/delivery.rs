@@ -1,0 +1,313 @@
+//! Bounded, retrying batch delivery from hosts to the console.
+//!
+//! Host agents cannot assume the console link is up: batches must queue
+//! locally, retry with backoff, and — because agent memory is finite —
+//! eventually drop, *with accounting*, rather than grow without bound.
+//! This module implements that discipline over a virtual clock so every
+//! schedule is deterministic and replayable in tests: the caller advances
+//! time with [`DeliveryQueue::tick`] and attempts transmission with
+//! [`DeliveryQueue::pump`], passing a sink that reports per-batch success
+//! (a closure over `CentralConsole::ingest_batch` in the real pipeline, a
+//! scripted link in the chaos tests).
+//!
+//! Retry schedule: attempt `k` (1-based) failing re-arms the batch after
+//! `backoff_base << (k - 1)` ticks (exponential), until `max_attempts` is
+//! exhausted and the batch is dropped. Queue order is FIFO; a failing head
+//! does not block delivery of due batches behind it.
+
+use std::collections::VecDeque;
+
+use hids_core::Alert;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the host-side delivery queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryConfig {
+    /// Maximum batches queued; further offers are rejected (and counted).
+    pub capacity: usize,
+    /// Delivery attempts per batch before it is dropped.
+    pub max_attempts: u32,
+    /// Backoff after the first failure, in ticks; doubles per attempt.
+    pub backoff_base: u64,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            max_attempts: 5,
+            backoff_base: 1,
+        }
+    }
+}
+
+/// Counters describing a queue's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryStats {
+    /// Batches accepted into the queue.
+    pub enqueued: u64,
+    /// Batches delivered to the sink.
+    pub delivered: u64,
+    /// Failed attempts that were re-armed for retry.
+    pub retries: u64,
+    /// Batches rejected because the queue was full.
+    pub rejected_batches: u64,
+    /// Alerts inside rejected batches.
+    pub rejected_alerts: u64,
+    /// Batches dropped after exhausting every attempt.
+    pub expired_batches: u64,
+    /// Alerts inside expired batches.
+    pub expired_alerts: u64,
+    /// Highest queue occupancy observed.
+    pub queue_high_water: usize,
+}
+
+impl DeliveryStats {
+    /// Batches lost for any reason (rejected at the door or expired).
+    pub fn dropped_batches(&self) -> u64 {
+        self.rejected_batches + self.expired_batches
+    }
+
+    /// Alerts lost for any reason.
+    pub fn dropped_alerts(&self) -> u64 {
+        self.rejected_alerts + self.expired_alerts
+    }
+}
+
+#[derive(Debug)]
+struct PendingBatch {
+    batch: Vec<Alert>,
+    attempts: u32,
+    next_attempt: u64,
+}
+
+/// A bounded FIFO of alert batches with deterministic retry/backoff over a
+/// virtual clock.
+#[derive(Debug)]
+pub struct DeliveryQueue {
+    config: DeliveryConfig,
+    queue: VecDeque<PendingBatch>,
+    stats: DeliveryStats,
+    now: u64,
+}
+
+impl DeliveryQueue {
+    /// Create an empty queue at tick 0.
+    ///
+    /// # Panics
+    /// Panics when `capacity` or `max_attempts` is zero.
+    pub fn new(config: DeliveryConfig) -> Self {
+        assert!(config.capacity > 0, "queue capacity must be positive");
+        assert!(config.max_attempts > 0, "need at least one attempt");
+        Self {
+            config,
+            queue: VecDeque::new(),
+            stats: DeliveryStats::default(),
+            now: 0,
+        }
+    }
+
+    /// Offer a batch. Returns `false` (and accounts the loss) when the
+    /// queue is at capacity. Empty batches are accepted and count as
+    /// delivered work like any other.
+    pub fn offer(&mut self, batch: Vec<Alert>) -> bool {
+        if self.queue.len() >= self.config.capacity {
+            self.stats.rejected_batches += 1;
+            self.stats.rejected_alerts += batch.len() as u64;
+            return false;
+        }
+        self.queue.push_back(PendingBatch {
+            batch,
+            attempts: 0,
+            next_attempt: self.now,
+        });
+        self.stats.enqueued += 1;
+        self.stats.queue_high_water = self.stats.queue_high_water.max(self.queue.len());
+        true
+    }
+
+    /// Advance the virtual clock by `ticks`.
+    pub fn tick(&mut self, ticks: u64) {
+        self.now += ticks;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Attempt delivery of every batch whose retry timer has expired, in
+    /// FIFO order. `sink` returns whether one batch was accepted; a batch
+    /// that fails is re-armed with exponential backoff or, once out of
+    /// attempts, dropped with accounting. Returns batches delivered.
+    pub fn pump<F: FnMut(&[Alert]) -> bool>(&mut self, mut sink: F) -> usize {
+        let mut delivered = 0;
+        let mut keep: VecDeque<PendingBatch> = VecDeque::with_capacity(self.queue.len());
+        while let Some(mut p) = self.queue.pop_front() {
+            if p.next_attempt > self.now {
+                keep.push_back(p);
+                continue;
+            }
+            if sink(&p.batch) {
+                self.stats.delivered += 1;
+                delivered += 1;
+                continue;
+            }
+            p.attempts += 1;
+            if p.attempts >= self.config.max_attempts {
+                self.stats.expired_batches += 1;
+                self.stats.expired_alerts += p.batch.len() as u64;
+            } else {
+                self.stats.retries += 1;
+                p.next_attempt = self.now + (self.config.backoff_base << (p.attempts - 1));
+                keep.push_back(p);
+            }
+        }
+        self.queue = keep;
+        delivered
+    }
+
+    /// Batches currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtab::FeatureKind;
+
+    fn batch(n: usize) -> Vec<Alert> {
+        (0..n)
+            .map(|w| Alert {
+                user: 0,
+                window: w,
+                feature: FeatureKind::TcpConnections,
+                observed: 10,
+                threshold: 5.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn happy_path_delivers_fifo() {
+        let mut q = DeliveryQueue::new(DeliveryConfig::default());
+        assert!(q.offer(batch(1)));
+        assert!(q.offer(batch(2)));
+        let mut sizes = Vec::new();
+        let n = q.pump(|b| {
+            sizes.push(b.len());
+            true
+        });
+        assert_eq!(n, 2);
+        assert_eq!(sizes, vec![1, 2]);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().delivered, 2);
+        assert_eq!(q.stats().dropped_batches(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_accounting() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 2,
+            ..DeliveryConfig::default()
+        });
+        assert!(q.offer(batch(1)));
+        assert!(q.offer(batch(1)));
+        assert!(!q.offer(batch(3)));
+        let s = q.stats();
+        assert_eq!(s.rejected_batches, 1);
+        assert_eq!(s.rejected_alerts, 3);
+        assert_eq!(s.queue_high_water, 2);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_deterministic() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 4,
+            max_attempts: 4,
+            backoff_base: 2,
+        });
+        q.offer(batch(1));
+        // Attempt 1 at t=0 fails -> re-armed for t=2.
+        assert_eq!(q.pump(|_| false), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pump(|_| true), 0, "not due yet");
+        q.tick(1); // t=1: still not due
+        assert_eq!(q.pump(|_| true), 0);
+        q.tick(1); // t=2: due; attempt 2 fails -> re-armed for t=2+4=6.
+        assert_eq!(q.pump(|_| false), 0);
+        q.tick(3); // t=5
+        assert_eq!(q.pump(|_| true), 0);
+        q.tick(1); // t=6: attempt 3 succeeds.
+        assert_eq!(q.pump(|_| true), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().retries, 2);
+    }
+
+    #[test]
+    fn batch_expires_after_max_attempts() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 4,
+            max_attempts: 3,
+            backoff_base: 1,
+        });
+        q.offer(batch(5));
+        for _ in 0..10 {
+            q.pump(|_| false);
+            q.tick(10);
+        }
+        assert!(q.is_empty());
+        let s = q.stats();
+        assert_eq!(s.expired_batches, 1);
+        assert_eq!(s.expired_alerts, 5);
+        assert_eq!(s.retries, 2, "attempts 1 and 2 re-armed, 3 expired");
+    }
+
+    #[test]
+    fn failing_head_does_not_block_later_batches() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 4,
+            max_attempts: 10,
+            backoff_base: 100,
+        });
+        q.offer(batch(1)); // this one the sink rejects
+        q.offer(batch(2)); // this one it accepts
+        let n = q.pump(|b| b.len() == 2);
+        assert_eq!(n, 1);
+        assert_eq!(q.len(), 1, "failed head re-armed, tail delivered");
+    }
+
+    #[test]
+    fn link_outage_then_recovery_loses_nothing_within_budget() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 16,
+            max_attempts: 8,
+            backoff_base: 1,
+        });
+        for _ in 0..10 {
+            q.offer(batch(2));
+        }
+        // Link down for a few pump/tick rounds (within attempt budget).
+        for _ in 0..3 {
+            q.pump(|_| false);
+            q.tick(200);
+        }
+        // Link restored: everything still queued arrives.
+        q.pump(|_| true);
+        let s = q.stats();
+        assert_eq!(s.delivered, 10);
+        assert_eq!(s.dropped_batches(), 0);
+    }
+}

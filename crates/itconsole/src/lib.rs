@@ -16,6 +16,9 @@
 //! * [`coalesce`](mod@coalesce) — alert coalescing and per-host rate limiting (the
 //!   console-side hygiene commercial products apply before the operator
 //!   queue);
+//! * [`delivery`] — the host-side bounded queue that ships batches over an
+//!   unreliable console link with deterministic retry/backoff and drop
+//!   accounting;
 //! * [`sentinel`] — "best user" identification (Table 2) and a simple
 //!   collaborative-detection scheme over sentinel alarms (§7 future work).
 
@@ -26,12 +29,16 @@ pub mod batch;
 pub mod coalesce;
 pub mod compliance;
 pub mod console;
+pub mod delivery;
 pub mod sentinel;
 pub mod triage;
 
-pub use batch::AlertBatcher;
+pub use batch::{AlertBatcher, LatePolicy};
 pub use coalesce::{coalesce, CoalescedAlert, RateLimiter};
 pub use compliance::{audit, ComplianceReport, Deviation};
 pub use console::{CentralConsole, ConsoleStats};
-pub use sentinel::{best_users, sentinel_consensus, SentinelConfig};
+pub use delivery::{DeliveryConfig, DeliveryQueue, DeliveryStats};
+pub use sentinel::{
+    best_users, sentinel_consensus, sentinel_consensus_degraded, DegradedConsensus, SentinelConfig,
+};
 pub use triage::{simulate_week, TriageConfig, TriageOutcome};

@@ -72,6 +72,68 @@ pub fn sentinel_consensus(
     advisories
 }
 
+/// Sentinel consensus over a test week with partial telemetry and
+/// delivery loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedConsensus {
+    /// Windows where a quorum of *reporting* sentinels alarmed.
+    pub advisories: Vec<usize>,
+    /// Windows where fewer than `quorum` sentinels reported at all —
+    /// consensus was structurally impossible there, which operators need
+    /// to see as a coverage gap, not as "no attack".
+    pub blind_windows: Vec<usize>,
+    /// Sentinel-window reports lost to telemetry/delivery faults.
+    pub reports_missing: u64,
+}
+
+/// [`sentinel_consensus`] under partial coverage.
+///
+/// `coverage[user][window]` marks whether that user's report for that
+/// window actually reached the console (the complement of what the
+/// delivery queue and telemetry faults lost). The quorum is counted over
+/// the sentinels that *reported*; windows where even full agreement could
+/// not reach quorum are returned separately as blind.
+pub fn sentinel_consensus_degraded(
+    alarm_matrix: &[Vec<bool>],
+    coverage: &[Vec<bool>],
+    thresholds: &[f64],
+    config: &SentinelConfig,
+) -> DegradedConsensus {
+    assert_eq!(alarm_matrix.len(), thresholds.len());
+    assert_eq!(alarm_matrix.len(), coverage.len());
+    let mut out = DegradedConsensus {
+        advisories: Vec::new(),
+        blind_windows: Vec::new(),
+        reports_missing: 0,
+    };
+    if alarm_matrix.is_empty() {
+        return out;
+    }
+    let sentinels = best_users(thresholds, config.n_sentinels);
+    let n_windows = alarm_matrix.iter().map(|r| r.len()).max().unwrap_or(0);
+    for w in 0..n_windows {
+        let mut reporting = 0usize;
+        let mut firing = 0usize;
+        for &u in &sentinels {
+            let covered = coverage[u].get(w).copied().unwrap_or(false);
+            if !covered {
+                out.reports_missing += 1;
+                continue;
+            }
+            reporting += 1;
+            if alarm_matrix[u].get(w).copied().unwrap_or(false) {
+                firing += 1;
+            }
+        }
+        if reporting < config.quorum {
+            out.blind_windows.push(w);
+        } else if firing >= config.quorum {
+            out.advisories.push(w);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +211,65 @@ mod tests {
     fn empty_population() {
         let advisories = sentinel_consensus(&[], &[], &SentinelConfig::default());
         assert!(advisories.is_empty());
+    }
+
+    #[test]
+    fn degraded_matches_clean_under_full_coverage() {
+        let thresholds = vec![1.0, 2.0, 3.0, 100.0, 200.0];
+        let alarms = vec![
+            vec![true, true, false],
+            vec![true, false, false],
+            vec![false, true, false],
+            vec![false, false, true],
+            vec![false, false, true],
+        ];
+        let full = vec![vec![true; 3]; 5];
+        let config = SentinelConfig {
+            n_sentinels: 3,
+            quorum: 2,
+        };
+        let clean = sentinel_consensus(&alarms, &thresholds, &config);
+        let degraded = sentinel_consensus_degraded(&alarms, &full, &thresholds, &config);
+        assert_eq!(degraded.advisories, clean);
+        assert!(degraded.blind_windows.is_empty());
+        assert_eq!(degraded.reports_missing, 0);
+    }
+
+    #[test]
+    fn quorum_counts_only_reporting_sentinels() {
+        let thresholds = vec![1.0, 2.0, 3.0];
+        // Window 0: all three fire but sentinel 2's report is lost —
+        // quorum of 2 still reached by the two that reported.
+        // Window 1: two fire, but one of them is dark: only one report
+        // fires -> no advisory, and 2 sentinels still report (not blind).
+        let alarms = vec![vec![true, true], vec![true, true], vec![true, false]];
+        let coverage = vec![vec![true, true], vec![true, false], vec![false, true]];
+        let config = SentinelConfig {
+            n_sentinels: 3,
+            quorum: 2,
+        };
+        let out = sentinel_consensus_degraded(&alarms, &coverage, &thresholds, &config);
+        assert_eq!(out.advisories, vec![0]);
+        assert!(out.blind_windows.is_empty());
+        assert_eq!(out.reports_missing, 2);
+    }
+
+    #[test]
+    fn blind_windows_reported_not_silent() {
+        let thresholds = vec![1.0, 2.0, 3.0];
+        let alarms = vec![vec![true; 4], vec![true; 4], vec![true; 4]];
+        let mut coverage = vec![vec![true; 4]; 3];
+        // Window 2: every sentinel's report lost.
+        for c in &mut coverage {
+            c[2] = false;
+        }
+        let config = SentinelConfig {
+            n_sentinels: 3,
+            quorum: 2,
+        };
+        let out = sentinel_consensus_degraded(&alarms, &coverage, &thresholds, &config);
+        assert_eq!(out.advisories, vec![0, 1, 3]);
+        assert_eq!(out.blind_windows, vec![2]);
+        assert_eq!(out.reports_missing, 3);
     }
 }

@@ -1,0 +1,161 @@
+//! Per-layer decode-error taxonomy.
+//!
+//! The base [`Error`](crate::Error) says *what* went wrong (truncation, bad
+//! length, bad checksum, ...); a [`DecodeError`] additionally says *where*
+//! in the stack it happened. The ingest pipeline (`flowtab`) tags every
+//! parse failure with its [`Layer`] so loss accounting can distinguish, say,
+//! a storm of truncated TCP segments (likely capture truncation) from bad
+//! IPv4 checksums (likely bit rot on disk) — the distinction operators need
+//! when deciding whether a host's telemetry is trustworthy.
+
+use crate::Error;
+
+/// The protocol layer at which a decode failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// The pcap container (global header or record framing).
+    Pcap,
+    /// Ethernet II framing.
+    Ethernet,
+    /// ARP.
+    Arp,
+    /// IPv4 header.
+    Ipv4,
+    /// IPv6 header.
+    Ipv6,
+    /// TCP segment.
+    Tcp,
+    /// UDP datagram.
+    Udp,
+    /// ICMPv4 message.
+    Icmp,
+    /// DNS message.
+    Dns,
+}
+
+impl Layer {
+    /// All layers, in stack order (container first).
+    pub const ALL: [Layer; 9] = [
+        Layer::Pcap,
+        Layer::Ethernet,
+        Layer::Arp,
+        Layer::Ipv4,
+        Layer::Ipv6,
+        Layer::Tcp,
+        Layer::Udp,
+        Layer::Icmp,
+        Layer::Dns,
+    ];
+
+    /// Dense index (for per-layer counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Layer::Pcap => 0,
+            Layer::Ethernet => 1,
+            Layer::Arp => 2,
+            Layer::Ipv4 => 3,
+            Layer::Ipv6 => 4,
+            Layer::Tcp => 5,
+            Layer::Udp => 6,
+            Layer::Icmp => 7,
+            Layer::Dns => 8,
+        }
+    }
+
+    /// Short lower-case name (stable; used in reports and CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Pcap => "pcap",
+            Layer::Ethernet => "ethernet",
+            Layer::Arp => "arp",
+            Layer::Ipv4 => "ipv4",
+            Layer::Ipv6 => "ipv6",
+            Layer::Tcp => "tcp",
+            Layer::Udp => "udp",
+            Layer::Icmp => "icmp",
+            Layer::Dns => "dns",
+        }
+    }
+}
+
+impl core::fmt::Display for Layer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A decode failure tagged with the layer that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Layer at which decoding failed.
+    pub layer: Layer,
+    /// What went wrong.
+    pub kind: Error,
+}
+
+impl DecodeError {
+    /// Construct from a layer and a base error.
+    pub fn new(layer: Layer, kind: Error) -> Self {
+        Self { layer, kind }
+    }
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.layer, self.kind)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Error {
+    /// Tag this error with the layer it occurred at.
+    pub fn at(self, layer: Layer) -> DecodeError {
+        DecodeError::new(layer, self)
+    }
+}
+
+/// Extension for `Result<T, Error>`: tag the error side with a layer.
+pub trait LayerResultExt<T> {
+    /// Map the error into a [`DecodeError`] at `layer`.
+    fn at_layer(self, layer: Layer) -> Result<T, DecodeError>;
+}
+
+impl<T> LayerResultExt<T> for Result<T, Error> {
+    fn at_layer(self, layer: Layer) -> Result<T, DecodeError> {
+        self.map_err(|e| e.at(layer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_distinct() {
+        let mut seen = [false; 9];
+        for l in Layer::ALL {
+            assert!(!seen[l.index()], "duplicate index for {l}");
+            seen[l.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_includes_layer_and_kind() {
+        let e = Error::BadLength.at(Layer::Tcp);
+        let text = e.to_string();
+        assert!(text.contains("tcp"), "{text}");
+        assert!(text.contains("length"), "{text}");
+    }
+
+    #[test]
+    fn result_ext_tags_errors_only() {
+        let ok: Result<u8, Error> = Ok(7);
+        assert_eq!(ok.at_layer(Layer::Dns).unwrap(), 7);
+        let err: Result<u8, Error> = Err(Error::Unsupported);
+        let tagged = err.at_layer(Layer::Ipv6).unwrap_err();
+        assert_eq!(tagged.layer, Layer::Ipv6);
+        assert_eq!(tagged.kind, Error::Unsupported);
+    }
+}

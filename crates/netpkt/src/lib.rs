@@ -30,6 +30,7 @@
 pub mod arp;
 pub mod checksum;
 pub mod dns;
+pub mod error;
 pub mod ethernet;
 pub mod icmp;
 pub mod ipv4;
@@ -42,11 +43,14 @@ pub mod udp;
 
 pub use arp::{ArpOp, ArpPacket, ARP_LEN};
 pub use dns::{DnsHeader, DnsOpcode, DnsQuestion, DnsRcode, DnsRecord, DnsRecordType, RData};
+pub use error::{DecodeError, Layer, LayerResultExt};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use icmp::{IcmpMessage, IcmpType, ICMP_HEADER_LEN};
 pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_MIN_HEADER_LEN};
 pub use ipv6::{Ipv6Packet, IPV6_HEADER_LEN};
-pub use pcap::{LinkType, PcapPacket, PcapReader, PcapWriter};
+pub use pcap::{
+    LinkType, LossStats, LossyPcapReader, PcapError, PcapPacket, PcapReader, PcapWriter,
+};
 pub use tcp::{TcpFlags, TcpSegment, TCP_MIN_HEADER_LEN};
 pub use tcpopt::{find_mss, TcpOption, TcpOptionIter};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};

@@ -4,6 +4,14 @@
 //! timestamps), the format produced by the `windump` wrapper used for the
 //! paper's data collection. Both byte orders are accepted when reading;
 //! files are written little-endian.
+//!
+//! Two readers are provided. [`PcapReader`] is strict: the first malformed
+//! record aborts the stream, which is right for data you produced yourself.
+//! [`LossyPcapReader`] is the ingest-path reader: real end-host captures are
+//! messy (hosts power off mid-record, disks flip bits, laptops disconnect),
+//! so it skips unparseable regions, resynchronises on the next plausible
+//! record header, and accounts every lost byte in [`LossStats`] instead of
+//! failing the host's whole week.
 
 use std::io::{self, Read, Write};
 
@@ -203,6 +211,290 @@ impl<R: Read> Iterator for PcapReader<R> {
     }
 }
 
+/// Why a region of a capture could not be decoded (the pcap-layer fault
+/// taxonomy; see also [`crate::DecodeError`] for packet layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcapError {
+    /// No pcap magic found (neither byte order), even after scanning.
+    BadMagic,
+    /// The 24-byte global header is incomplete.
+    TruncatedHeader {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A record header's `incl_len` is implausibly large.
+    ImplausibleLength {
+        /// The claimed record length.
+        claimed: u32,
+    },
+    /// A record body extends past the end of the capture.
+    TruncatedRecord {
+        /// Bytes the record claimed.
+        needed: usize,
+        /// Bytes remaining in the capture.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::BadMagic => write!(f, "not a pcap capture (no magic found)"),
+            PcapError::TruncatedHeader { got } => {
+                write!(f, "pcap global header truncated: 24 bytes needed, {got} present")
+            }
+            PcapError::ImplausibleLength { claimed } => {
+                write!(f, "pcap record length implausible: {claimed} bytes claimed")
+            }
+            PcapError::TruncatedRecord { needed, got } => {
+                write!(f, "pcap record truncated: {needed} bytes claimed, {got} remain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// Loss accounting for a lossy read of one capture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossStats {
+    /// Records decoded successfully.
+    pub records_ok: u64,
+    /// Bad records skipped (counted once per resynchronisation).
+    pub records_skipped: u64,
+    /// Bytes discarded while scanning for the next plausible record.
+    pub bytes_skipped: u64,
+    /// Bytes discarded before the global header was located.
+    pub preamble_skipped: u64,
+    /// The capture ended mid-record (host powered off / disconnected).
+    pub truncated_tail: bool,
+}
+
+impl LossStats {
+    /// True when the capture decoded without any loss.
+    pub fn is_clean(&self) -> bool {
+        self.records_skipped == 0
+            && self.bytes_skipped == 0
+            && self.preamble_skipped == 0
+            && !self.truncated_tail
+    }
+}
+
+/// How far the lossy reader scans for the global-header magic before giving
+/// up on the capture entirely.
+const MAGIC_SCAN_LIMIT: usize = 4096;
+
+/// Hard upper bound on a record's `incl_len` (64 MiB, same as the strict
+/// reader): anything larger is a corrupted length field, not a packet.
+const MAX_RECORD_LEN: u32 = 0x0400_0000;
+
+/// Loss-tolerant pcap reader over an in-memory capture.
+///
+/// Operates on a byte slice (end-host captures are post-processed whole, as
+/// in the paper's windump → Bro pipeline) so resynchronisation can look
+/// ahead without consuming input. On a malformed record it scans forward
+/// one byte at a time for the next *plausible* record header — sane length,
+/// sub-second microseconds field, body that fits the remaining capture —
+/// and resumes there, accumulating [`LossStats`].
+///
+/// Determinism: the output (records + stats) is a pure function of the
+/// input bytes, which the fault-injection harness relies on.
+#[derive(Debug)]
+pub struct LossyPcapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    swapped: bool,
+    link_type: LinkType,
+    snaplen: u32,
+    stats: LossStats,
+    /// Timestamp of the last good record: anchors the plausibility check so
+    /// resynchronisation cannot lock onto garbage that merely looks framed.
+    last_ts: Option<u32>,
+}
+
+/// Resync candidates must sit within this many seconds of the last good
+/// record's timestamp (captures span weeks; corrupted fields are uniform
+/// over the full u32 range, so a ±1-year window rejects almost all fakes).
+const RESYNC_TS_SLACK: i64 = 31_536_000;
+
+impl<'a> LossyPcapReader<'a> {
+    /// Open a capture, scanning past any corrupted preamble for the magic.
+    ///
+    /// Fails only when no pcap magic (either byte order) exists in the
+    /// first [`MAGIC_SCAN_LIMIT`] bytes — with no header there is no byte
+    /// order or link type, so nothing can be salvaged.
+    pub fn new(buf: &'a [u8]) -> Result<Self, PcapError> {
+        let scan_end = buf.len().min(MAGIC_SCAN_LIMIT);
+        let mut start = None;
+        for off in 0..scan_end {
+            if buf.len() - off < 4 {
+                break;
+            }
+            let magic = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+            if magic == MAGIC_LE || magic == MAGIC_LE.swap_bytes() {
+                start = Some((off, magic != MAGIC_LE));
+                break;
+            }
+        }
+        let Some((off, swapped)) = start else {
+            return Err(PcapError::BadMagic);
+        };
+        if buf.len() - off < 24 {
+            return Err(PcapError::TruncatedHeader {
+                got: buf.len() - off,
+            });
+        }
+        let hdr = &buf[off..off + 24];
+        let u32_at = |b: &[u8], o: usize| {
+            let raw = [b[o], b[o + 1], b[o + 2], b[o + 3]];
+            if swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        Ok(Self {
+            buf,
+            pos: off + 24,
+            swapped,
+            link_type: LinkType::from(u32_at(hdr, 20)),
+            snaplen: u32_at(hdr, 16),
+            stats: LossStats {
+                preamble_skipped: off as u64,
+                ..LossStats::default()
+            },
+            last_ts: None,
+        })
+    }
+
+    /// The capture's data-link type.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// The capture's snapshot length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Loss counters accumulated so far.
+    pub fn stats(&self) -> LossStats {
+        self.stats
+    }
+
+    fn u32_at(&self, o: usize) -> u32 {
+        let raw = [self.buf[o], self.buf[o + 1], self.buf[o + 2], self.buf[o + 3]];
+        if self.swapped {
+            u32::from_be_bytes(raw)
+        } else {
+            u32::from_le_bytes(raw)
+        }
+    }
+
+    /// Is there a plausible record header at `o`? Used both for normal
+    /// reads and to validate resynchronisation candidates: sane length,
+    /// sub-second microseconds, body inside the capture, nonzero payload
+    /// (zero-length "records" are how corrupted zero-fill masquerades as
+    /// framing), and — once anchored — a timestamp near the last good one.
+    fn plausible_at(&self, o: usize) -> bool {
+        if self.buf.len() - o < 16 {
+            return false;
+        }
+        let ts_sec = self.u32_at(o);
+        let ts_usec = self.u32_at(o + 4);
+        let incl_len = self.u32_at(o + 8);
+        let ts_ok = match self.last_ts {
+            Some(anchor) => (i64::from(ts_sec) - i64::from(anchor)).abs() <= RESYNC_TS_SLACK,
+            None => true,
+        };
+        ts_ok
+            && ts_usec < 1_000_000
+            && incl_len > 0
+            && incl_len <= MAX_RECORD_LEN
+            && (incl_len as usize) <= self.buf.len() - o - 16
+    }
+
+    /// Scan forward from `from` for the next plausible record header.
+    fn resync(&mut self, from: usize) -> Option<usize> {
+        let mut o = from;
+        while self.buf.len() - o >= 16 {
+            if self.plausible_at(o) {
+                return Some(o);
+            }
+            o += 1;
+        }
+        None
+    }
+
+    /// Next decodable packet; `None` at end of capture (clean or not —
+    /// check [`LossyPcapReader::stats`] afterwards).
+    pub fn next_packet(&mut self) -> Option<PcapPacket> {
+        loop {
+            let remaining = self.buf.len() - self.pos;
+            if remaining == 0 {
+                return None;
+            }
+            if remaining < 16 {
+                // Partial record header at EOF: the capture was cut short.
+                self.stats.truncated_tail = true;
+                self.stats.bytes_skipped += remaining as u64;
+                self.pos = self.buf.len();
+                return None;
+            }
+            if self.plausible_at(self.pos) {
+                let ts_sec = self.u32_at(self.pos);
+                let ts_usec = self.u32_at(self.pos + 4);
+                let incl_len = self.u32_at(self.pos + 8) as usize;
+                let body = self.pos + 16;
+                let data = self.buf[body..body + incl_len].to_vec();
+                self.pos = body + incl_len;
+                self.stats.records_ok += 1;
+                self.last_ts = Some(ts_sec);
+                return Some(PcapPacket {
+                    ts_sec,
+                    ts_usec,
+                    data,
+                });
+            }
+            // Bad record header: skip it and hunt for the next plausible
+            // one. Everything between counts as lost bytes.
+            self.stats.records_skipped += 1;
+            match self.resync(self.pos + 1) {
+                Some(next) => {
+                    self.stats.bytes_skipped += (next - self.pos) as u64;
+                    self.pos = next;
+                }
+                None => {
+                    // Nothing decodable remains; the claimed record ran off
+                    // the end of the capture (or pure garbage follows).
+                    self.stats.truncated_tail = true;
+                    self.stats.bytes_skipped += remaining as u64;
+                    self.pos = self.buf.len();
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Drain the capture, returning every decodable packet plus the final
+    /// loss accounting.
+    pub fn read_all(mut self) -> (Vec<PcapPacket>, LossStats) {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet() {
+            out.push(p);
+        }
+        (out, self.stats)
+    }
+}
+
+impl Iterator for LossyPcapReader<'_> {
+    type Item = PcapPacket;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +585,94 @@ mod tests {
         bytes.extend_from_slice(&0x4000_0000u32.to_le_bytes());
         let mut r = PcapReader::new(&bytes[..]).unwrap();
         assert!(r.next_packet().is_err());
+    }
+
+    fn sample_capture() -> (Vec<PcapPacket>, Vec<u8>) {
+        let packets = sample_packets();
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        for p in &packets {
+            w.write_packet(p).unwrap();
+        }
+        (packets, w.finish().unwrap())
+    }
+
+    #[test]
+    fn lossy_reader_matches_strict_on_clean_capture() {
+        let (packets, bytes) = sample_capture();
+        let r = LossyPcapReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::Ethernet);
+        assert_eq!(r.snaplen(), 65535);
+        let (read, stats) = r.read_all();
+        assert_eq!(read, packets);
+        assert!(stats.is_clean(), "{stats:?}");
+        assert_eq!(stats.records_ok, 5);
+    }
+
+    #[test]
+    fn lossy_reader_skips_corrupt_length_and_resyncs() {
+        let (packets, mut bytes) = sample_capture();
+        // Corrupt the first record's incl_len field (offset 24 + 8).
+        bytes[32..36].copy_from_slice(&0xffff_ffffu32.to_le_bytes());
+        let (read, stats) = LossyPcapReader::new(&bytes[..]).unwrap().read_all();
+        // The first record is lost; the rest are recovered.
+        assert_eq!(read, packets[1..].to_vec());
+        assert_eq!(stats.records_ok, 4);
+        assert!(stats.records_skipped >= 1);
+        assert!(stats.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn lossy_reader_counts_truncated_tail() {
+        let (packets, mut bytes) = sample_capture();
+        bytes.truncate(bytes.len() - 3); // cut the last body short
+        let (read, stats) = LossyPcapReader::new(&bytes[..]).unwrap().read_all();
+        assert_eq!(read, packets[..4].to_vec());
+        assert!(stats.truncated_tail);
+        assert_eq!(stats.records_ok, 4);
+    }
+
+    #[test]
+    fn lossy_reader_scans_past_corrupt_preamble() {
+        let (packets, bytes) = sample_capture();
+        let mut noisy = vec![0x5a; 7];
+        noisy.extend_from_slice(&bytes);
+        let (read, stats) = LossyPcapReader::new(&noisy[..]).unwrap().read_all();
+        assert_eq!(read, packets);
+        assert_eq!(stats.preamble_skipped, 7);
+    }
+
+    #[test]
+    fn lossy_reader_rejects_pure_garbage() {
+        let garbage = vec![0x11u8; 256];
+        assert_eq!(
+            LossyPcapReader::new(&garbage[..]).unwrap_err(),
+            PcapError::BadMagic
+        );
+        assert!(matches!(
+            LossyPcapReader::new(&MAGIC_LE.to_le_bytes()[..]).unwrap_err(),
+            PcapError::TruncatedHeader { got: 4 }
+        ));
+    }
+
+    #[test]
+    fn lossy_reader_big_endian() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_LE.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0i32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&1500u32.to_be_bytes());
+        bytes.extend_from_slice(&101u32.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes());
+        bytes.extend_from_slice(&8u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&[0xaa, 0xbb, 0xcc]);
+        let (read, stats) = LossyPcapReader::new(&bytes[..]).unwrap().read_all();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].data, vec![0xaa, 0xbb, 0xcc]);
+        assert!(stats.is_clean());
     }
 
     #[test]

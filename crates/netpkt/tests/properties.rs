@@ -3,8 +3,12 @@
 use proptest::prelude::*;
 
 use netpkt::checksum::{internet_checksum, Checksum};
-use netpkt::dns::{emit_query, DnsHeader, DnsQuestion, DnsRecordType, DNS_HEADER_LEN};
-use netpkt::{ArpOp, ArpPacket, MacAddr, TcpFlags};
+use netpkt::dns::{emit_query, parse_answers, DnsHeader, DnsQuestion, DnsRecordType, DNS_HEADER_LEN};
+use netpkt::{
+    ArpOp, ArpPacket, EthernetFrame, IcmpMessage, Ipv4Packet, Ipv6Packet, LinkType,
+    LossyPcapReader, MacAddr, PcapPacket, PcapReader, PcapWriter, TcpFlags, TcpSegment,
+    UdpDatagram,
+};
 use std::net::Ipv4Addr;
 
 /// Valid DNS labels: 1..=20 lowercase alphanumerics.
@@ -66,6 +70,94 @@ proptest! {
         let mut buf = [0u8; netpkt::ARP_LEN];
         pkt.emit(&mut buf).unwrap();
         prop_assert_eq!(ArpPacket::parse(&buf).unwrap(), pkt);
+    }
+
+    /// Every layer decoder is total on arbitrary bytes: returns Ok or Err,
+    /// never panics, never reads out of bounds.
+    #[test]
+    fn layer_decoders_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..700)) {
+        let _ = EthernetFrame::parse(&bytes[..]);
+        let _ = Ipv4Packet::parse(&bytes[..]);
+        let _ = Ipv6Packet::parse(&bytes[..]);
+        let _ = TcpSegment::parse(&bytes[..]);
+        let _ = UdpDatagram::parse(&bytes[..]);
+        let _ = IcmpMessage::parse(&bytes[..]);
+        let _ = ArpPacket::parse(&bytes[..]);
+        let _ = DnsHeader::parse(&bytes[..]);
+        let _ = parse_answers(&bytes[..]);
+    }
+
+    /// Both pcap readers are total on arbitrary bytes; the lossy reader's
+    /// accounting never loses track of input bytes.
+    #[test]
+    fn pcap_readers_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        if let Ok(mut strict) = PcapReader::new(&bytes[..]) {
+            for _ in 0..200 {
+                match strict.next_packet() {
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+        if let Ok(reader) = LossyPcapReader::new(&bytes[..]) {
+            let (packets, stats) = reader.read_all();
+            prop_assert_eq!(packets.len() as u64, stats.records_ok);
+            // Accounted bytes never exceed the capture.
+            let payload: u64 = packets.iter().map(|p| p.data.len() as u64 + 16).sum();
+            let accounted = payload + stats.bytes_skipped + stats.preamble_skipped + 24;
+            prop_assert!(accounted <= bytes.len() as u64 + 24);
+        }
+    }
+
+    /// Flipping bits anywhere in a valid capture never panics either
+    /// reader, and the lossy reader still recovers only real records.
+    #[test]
+    fn pcap_bitflips_never_panic(
+        flips in proptest::collection::vec((any::<proptest::sample::Index>(), 0u8..8), 0..12)
+    ) {
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        for i in 0u32..8 {
+            w.write_packet(&PcapPacket {
+                ts_sec: 1_200_000_000 + i,
+                ts_usec: i * 10,
+                data: vec![i as u8; 20 + (i as usize % 7)],
+            }).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        let n = bytes.len();
+        for (idx, bit) in &flips {
+            bytes[idx.index(n)] ^= 1 << bit;
+        }
+        if let Ok(mut strict) = PcapReader::new(&bytes[..]) {
+            while let Ok(Some(_)) = strict.next_packet() {}
+        }
+        if let Ok(reader) = LossyPcapReader::new(&bytes[..]) {
+            let (packets, stats) = reader.read_all();
+            prop_assert!(stats.records_ok <= 8 + stats.records_skipped);
+            prop_assert_eq!(packets.len() as u64, stats.records_ok);
+        }
+    }
+
+    /// The lossy reader recovers every remaining record after a forged
+    /// length field, regardless of which record is hit.
+    #[test]
+    fn lossy_reader_resyncs_after_forged_length(victim in 0usize..6, forged in 0x0500_0000u32..0xffff_0000u32) {
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        for i in 0u32..6 {
+            w.write_packet(&PcapPacket {
+                ts_sec: 1_200_000_000 + i,
+                ts_usec: 0,
+                data: vec![0xab; 30],
+            }).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        // Record i starts at 24 + i * (16 + 30); incl_len at +8.
+        let off = 24 + victim * 46 + 8;
+        bytes[off..off + 4].copy_from_slice(&forged.to_le_bytes());
+        let (packets, stats) = LossyPcapReader::new(&bytes[..]).unwrap().read_all();
+        prop_assert_eq!(stats.records_ok, 5, "{:?}", stats);
+        prop_assert_eq!(packets.len(), 5);
+        prop_assert!(stats.records_skipped >= 1);
     }
 
     /// TCP flag bits survive the flag-byte mask independently.

@@ -4,11 +4,20 @@
 # Builds the workspace, runs the root-package test suites, then smoke-runs
 # every criterion bench routine once (`-- --test` executes each benchmark
 # body without timing it, catching bit-rot in the bench harnesses).
+#
+# The fault-injection smoke stage runs the chaos experiment at a fixed
+# seed and severity; `repro` prints a warning on any conservation-law
+# violation, and the root `tests/chaos.rs` suite (run by `cargo test`)
+# asserts the same laws hard. The clippy gate keeps the packet-decode
+# paths free of `unwrap()` (they must degrade, not panic).
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo clippy -q -p netpkt -p flowtab --lib -- -D clippy::unwrap_used
+cargo run -q --release -p experiments --bin repro -- \
+    --users 40 --weeks 2 --fault-seed 64273 --fault-rate 0.2 chaos
 cargo bench -p bench -- --test
 
 echo "ci.sh: all gates passed"

@@ -14,6 +14,7 @@
 //! | [`hids`] | `hids-core` | threshold heuristics, grouping policies, evaluation |
 //! | [`attacksim`] | `attacksim` | naive / mimicry / replay attacker models |
 //! | [`itconsole`] | `itconsole` | alert batching, central console, sentinels |
+//! | [`faultsim`] | `faultsim` | seeded fault injection: byte, telemetry, batch faults |
 //! | [`experiments`] | `experiments` | every paper figure/table as a function |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@
 
 pub use attacksim;
 pub use experiments;
+pub use faultsim;
 pub use flowtab;
 pub use hids_core as hids;
 pub use itconsole;
@@ -52,13 +54,14 @@ pub mod prelude {
         detection_curve, evasion_budget, hidden_traffic, replay_population, NaiveAttack,
     };
     pub use experiments::{Corpus, CorpusConfig};
+    pub use faultsim::FaultPlan;
     pub use flowtab::{
         extract_features, FeatureCounts, FeatureKind, FeatureSeries, FlowExtractor, FlowRecord,
         Windowing,
     };
     pub use hids_core::{
-        eval::evaluate_policy, Alert, AttackSweep, Detector, EvalConfig, FeatureDataset, Grouping,
-        PartialMethod, Policy, ThresholdHeuristic,
+        degraded::evaluate_policy_degraded, eval::evaluate_policy, Alert, AttackSweep, Detector,
+        EvalConfig, FeatureDataset, Grouping, PartialMethod, Policy, ThresholdHeuristic,
     };
     pub use itconsole::{best_users, AlertBatcher, CentralConsole, SentinelConfig};
     pub use synthgen::{
