@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR]
-//!       [--fault-seed S] [--fault-rate R] [EXPERIMENT...]
+//!       [--fault-seed S] [--fault-rate R]
+//!       [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b
-//!                drift ablation chaos all }   (default: all)
+//!                drift ablation chaos daemon all }   (default: all)
 //! ```
 //!
 //! Prints each artifact as an aligned table and, when `--out` is given,
@@ -22,8 +23,8 @@ use std::time::Instant;
 
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
-    ablation, chaos, collab, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5, multifeat,
-    ops, report, seeds, tab2, tab3, Corpus, Table,
+    ablation, chaos, collab, daemon, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5,
+    multifeat, ops, report, seeds, tab2, tab3, Corpus, Table,
 };
 use flowtab::FeatureKind;
 use synthgen::StormConfig;
@@ -36,12 +37,14 @@ struct Args {
     out: Option<PathBuf>,
     fault_seed: u64,
     fault_rate: f64,
+    delivery_attempts: Option<u32>,
+    delivery_backoff: Option<u64>,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [EXPERIMENT...]\n\
-     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos all"
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]\n\
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon all"
         .to_string()
 }
 
@@ -54,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         fault_seed: 0xFA17,
         fault_rate: 0.2,
+        delivery_attempts: None,
+        delivery_backoff: None,
         experiments: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -76,6 +81,20 @@ fn parse_args() -> Result<Args, String> {
             "--fault-rate" => {
                 args.fault_rate = value("--fault-rate")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--delivery-attempts" => {
+                args.delivery_attempts = Some(
+                    value("--delivery-attempts")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--delivery-backoff" => {
+                args.delivery_backoff = Some(
+                    value("--delivery-backoff")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -87,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
     if args.experiments.is_empty() {
         args.experiments.push("all".to_string());
     }
+    if args.users == 0 {
+        return Err("--users must be at least 1".into());
+    }
     if args.weeks < 2 {
         return Err("--weeks must be at least 2 (train + test)".into());
     }
@@ -95,6 +117,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if !(0.0..=1.0).contains(&args.fault_rate) {
         return Err("--fault-rate must be in [0, 1]".into());
+    }
+    if args.delivery_attempts == Some(0) {
+        return Err("--delivery-attempts must be at least 1".into());
+    }
+    if args.delivery_backoff == Some(0) {
+        return Err("--delivery-backoff must be at least 1 tick".into());
     }
     Ok(args)
 }
@@ -424,11 +452,83 @@ fn main() -> ExitCode {
     });
 
     experiment!("chaos", {
-        let ccfg = chaos::ChaosConfig::new(args.fault_seed, args.fault_rate);
+        let mut ccfg = chaos::ChaosConfig::new(args.fault_seed, args.fault_rate);
+        if let Some(n) = args.delivery_attempts {
+            ccfg.queue.max_attempts = n;
+        }
+        if let Some(t) = args.delivery_backoff {
+            ccfg.queue.backoff_base = t;
+        }
         let r = chaos::run(&corpus, tcp, &ccfg);
         emit(&chaos::table(&r), &args.out, "chaos");
         if let Err(e) = r.check() {
             eprintln!("warning: chaos invariant violated: {e}");
+        }
+    });
+
+    experiment!("daemon", {
+        let mut scenario = daemon::DaemonScenario {
+            feature: tcp,
+            ..daemon::DaemonScenario::default()
+        };
+        if let Some(n) = args.delivery_attempts {
+            scenario.delivery.max_attempts = n;
+        }
+        if let Some(t) = args.delivery_backoff {
+            scenario.delivery.backoff_base = t;
+        }
+        if args.fault_rate > 0.0 {
+            // One poisoned host per run keeps the quarantine path hot
+            // without drowning the coverage picture.
+            scenario.poison_hosts = vec![(args.fault_seed % args.users as u64) as u32];
+            eprintln!(
+                "note: host {} carries a poison batch; panic traces below are injected \
+                 faults survived by the shard supervisor",
+                scenario.poison_hosts[0]
+            );
+        }
+        let batches = daemon::build_batches(&corpus, &scenario);
+
+        let ref_dir = daemon::unique_run_dir("repro-ref");
+        let reference = match daemon::run(&ref_dir, &scenario, &batches, &[]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("daemon experiment failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        emit(&daemon::hosts_table(&reference), &args.out, "daemon_hosts");
+        emit(&daemon::ops_table(&reference), &args.out, "daemon_ops");
+        if let Err(e) = reference.check() {
+            eprintln!("warning: daemon invariant violated: {e}");
+        }
+
+        if args.fault_rate > 0.0 {
+            // Crash-recovery self-check: replay the same stream through a
+            // daemon killed at seeded batch/byte boundaries (including a
+            // torn final WAL record) and demand a byte-identical hosts CSV.
+            let kills = faultsim::kill_points(
+                args.fault_seed,
+                6,
+                reference.total_applied,
+                reference.total_wal_bytes,
+            );
+            let kill_dir = daemon::unique_run_dir("repro-kill");
+            match daemon::run(&kill_dir, &scenario, &batches, &kills) {
+                Ok(killed) => {
+                    if daemon::hosts_csv(&killed) == daemon::hosts_csv(&reference) {
+                        eprintln!(
+                            "daemon kill-recovery check: {} kills over {} lifetimes, hosts CSV identical",
+                            killed.recovery.kills, killed.recovery.lifetimes
+                        );
+                    } else {
+                        eprintln!("warning: daemon kill-recovery check FAILED: hosts CSV diverged");
+                    }
+                }
+                Err(e) => eprintln!("warning: daemon kill-recovery run failed: {e}"),
+            }
+            let _ = std::fs::remove_dir_all(&kill_dir);
         }
     });
 

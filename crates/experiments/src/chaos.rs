@@ -445,11 +445,11 @@ impl ChaosReport {
                 q.delivered, q.expired_batches, q.enqueued
             ));
         }
-        if d.console_alerts + q.dropped_alerts() != d.alerts_after_faults {
+        if d.console_alerts + q.dropped_units() != d.alerts_after_faults {
             return Err(format!(
                 "delivery: console {} + dropped {} != offered {}",
                 d.console_alerts,
-                q.dropped_alerts(),
+                q.dropped_units(),
                 d.alerts_after_faults
             ));
         }

@@ -28,6 +28,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod collab;
+pub mod daemon;
 pub mod data;
 pub mod drift;
 pub mod fig1;

@@ -1,0 +1,137 @@
+//! Seeded kill schedules for crash-recovery testing.
+//!
+//! The fleet daemon's headline correctness property is *kill-anywhere
+//! determinism*: terminate the process at any batch or byte boundary,
+//! restart it, and the final per-host results must be bit-identical to an
+//! uninterrupted run. Proving that needs a way to die at *chosen, seeded*
+//! points — including mid-record torn writes, the classic crash mode of an
+//! append-only log on a real filesystem.
+//!
+//! A [`KillPoint`] names one such death:
+//!
+//! * [`KillPoint::AfterBatches`] — crash cleanly after the *n*-th batch is
+//!   applied and logged, before its acknowledgement reaches the source
+//!   (exercising at-least-once redelivery and duplicate suppression);
+//! * [`KillPoint::AtWalByte`] — crash while appending the write-ahead-log
+//!   record that crosses a cumulative byte offset, leaving `torn` bytes of
+//!   the record on disk (exercising torn-tail truncation on recovery).
+//!
+//! [`kill_points`] derives an arbitrary number of points from a master
+//! seed, alternating the two classes and scattering them uniformly over a
+//! measured reference run — the same pattern as the other fault classes in
+//! this crate: pure, replayable, uncorrelated across seeds.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+/// One scheduled process death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KillPoint {
+    /// Crash after this many batches have been applied and logged in the
+    /// current process lifetime, suppressing the final acknowledgement.
+    AfterBatches(u64),
+    /// Crash while appending the WAL record that would cross `offset`
+    /// cumulative appended bytes (lifetime of the log, monotone across
+    /// snapshot truncations), writing only the first `torn` bytes of the
+    /// framed record. `torn == 0` is a clean record-boundary crash.
+    AtWalByte {
+        /// Cumulative appended-byte offset that triggers the crash.
+        offset: u64,
+        /// Bytes of the in-flight record actually written before death.
+        torn: u32,
+    },
+}
+
+/// Largest torn-prefix length [`kill_points`] will schedule. Record frames
+/// are headers (12 bytes) plus payload, so this covers cuts inside the
+/// header, inside small payloads, and at awkward alignments.
+pub const MAX_TORN_BYTES: u32 = 48;
+
+/// Derive `n` kill points from `master_seed`, scattered over a run known
+/// (from an uninterrupted reference execution) to apply `max_batches`
+/// batches and append `max_wal_bytes` WAL bytes. Points alternate between
+/// batch-boundary and torn-write deaths; the torn lengths include `0`
+/// (clean boundary) and cuts inside the record header and payload.
+///
+/// Degenerate reference runs (zero batches or bytes) yield points that
+/// can never fire, which is the correct behaviour: there is nothing to
+/// kill.
+pub fn kill_points(master_seed: u64, n: usize, max_batches: u64, max_wal_bytes: u64) -> Vec<KillPoint> {
+    let mut rng = StdRng::seed_from_u64(crate::subseed(master_seed, 4));
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                let after = if max_batches == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(1..=max_batches)
+                };
+                KillPoint::AfterBatches(after)
+            } else {
+                let offset = if max_wal_bytes == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(0..max_wal_bytes)
+                };
+                let torn = rng.random_range(0..=MAX_TORN_BYTES);
+                KillPoint::AtWalByte { offset, torn }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let a = kill_points(7, 24, 100, 10_000);
+        let b = kill_points(7, 24, 100, 10_000);
+        assert_eq!(a, b);
+        let c = kill_points(8, 24, 100, 10_000);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn points_alternate_and_stay_in_range() {
+        let pts = kill_points(42, 40, 64, 4096);
+        assert_eq!(pts.len(), 40);
+        for (i, p) in pts.iter().enumerate() {
+            match (i % 2, p) {
+                (0, KillPoint::AfterBatches(n)) => {
+                    assert!((1..=64).contains(n), "point {i}: {p:?}")
+                }
+                (1, KillPoint::AtWalByte { offset, torn }) => {
+                    assert!(*offset < 4096, "point {i}: {p:?}");
+                    assert!(*torn <= MAX_TORN_BYTES, "point {i}: {p:?}");
+                }
+                _ => panic!("point {i} has the wrong class: {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_lengths_cover_boundary_and_midrecord() {
+        let pts = kill_points(3, 200, 50, 100_000);
+        let torns: Vec<u32> = pts
+            .iter()
+            .filter_map(|p| match p {
+                KillPoint::AtWalByte { torn, .. } => Some(*torn),
+                _ => None,
+            })
+            .collect();
+        assert!(torns.iter().any(|&t| t == 0), "need a clean-boundary kill");
+        assert!(torns.iter().any(|&t| t > 0), "need mid-record torn kills");
+    }
+
+    #[test]
+    fn degenerate_reference_never_fires() {
+        for p in kill_points(1, 8, 0, 0) {
+            match p {
+                KillPoint::AfterBatches(n) => assert_eq!(n, u64::MAX),
+                KillPoint::AtWalByte { offset, .. } => assert_eq!(offset, u64::MAX),
+            }
+        }
+    }
+}

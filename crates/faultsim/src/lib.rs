@@ -16,7 +16,9 @@
 //! * [`telemetry`] — per-host window loss and dropout/rejoin episodes,
 //!   attacking `hids-core`'s evaluation layer;
 //! * [`batchfault`] — duplication and reordering of alert batches in
-//!   flight, attacking `itconsole`'s ingest path.
+//!   flight, attacking `itconsole`'s ingest path;
+//! * [`killsched`] — seeded process-death schedules (batch-boundary kills
+//!   and mid-record torn WAL writes), attacking `fleetd`'s crash recovery.
 //!
 //! A [`FaultPlan`] bundles all three behind a single master seed, deriving
 //! an independent deterministic stream per class, and scales with a single
@@ -30,10 +32,12 @@
 
 pub mod batchfault;
 pub mod bytes;
+pub mod killsched;
 pub mod telemetry;
 
 pub use batchfault::{BatchFaultLog, BatchFaults};
 pub use bytes::{ByteFaultLog, ByteFaults};
+pub use killsched::{kill_points, KillPoint};
 pub use telemetry::{TelemetryFaultLog, TelemetryFaults};
 
 /// Derive an independent sub-seed for one fault class from a master seed.

@@ -1,0 +1,855 @@
+//! The daemon proper: a deterministic event loop over sharded host state.
+//!
+//! `fleetd` is a virtual-clock state machine, not a thread pool: the
+//! harness drives it by [`offer`](Daemon::offer)ing batches and calling
+//! [`tick`](Daemon::tick), and every decision — shard scheduling, shed
+//! deadlines, backoff expiry, snapshot cadence — is a pure function of
+//! the offer/tick sequence. That is what makes the headline crash
+//! property testable at all: two runs with the same input schedule are
+//! bit-identical, so a run killed at an arbitrary WAL byte and restarted
+//! must reconverge to the uninterrupted run's exact outputs.
+//!
+//! The per-batch pipeline and its crash windows:
+//!
+//! ```text
+//! pop → stale? → apply (catch_unwind) → WAL append → completion
+//!                │                      │             │
+//!                │ panic: strike or     │ crash here: │ crash here: batch
+//!                │ quarantine; never    │ batch lost  │ durable but unacked
+//!                │ reaches the WAL      │ from memory │ → redelivered →
+//!                │                      │ & WAL →     │ seq-deduped as
+//!                │                      │ redelivered │ Duplicate
+//! ```
+//!
+//! Every window is covered by at-least-once redelivery plus idempotent
+//! apply, which is the whole recovery argument in one line.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use crate::codec::WindowBatch;
+use crate::queue::{Admit, Popped, QueueConfig, ShardQueue};
+use crate::snapshot::{self, Snapshot};
+use crate::state::{ApplyConfig, ApplyOutcome, HostState, ShardState};
+use crate::supervisor::{SupervisorConfig, Worker, WorkerStatus};
+use crate::wal::{AppendOutcome, KillSwitch, WalWriter};
+
+/// Full daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Number of shard workers; hosts are routed by `host % n_shards`.
+    pub n_shards: usize,
+    /// Windows per week.
+    pub n_windows: u32,
+    /// Quantile for per-host live thresholds.
+    pub threshold_q: f64,
+    /// Write a snapshot after at least this many applied batches.
+    pub snapshot_every: u64,
+    /// Per-shard queue sizing and shedding.
+    pub queue: QueueConfig,
+    /// Supervision tunables.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: 4,
+            n_windows: 672,
+            threshold_q: 0.99,
+            snapshot_every: 64,
+            queue: QueueConfig::default(),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// Daemon failure modes.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Filesystem error on the WAL or a snapshot.
+    Io(std::io::Error),
+    /// The [`KillSwitch`] fired: the simulated process is dead. The
+    /// daemon instance must be dropped and recovered via [`Daemon::open`].
+    Killed,
+    /// Invalid configuration.
+    Config(&'static str),
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl core::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "daemon i/o error: {e}"),
+            DaemonError::Killed => write!(f, "kill switch fired"),
+            DaemonError::Config(msg) => write!(f, "bad daemon config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+/// How one offered batch ultimately resolved. Exactly one completion is
+/// emitted per admitted batch (unless a crash intervenes, in which case
+/// redelivery produces one on a later attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Host the batch belonged to.
+    pub host: u32,
+    /// The batch's sequence number.
+    pub seq: u64,
+    /// How it resolved.
+    pub disposition: Disposition,
+}
+
+/// Terminal classification of an admitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Applied and durable in the WAL.
+    Applied,
+    /// Sequence number already applied (redelivery after a lost ack).
+    Duplicate,
+    /// Panicked the worker `quarantine_strikes` times; parked.
+    Quarantined,
+    /// Shed: sat queued past the freshness deadline.
+    ShedOverload,
+    /// Shed: its shard's circuit breaker had tripped.
+    ShedDark,
+    /// Structurally invalid (e.g. windows out of range).
+    Rejected,
+}
+
+/// Monotone counters over one daemon lifetime.
+///
+/// These are operational telemetry, not part of the determinism
+/// contract — a killed-and-recovered scenario reports different counter
+/// totals than an uninterrupted one (redeliveries become duplicates); it
+/// is the per-host *outputs* that must match. The counters obey the
+/// conservation law checked by [`DaemonStats::conservation_holds`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Batches accepted into a queue (or shed on arrival at a dark
+    /// shard). Excludes overflow rejections.
+    pub admitted: u64,
+    /// Batches refused outright at the hard capacity backstop.
+    pub overflow: u64,
+    /// Batches applied and made durable.
+    pub applied: u64,
+    /// Batches deduplicated by sequence number.
+    pub duplicates: u64,
+    /// Batches quarantined after repeated panics.
+    pub quarantined: u64,
+    /// Batches shed for staleness under overload.
+    pub shed_overload: u64,
+    /// Batches shed because their shard was dark.
+    pub shed_dark: u64,
+    /// Batches rejected as structurally invalid.
+    pub rejected: u64,
+    /// Circuit-breaker trips (shards lost this lifetime).
+    pub breaker_trips: u64,
+    /// Snapshots successfully installed.
+    pub snapshots_written: u64,
+}
+
+impl DaemonStats {
+    /// Batches that have reached a terminal disposition.
+    pub fn accounted(&self) -> u64 {
+        self.applied
+            + self.duplicates
+            + self.quarantined
+            + self.shed_overload
+            + self.shed_dark
+            + self.rejected
+    }
+
+    /// The conservation law: every admitted batch is either terminally
+    /// accounted or still sitting in a queue. (Checked at quiescent
+    /// points; a batch popped and mid-pipeline would be in neither side.)
+    pub fn conservation_holds(&self, in_queues: u64) -> bool {
+        self.admitted == self.accounted() + in_queues
+    }
+}
+
+/// What [`Daemon::open`] reconstructed from disk.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Sequence of the snapshot loaded, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Newer-but-damaged snapshots skipped over.
+    pub snapshots_discarded: u32,
+    /// Valid frames found in the WAL.
+    pub wal_batches: u64,
+    /// Frames that advanced state on replay.
+    pub wal_replayed: u64,
+    /// Frames already covered by the snapshot (seq-deduped).
+    pub wal_duplicates: u64,
+    /// Frames rejected as structurally invalid on replay.
+    pub wal_rejected: u64,
+    /// Frames that panicked replay and were skipped (defensive; the
+    /// apply-before-append ordering should make this impossible).
+    pub wal_quarantined: u64,
+    /// Torn/corrupt tail bytes truncated from the WAL.
+    pub wal_torn_bytes: u64,
+}
+
+struct Shard {
+    queue: ShardQueue,
+    worker: Worker,
+    state: ShardState,
+    /// Panic strikes per (host, seq) batch identity.
+    strikes: BTreeMap<(u32, u64), u32>,
+}
+
+/// The crash-safe streaming evaluation daemon.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    dir: PathBuf,
+    wal: WalWriter,
+    shards: Vec<Shard>,
+    tick: u64,
+    next_snapshot_seq: u64,
+    applied_since_snapshot: u64,
+    stats: DaemonStats,
+    completions: Vec<Completion>,
+}
+
+impl Daemon {
+    /// Open (or recover) a daemon rooted at `dir`: load the newest valid
+    /// snapshot, replay and truncate the WAL, and report what was found.
+    pub fn open(dir: &Path, cfg: DaemonConfig) -> Result<(Self, RecoveryReport), DaemonError> {
+        validate(&cfg)?;
+        std::fs::create_dir_all(dir)?;
+
+        let mut report = RecoveryReport::default();
+        let (snap, discarded) = snapshot::load_latest(dir)?;
+        report.snapshots_discarded = discarded;
+
+        let mut shards: Vec<Shard> = (0..cfg.n_shards)
+            .map(|_| Shard {
+                queue: ShardQueue::new(cfg.queue),
+                worker: Worker::new(),
+                state: ShardState::default(),
+                strikes: BTreeMap::new(),
+            })
+            .collect();
+
+        let mut next_snapshot_seq = 1;
+        if let Some(snap) = snap {
+            if snap.n_windows != cfg.n_windows {
+                return Err(DaemonError::Config(
+                    "snapshot was written with a different n_windows",
+                ));
+            }
+            report.snapshot_seq = Some(snap.seq);
+            next_snapshot_seq = snap.seq + 1;
+            for (host, st) in snap.hosts {
+                let idx = host as usize % cfg.n_shards;
+                shards[idx].state.hosts.insert(host, st);
+            }
+        }
+
+        let (wal, replay) = WalWriter::open(&dir.join("wal.bin"))?;
+        report.wal_torn_bytes = replay.torn_bytes;
+        report.wal_batches = replay.batches.len() as u64;
+        let apply_cfg = ApplyConfig {
+            n_windows: cfg.n_windows,
+            threshold_q: cfg.threshold_q,
+        };
+        for batch in &replay.batches {
+            let idx = batch.host as usize % cfg.n_shards;
+            let shard = &mut shards[idx];
+            let outcome = catch_unwind(AssertUnwindSafe(|| shard.state.apply(batch, &apply_cfg)));
+            match outcome {
+                Ok(Ok(ApplyOutcome::Applied)) => report.wal_replayed += 1,
+                Ok(Ok(ApplyOutcome::Duplicate)) => report.wal_duplicates += 1,
+                Ok(Err(_)) => report.wal_rejected += 1,
+                Err(_) => report.wal_quarantined += 1,
+            }
+        }
+
+        let daemon = Self {
+            dir: dir.to_path_buf(),
+            wal,
+            shards,
+            tick: 0,
+            next_snapshot_seq,
+            // Count the replayed backlog toward the next snapshot so a
+            // crash loop cannot grow the WAL without bound: recovery with
+            // a long tail snapshots soon after restart.
+            applied_since_snapshot: report.wal_replayed,
+            stats: DaemonStats::default(),
+            completions: Vec::new(),
+            cfg,
+        };
+        Ok((daemon, report))
+    }
+
+    /// Offer one batch for processing. `Overflow` means it was NOT
+    /// admitted and the source must retry later; anything else means the
+    /// daemon now owns it and will emit exactly one completion for it
+    /// (barring a crash, which redelivery covers).
+    pub fn offer(&mut self, batch: WindowBatch) -> Admit {
+        let idx = batch.host as usize % self.cfg.n_shards;
+        let shard = &mut self.shards[idx];
+        if shard.worker.is_dark() {
+            // A dark shard sheds on arrival; admission still succeeds so
+            // the source does not spin on redelivery.
+            self.stats.admitted += 1;
+            self.stats.shed_dark += 1;
+            self.completions.push(Completion {
+                host: batch.host,
+                seq: batch.seq,
+                disposition: Disposition::ShedDark,
+            });
+            return Admit::Queued;
+        }
+        match shard.queue.offer(self.tick, batch) {
+            Admit::Overflow => {
+                self.stats.overflow += 1;
+                Admit::Overflow
+            }
+            verdict => {
+                self.stats.admitted += 1;
+                verdict
+            }
+        }
+    }
+
+    /// Advance the virtual clock one tick: each running shard worker
+    /// processes up to its quantum of batches. Returns
+    /// [`DaemonError::Killed`] when the kill switch fires — the caller
+    /// must then drop this instance and recover via [`Daemon::open`].
+    pub fn tick(&mut self, kill: &mut KillSwitch) -> Result<(), DaemonError> {
+        self.tick += 1;
+        let tick = self.tick;
+        let quantum = self.cfg.queue.quantum;
+        let apply_cfg = ApplyConfig {
+            n_windows: self.cfg.n_windows,
+            threshold_q: self.cfg.threshold_q,
+        };
+        let sup = self.cfg.supervisor;
+        let mut need_snapshot = false;
+
+        for shard in &mut self.shards {
+            if !shard.worker.poll_running(tick) {
+                continue;
+            }
+            for _ in 0..quantum {
+                let (enq, batch) = match shard.queue.pop(tick) {
+                    None => break,
+                    Some(Popped::Stale(b)) => {
+                        self.stats.shed_overload += 1;
+                        self.completions.push(Completion {
+                            host: b.host,
+                            seq: b.seq,
+                            disposition: Disposition::ShedOverload,
+                        });
+                        continue;
+                    }
+                    Some(Popped::Fresh(enq, b)) => (enq, b),
+                };
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| shard.state.apply(&batch, &apply_cfg)));
+                match outcome {
+                    Ok(Ok(ApplyOutcome::Applied)) => {
+                        if self.wal.append(&batch, kill)? == AppendOutcome::Killed {
+                            return Err(DaemonError::Killed);
+                        }
+                        shard.worker.note_success();
+                        self.stats.applied += 1;
+                        self.applied_since_snapshot += 1;
+                        if self.applied_since_snapshot >= self.cfg.snapshot_every {
+                            need_snapshot = true;
+                        }
+                        if kill.after_batch_applied() {
+                            // Die with the ack suppressed: the batch is
+                            // durable but the source never hears so, and
+                            // must rediscover that via redelivery.
+                            return Err(DaemonError::Killed);
+                        }
+                        self.completions.push(Completion {
+                            host: batch.host,
+                            seq: batch.seq,
+                            disposition: Disposition::Applied,
+                        });
+                    }
+                    Ok(Ok(ApplyOutcome::Duplicate)) => {
+                        shard.worker.note_success();
+                        self.stats.duplicates += 1;
+                        self.completions.push(Completion {
+                            host: batch.host,
+                            seq: batch.seq,
+                            disposition: Disposition::Duplicate,
+                        });
+                    }
+                    Ok(Err(_)) => {
+                        shard.worker.note_success();
+                        self.stats.rejected += 1;
+                        self.completions.push(Completion {
+                            host: batch.host,
+                            seq: batch.seq,
+                            disposition: Disposition::Rejected,
+                        });
+                    }
+                    Err(_) => {
+                        let key = (batch.host, batch.seq);
+                        let strikes = shard.strikes.entry(key).or_insert(0);
+                        *strikes += 1;
+                        if *strikes >= sup.quarantine_strikes {
+                            shard.strikes.remove(&key);
+                            self.stats.quarantined += 1;
+                            self.completions.push(Completion {
+                                host: batch.host,
+                                seq: batch.seq,
+                                disposition: Disposition::Quarantined,
+                            });
+                        } else {
+                            shard.queue.push_front(enq, batch);
+                        }
+                        if shard.worker.note_panic(tick, &sup) {
+                            self.stats.breaker_trips += 1;
+                            for b in shard.queue.drain_all() {
+                                self.stats.shed_dark += 1;
+                                self.completions.push(Completion {
+                                    host: b.host,
+                                    seq: b.seq,
+                                    disposition: Disposition::ShedDark,
+                                });
+                            }
+                        }
+                        // The worker is restarting (or dark); its quantum
+                        // is over either way.
+                        break;
+                    }
+                }
+            }
+        }
+
+        if need_snapshot {
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Tick until every queue is empty or `max_ticks` elapse. Returns
+    /// whether full quiescence was reached (`false` = stalled, which
+    /// given quarantine bounds should not happen and is surfaced for
+    /// tests to assert on).
+    pub fn drain(&mut self, kill: &mut KillSwitch, max_ticks: u64) -> Result<bool, DaemonError> {
+        for _ in 0..max_ticks {
+            if self.queued_total() == 0 {
+                return Ok(true);
+            }
+            self.tick(kill)?;
+        }
+        Ok(self.queued_total() == 0)
+    }
+
+    /// Force a snapshot now (clean shutdown).
+    pub fn checkpoint(&mut self) -> Result<(), DaemonError> {
+        self.write_snapshot()
+    }
+
+    fn write_snapshot(&mut self) -> Result<(), DaemonError> {
+        let mut hosts = BTreeMap::new();
+        for shard in &self.shards {
+            for (&h, st) in &shard.state.hosts {
+                hosts.insert(h, st.clone());
+            }
+        }
+        let snap = Snapshot {
+            seq: self.next_snapshot_seq,
+            n_windows: self.cfg.n_windows,
+            hosts,
+        };
+        snapshot::write_snapshot(&self.dir, &snap)?;
+        self.wal.reset()?;
+        self.next_snapshot_seq += 1;
+        self.applied_since_snapshot = 0;
+        self.stats.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Completions emitted since the last call (the at-least-once ack
+    /// channel: a source marks work done only on seeing its completion).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &DaemonStats {
+        &self.stats
+    }
+
+    /// Batches currently queued across all shards.
+    pub fn queued_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue.len() as u64).sum()
+    }
+
+    /// Deepest any shard queue has been this lifetime (the memory-bound
+    /// witness: with a backpressure-honoring source this never exceeds
+    /// the high watermark).
+    pub fn max_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.max_depth).max().unwrap_or(0)
+    }
+
+    /// Whether the shard owning `host` is currently asserting
+    /// backpressure (busy latch set). A dark shard is deliberately NOT
+    /// busy: it accepts and sheds on arrival, so a backpressure-honoring
+    /// source drains instead of retrying forever against a breaker that
+    /// will never reset.
+    pub fn shard_busy(&self, host: u32) -> bool {
+        self.shards[host as usize % self.cfg.n_shards].queue.busy()
+    }
+
+    /// Worker status per shard.
+    pub fn shard_statuses(&self) -> Vec<WorkerStatus> {
+        self.shards.iter().map(|s| s.worker.status).collect()
+    }
+
+    /// Total worker restarts across shards this lifetime.
+    pub fn worker_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.worker.restarts).sum()
+    }
+
+    /// The merged host table, ordered by host id.
+    pub fn hosts(&self) -> BTreeMap<u32, &HostState> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (&h, st) in &shard.state.hosts {
+                out.insert(h, st);
+            }
+        }
+        out
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+}
+
+fn validate(cfg: &DaemonConfig) -> Result<(), DaemonError> {
+    if cfg.n_shards == 0 {
+        return Err(DaemonError::Config("n_shards must be nonzero"));
+    }
+    if cfg.n_windows == 0 {
+        return Err(DaemonError::Config("n_windows must be nonzero"));
+    }
+    if !(cfg.threshold_q > 0.0 && cfg.threshold_q <= 1.0) {
+        return Err(DaemonError::Config("threshold_q must be in (0, 1]"));
+    }
+    if cfg.snapshot_every == 0 {
+        return Err(DaemonError::Config("snapshot_every must be nonzero"));
+    }
+    if cfg.queue.quantum == 0 {
+        return Err(DaemonError::Config("queue.quantum must be nonzero"));
+    }
+    if cfg.queue.high == 0 || cfg.queue.high > cfg.queue.capacity {
+        return Err(DaemonError::Config(
+            "queue.high must be in 1..=queue.capacity",
+        ));
+    }
+    if cfg.queue.low >= cfg.queue.high {
+        return Err(DaemonError::Config("queue.low must be below queue.high"));
+    }
+    if cfg.supervisor.quarantine_strikes == 0 {
+        return Err(DaemonError::Config("quarantine_strikes must be nonzero"));
+    }
+    if cfg.supervisor.breaker_failures == 0 {
+        return Err(DaemonError::Config("breaker_failures must be nonzero"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Week;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fleetd-daemon-{}-{}-{}",
+            tag,
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_cfg() -> DaemonConfig {
+        DaemonConfig {
+            n_shards: 2,
+            n_windows: 8,
+            threshold_q: 0.99,
+            snapshot_every: 100,
+            queue: QueueConfig {
+                capacity: 32,
+                high: 24,
+                low: 8,
+                shed_after: 1000,
+                quantum: 4,
+            },
+            supervisor: SupervisorConfig {
+                backoff_base: 1,
+                backoff_cap_exp: 4,
+                quarantine_strikes: 2,
+                breaker_failures: 8,
+            },
+        }
+    }
+
+    fn b(host: u32, seq: u64, week: Week, start: u32, counts: &[u64]) -> WindowBatch {
+        WindowBatch {
+            host,
+            seq,
+            week,
+            start,
+            counts: counts.to_vec(),
+            poison: false,
+        }
+    }
+
+    fn feed(d: &mut Daemon, kill: &mut KillSwitch, batches: &[WindowBatch]) {
+        for batch in batches {
+            assert_ne!(d.offer(batch.clone()), Admit::Overflow);
+        }
+        assert!(d.drain(kill, 10_000).unwrap());
+    }
+
+    fn week_batches(host: u32) -> Vec<WindowBatch> {
+        vec![
+            b(host, 1, Week::Train, 0, &[1, 2, 3, 4]),
+            b(host, 2, Week::Train, 4, &[5, 6, 7, 8]),
+            b(host, 3, Week::Test, 0, &[1, 100, 3, 4]),
+            b(host, 4, Week::Test, 4, &[5, 6, 7, 100]),
+        ]
+    }
+
+    #[test]
+    fn cold_start_applies_and_accounts() {
+        let dir = tmpdir("cold");
+        let (mut d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert!(rec.snapshot_seq.is_none());
+        assert_eq!(rec.wal_batches, 0);
+        let mut kill = KillSwitch::none();
+        let batches: Vec<_> = (0..4).flat_map(week_batches).collect();
+        feed(&mut d, &mut kill, &batches);
+        let stats = *d.stats();
+        assert_eq!(stats.applied, 16);
+        assert!(stats.conservation_holds(d.queued_total()));
+        let completions = d.take_completions();
+        assert_eq!(completions.len(), 16);
+        assert!(completions
+            .iter()
+            .all(|c| c.disposition == Disposition::Applied));
+        let hosts = d.hosts();
+        assert_eq!(hosts.len(), 4);
+        for st in hosts.values() {
+            assert_eq!(st.train.len(), 8);
+            assert_eq!(st.test.len(), 8);
+            assert!(st.threshold.is_some());
+            assert_eq!(st.live_alarms, 2, "two 100-count test windows");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_from_wal_reproduces_state_and_dedupes_resends() {
+        let dir = tmpdir("recover");
+        let batches: Vec<_> = (0..4).flat_map(week_batches).collect();
+        let reference;
+        {
+            let (mut d, _) = Daemon::open(&dir, small_cfg()).unwrap();
+            let mut kill = KillSwitch::none();
+            feed(&mut d, &mut kill, &batches);
+            reference = d
+                .hosts()
+                .into_iter()
+                .map(|(h, s)| (h, s.clone()))
+                .collect::<Vec<_>>();
+            // No checkpoint: drop without a snapshot, recovery is pure WAL.
+        }
+        let (mut d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert_eq!(rec.wal_replayed, 16);
+        assert_eq!(rec.wal_torn_bytes, 0);
+        let recovered: Vec<_> = d
+            .hosts()
+            .into_iter()
+            .map(|(h, s)| (h, s.clone()))
+            .collect();
+        assert_eq!(recovered, reference);
+        // Redeliver everything: all duplicates, nothing changes.
+        let mut kill = KillSwitch::none();
+        feed(&mut d, &mut kill, &batches);
+        assert_eq!(d.stats().duplicates, 16);
+        assert_eq!(d.stats().applied, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncates_wal_and_recovery_prefers_it() {
+        let dir = tmpdir("snap");
+        let mut cfg = small_cfg();
+        cfg.snapshot_every = 6;
+        let batches: Vec<_> = (0..4).flat_map(week_batches).collect();
+        let reference;
+        {
+            let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+            let mut kill = KillSwitch::none();
+            feed(&mut d, &mut kill, &batches);
+            assert!(d.stats().snapshots_written >= 2);
+            assert!(
+                d.wal_len() < 200,
+                "snapshots must keep the WAL short, got {}",
+                d.wal_len()
+            );
+            reference = d
+                .hosts()
+                .into_iter()
+                .map(|(h, s)| (h, s.clone()))
+                .collect::<Vec<_>>();
+        }
+        let (d, rec) = Daemon::open(&dir, cfg).unwrap();
+        assert!(rec.snapshot_seq.is_some());
+        let recovered: Vec<_> = d
+            .hosts()
+            .into_iter()
+            .map(|(h, s)| (h, s.clone()))
+            .collect();
+        assert_eq!(recovered, reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poison_is_quarantined_and_daemon_survives() {
+        let dir = tmpdir("poison");
+        let (mut d, _) = Daemon::open(&dir, small_cfg()).unwrap();
+        let mut kill = KillSwitch::none();
+        let mut batches = week_batches(0);
+        batches[2].poison = true; // first test batch of host 0
+        batches.extend(week_batches(1));
+        feed(&mut d, &mut kill, &batches);
+        let stats = *d.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.applied, 7);
+        assert!(stats.conservation_holds(d.queued_total()));
+        assert!(d.worker_restarts() >= 2, "strike model retries once");
+        // Host 1 (other shard) is untouched; host 0 lost only the
+        // poisoned batch's windows.
+        let hosts = d.hosts();
+        assert_eq!(hosts[&1].test.len(), 8);
+        assert_eq!(hosts[&0].test.len(), 4);
+        let completions = d.take_completions();
+        let quarantined: Vec<_> = completions
+            .iter()
+            .filter(|c| c.disposition == Disposition::Quarantined)
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!((quarantined[0].host, quarantined[0].seq), (0, 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn breaker_trips_shard_dark_and_sheds() {
+        let dir = tmpdir("breaker");
+        let mut cfg = small_cfg();
+        cfg.supervisor.breaker_failures = 3;
+        cfg.supervisor.quarantine_strikes = u32::MAX; // never park: pure crash loop
+        let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+        let mut kill = KillSwitch::none();
+        let mut poison = b(0, 1, Week::Train, 0, &[1]);
+        poison.poison = true;
+        d.offer(poison);
+        for batch in week_batches(2) {
+            d.offer(batch); // same shard (2 % 2 == 0), queued behind poison
+        }
+        for batch in week_batches(1) {
+            d.offer(batch); // other shard, must stay healthy
+        }
+        assert!(d.drain(&mut kill, 10_000).unwrap());
+        let stats = *d.stats();
+        assert_eq!(stats.breaker_trips, 1);
+        // The re-queued poison batch plus host 2's four batches all shed
+        // when the shard goes dark.
+        assert_eq!(stats.shed_dark, 5);
+        assert_eq!(stats.applied, 4, "host 1's shard unaffected");
+        assert!(stats.conservation_holds(d.queued_total()));
+        assert!(d.shard_statuses().contains(&WorkerStatus::Dark));
+        // Post-trip offers to the dark shard shed on arrival.
+        d.offer(b(0, 2, Week::Train, 0, &[1]));
+        assert_eq!(d.stats().shed_dark, 6);
+        assert!(d.stats().conservation_holds(d.queued_total()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_work_is_shed_deterministically() {
+        let dir = tmpdir("shed");
+        let mut cfg = small_cfg();
+        cfg.queue.shed_after = 2;
+        cfg.queue.quantum = 1;
+        let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+        let mut kill = KillSwitch::none();
+        // 8 batches on one shard, 1 processed per tick, stale after 2
+        // ticks: the tail of the queue must shed.
+        for batch in (0..8).map(|i| b(0, i + 1, Week::Train, 0, &[i])) {
+            d.offer(batch);
+        }
+        assert!(d.drain(&mut kill, 1_000).unwrap());
+        let stats = *d.stats();
+        assert!(stats.shed_overload > 0);
+        assert_eq!(stats.applied + stats.shed_overload, 8);
+        assert!(stats.conservation_holds(d.queued_total()));
+        // Determinism: identical schedule, identical split.
+        let dir2 = tmpdir("shed2");
+        let (mut d2, _) = Daemon::open(&dir2, cfg).unwrap();
+        for batch in (0..8).map(|i| b(0, i + 1, Week::Train, 0, &[i])) {
+            d2.offer(batch);
+        }
+        assert!(d2.drain(&mut kill, 1_000).unwrap());
+        assert_eq!(*d2.stats(), stats);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let dir = tmpdir("badcfg");
+        for mutate in [
+            (|c: &mut DaemonConfig| c.n_shards = 0) as fn(&mut DaemonConfig),
+            |c| c.n_windows = 0,
+            |c| c.threshold_q = 0.0,
+            |c| c.threshold_q = 1.5,
+            |c| c.snapshot_every = 0,
+            |c| c.queue.quantum = 0,
+            |c| c.queue.high = 0,
+            |c| c.queue.high = c.queue.capacity + 1,
+            |c| c.queue.low = c.queue.high,
+            |c| c.supervisor.quarantine_strikes = 0,
+            |c| c.supervisor.breaker_failures = 0,
+        ] {
+            let mut cfg = small_cfg();
+            mutate(&mut cfg);
+            assert!(matches!(
+                Daemon::open(&dir, cfg),
+                Err(DaemonError::Config(_))
+            ));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! # fleetd — crash-safe streaming evaluation daemon
+//!
+//! The batch pipeline in `experiments` evaluates a finished corpus; a
+//! production deployment of the paper's console model instead receives
+//! per-host window batches continuously, and the machine running the
+//! evaluation crashes, gets overloaded, and meets malformed input. This
+//! crate is the long-running side: a sharded in-memory host table kept
+//! crash-safe by a write-ahead log and periodic snapshots, supervised so
+//! one bad batch cannot take the fleet evaluation down, and protected
+//! from overload by watermark backpressure with accounted load shedding.
+//!
+//! The layering, bottom-up:
+//!
+//! * [`codec`] — little-endian field codec, `WindowBatch`, IEEE CRC-32;
+//! * [`wal`] — CRC-framed append-only log with torn-tail recovery and the
+//!   cooperative [`KillSwitch`](wal::KillSwitch) used by crash-injection
+//!   harnesses;
+//! * [`snapshot`] — atomic (tmp+rename) full-state checkpoints, newest
+//!   valid image wins, keep-two retention;
+//! * [`state`] — per-host accumulators with seq-deduped idempotent apply;
+//! * [`queue`] — bounded per-shard FIFOs with high/low watermark
+//!   hysteresis and staleness shedding;
+//! * [`supervisor`] — panic containment, exponential-backoff worker
+//!   restart, poison-batch quarantine, circuit breaker;
+//! * [`daemon`] — the virtual-clock event loop composing all of the
+//!   above, with a conservation law over every admitted batch.
+//!
+//! The contract the root `tests/daemon.rs` suite enforces: kill the
+//! daemon at *any* batch boundary or WAL byte offset (including torn
+//! mid-frame writes), restart it, redeliver unacknowledged work, and the
+//! final per-host evaluation outputs are byte-identical to a run that
+//! was never interrupted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod daemon;
+pub mod queue;
+pub mod snapshot;
+pub mod state;
+pub mod supervisor;
+pub mod wal;
+
+pub use codec::{Week, WindowBatch};
+pub use daemon::{
+    Completion, Daemon, DaemonConfig, DaemonError, DaemonStats, Disposition, RecoveryReport,
+};
+pub use queue::{Admit, QueueConfig};
+pub use snapshot::Snapshot;
+pub use state::{ApplyConfig, ApplyError, ApplyOutcome, HostState};
+pub use supervisor::{SupervisorConfig, WorkerStatus};
+pub use wal::{KillSwitch, WalWriter};

@@ -1,0 +1,262 @@
+//! Bounded per-shard ingest queues with watermark backpressure.
+//!
+//! Overload protection is two-layered and entirely deterministic:
+//!
+//! * **Backpressure** — each queue carries a high/low watermark pair with
+//!   hysteresis. Filling to the high watermark latches the queue *busy*;
+//!   it stays busy until draining to the low watermark. A well-behaved
+//!   source ([`itconsole::DeliveryQueue`] in the harness) stops sending to
+//!   a busy shard, which bounds queue memory at the high watermark.
+//! * **Load shedding** — a batch that sits queued longer than `shed_after`
+//!   virtual ticks is dropped *at dequeue* with an accounted
+//!   `ShedOverload` completion. Stale work is worth less than fresh work
+//!   in an alarm pipeline, and shedding it deterministically (by queue
+//!   order and age, never by wall clock) keeps overloaded runs exactly
+//!   reproducible.
+//!
+//! The hard `capacity` backstop only matters for sources that ignore
+//! backpressure; admission then fails outright with [`Admit::Overflow`].
+
+use std::collections::VecDeque;
+
+use crate::codec::WindowBatch;
+
+/// Queue sizing and shedding parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// Hard bound on queued batches; admissions beyond it overflow.
+    pub capacity: usize,
+    /// Busy latch sets at this depth (backpressure asserted).
+    pub high: usize,
+    /// Busy latch clears at this depth.
+    pub low: usize,
+    /// Batches older than this many ticks are shed at dequeue.
+    pub shed_after: u64,
+    /// Batches each running worker may process per tick.
+    pub quantum: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 256,
+            high: 192,
+            low: 64,
+            shed_after: 64,
+            quantum: 4,
+        }
+    }
+}
+
+/// Admission verdict for one offered batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Queued; shard below its high watermark.
+    Queued,
+    /// Queued, but the shard is (now) busy — stop sending until it
+    /// drains. The batch itself was accepted.
+    Backpressure,
+    /// Hard capacity hit; the batch was NOT accepted.
+    Overflow,
+}
+
+/// One shard's bounded FIFO of pending batches.
+#[derive(Debug)]
+pub struct ShardQueue {
+    cfg: QueueConfig,
+    items: VecDeque<(u64, WindowBatch)>,
+    busy: bool,
+    /// Deepest the queue has ever been (for the memory-bound assertion).
+    pub max_depth: usize,
+}
+
+impl ShardQueue {
+    /// An empty queue with the given sizing.
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self {
+            cfg,
+            items: VecDeque::new(),
+            busy: false,
+            max_depth: 0,
+        }
+    }
+
+    /// Pending batches.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the busy latch is set (source should pause).
+    pub fn busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Offer a batch at virtual time `tick`.
+    pub fn offer(&mut self, tick: u64, batch: WindowBatch) -> Admit {
+        if self.items.len() >= self.cfg.capacity {
+            return Admit::Overflow;
+        }
+        self.items.push_back((tick, batch));
+        self.max_depth = self.max_depth.max(self.items.len());
+        if self.items.len() >= self.cfg.high {
+            self.busy = true;
+        }
+        if self.busy {
+            Admit::Backpressure
+        } else {
+            Admit::Queued
+        }
+    }
+
+    /// Pop the oldest batch, classifying it as fresh or stale. Clears the
+    /// busy latch when the drain reaches the low watermark.
+    pub fn pop(&mut self, tick: u64) -> Option<Popped> {
+        let (enq, batch) = self.items.pop_front()?;
+        if self.items.len() <= self.cfg.low {
+            self.busy = false;
+        }
+        let age = tick.saturating_sub(enq);
+        if age > self.cfg.shed_after {
+            Some(Popped::Stale(batch))
+        } else {
+            Some(Popped::Fresh(enq, batch))
+        }
+    }
+
+    /// Push a batch back to the front (retry after a worker panic),
+    /// preserving its original enqueue tick so its shed deadline still
+    /// stands.
+    pub fn push_front(&mut self, enq: u64, batch: WindowBatch) {
+        self.items.push_front((enq, batch));
+        self.max_depth = self.max_depth.max(self.items.len());
+        if self.items.len() >= self.cfg.high {
+            self.busy = true;
+        }
+    }
+
+    /// Take every pending batch (a shard going dark sheds its queue).
+    pub fn drain_all(&mut self) -> Vec<WindowBatch> {
+        self.busy = false;
+        self.items.drain(..).map(|(_, b)| b).collect()
+    }
+}
+
+/// What [`ShardQueue::pop`] handed back.
+#[derive(Debug)]
+pub enum Popped {
+    /// Within the freshness deadline; apply it. Carries the enqueue tick
+    /// for potential re-queue on panic.
+    Fresh(u64, WindowBatch),
+    /// Past the shed deadline; account it as shed, do not apply.
+    Stale(WindowBatch),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Week;
+
+    fn cfg() -> QueueConfig {
+        QueueConfig {
+            capacity: 8,
+            high: 5,
+            low: 2,
+            shed_after: 10,
+            quantum: 4,
+        }
+    }
+
+    fn batch(seq: u64) -> WindowBatch {
+        WindowBatch {
+            host: 1,
+            seq,
+            week: Week::Train,
+            start: 0,
+            counts: vec![seq],
+            poison: false,
+        }
+    }
+
+    #[test]
+    fn watermark_hysteresis_latches_and_clears() {
+        let mut q = ShardQueue::new(cfg());
+        for seq in 1..=4 {
+            assert_eq!(q.offer(0, batch(seq)), Admit::Queued);
+        }
+        // Fifth admission reaches the high watermark.
+        assert_eq!(q.offer(0, batch(5)), Admit::Backpressure);
+        assert!(q.busy());
+        // Still busy below high but above low.
+        q.pop(0);
+        q.pop(0);
+        assert!(q.busy());
+        // Draining to low clears the latch.
+        q.pop(0);
+        assert!(!q.busy());
+        assert_eq!(q.offer(0, batch(6)), Admit::Queued);
+    }
+
+    #[test]
+    fn overflow_rejects_without_enqueueing() {
+        let mut q = ShardQueue::new(cfg());
+        for seq in 1..=8 {
+            assert_ne!(q.offer(0, batch(seq)), Admit::Overflow);
+        }
+        assert_eq!(q.offer(0, batch(9)), Admit::Overflow);
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.max_depth, 8);
+    }
+
+    #[test]
+    fn stale_batches_are_classified_at_pop() {
+        let mut q = ShardQueue::new(cfg());
+        q.offer(0, batch(1));
+        q.offer(5, batch(2));
+        // tick 11: batch 1 is 11 ticks old (> 10, stale), batch 2 is 6
+        // ticks old (fresh).
+        match q.pop(11) {
+            Some(Popped::Stale(b)) => assert_eq!(b.seq, 1),
+            other => panic!("expected stale, got {other:?}"),
+        }
+        match q.pop(11) {
+            Some(Popped::Fresh(enq, b)) => {
+                assert_eq!(enq, 5);
+                assert_eq!(b.seq, 2);
+            }
+            other => panic!("expected fresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_front_preserves_shed_deadline() {
+        let mut q = ShardQueue::new(cfg());
+        q.offer(0, batch(1));
+        match q.pop(3) {
+            Some(Popped::Fresh(enq, b)) => q.push_front(enq, b),
+            other => panic!("expected fresh, got {other:?}"),
+        }
+        // Original enqueue tick 0 still governs: stale at tick 11.
+        match q.pop(11) {
+            Some(Popped::Stale(b)) => assert_eq!(b.seq, 1),
+            other => panic!("expected stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_all_empties_and_unlatches() {
+        let mut q = ShardQueue::new(cfg());
+        for seq in 1..=6 {
+            q.offer(0, batch(seq));
+        }
+        assert!(q.busy());
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 6);
+        assert!(q.is_empty());
+        assert!(!q.busy());
+    }
+}

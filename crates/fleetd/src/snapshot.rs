@@ -1,0 +1,363 @@
+//! Snapshot checkpointing: periodic full-state images that bound WAL
+//! replay time.
+//!
+//! A snapshot is a single CRC-framed file:
+//!
+//! ```text
+//! "FSN1" (4B) | payload_len u32 LE | crc32(payload) u32 LE | payload
+//! ```
+//!
+//! and the payload is the complete sharded host table (sequence numbers,
+//! train/test accumulators, fitted thresholds, live alarm counts) plus the
+//! snapshot's own monotone sequence number. Writes are atomic at the
+//! filesystem level — payload goes to `snap.tmp`, then a rename installs
+//! it as `snap-<seq>.bin` — so a crash mid-write leaves either the old
+//! snapshots or the new one, never a half-written current snapshot. The
+//! two most recent snapshots are kept; recovery walks them newest-first
+//! and loads the first one whose CRC and structure verify, counting the
+//! rest as discarded. A valid snapshot makes every WAL frame written
+//! before it redundant, so the daemon truncates the log right after a
+//! successful install.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hids_core::WindowAccumulator;
+
+use crate::codec::{crc32, put_f64, put_u32, put_u64, CodecError, Reader};
+use crate::state::{HostState, ShardState};
+
+/// Snapshot file magic: "FSN1".
+pub const SNAP_MAGIC: [u8; 4] = *b"FSN1";
+/// Sanity bound on the snapshot payload (1 GiB).
+pub const MAX_SNAP_PAYLOAD: u32 = 1 << 30;
+
+/// A decoded snapshot: the daemon's full durable state at a checkpoint.
+#[derive(Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotone snapshot sequence number (also embedded in the filename).
+    pub seq: u64,
+    /// Windows per week the daemon was configured with when it wrote
+    /// this image (recovery cross-checks it against the current config).
+    pub n_windows: u32,
+    /// Full host table, merged across shards.
+    pub hosts: BTreeMap<u32, HostState>,
+}
+
+/// Why a snapshot file was rejected during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotDefect {
+    /// File shorter than the fixed header.
+    ShortHeader,
+    /// Magic was not [`SNAP_MAGIC`].
+    BadMagic,
+    /// Declared payload length exceeds [`MAX_SNAP_PAYLOAD`] or the file.
+    BadLength,
+    /// CRC over the payload did not match.
+    CrcMismatch,
+    /// Payload failed structural decode.
+    Undecodable(CodecError),
+}
+
+fn encode_accumulator(out: &mut Vec<u8>, acc: &WindowAccumulator) {
+    put_u32(out, acc.len() as u32);
+    for (w, c) in acc.iter() {
+        put_u32(out, w);
+        put_u64(out, c);
+    }
+}
+
+fn decode_accumulator(r: &mut Reader<'_>) -> Result<WindowAccumulator, CodecError> {
+    let n = r.u32()?;
+    if n > MAX_SNAP_PAYLOAD / 12 {
+        return Err(CodecError::ImplausibleLength);
+    }
+    let mut acc = WindowAccumulator::new();
+    for _ in 0..n {
+        let w = r.u32()?;
+        let c = r.u64()?;
+        acc.insert(w, c);
+    }
+    Ok(acc)
+}
+
+impl Snapshot {
+    /// Serialise to the framed on-disk byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.seq);
+        put_u32(&mut payload, self.n_windows);
+        put_u32(&mut payload, self.hosts.len() as u32);
+        for (&host, st) in &self.hosts {
+            put_u32(&mut payload, host);
+            put_u64(&mut payload, st.last_seq);
+            put_u64(&mut payload, st.live_alarms);
+            match st.threshold {
+                Some(t) => {
+                    payload.push(1);
+                    put_f64(&mut payload, t);
+                }
+                None => payload.push(0),
+            }
+            encode_accumulator(&mut payload, &st.train);
+            encode_accumulator(&mut payload, &st.test);
+        }
+        let mut out = Vec::with_capacity(12 + payload.len());
+        out.extend_from_slice(&SNAP_MAGIC);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse a framed snapshot, verifying magic, length and CRC first.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotDefect> {
+        if bytes.len() < 12 {
+            return Err(SnapshotDefect::ShortHeader);
+        }
+        if bytes[..4] != SNAP_MAGIC {
+            return Err(SnapshotDefect::BadMagic);
+        }
+        let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if len > MAX_SNAP_PAYLOAD || bytes.len() != 12 + len as usize {
+            return Err(SnapshotDefect::BadLength);
+        }
+        let crc = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        let payload = &bytes[12..];
+        if crc32(payload) != crc {
+            return Err(SnapshotDefect::CrcMismatch);
+        }
+        Self::decode_payload(payload).map_err(SnapshotDefect::Undecodable)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let seq = r.u64()?;
+        let n_windows = r.u32()?;
+        let n_hosts = r.u32()?;
+        if n_hosts > MAX_SNAP_PAYLOAD / 24 {
+            return Err(CodecError::ImplausibleLength);
+        }
+        let mut hosts = BTreeMap::new();
+        for _ in 0..n_hosts {
+            let host = r.u32()?;
+            let last_seq = r.u64()?;
+            let live_alarms = r.u64()?;
+            let threshold = match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                _ => return Err(CodecError::BadDiscriminant),
+            };
+            let train = decode_accumulator(&mut r)?;
+            let test = decode_accumulator(&mut r)?;
+            hosts.insert(
+                host,
+                HostState {
+                    last_seq,
+                    train,
+                    test,
+                    threshold,
+                    live_alarms,
+                },
+            );
+        }
+        r.finish()?;
+        Ok(Self {
+            seq,
+            n_windows,
+            hosts,
+        })
+    }
+
+    /// Build a snapshot image from live shard tables.
+    pub fn from_shards(seq: u64, n_windows: u32, shards: &[ShardState]) -> Self {
+        let mut hosts = BTreeMap::new();
+        for shard in shards {
+            for (&h, st) in &shard.hosts {
+                hosts.insert(h, st.clone());
+            }
+        }
+        Self {
+            seq,
+            n_windows,
+            hosts,
+        }
+    }
+}
+
+/// Filename for snapshot `seq` inside the daemon directory.
+pub fn snapshot_filename(seq: u64) -> String {
+    format!("snap-{seq:012}.bin")
+}
+
+fn parse_snapshot_filename(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("snap-")?.strip_suffix(".bin")?;
+    if rest.len() != 12 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Snapshot files present in `dir`, newest first.
+pub fn list_snapshots(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_snapshot_filename) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    Ok(found)
+}
+
+/// Atomically install a snapshot in `dir` (tmp + rename), then prune so
+/// only the two newest remain. Returns the installed path.
+pub fn write_snapshot(dir: &Path, snap: &Snapshot) -> std::io::Result<PathBuf> {
+    let tmp = dir.join("snap.tmp");
+    fs::write(&tmp, snap.encode())?;
+    let path = dir.join(snapshot_filename(snap.seq));
+    fs::rename(&tmp, &path)?;
+    for (old_seq, old_path) in list_snapshots(dir)?.into_iter().skip(2) {
+        let _ = old_seq;
+        fs::remove_file(old_path)?;
+    }
+    Ok(path)
+}
+
+/// Load the newest snapshot in `dir` that verifies, counting how many
+/// newer-but-damaged images were skipped. `Ok(None)` means no snapshot
+/// exists at all (cold start).
+pub fn load_latest(dir: &Path) -> std::io::Result<(Option<Snapshot>, u32)> {
+    let mut discarded = 0u32;
+    for (_, path) in list_snapshots(dir)? {
+        let bytes = fs::read(&path)?;
+        match Snapshot::decode(&bytes) {
+            Ok(snap) => return Ok((Some(snap), discarded)),
+            Err(_) => discarded += 1,
+        }
+    }
+    Ok((None, discarded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut hosts = BTreeMap::new();
+        let mut train = WindowAccumulator::new();
+        train.insert(0, 4);
+        train.insert(5, 9);
+        let mut test = WindowAccumulator::new();
+        test.insert(2, 100);
+        hosts.insert(
+            3,
+            HostState {
+                last_seq: 11,
+                train,
+                test,
+                threshold: Some(8.5),
+                live_alarms: 1,
+            },
+        );
+        hosts.insert(
+            9,
+            HostState {
+                last_seq: 2,
+                threshold: None,
+                ..Default::default()
+            },
+        );
+        Snapshot {
+            seq: 7,
+            n_windows: 672,
+            hosts,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fleetd-snap-{}-{}-{}",
+            tag,
+            std::process::id(),
+            n
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let s = sample();
+        assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Snapshot::decode(&bad).is_err(),
+                "flip at byte {i} must not verify"
+            );
+        }
+    }
+
+    #[test]
+    fn keeps_only_two_newest_and_loads_latest_valid() {
+        let dir = tmpdir("prune");
+        for seq in 1..=4 {
+            let snap = Snapshot { seq, ..sample() };
+            write_snapshot(&dir, &snap).unwrap();
+        }
+        let listed = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            listed.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![4, 3]
+        );
+        // Damage the newest: recovery must fall back to seq 3 and report
+        // one discarded image.
+        let newest = &listed[0].1;
+        let mut bytes = fs::read(newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(newest, &bytes).unwrap();
+        let (loaded, discarded) = load_latest(&dir).unwrap();
+        assert_eq!(loaded.unwrap().seq, 3);
+        assert_eq!(discarded, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cold_start_is_none_not_error() {
+        let dir = tmpdir("cold");
+        let (loaded, discarded) = load_latest(&dir).unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(discarded, 0);
+        // Stray files that merely look snapshot-ish are ignored.
+        fs::write(dir.join("snap-xyz.bin"), b"junk").unwrap();
+        fs::write(dir.join("wal.bin"), b"junk").unwrap();
+        let (loaded, discarded) = load_latest(&dir).unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(discarded, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_shards_merges_in_host_order() {
+        let mut s0 = ShardState::default();
+        let mut s1 = ShardState::default();
+        s0.hosts.insert(2, HostState::default());
+        s1.hosts.insert(1, HostState::default());
+        let snap = Snapshot::from_shards(5, 672, &[s0, s1]);
+        assert_eq!(snap.hosts.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(snap.seq, 5);
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-host in-memory state and the batch apply path.
+//!
+//! Apply is the one mutation in the daemon and it is built to be safely
+//! repeatable, because crash recovery *will* repeat it: the WAL replays
+//! batches already in memory at snapshot time, and at-least-once delivery
+//! resends batches whose completions were lost. Two mechanisms make the
+//! repetition invisible:
+//!
+//! * per-host monotone `seq` dedupe — a batch at or below the host's
+//!   high-water mark is a [`ApplyOutcome::Duplicate`], applied zero times;
+//! * first-write-wins window accumulation
+//!   ([`hids_core::WindowAccumulator`]) — even a batch that *does* re-run
+//!   (crash between memory apply and WAL append, then redelivery into a
+//!   recovered state that never saw it) lands on exactly the same windows.
+//!
+//! Poison batches trip a panic *before* any mutation, so a quarantined
+//! batch leaves no partial state behind and — because the panic fires
+//! before the WAL append too — can never enter the log and re-kill
+//! recovery.
+
+use std::collections::BTreeMap;
+
+use hids_core::WindowAccumulator;
+
+use crate::codec::{Week, WindowBatch};
+
+/// Tunables the apply path needs.
+#[derive(Debug, Clone, Copy)]
+pub struct ApplyConfig {
+    /// Windows per week; batches must fit inside `[0, n_windows)`.
+    pub n_windows: u32,
+    /// Quantile of the host's own training distribution used as its live
+    /// alarm threshold (the paper's per-host baseline policy).
+    pub threshold_q: f64,
+}
+
+/// Everything the daemon tracks for one host.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostState {
+    /// Highest batch sequence number applied (0 = none yet).
+    pub last_seq: u64,
+    /// Training-week window counts accumulated so far.
+    pub train: WindowAccumulator,
+    /// Test-week window counts accumulated so far.
+    pub test: WindowAccumulator,
+    /// Live alarm threshold, fit from the training accumulator when the
+    /// first test-week batch arrives (None until then, or if the training
+    /// accumulator was still empty at that point).
+    pub threshold: Option<f64>,
+    /// Alarms raised online: test windows whose count strictly exceeded
+    /// the threshold at the moment they were first applied.
+    pub live_alarms: u64,
+}
+
+/// Result of a successful (non-panicking) apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// State advanced; the batch must now be made durable.
+    Applied,
+    /// Sequence number at or below the high-water mark; nothing changed.
+    Duplicate,
+}
+
+/// A structurally invalid batch (bad input, not a crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// `start + counts.len()` exceeds the configured week length.
+    WindowOutOfRange {
+        /// First window index past the end of the week.
+        end: u64,
+        /// Configured windows per week.
+        n_windows: u32,
+    },
+}
+
+impl core::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ApplyError::WindowOutOfRange { end, n_windows } => write!(
+                f,
+                "batch windows end at {end} but weeks have {n_windows} windows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// The deliberate crash a poison batch triggers, standing in for the
+/// malformed-input bug class. Lives behind the one `panic!` the crate
+/// allows; everything else returns `Result`.
+#[allow(clippy::panic)]
+fn poison_trip(batch: &WindowBatch) -> ! {
+    panic!(
+        "poison batch tripped worker (host {}, seq {})",
+        batch.host, batch.seq
+    );
+}
+
+impl HostState {
+    /// Apply one batch. Panics only on poison batches (callers run this
+    /// under `catch_unwind`); returns `Duplicate` without mutating when
+    /// the sequence number is stale.
+    pub fn apply(
+        &mut self,
+        batch: &WindowBatch,
+        cfg: &ApplyConfig,
+    ) -> Result<ApplyOutcome, ApplyError> {
+        if batch.seq <= self.last_seq {
+            return Ok(ApplyOutcome::Duplicate);
+        }
+        if batch.poison {
+            poison_trip(batch);
+        }
+        let end = u64::from(batch.start) + batch.counts.len() as u64;
+        if end > u64::from(cfg.n_windows) {
+            return Err(ApplyError::WindowOutOfRange {
+                end,
+                n_windows: cfg.n_windows,
+            });
+        }
+
+        // Fit the live threshold the moment the host transitions into its
+        // test week: the training accumulator as-of-now is the baseline.
+        // Replay and redelivery preserve the original apply order per
+        // host, so this fit sees the same data every time.
+        if batch.week == Week::Test && self.threshold.is_none() {
+            self.threshold = self.train.dist().map(|d| d.quantile(cfg.threshold_q));
+        }
+
+        match batch.week {
+            Week::Train => {
+                for (i, &c) in batch.counts.iter().enumerate() {
+                    self.train.insert(batch.start + i as u32, c);
+                }
+            }
+            Week::Test => {
+                for (i, &c) in batch.counts.iter().enumerate() {
+                    // Count an alarm only when the window is genuinely
+                    // new: re-applied overlaps must not double-alarm.
+                    let fresh = self.test.insert(batch.start + i as u32, c);
+                    if fresh {
+                        if let Some(t) = self.threshold {
+                            if c as f64 > t {
+                                self.live_alarms += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.last_seq = batch.seq;
+        Ok(ApplyOutcome::Applied)
+    }
+}
+
+/// One shard's slice of the host table.
+#[derive(Debug, Default)]
+pub struct ShardState {
+    /// Hosts owned by this shard, keyed by host id (ordered for
+    /// deterministic iteration).
+    pub hosts: BTreeMap<u32, HostState>,
+}
+
+impl ShardState {
+    /// Apply a batch to its host (creating the host on first contact).
+    pub fn apply(
+        &mut self,
+        batch: &WindowBatch,
+        cfg: &ApplyConfig,
+    ) -> Result<ApplyOutcome, ApplyError> {
+        self.hosts.entry(batch.host).or_default().apply(batch, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ApplyConfig {
+        ApplyConfig {
+            n_windows: 8,
+            threshold_q: 0.99,
+        }
+    }
+
+    fn b(seq: u64, week: Week, start: u32, counts: &[u64]) -> WindowBatch {
+        WindowBatch {
+            host: 1,
+            seq,
+            week,
+            start,
+            counts: counts.to_vec(),
+            poison: false,
+        }
+    }
+
+    #[test]
+    fn stale_seq_is_duplicate_and_mutates_nothing() {
+        let mut h = HostState::default();
+        assert_eq!(
+            h.apply(&b(3, Week::Train, 0, &[1, 2]), &cfg()).unwrap(),
+            ApplyOutcome::Applied
+        );
+        let before = h.clone();
+        for seq in [1, 2, 3] {
+            assert_eq!(
+                h.apply(&b(seq, Week::Train, 4, &[9, 9]), &cfg()).unwrap(),
+                ApplyOutcome::Duplicate
+            );
+        }
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn threshold_fits_on_first_test_batch_then_freezes() {
+        let mut h = HostState::default();
+        h.apply(&b(1, Week::Train, 0, &[0, 0, 0, 0, 0, 0, 0, 10]), &cfg())
+            .unwrap();
+        h.apply(&b(2, Week::Test, 0, &[100]), &cfg()).unwrap();
+        let t = h.threshold.expect("threshold fit at test transition");
+        assert_eq!(h.live_alarms, 1, "100 > q99 of the training week");
+        // More training data after the transition must not refit.
+        h.apply(&b(3, Week::Train, 4, &[0, 0, 0, 0]), &cfg()).unwrap();
+        let t2 = h.threshold.unwrap();
+        assert_eq!(t.to_bits(), t2.to_bits());
+    }
+
+    #[test]
+    fn alarms_only_count_fresh_windows() {
+        let mut h = HostState::default();
+        h.apply(&b(1, Week::Train, 0, &[1; 8]), &cfg()).unwrap();
+        h.apply(&b(2, Week::Test, 0, &[100, 100]), &cfg()).unwrap();
+        assert_eq!(h.live_alarms, 2);
+        // Overlapping re-send under a *new* seq: windows already present,
+        // so no new alarms even though counts exceed the threshold.
+        h.apply(&b(3, Week::Test, 0, &[100, 100]), &cfg()).unwrap();
+        assert_eq!(h.live_alarms, 2);
+    }
+
+    #[test]
+    fn out_of_range_batch_is_rejected_without_mutation() {
+        let mut h = HostState::default();
+        let err = h.apply(&b(1, Week::Train, 6, &[1, 2, 3]), &cfg()).unwrap_err();
+        assert_eq!(
+            err,
+            ApplyError::WindowOutOfRange { end: 9, n_windows: 8 }
+        );
+        assert_eq!(h, HostState::default());
+    }
+
+    #[test]
+    fn poison_panics_before_any_mutation() {
+        let mut h = HostState::default();
+        h.apply(&b(1, Week::Train, 0, &[5]), &cfg()).unwrap();
+        let before = h.clone();
+        let poison = WindowBatch {
+            poison: true,
+            ..b(2, Week::Test, 0, &[9])
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = h.apply(&poison, &cfg());
+        }));
+        assert!(r.is_err());
+        assert_eq!(h, before, "poison trip must leave state untouched");
+        // A duplicate-seq poison batch never trips: dedupe runs first.
+        let stale_poison = WindowBatch {
+            poison: true,
+            ..b(1, Week::Train, 0, &[9])
+        };
+        assert_eq!(
+            h.apply(&stale_poison, &cfg()).unwrap(),
+            ApplyOutcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn shard_routes_by_host_and_creates_on_first_contact() {
+        let mut s = ShardState::default();
+        let mut batch = b(1, Week::Train, 0, &[1]);
+        batch.host = 42;
+        s.apply(&batch, &cfg()).unwrap();
+        assert_eq!(s.hosts.len(), 1);
+        assert_eq!(s.hosts[&42].last_seq, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Shard worker supervision: panic containment, backoff restart, poison
+//! quarantine, and the circuit breaker.
+//!
+//! Each shard's worker is a logical unit of failure. The daemon runs
+//! every apply under `catch_unwind`; a panic is charged to both the
+//! *batch* that triggered it and the *worker* that ran it:
+//!
+//! * The batch gets a strike. At `quarantine_strikes` strikes it is
+//!   parked with a `Quarantined` completion — a poison batch must not be
+//!   retried forever, and quarantining it converts a crash loop into an
+//!   accounted coverage gap.
+//! * The worker restarts under exponential backoff
+//!   (`backoff_base << consecutive_panics`, capped), so a persistently
+//!   crashing shard backs away from the queue instead of spinning. A
+//!   successful apply resets the streak.
+//! * At `breaker_failures` consecutive panics the circuit breaker trips
+//!   and the shard goes [`WorkerStatus::Dark`]: its queue is shed, future
+//!   offers are shed on arrival, and its hosts surface downstream as
+//!   coverage loss for `hids_core::degraded` to account — the daemon
+//!   keeps serving every other shard.
+
+/// Supervision tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Backoff after the first panic in a streak, in ticks.
+    pub backoff_base: u64,
+    /// Cap on the backoff left-shift (`backoff_base << min(streak-1, cap)`).
+    pub backoff_cap_exp: u32,
+    /// Panics charged to one batch before it is quarantined.
+    pub quarantine_strikes: u32,
+    /// Consecutive worker panics before the breaker trips the shard dark.
+    pub breaker_failures: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            backoff_base: 2,
+            backoff_cap_exp: 6,
+            quarantine_strikes: 2,
+            breaker_failures: 8,
+        }
+    }
+}
+
+/// Lifecycle state of one shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStatus {
+    /// Processing its queue.
+    Running,
+    /// Restarting; resumes when the virtual clock reaches `until`.
+    Backoff {
+        /// Tick at which the worker re-enters [`WorkerStatus::Running`].
+        until: u64,
+    },
+    /// Circuit breaker tripped; the shard is out of service for the rest
+    /// of this process lifetime (a restart clears it).
+    Dark,
+}
+
+/// Supervision bookkeeping for one shard worker.
+#[derive(Debug)]
+pub struct Worker {
+    /// Current lifecycle state.
+    pub status: WorkerStatus,
+    /// Panics since the last successful apply.
+    pub consecutive_panics: u32,
+    /// Total restarts over this process lifetime.
+    pub restarts: u64,
+}
+
+impl Worker {
+    /// A fresh, running worker.
+    pub fn new() -> Self {
+        Self {
+            status: WorkerStatus::Running,
+            consecutive_panics: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Whether the worker may process work at `tick` (also promotes an
+    /// expired backoff back to running).
+    pub fn poll_running(&mut self, tick: u64) -> bool {
+        match self.status {
+            WorkerStatus::Running => true,
+            WorkerStatus::Backoff { until } if tick >= until => {
+                self.status = WorkerStatus::Running;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record a successful apply: the panic streak ends.
+    pub fn note_success(&mut self) {
+        self.consecutive_panics = 0;
+    }
+
+    /// Record a panic at `tick`. Returns `true` when this panic trips the
+    /// circuit breaker (caller sheds the queue); otherwise the worker is
+    /// in backoff until the returned status says so.
+    pub fn note_panic(&mut self, tick: u64, cfg: &SupervisorConfig) -> bool {
+        self.consecutive_panics += 1;
+        self.restarts += 1;
+        if self.consecutive_panics >= cfg.breaker_failures {
+            self.status = WorkerStatus::Dark;
+            return true;
+        }
+        let exp = (self.consecutive_panics - 1).min(cfg.backoff_cap_exp);
+        let delay = cfg.backoff_base << exp;
+        self.status = WorkerStatus::Backoff {
+            until: tick + delay,
+        };
+        false
+    }
+
+    /// Whether the breaker has tripped.
+    pub fn is_dark(&self) -> bool {
+        self.status == WorkerStatus::Dark
+    }
+}
+
+impl Default for Worker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: 2,
+            backoff_cap_exp: 3,
+            quarantine_strikes: 2,
+            breaker_failures: 4,
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut w = Worker::new();
+        let c = cfg();
+        // Streak 1..3 → delays 2, 4, 8; streak capped at shift 3.
+        assert!(!w.note_panic(100, &c));
+        assert_eq!(w.status, WorkerStatus::Backoff { until: 102 });
+        assert!(!w.note_panic(102, &c));
+        assert_eq!(w.status, WorkerStatus::Backoff { until: 106 });
+        assert!(!w.note_panic(106, &c));
+        assert_eq!(w.status, WorkerStatus::Backoff { until: 114 });
+        assert_eq!(w.restarts, 3);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut w = Worker::new();
+        let c = cfg();
+        w.note_panic(0, &c);
+        w.note_panic(10, &c);
+        w.note_success();
+        assert_eq!(w.consecutive_panics, 0);
+        // Next panic starts from base backoff again.
+        w.note_panic(20, &c);
+        assert_eq!(w.status, WorkerStatus::Backoff { until: 22 });
+    }
+
+    #[test]
+    fn breaker_trips_at_threshold() {
+        let mut w = Worker::new();
+        let c = cfg();
+        for _ in 0..3 {
+            assert!(!w.note_panic(0, &c));
+        }
+        assert!(w.note_panic(0, &c), "fourth consecutive panic trips");
+        assert!(w.is_dark());
+        // Dark is terminal for this lifetime: polling never resurrects.
+        assert!(!w.poll_running(u64::MAX));
+    }
+
+    #[test]
+    fn poll_promotes_expired_backoff() {
+        let mut w = Worker::new();
+        w.note_panic(10, &cfg());
+        assert!(!w.poll_running(11));
+        assert!(w.poll_running(12));
+        assert_eq!(w.status, WorkerStatus::Running);
+    }
+}

@@ -1,0 +1,504 @@
+//! Write-ahead log: length-prefixed, CRC-framed batch records with
+//! torn-tail recovery.
+//!
+//! Every applied batch is framed and appended before its completion is
+//! acknowledged, so a crash after the append loses nothing, and a crash
+//! before (or during) it loses only work the source will redeliver. The
+//! frame layout is
+//!
+//! ```text
+//! "WLR1" (4B) | payload_len u32 LE | crc32(payload) u32 LE | payload
+//! ```
+//!
+//! Replay walks frames from the start and stops at the first defect —
+//! truncated header, bad magic, implausible length, short payload, or CRC
+//! mismatch. Everything before the defect is intact (CRC-verified);
+//! everything from it onward is a torn tail from a crash mid-append and is
+//! truncated away with a warning count, never an error. A kill mid-frame
+//! therefore costs at most one un-acked batch, which redelivery restores.
+//!
+//! Crash injection is cooperative: [`KillSwitch`] meters every byte the
+//! writer intends to append across the *lifetime* of a scenario (surviving
+//! restarts and snapshot-triggered truncations, which reset the file but
+//! not the meter), so a seeded schedule can name "die 3 bytes into the
+//! frame that crosses lifetime offset 40 000" and hit it reproducibly.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use faultsim::KillPoint;
+
+use crate::codec::{crc32, CodecError, WindowBatch};
+
+/// Frame magic: "WLR1".
+pub const WAL_MAGIC: [u8; 4] = *b"WLR1";
+/// Fixed bytes before the payload: magic + len + crc.
+pub const WAL_HEADER_LEN: usize = 12;
+/// Sanity bound on a frame payload; larger declared lengths mean the
+/// length field itself is damaged.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+
+/// Cooperative crash injector threaded through the daemon.
+///
+/// Owned by the harness, not the daemon, so its byte/batch meters span
+/// restarts: re-open the daemon with the same switch (re-armed or not) and
+/// offsets keep counting from where the previous incarnation died.
+#[derive(Debug)]
+pub struct KillSwitch {
+    point: Option<KillPoint>,
+    fired: bool,
+    /// Lifetime bytes the WAL writer has attempted to append.
+    wal_bytes: u64,
+    /// Lifetime batches applied (and acked, unless suppressed by a kill).
+    applied: u64,
+}
+
+/// What an append attempt should do, as decided by the [`KillSwitch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillVerdict {
+    /// Write the whole frame.
+    Proceed,
+    /// Write only the first `torn` bytes of the frame, then die.
+    Kill {
+        /// Bytes of the frame to leave behind as a torn tail.
+        torn: u32,
+    },
+}
+
+impl KillSwitch {
+    /// A switch that never fires (production behavior).
+    pub fn none() -> Self {
+        Self {
+            point: None,
+            fired: false,
+            wal_bytes: 0,
+            applied: 0,
+        }
+    }
+
+    /// A switch armed with one kill point.
+    pub fn armed(point: KillPoint) -> Self {
+        Self {
+            point: Some(point),
+            ..Self::none()
+        }
+    }
+
+    /// Re-arm (or disarm, with `None`) while keeping the lifetime meters,
+    /// so multi-kill scenarios keep a single coherent byte timeline.
+    pub fn rearm(&mut self, point: Option<KillPoint>) {
+        self.point = point;
+        self.fired = false;
+    }
+
+    /// Whether the armed point has fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Lifetime WAL bytes metered so far.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Lifetime applied batches metered so far.
+    pub fn applied_batches(&self) -> u64 {
+        self.applied
+    }
+
+    /// Meter an intended append of `frame_len` bytes and decide whether
+    /// the writer dies inside it.
+    pub(crate) fn before_wal_append(&mut self, frame_len: u64) -> KillVerdict {
+        let start = self.wal_bytes;
+        let verdict = match self.point {
+            Some(KillPoint::AtWalByte { offset, torn })
+                if !self.fired && start <= offset && offset < start + frame_len =>
+            {
+                self.fired = true;
+                // Leave strictly less than the whole frame so the tail is
+                // genuinely torn (a complete frame would just be a valid
+                // record).
+                let torn = torn.min((frame_len - 1) as u32);
+                KillVerdict::Kill { torn }
+            }
+            _ => KillVerdict::Proceed,
+        };
+        self.wal_bytes += match verdict {
+            KillVerdict::Proceed => frame_len,
+            KillVerdict::Kill { torn } => u64::from(torn),
+        };
+        verdict
+    }
+
+    /// Meter one applied batch; returns `true` when the daemon must die
+    /// now, with this batch's completion suppressed (it was durably
+    /// applied but never acked — redelivery must resolve to a duplicate).
+    pub(crate) fn after_batch_applied(&mut self) -> bool {
+        self.applied += 1;
+        match self.point {
+            Some(KillPoint::AfterBatches(n)) if !self.fired && self.applied >= n => {
+                self.fired = true;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// What replay recovered from an existing WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// CRC-verified batches, in append order.
+    pub batches: Vec<WindowBatch>,
+    /// File length after truncating the torn tail.
+    pub valid_bytes: u64,
+    /// Bytes discarded as a torn / corrupt tail (0 for a clean log).
+    pub torn_bytes: u64,
+    /// Why the walk stopped early, if it did.
+    pub tail_defect: Option<TailDefect>,
+}
+
+/// The defect that terminated a replay walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDefect {
+    /// Fewer than [`WAL_HEADER_LEN`] bytes remained.
+    ShortHeader,
+    /// Frame magic was not [`WAL_MAGIC`].
+    BadMagic,
+    /// Declared payload length exceeded [`MAX_FRAME_PAYLOAD`].
+    ImplausibleLength,
+    /// Payload extended past end of file.
+    ShortPayload,
+    /// CRC over the payload did not match the header.
+    CrcMismatch,
+    /// Payload passed CRC but failed structural decode (only possible
+    /// with deliberate corruption that preserves the CRC).
+    Undecodable(CodecError),
+}
+
+/// Append-only WAL writer over one file.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+    len: u64,
+}
+
+/// Outcome of [`WalWriter::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Frame fully written.
+    Appended,
+    /// The kill switch fired mid-frame; the process must now "die".
+    Killed,
+}
+
+/// Build the on-disk frame for one batch.
+pub fn frame_batch(batch: &WindowBatch) -> Vec<u8> {
+    let mut payload = Vec::new();
+    batch.encode(&mut payload);
+    let mut frame = Vec::with_capacity(WAL_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&WAL_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Walk the frames of `bytes`, returning the recovered batches, the
+/// length of the valid prefix, and the defect (if any) that stopped the
+/// walk. Pure function — file truncation is the caller's job.
+pub fn scan_frames(bytes: &[u8]) -> (Vec<WindowBatch>, u64, Option<TailDefect>) {
+    let mut batches = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            return (batches, pos as u64, None);
+        }
+        if rest.len() < WAL_HEADER_LEN {
+            return (batches, pos as u64, Some(TailDefect::ShortHeader));
+        }
+        if rest[..4] != WAL_MAGIC {
+            return (batches, pos as u64, Some(TailDefect::BadMagic));
+        }
+        let len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if len > MAX_FRAME_PAYLOAD {
+            return (batches, pos as u64, Some(TailDefect::ImplausibleLength));
+        }
+        let crc = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
+        let total = WAL_HEADER_LEN + len as usize;
+        if rest.len() < total {
+            return (batches, pos as u64, Some(TailDefect::ShortPayload));
+        }
+        let payload = &rest[WAL_HEADER_LEN..total];
+        if crc32(payload) != crc {
+            return (batches, pos as u64, Some(TailDefect::CrcMismatch));
+        }
+        match WindowBatch::decode(payload) {
+            Ok(b) => batches.push(b),
+            Err(e) => {
+                return (batches, pos as u64, Some(TailDefect::Undecodable(e)));
+            }
+        }
+        pos += total;
+    }
+}
+
+impl WalWriter {
+    /// Open (creating if absent) the WAL at `path`, replay its valid
+    /// prefix, truncate any torn tail, and position the writer at the end
+    /// of the valid prefix.
+    pub fn open(path: &Path) -> std::io::Result<(Self, WalReplay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (batches, valid_bytes, tail_defect) = scan_frames(&bytes);
+        let torn_bytes = bytes.len() as u64 - valid_bytes;
+        if torn_bytes > 0 {
+            file.set_len(valid_bytes)?;
+        }
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        let replay = WalReplay {
+            batches,
+            valid_bytes,
+            torn_bytes,
+            tail_defect,
+        };
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+                len: valid_bytes,
+            },
+            replay,
+        ))
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Frame `batch` and append it, consulting `kill` for a mid-frame
+    /// crash. On [`AppendOutcome::Killed`] the torn prefix has been
+    /// flushed and the caller must treat the process as dead.
+    pub fn append(
+        &mut self,
+        batch: &WindowBatch,
+        kill: &mut KillSwitch,
+    ) -> std::io::Result<AppendOutcome> {
+        let frame = frame_batch(batch);
+        match kill.before_wal_append(frame.len() as u64) {
+            KillVerdict::Proceed => {
+                self.file.write_all(&frame)?;
+                self.file.flush()?;
+                self.len += frame.len() as u64;
+                Ok(AppendOutcome::Appended)
+            }
+            KillVerdict::Kill { torn } => {
+                self.file.write_all(&frame[..torn as usize])?;
+                self.file.flush()?;
+                self.len += u64::from(torn);
+                Ok(AppendOutcome::Killed)
+            }
+        }
+    }
+
+    /// Discard all frames (called right after a snapshot makes them
+    /// redundant).
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Week;
+
+    fn batch(host: u32, seq: u64, counts: &[u64]) -> WindowBatch {
+        WindowBatch {
+            host,
+            seq,
+            week: Week::Train,
+            start: 0,
+            counts: counts.to_vec(),
+            poison: false,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "fleetd-wal-{}-{}-{}",
+            tag,
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.bin");
+        let batches = vec![batch(1, 1, &[5, 6]), batch(2, 1, &[]), batch(1, 2, &[9])];
+        {
+            let (mut w, replay) = WalWriter::open(&path).unwrap();
+            assert!(replay.batches.is_empty());
+            let mut kill = KillSwitch::none();
+            for b in &batches {
+                assert_eq!(w.append(b, &mut kill).unwrap(), AppendOutcome::Appended);
+            }
+        }
+        let (_, replay) = WalWriter::open(&path).unwrap();
+        assert_eq!(replay.batches, batches);
+        assert_eq!(replay.torn_bytes, 0);
+        assert!(replay.tail_defect.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_torn_prefix_recovers_the_full_frames_before_it() {
+        // Write 3 frames, then re-create the file truncated at every
+        // possible byte length; replay must always return exactly the
+        // frames wholly inside the prefix.
+        let frames: Vec<Vec<u8>> = [batch(1, 1, &[1]), batch(2, 1, &[2, 3]), batch(3, 1, &[])]
+            .iter()
+            .map(frame_batch)
+            .collect();
+        let mut all = Vec::new();
+        let mut boundaries = vec![0usize];
+        for f in &frames {
+            all.extend_from_slice(f);
+            boundaries.push(all.len());
+        }
+        for cut in 0..=all.len() {
+            let (batches, valid, defect) = scan_frames(&all[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(batches.len(), whole, "cut {cut}");
+            assert_eq!(valid as usize, boundaries[whole], "cut {cut}");
+            let at_boundary = boundaries.contains(&cut);
+            assert_eq!(defect.is_none(), at_boundary, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_in_payload_truncates_from_that_frame() {
+        let frames: Vec<Vec<u8>> = [batch(1, 1, &[1, 2, 3]), batch(2, 1, &[4])]
+            .iter()
+            .map(frame_batch)
+            .collect();
+        let mut all = frames.concat();
+        // Flip a payload byte inside frame 0.
+        all[WAL_HEADER_LEN + 2] ^= 0xFF;
+        let (batches, valid, defect) = scan_frames(&all);
+        assert!(batches.is_empty());
+        assert_eq!(valid, 0);
+        assert_eq!(defect, Some(TailDefect::CrcMismatch));
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_on_disk() {
+        let dir = tmpdir("truncate");
+        let path = dir.join("wal.bin");
+        let good = frame_batch(&batch(7, 1, &[11, 12]));
+        let torn = &frame_batch(&batch(7, 2, &[13]))[..5];
+        let mut bytes = good.clone();
+        bytes.extend_from_slice(torn);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (w, replay) = WalWriter::open(&path).unwrap();
+        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.torn_bytes, torn.len() as u64);
+        assert_eq!(replay.tail_defect, Some(TailDefect::ShortHeader));
+        assert_eq!(w.len(), good.len() as u64);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good.len() as u64,
+            "torn tail must be physically truncated"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_switch_tears_the_crossing_frame() {
+        let dir = tmpdir("kill");
+        let path = dir.join("wal.bin");
+        let b1 = batch(1, 1, &[1]);
+        let b2 = batch(1, 2, &[2]);
+        let f1_len = frame_batch(&b1).len() as u64;
+
+        let (mut w, _) = WalWriter::open(&path).unwrap();
+        let mut kill = KillSwitch::armed(KillPoint::AtWalByte {
+            offset: f1_len + 3,
+            torn: 7,
+        });
+        assert_eq!(w.append(&b1, &mut kill).unwrap(), AppendOutcome::Appended);
+        assert_eq!(w.append(&b2, &mut kill).unwrap(), AppendOutcome::Killed);
+        assert!(kill.fired());
+        drop(w);
+
+        let (_, replay) = WalWriter::open(&path).unwrap();
+        assert_eq!(replay.batches, vec![b1]);
+        assert_eq!(replay.torn_bytes, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_switch_meters_survive_rearm() {
+        let mut kill = KillSwitch::armed(KillPoint::AfterBatches(2));
+        assert!(!kill.after_batch_applied());
+        assert!(kill.after_batch_applied());
+        assert!(kill.fired());
+        assert_eq!(kill.applied_batches(), 2);
+        kill.rearm(Some(KillPoint::AfterBatches(3)));
+        assert!(!kill.fired());
+        assert!(kill.after_batch_applied());
+        assert_eq!(kill.applied_batches(), 3);
+    }
+
+    #[test]
+    fn torn_write_never_leaves_a_whole_frame() {
+        // Even when the schedule asks for more torn bytes than the frame
+        // holds, the append must leave a strictly incomplete frame.
+        let dir = tmpdir("clamp");
+        let path = dir.join("wal.bin");
+        let b = batch(9, 1, &[]);
+        let frame_len = frame_batch(&b).len() as u64;
+        let (mut w, _) = WalWriter::open(&path).unwrap();
+        let mut kill = KillSwitch::armed(KillPoint::AtWalByte {
+            offset: 0,
+            torn: u32::MAX,
+        });
+        assert_eq!(w.append(&b, &mut kill).unwrap(), AppendOutcome::Killed);
+        assert_eq!(w.len(), frame_len - 1);
+        drop(w);
+        let (_, replay) = WalWriter::open(&path).unwrap();
+        assert!(replay.batches.is_empty());
+        assert_eq!(replay.torn_bytes, frame_len - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -502,6 +502,97 @@ mod tests {
     }
 
     #[test]
+    fn host_exactly_at_floor_is_evaluated() {
+        // The floor is inclusive: a host whose coverage equals
+        // `min_coverage` in *both* weeks is configured and scored. 100
+        // windows with every other window kept gives coverage exactly 0.5
+        // (no floating-point slack needed: 50/100 is exact in binary).
+        let (train, test) = population(4, 100);
+        let half: Vec<bool> = (0..100).map(|w| w % 2 == 0).collect();
+        let mut train_masks = full_masks(4, 100);
+        let mut test_masks = full_masks(4, 100);
+        train_masks[1] = half.clone();
+        test_masks[1] = half;
+        let ds = DegradedDataset::from_masked_series(
+            &train,
+            &test,
+            &train_masks,
+            &test_masks,
+            FeatureKind::TcpConnections,
+        )
+        .unwrap();
+        assert_eq!(ds.train_coverage[1], 0.5);
+        assert_eq!(ds.test_coverage[1], 0.5);
+        let eval = evaluate_policy_degraded(&ds, &p99(), &config(2000.0, 0.5)).unwrap();
+        assert_eq!(
+            eval.users[1].status,
+            HostStatus::Evaluated,
+            "coverage == floor must clear an inclusive floor"
+        );
+        assert!(eval.users[1].perf.is_some());
+        assert!(eval.evaluated_hosts.contains(&1));
+        // One window fewer and the same host drops below the floor.
+        let mut thin = full_masks(4, 100);
+        thin[1] = (0..100).map(|w| w % 2 == 0 && w != 0).collect();
+        let ds_thin = DegradedDataset::from_masked_series(
+            &train,
+            &test,
+            &thin,
+            &full_masks(4, 100),
+            FeatureKind::TcpConnections,
+        )
+        .unwrap();
+        assert_eq!(ds_thin.train_coverage[1], 0.49);
+        let eval_thin =
+            evaluate_policy_degraded(&ds_thin, &p99(), &config(2000.0, 0.5)).unwrap();
+        assert_eq!(eval_thin.users[1].status, HostStatus::LowCoverage);
+    }
+
+    #[test]
+    fn one_thin_week_is_enough_to_demote() {
+        // The Evaluated -> LowCoverage transition fires when *either* week
+        // is thin, even with the other at full coverage — train-week and
+        // test-week loss are each independently disqualifying.
+        let (train, test) = population(5, 100);
+        let thin: Vec<bool> = (0..100).map(|w| w % 5 == 0).collect(); // 20%
+
+        // Thin test week only.
+        let mut test_masks = full_masks(5, 100);
+        test_masks[2] = thin.clone();
+        let ds = DegradedDataset::from_masked_series(
+            &train,
+            &test,
+            &full_masks(5, 100),
+            &test_masks,
+            FeatureKind::TcpConnections,
+        )
+        .unwrap();
+        let eval = evaluate_policy_degraded(&ds, &p99(), &config(2000.0, 0.5)).unwrap();
+        assert_eq!(eval.users[2].status, HostStatus::LowCoverage);
+        assert_eq!(eval.users[2].train_coverage, 1.0);
+        assert!(eval.users[2].perf.is_none());
+
+        // Thin train week only: same demotion.
+        let mut train_masks = full_masks(5, 100);
+        train_masks[2] = thin;
+        let ds = DegradedDataset::from_masked_series(
+            &train,
+            &test,
+            &train_masks,
+            &full_masks(5, 100),
+            FeatureKind::TcpConnections,
+        )
+        .unwrap();
+        let eval = evaluate_policy_degraded(&ds, &p99(), &config(2000.0, 0.5)).unwrap();
+        assert_eq!(eval.users[2].status, HostStatus::LowCoverage);
+        assert_eq!(eval.users[2].test_coverage, 1.0);
+        assert!(eval.users[2].perf.is_none());
+        // The demoted host is excluded from configuration, not from the
+        // report: every other host is still scored.
+        assert_eq!(eval.status_counts(), (4, 1, 0));
+    }
+
+    #[test]
     fn all_dark_population_is_an_error_not_a_panic() {
         let (train, test) = population(3, 50);
         let dark = vec![vec![false; 50]; 3];

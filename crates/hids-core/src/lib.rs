@@ -45,6 +45,7 @@ pub mod bundle;
 pub mod degraded;
 pub mod detector;
 pub mod eval;
+pub mod incremental;
 pub mod multi;
 pub mod par;
 pub mod policy;
@@ -60,6 +61,7 @@ pub use degraded::{
 };
 pub use detector::{Alert, Detector};
 pub use eval::{AttackSweep, DatasetError, EvalConfig, FeatureDataset, PolicyEvaluation, UserPerf};
+pub use incremental::{degraded_dataset, WindowAccumulator};
 pub use multi::{evaluate_multi, multi_detection, MultiEvaluation, MultiPolicy, MultiUserPerf};
 pub use par::{current_threads, par_map, par_map_range, set_threads};
 pub use policy::{ConfigureError, Grouping, PartialMethod, Policy, PolicyOutcome};

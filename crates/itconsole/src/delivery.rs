@@ -1,14 +1,20 @@
-//! Bounded, retrying batch delivery from hosts to the console.
+//! Bounded, retrying batch delivery from hosts to a central sink.
 //!
-//! Host agents cannot assume the console link is up: batches must queue
-//! locally, retry with backoff, and — because agent memory is finite —
-//! eventually drop, *with accounting*, rather than grow without bound.
-//! This module implements that discipline over a virtual clock so every
-//! schedule is deterministic and replayable in tests: the caller advances
-//! time with [`DeliveryQueue::tick`] and attempts transmission with
+//! Host agents cannot assume the uplink is up: batches must queue locally,
+//! retry with backoff, and — because agent memory is finite — eventually
+//! drop, *with accounting*, rather than grow without bound. This module
+//! implements that discipline over a virtual clock so every schedule is
+//! deterministic and replayable in tests: the caller advances time with
+//! [`DeliveryQueue::tick`] and attempts transmission with
 //! [`DeliveryQueue::pump`], passing a sink that reports per-batch success
-//! (a closure over `CentralConsole::ingest_batch` in the real pipeline, a
-//! scripted link in the chaos tests).
+//! (a closure over `CentralConsole::ingest_batch` in the alert pipeline, a
+//! scripted link in the chaos tests, `fleetd`'s backpressure-aware
+//! `Daemon::offer` in the streaming-daemon pipeline).
+//!
+//! The queue is generic over its payload: anything implementing
+//! [`Payload`] (which just reports how many accounting *units* — alerts,
+//! windows — a batch carries) can be shipped. `Vec<Alert>` is the original
+//! instantiation; `fleetd::WindowBatch` is the second.
 //!
 //! Retry schedule: attempt `k` (1-based) failing re-arms the batch after
 //! `backoff_base << (k - 1)` ticks (exponential), until `max_attempts` is
@@ -19,6 +25,20 @@ use std::collections::VecDeque;
 
 use hids_core::Alert;
 use serde::{Deserialize, Serialize};
+
+/// A deliverable batch: reports how many accounting units it carries, so
+/// loss counters can speak the caller's language (alerts lost, windows
+/// lost) without the queue knowing the payload type.
+pub trait Payload {
+    /// Accounting units in this batch.
+    fn units(&self) -> u64;
+}
+
+impl Payload for Vec<Alert> {
+    fn units(&self) -> u64 {
+        self.len() as u64
+    }
+}
 
 /// Parameters of the host-side delivery queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,7 +61,9 @@ impl Default for DeliveryConfig {
     }
 }
 
-/// Counters describing a queue's lifetime behaviour.
+/// Counters describing a queue's lifetime behaviour. "Units" are whatever
+/// the payload type counts: alerts for `Vec<Alert>`, windows for the
+/// daemon's window batches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeliveryStats {
     /// Batches accepted into the queue.
@@ -52,12 +74,12 @@ pub struct DeliveryStats {
     pub retries: u64,
     /// Batches rejected because the queue was full.
     pub rejected_batches: u64,
-    /// Alerts inside rejected batches.
-    pub rejected_alerts: u64,
+    /// Units inside rejected batches.
+    pub rejected_units: u64,
     /// Batches dropped after exhausting every attempt.
     pub expired_batches: u64,
-    /// Alerts inside expired batches.
-    pub expired_alerts: u64,
+    /// Units inside expired batches.
+    pub expired_units: u64,
     /// Highest queue occupancy observed.
     pub queue_high_water: usize,
 }
@@ -68,30 +90,30 @@ impl DeliveryStats {
         self.rejected_batches + self.expired_batches
     }
 
-    /// Alerts lost for any reason.
-    pub fn dropped_alerts(&self) -> u64 {
-        self.rejected_alerts + self.expired_alerts
+    /// Units lost for any reason.
+    pub fn dropped_units(&self) -> u64 {
+        self.rejected_units + self.expired_units
     }
 }
 
 #[derive(Debug)]
-struct PendingBatch {
-    batch: Vec<Alert>,
+struct PendingBatch<B> {
+    batch: B,
     attempts: u32,
     next_attempt: u64,
 }
 
-/// A bounded FIFO of alert batches with deterministic retry/backoff over a
-/// virtual clock.
+/// A bounded FIFO of payload batches with deterministic retry/backoff over
+/// a virtual clock.
 #[derive(Debug)]
-pub struct DeliveryQueue {
+pub struct DeliveryQueue<B: Payload = Vec<Alert>> {
     config: DeliveryConfig,
-    queue: VecDeque<PendingBatch>,
+    queue: VecDeque<PendingBatch<B>>,
     stats: DeliveryStats,
     now: u64,
 }
 
-impl DeliveryQueue {
+impl<B: Payload> DeliveryQueue<B> {
     /// Create an empty queue at tick 0.
     ///
     /// # Panics
@@ -110,10 +132,10 @@ impl DeliveryQueue {
     /// Offer a batch. Returns `false` (and accounts the loss) when the
     /// queue is at capacity. Empty batches are accepted and count as
     /// delivered work like any other.
-    pub fn offer(&mut self, batch: Vec<Alert>) -> bool {
+    pub fn offer(&mut self, batch: B) -> bool {
         if self.queue.len() >= self.config.capacity {
             self.stats.rejected_batches += 1;
-            self.stats.rejected_alerts += batch.len() as u64;
+            self.stats.rejected_units += batch.units();
             return false;
         }
         self.queue.push_back(PendingBatch {
@@ -140,9 +162,9 @@ impl DeliveryQueue {
     /// FIFO order. `sink` returns whether one batch was accepted; a batch
     /// that fails is re-armed with exponential backoff or, once out of
     /// attempts, dropped with accounting. Returns batches delivered.
-    pub fn pump<F: FnMut(&[Alert]) -> bool>(&mut self, mut sink: F) -> usize {
+    pub fn pump<F: FnMut(&B) -> bool>(&mut self, mut sink: F) -> usize {
         let mut delivered = 0;
-        let mut keep: VecDeque<PendingBatch> = VecDeque::with_capacity(self.queue.len());
+        let mut keep: VecDeque<PendingBatch<B>> = VecDeque::with_capacity(self.queue.len());
         while let Some(mut p) = self.queue.pop_front() {
             if p.next_attempt > self.now {
                 keep.push_back(p);
@@ -156,7 +178,7 @@ impl DeliveryQueue {
             p.attempts += 1;
             if p.attempts >= self.config.max_attempts {
                 self.stats.expired_batches += 1;
-                self.stats.expired_alerts += p.batch.len() as u64;
+                self.stats.expired_units += p.batch.units();
             } else {
                 self.stats.retries += 1;
                 p.next_attempt = self.now + (self.config.backoff_base << (p.attempts - 1));
@@ -228,7 +250,7 @@ mod tests {
         assert!(!q.offer(batch(3)));
         let s = q.stats();
         assert_eq!(s.rejected_batches, 1);
-        assert_eq!(s.rejected_alerts, 3);
+        assert_eq!(s.rejected_units, 3);
         assert_eq!(s.queue_high_water, 2);
     }
 
@@ -271,7 +293,7 @@ mod tests {
         assert!(q.is_empty());
         let s = q.stats();
         assert_eq!(s.expired_batches, 1);
-        assert_eq!(s.expired_alerts, 5);
+        assert_eq!(s.expired_units, 5);
         assert_eq!(s.retries, 2, "attempts 1 and 2 re-armed, 3 expired");
     }
 
@@ -309,5 +331,27 @@ mod tests {
         let s = q.stats();
         assert_eq!(s.delivered, 10);
         assert_eq!(s.dropped_batches(), 0);
+    }
+
+    #[test]
+    fn generic_payloads_account_their_own_units() {
+        struct Windows(u64);
+        impl Payload for Windows {
+            fn units(&self) -> u64 {
+                self.0
+            }
+        }
+        let mut q: DeliveryQueue<Windows> = DeliveryQueue::new(DeliveryConfig {
+            capacity: 1,
+            max_attempts: 1,
+            backoff_base: 1,
+        });
+        assert!(q.offer(Windows(24)));
+        assert!(!q.offer(Windows(7)), "capacity 1");
+        q.pump(|_| false); // single attempt -> expires
+        let s = q.stats();
+        assert_eq!(s.rejected_units, 7);
+        assert_eq!(s.expired_units, 24);
+        assert_eq!(s.dropped_units(), 31);
     }
 }

@@ -37,7 +37,7 @@ pub use batch::{AlertBatcher, LatePolicy};
 pub use coalesce::{coalesce, CoalescedAlert, RateLimiter};
 pub use compliance::{audit, ComplianceReport, Deviation};
 pub use console::{CentralConsole, ConsoleStats};
-pub use delivery::{DeliveryConfig, DeliveryQueue, DeliveryStats};
+pub use delivery::{DeliveryConfig, DeliveryQueue, DeliveryStats, Payload};
 pub use sentinel::{
     best_users, sentinel_consensus, sentinel_consensus_degraded, DegradedConsensus, SentinelConfig,
 };
