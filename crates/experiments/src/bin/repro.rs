@@ -6,7 +6,7 @@
 //!       [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b
-//!                drift ablation chaos daemon all }   (default: all)
+//!                drift ablation chaos daemon rollout all }   (default: all)
 //! ```
 //!
 //! Prints each artifact as an aligned table and, when `--out` is given,
@@ -24,11 +24,12 @@ use std::time::Instant;
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
     ablation, chaos, collab, daemon, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5,
-    multifeat, ops, report, seeds, tab2, tab3, Corpus, Table,
+    multifeat, ops, report, rollout, seeds, tab2, tab3, Corpus, Table,
 };
 use flowtab::FeatureKind;
 use synthgen::StormConfig;
 
+#[derive(Debug)]
 struct Args {
     users: usize,
     weeks: usize,
@@ -44,11 +45,14 @@ struct Args {
 
 fn usage() -> String {
     "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]\n\
-     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon all"
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon rollout all"
         .to_string()
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args<I>(argv: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
     let mut args = Args {
         users: 350,
         weeks: 5,
@@ -61,7 +65,7 @@ fn parse_args() -> Result<Args, String> {
         delivery_backoff: None,
         experiments: Vec::new(),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -157,7 +161,7 @@ fn timings_json(args: &Args, timings: &[(String, f64)], total_secs: f64) -> Stri
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("repro: {e}");
@@ -532,6 +536,103 @@ fn main() -> ExitCode {
         }
     });
 
+    experiment!("rollout", {
+        // Synthetic drift streams (not the corpus): sized so both
+        // narratives — benign promotion and poisoned rollback — are
+        // scripted outcomes, deterministic at any --threads setting.
+        let benign = rollout::RolloutScenario {
+            seed: args.fault_seed,
+            ..rollout::RolloutScenario::default()
+        };
+        let benign_input = rollout::build_input(&benign);
+        let ben_dir = daemon::unique_run_dir("rollout-benign");
+        let promoted = match rollout::run(&ben_dir, &benign, &benign_input, &[]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rollout experiment failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&ben_dir);
+        println!("benign drift: refit, canary, promote");
+        print!("{}", itconsole::render_history(&promoted.epoch_summaries()));
+        emit(&rollout::hosts_table(&promoted), &args.out, "rollout_benign_hosts");
+        emit(&rollout::epochs_table(&promoted), &args.out, "rollout_benign_epochs");
+        emit(&rollout::ops_table(&promoted), &args.out, "rollout_benign_ops");
+        if let Err(e) = promoted.check(&benign) {
+            eprintln!("warning: benign rollout invariant violated: {e}");
+        }
+
+        let poisoned = rollout::RolloutScenario {
+            poison: true,
+            ..benign.clone()
+        };
+        let poisoned_input = rollout::build_input(&poisoned);
+        let poi_dir = daemon::unique_run_dir("rollout-poisoned");
+        let rolled_back = match rollout::run(&poi_dir, &poisoned, &poisoned_input, &[]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rollout experiment failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&poi_dir);
+        println!("poisoned drift: guard, gate failure, rollback");
+        print!("{}", itconsole::render_history(&rolled_back.epoch_summaries()));
+        emit(&rollout::hosts_table(&rolled_back), &args.out, "rollout_poisoned_hosts");
+        emit(&rollout::epochs_table(&rolled_back), &args.out, "rollout_poisoned_epochs");
+        emit(&rollout::ops_table(&rolled_back), &args.out, "rollout_poisoned_ops");
+        if let Err(e) = rolled_back.check(&poisoned) {
+            eprintln!("warning: poisoned rollout invariant violated: {e}");
+        }
+
+        // Rollback-identity self-check: the rolled-back fleet must be
+        // byte-identical to one that never attempted a rollout.
+        let untouched_scenario = rollout::RolloutScenario {
+            attempt_rollout: false,
+            ..poisoned.clone()
+        };
+        let ref_dir = daemon::unique_run_dir("rollout-untouched");
+        match rollout::run(&ref_dir, &untouched_scenario, &poisoned_input, &[]) {
+            Ok(untouched) => {
+                if rollout::hosts_csv(&rolled_back) == rollout::hosts_csv(&untouched) {
+                    eprintln!("rollout rollback-identity check: hosts CSV identical");
+                } else {
+                    eprintln!("warning: rollout rollback-identity check FAILED");
+                }
+            }
+            Err(e) => eprintln!("warning: rollout reference run failed: {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&ref_dir);
+
+        if args.fault_rate > 0.0 {
+            // Crash-recovery self-check across batch, WAL-byte, and
+            // epoch-boundary kills.
+            let kills = faultsim::rollout_kill_points(
+                args.fault_seed,
+                6,
+                promoted.total_applied,
+                promoted.total_wal_bytes,
+                promoted.total_rollout_events as u32,
+            );
+            let kill_dir = daemon::unique_run_dir("rollout-kill");
+            match rollout::run(&kill_dir, &benign, &benign_input, &kills) {
+                Ok(killed) => {
+                    if rollout::hosts_csv(&killed) == rollout::hosts_csv(&promoted) {
+                        eprintln!(
+                            "rollout kill-recovery check: {} kills over {} lifetimes, hosts CSV identical",
+                            killed.recovery.kills, killed.recovery.lifetimes
+                        );
+                    } else {
+                        eprintln!("warning: rollout kill-recovery check FAILED: hosts CSV diverged");
+                    }
+                }
+                Err(e) => eprintln!("warning: rollout kill-recovery run failed: {e}"),
+            }
+            let _ = std::fs::remove_dir_all(&kill_dir);
+        }
+    });
+
     experiment!("ablation", {
         emit(
             &ablation::group_count_table(&ablation::group_count(&corpus, tcp, 0.5)),
@@ -587,4 +688,56 @@ fn main() -> ExitCode {
     }
     eprintln!("done in {total_secs:.1}s");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn parse(argv: &[&str]) -> Result<super::Args, String> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_fill_in_when_nothing_is_passed() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.users, 350);
+        assert_eq!(args.weeks, 5);
+        assert_eq!(args.experiments, vec!["all".to_string()]);
+    }
+
+    #[test]
+    fn flags_and_experiments_parse_together() {
+        let args = parse(&["--users", "40", "--threads", "2", "rollout", "daemon"]).unwrap();
+        assert_eq!(args.users, 40);
+        assert_eq!(args.threads, Some(2));
+        assert_eq!(args.experiments, vec!["rollout", "daemon"]);
+    }
+
+    #[test]
+    fn fault_rate_outside_unit_interval_is_rejected() {
+        assert!(parse(&["--fault-rate", "1.5"]).unwrap_err().contains("[0, 1]"));
+        assert!(parse(&["--fault-rate", "-0.1"]).unwrap_err().contains("[0, 1]"));
+        assert!(parse(&["--fault-rate", "1.0"]).is_ok());
+    }
+
+    #[test]
+    fn zero_valued_tunables_are_rejected() {
+        assert!(parse(&["--users", "0"]).unwrap_err().contains("--users"));
+        assert!(parse(&["--threads", "0"]).unwrap_err().contains("--threads"));
+        assert!(parse(&["--weeks", "1"]).unwrap_err().contains("--weeks"));
+        assert!(parse(&["--delivery-backoff", "0"])
+            .unwrap_err()
+            .contains("--delivery-backoff"));
+        assert!(parse(&["--delivery-attempts", "0"])
+            .unwrap_err()
+            .contains("--delivery-attempts"));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_with_context() {
+        assert!(parse(&["--users"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--users", "many"]).is_err());
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+    }
 }

@@ -21,6 +21,8 @@
 //! | [`ops`] | extension: analyst triage cost & threshold maintenance |
 //! | [`ablation`] | extension: group count / binning / heuristic ablations |
 //! | [`chaos`] | extension: fault injection & degraded-mode behaviour |
+//! | [`daemon`] | extension: crash-safe streaming evaluation daemon |
+//! | [`rollout`] | extension: drift-aware canary rollouts & rollback |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ pub mod multifeat;
 pub mod ops;
 pub mod plot;
 pub mod report;
+pub mod rollout;
 pub mod seeds;
 pub mod tab2;
 pub mod tab3;

@@ -38,14 +38,14 @@ pub struct Tab3Result {
     pub n_users: usize,
 }
 
-fn heuristic_for(label: &str, ds: &FeatureDataset) -> ThresholdHeuristic {
-    match label {
-        "99th-percentile" => ThresholdHeuristic::P99,
-        "utility, w = 0.4" => ThresholdHeuristic::UtilityMax {
+fn heuristic_for(utility: bool, ds: &FeatureDataset) -> ThresholdHeuristic {
+    if utility {
+        ThresholdHeuristic::UtilityMax {
             w: 0.4,
             sweep: ds.default_sweep(),
-        },
-        other => panic!("unknown heuristic label {other}"),
+        }
+    } else {
+        ThresholdHeuristic::P99
     }
 }
 
@@ -93,13 +93,13 @@ fn console_alarms(ds: &FeatureDataset, policy: &Policy, feature: FeatureKind) ->
 pub fn run(corpus: &Corpus, feature: FeatureKind) -> Tab3Result {
     let splits = corpus.splits();
     assert!(!splits.is_empty());
-    let labels = ["99th-percentile", "utility, w = 0.4"];
+    let labels = [("99th-percentile", false), ("utility, w = 0.4", true)];
     let mut rows = Vec::new();
-    for label in labels {
+    for (label, utility) in labels {
         let mut totals = [0u64; 3];
         for &train_week in &splits {
             let ds = corpus.dataset(feature, train_week);
-            let heuristic = heuristic_for(label, &ds);
+            let heuristic = heuristic_for(utility, &ds);
             for (slot, grouping) in [
                 Grouping::Homogeneous,
                 Grouping::FullDiversity,

@@ -92,10 +92,10 @@ impl ByteFaults {
         // Phase 2: bit rot. The magic word is spared unless `corrupt_magic`
         // asks for it explicitly, so the knobs stay independent.
         if self.bitflip_rate > 0.0 {
-            for i in 4..out.len() {
+            for byte in out.iter_mut().skip(4) {
                 if rng.random_bool(self.bitflip_rate) {
                     let bit: u8 = rng.random_range(0u8..8);
-                    out[i] ^= 1 << bit;
+                    *byte ^= 1 << bit;
                     log.bits_flipped += 1;
                 }
             }

@@ -1,0 +1,161 @@
+//! Seeded baseline-drift and baseline-poisoning injectors.
+//!
+//! The threshold-lifecycle experiments need two ways of bending a host's
+//! live traffic away from its training baseline:
+//!
+//! * **benign drift** — the organic week-over-week behaviour change the
+//!   paper observes: activity levels shift gradually, in either
+//!   direction, and a stale threshold slowly stops fitting;
+//! * **poisoning** — the "boiling-frog" variant of the paper's mimicry
+//!   attacker: a compromised host ratchets its baseline *up* a little at
+//!   a time so that a naive refit learns the inflated level as normal
+//!   and raises the threshold the attacker will later hide under.
+//!
+//! Both are expressed as a [`RampInject`]: a linear scale ramp over a
+//! window-index span, applied per `(window, count)` pair. The transform
+//! is a pure function of `(ramp, window, count)` — no RNG in the data
+//! path — so injected streams are bit-identical across runs, thread
+//! counts, and crash/replay boundaries. Seeding enters only through
+//! [`poisoned_hosts`] / [`drifted_hosts`], which pick *which* hosts a
+//! schedule touches from the crate's master-seed discipline (per-class
+//! SplitMix64 sub-streams, tags 5 and 6).
+
+use std::collections::BTreeSet;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A linear scale ramp over a half-open window span.
+///
+/// Windows before `span.0` are untouched; windows in `[span.0, span.1)`
+/// are scaled by the linear interpolation from `from` to `to` across the
+/// span; windows at or past `span.1` stay at `to`. Scaled counts are
+/// rounded to the nearest integer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampInject {
+    /// Half-open `[start, end)` window-index span of the ramp.
+    pub span: (u32, u32),
+    /// Scale factor at the start of the span.
+    pub from: f64,
+    /// Scale factor at the end of the span (and beyond).
+    pub to: f64,
+}
+
+impl RampInject {
+    /// The identity ramp: scales nothing.
+    pub fn none() -> Self {
+        Self { span: (0, 0), from: 1.0, to: 1.0 }
+    }
+
+    /// Scale factor at window `w`.
+    pub fn scale_at(&self, w: u32) -> f64 {
+        let (start, end) = self.span;
+        if w < start || start >= end {
+            if w >= end && start < end { self.to } else { 1.0 }
+        } else if w >= end {
+            self.to
+        } else {
+            let t = f64::from(w - start) / f64::from(end - start);
+            self.from + (self.to - self.from) * t
+        }
+    }
+
+    /// Apply the ramp to one `(window, count)` observation.
+    pub fn apply(&self, w: u32, count: u64) -> u64 {
+        let scaled = count as f64 * self.scale_at(w);
+        if scaled <= 0.0 {
+            0
+        } else {
+            scaled.round() as u64
+        }
+    }
+
+    /// True when the ramp can never change a count.
+    pub fn is_none(&self) -> bool {
+        self.span.0 >= self.span.1 && (self.to - 1.0).abs() < f64::EPSILON
+    }
+}
+
+/// Seeded choice of which hosts a *poisoning* schedule compromises:
+/// `ceil(fraction · n_hosts)` distinct host ids drawn from the tag-6
+/// sub-stream of `master_seed`.
+pub fn poisoned_hosts(master_seed: u64, n_hosts: u32, fraction: f64) -> BTreeSet<u32> {
+    pick_hosts(crate::subseed(master_seed, 6), n_hosts, fraction)
+}
+
+/// Seeded choice of which hosts a *benign drift* schedule touches, from
+/// the independent tag-5 sub-stream (`fraction = 1.0` drifts the fleet).
+pub fn drifted_hosts(master_seed: u64, n_hosts: u32, fraction: f64) -> BTreeSet<u32> {
+    pick_hosts(crate::subseed(master_seed, 5), n_hosts, fraction)
+}
+
+fn pick_hosts(seed: u64, n_hosts: u32, fraction: f64) -> BTreeSet<u32> {
+    let f = fraction.clamp(0.0, 1.0);
+    let k = (f * f64::from(n_hosts)).ceil() as usize;
+    let k = k.min(n_hosts as usize);
+    if k == 0 || n_hosts == 0 {
+        return BTreeSet::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates: the first k slots of a shuffled identity
+    // permutation are a uniform k-subset.
+    let mut ids: Vec<u32> = (0..n_hosts).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_interpolates_linearly_and_saturates() {
+        let r = RampInject { span: (10, 20), from: 1.0, to: 2.0 };
+        assert_eq!(r.scale_at(0), 1.0);
+        assert_eq!(r.scale_at(10), 1.0);
+        assert!((r.scale_at(15) - 1.5).abs() < 1e-12);
+        assert_eq!(r.scale_at(20), 2.0);
+        assert_eq!(r.scale_at(1000), 2.0);
+        assert_eq!(r.apply(15, 100), 150);
+    }
+
+    #[test]
+    fn downward_ramp_models_benign_deflation() {
+        let r = RampInject { span: (0, 100), from: 1.0, to: 0.5 };
+        assert_eq!(r.apply(0, 200), 200);
+        assert_eq!(r.apply(100, 200), 100);
+        // Monotone non-increasing along the span.
+        let mut last = u64::MAX;
+        for w in 0..=100 {
+            let c = r.apply(w, 200);
+            assert!(c <= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn identity_ramp_is_none_and_changes_nothing() {
+        let r = RampInject::none();
+        assert!(r.is_none());
+        for w in [0u32, 5, 1000] {
+            assert_eq!(r.apply(w, 123), 123);
+        }
+    }
+
+    #[test]
+    fn host_picks_are_seeded_and_sized() {
+        let a = poisoned_hosts(42, 20, 0.5);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, poisoned_hosts(42, 20, 0.5), "pure function of seed");
+        assert_ne!(a, poisoned_hosts(43, 20, 0.5), "seeds must decorrelate");
+        assert!(a.iter().all(|&h| h < 20));
+        // Drift and poison picks come from independent sub-streams.
+        assert_ne!(a, drifted_hosts(42, 20, 0.5));
+        assert!(poisoned_hosts(1, 0, 1.0).is_empty());
+        assert!(poisoned_hosts(1, 8, 0.0).is_empty());
+        assert_eq!(drifted_hosts(9, 8, 1.0).len(), 8);
+    }
+}

@@ -40,6 +40,13 @@ pub enum KillPoint {
         /// Bytes of the in-flight record actually written before death.
         torn: u32,
     },
+    /// Crash immediately after the *n*-th rollout transition record
+    /// (canary-start, promote, or rollback) has been made durable in the
+    /// WAL, before the in-memory caller observes success. `1` dies right
+    /// after canary start; in a single-rollout run `2` dies right after
+    /// the promote/rollback decision — the epoch-boundary analogues of
+    /// [`KillPoint::AfterBatches`].
+    AfterRolloutEvents(u32),
 }
 
 /// Largest torn-prefix length [`kill_points`] will schedule. Record frames
@@ -75,6 +82,51 @@ pub fn kill_points(master_seed: u64, n: usize, max_batches: u64, max_wal_bytes: 
                 };
                 let torn = rng.random_range(0..=MAX_TORN_BYTES);
                 KillPoint::AtWalByte { offset, torn }
+            }
+        })
+        .collect()
+}
+
+/// Derive `n` kill points for a run that performs a threshold rollout,
+/// cycling through three classes: batch-boundary deaths, torn WAL writes,
+/// and rollout-event-boundary deaths. `max_events` is the number of
+/// rollout transition records the reference run journals (a single
+/// rollout journals two: canary start and the promote/rollback decision),
+/// so every epoch boundary is exercised by some seed.
+pub fn rollout_kill_points(
+    master_seed: u64,
+    n: usize,
+    max_batches: u64,
+    max_wal_bytes: u64,
+    max_events: u32,
+) -> Vec<KillPoint> {
+    let mut rng = StdRng::seed_from_u64(crate::subseed(master_seed, 7));
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => {
+                let after = if max_batches == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(1..=max_batches)
+                };
+                KillPoint::AfterBatches(after)
+            }
+            1 => {
+                let offset = if max_wal_bytes == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(0..max_wal_bytes)
+                };
+                let torn = rng.random_range(0..=MAX_TORN_BYTES);
+                KillPoint::AtWalByte { offset, torn }
+            }
+            _ => {
+                let after = if max_events == 0 {
+                    u32::MAX
+                } else {
+                    rng.random_range(1..=max_events)
+                };
+                KillPoint::AfterRolloutEvents(after)
             }
         })
         .collect()
@@ -126,11 +178,35 @@ mod tests {
     }
 
     #[test]
+    fn rollout_schedule_covers_all_three_classes() {
+        let pts = rollout_kill_points(11, 12, 64, 4096, 2);
+        assert_eq!(pts, rollout_kill_points(11, 12, 64, 4096, 2));
+        let mut events = 0;
+        for (i, p) in pts.iter().enumerate() {
+            match (i % 3, p) {
+                (0, KillPoint::AfterBatches(n)) => assert!((1..=64).contains(n)),
+                (1, KillPoint::AtWalByte { offset, torn }) => {
+                    assert!(*offset < 4096 && *torn <= MAX_TORN_BYTES)
+                }
+                (2, KillPoint::AfterRolloutEvents(n)) => {
+                    assert!((1..=2).contains(n));
+                    events += 1;
+                }
+                _ => panic!("point {i} has the wrong class: {p:?}"),
+            }
+        }
+        assert_eq!(events, 4);
+    }
+
+    #[test]
     fn degenerate_reference_never_fires() {
         for p in kill_points(1, 8, 0, 0) {
             match p {
                 KillPoint::AfterBatches(n) => assert_eq!(n, u64::MAX),
                 KillPoint::AtWalByte { offset, .. } => assert_eq!(offset, u64::MAX),
+                KillPoint::AfterRolloutEvents(_) => {
+                    panic!("kill_points never schedules rollout-event kills")
+                }
             }
         }
     }

@@ -18,7 +18,9 @@
 //! * [`batchfault`] — duplication and reordering of alert batches in
 //!   flight, attacking `itconsole`'s ingest path;
 //! * [`killsched`] — seeded process-death schedules (batch-boundary kills
-//!   and mid-record torn WAL writes), attacking `fleetd`'s crash recovery.
+//!   and mid-record torn WAL writes), attacking `fleetd`'s crash recovery;
+//! * [`driftfault`] — seeded baseline drift ramps and boiling-frog
+//!   poisoning schedules, attacking the threshold-refit lifecycle.
 //!
 //! A [`FaultPlan`] bundles all three behind a single master seed, deriving
 //! an independent deterministic stream per class, and scales with a single
@@ -32,12 +34,14 @@
 
 pub mod batchfault;
 pub mod bytes;
+pub mod driftfault;
 pub mod killsched;
 pub mod telemetry;
 
 pub use batchfault::{BatchFaultLog, BatchFaults};
 pub use bytes::{ByteFaultLog, ByteFaults};
-pub use killsched::{kill_points, KillPoint};
+pub use driftfault::{drifted_hosts, poisoned_hosts, RampInject};
+pub use killsched::{kill_points, rollout_kill_points, KillPoint};
 pub use telemetry::{TelemetryFaultLog, TelemetryFaults};
 
 /// Derive an independent sub-seed for one fault class from a master seed.

@@ -28,12 +28,16 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
-use crate::codec::WindowBatch;
+use crate::codec::{Week, WindowBatch};
+use crate::epoch::{
+    CandidateState, EpochOutcome, EpochRecord, EpochState, GateStats, Phase, RolloutConfig,
+    RolloutEvent,
+};
 use crate::queue::{Admit, Popped, QueueConfig, ShardQueue};
 use crate::snapshot::{self, Snapshot};
-use crate::state::{ApplyConfig, ApplyOutcome, HostState, ShardState};
+use crate::state::{ApplyConfig, ApplyOutcome, HostState, ShadowCtx, ShardState};
 use crate::supervisor::{SupervisorConfig, Worker, WorkerStatus};
-use crate::wal::{AppendOutcome, KillSwitch, WalWriter};
+use crate::wal::{AppendOutcome, KillSwitch, WalRecord, WalWriter};
 
 /// Full daemon configuration.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +54,8 @@ pub struct DaemonConfig {
     pub queue: QueueConfig,
     /// Supervision tunables.
     pub supervisor: SupervisorConfig,
+    /// Canary cohort sizing and promotion health gates.
+    pub rollout: RolloutConfig,
 }
 
 impl Default for DaemonConfig {
@@ -61,6 +67,7 @@ impl Default for DaemonConfig {
             snapshot_every: 64,
             queue: QueueConfig::default(),
             supervisor: SupervisorConfig::default(),
+            rollout: RolloutConfig::default(),
         }
     }
 }
@@ -155,6 +162,10 @@ pub struct DaemonStats {
     pub breaker_trips: u64,
     /// Snapshots successfully installed.
     pub snapshots_written: u64,
+    /// Test batches refused at the canary barrier because their windows
+    /// extend past the in-flight candidate's soak end; the source retries
+    /// them after the promote/rollback decision.
+    pub barrier_deferred: u64,
 }
 
 impl DaemonStats {
@@ -196,6 +207,8 @@ pub struct RecoveryReport {
     pub wal_quarantined: u64,
     /// Torn/corrupt tail bytes truncated from the WAL.
     pub wal_torn_bytes: u64,
+    /// Rollout transition records replayed from the WAL.
+    pub wal_rollout_events: u64,
 }
 
 struct Shard {
@@ -217,6 +230,106 @@ pub struct Daemon {
     applied_since_snapshot: u64,
     stats: DaemonStats,
     completions: Vec<Completion>,
+    epoch: EpochState,
+}
+
+/// Shards `0..canary` form the canary cohort: a pure function of the
+/// configuration, so every run (and every recovery) canaries the same
+/// hosts.
+fn effective_canary(cfg: &DaemonConfig) -> usize {
+    cfg.rollout.canary_shards.min(cfg.n_shards)
+}
+
+/// Soak windows the gate will wait for: candidate hosts routed to canary
+/// shards × soak span. Pure function of `(thresholds, config)` so replay
+/// recomputes the identical target.
+fn expected_soak_windows(
+    thresholds: &BTreeMap<u32, f64>,
+    n_shards: usize,
+    canary: usize,
+    span: u64,
+) -> u64 {
+    let canary_hosts = thresholds
+        .keys()
+        .filter(|&&h| (h as usize % n_shards) < canary)
+        .count() as u64;
+    canary_hosts * span
+}
+
+/// Mutate epoch (and, on promotion, host) state for one durable rollout
+/// transition. Called both on the live path (right after the record is
+/// appended) and on WAL replay, so the two converge by construction.
+fn apply_rollout(
+    epoch: &mut EpochState,
+    shards: &mut [Shard],
+    n_shards: usize,
+    canary: usize,
+    ev: &RolloutEvent,
+) {
+    match ev {
+        RolloutEvent::Begin {
+            epoch: e,
+            soak_start,
+            soak_end,
+            thresholds,
+        } => {
+            let span = u64::from(*soak_end) - u64::from(*soak_start);
+            epoch.last_epoch = epoch.last_epoch.max(*e);
+            epoch.candidate = Some(CandidateState {
+                epoch: *e,
+                soak_start: *soak_start,
+                soak_end: *soak_end,
+                expected_windows: expected_soak_windows(thresholds, n_shards, canary, span),
+                thresholds: thresholds.clone(),
+                stats: GateStats::default(),
+            });
+        }
+        RolloutEvent::Promote { .. } => {
+            if let Some(c) = epoch.candidate.take() {
+                for shard in shards.iter_mut() {
+                    for (h, st) in shard.state.hosts.iter_mut() {
+                        if let Some(&t) = c.thresholds.get(h) {
+                            st.promoted = Some((c.soak_end, t));
+                        }
+                    }
+                }
+                epoch.history.push(EpochRecord {
+                    epoch: c.epoch,
+                    outcome: EpochOutcome::Promoted,
+                    stats: c.stats,
+                    expected_windows: c.expected_windows,
+                });
+            }
+        }
+        RolloutEvent::Rollback { reason, .. } => {
+            // The incumbent thresholds were never touched during the
+            // canary, so discarding the candidate IS the rollback.
+            if let Some(c) = epoch.candidate.take() {
+                epoch.history.push(EpochRecord {
+                    epoch: c.epoch,
+                    outcome: EpochOutcome::RolledBack(*reason),
+                    stats: c.stats,
+                    expected_windows: c.expected_windows,
+                });
+            }
+        }
+    }
+}
+
+/// Count soak-span test windows of a batch lost to shedding or
+/// quarantine on a canary shard, toward the candidate's loss meter.
+fn note_soak_loss(epoch: &mut EpochState, canary: usize, shard_idx: usize, batch: &WindowBatch) {
+    let Some(c) = epoch.candidate.as_mut() else {
+        return;
+    };
+    if shard_idx >= canary || batch.week != Week::Test || !c.thresholds.contains_key(&batch.host) {
+        return;
+    }
+    let start = u64::from(batch.start.max(c.soak_start));
+    let end = (u64::from(batch.start) + batch.counts.len() as u64).min(u64::from(c.soak_end));
+    if end > start {
+        c.stats.sheds += end - start;
+    }
 }
 
 impl Daemon {
@@ -240,6 +353,7 @@ impl Daemon {
             .collect();
 
         let mut next_snapshot_seq = 1;
+        let mut epoch = EpochState::default();
         if let Some(snap) = snap {
             if snap.n_windows != cfg.n_windows {
                 return Err(DaemonError::Config(
@@ -248,6 +362,7 @@ impl Daemon {
             }
             report.snapshot_seq = Some(snap.seq);
             next_snapshot_seq = snap.seq + 1;
+            epoch = snap.epoch;
             for (host, st) in snap.hosts {
                 let idx = host as usize % cfg.n_shards;
                 shards[idx].state.hosts.insert(host, st);
@@ -256,20 +371,42 @@ impl Daemon {
 
         let (wal, replay) = WalWriter::open(&dir.join("wal.bin"))?;
         report.wal_torn_bytes = replay.torn_bytes;
-        report.wal_batches = replay.batches.len() as u64;
         let apply_cfg = ApplyConfig {
             n_windows: cfg.n_windows,
             threshold_q: cfg.threshold_q,
         };
-        for batch in &replay.batches {
-            let idx = batch.host as usize % cfg.n_shards;
-            let shard = &mut shards[idx];
-            let outcome = catch_unwind(AssertUnwindSafe(|| shard.state.apply(batch, &apply_cfg)));
-            match outcome {
-                Ok(Ok(ApplyOutcome::Applied)) => report.wal_replayed += 1,
-                Ok(Ok(ApplyOutcome::Duplicate)) => report.wal_duplicates += 1,
-                Ok(Err(_)) => report.wal_rejected += 1,
-                Err(_) => report.wal_quarantined += 1,
+        let canary = effective_canary(&cfg);
+        for record in &replay.records {
+            match record {
+                WalRecord::Batch(batch) => {
+                    report.wal_batches += 1;
+                    let idx = batch.host as usize % cfg.n_shards;
+                    let shard = &mut shards[idx];
+                    let mut shadow = match epoch.candidate.as_mut() {
+                        Some(c) if idx < canary => {
+                            c.thresholds.get(&batch.host).copied().map(|t| ShadowCtx {
+                                soak_start: c.soak_start,
+                                soak_end: c.soak_end,
+                                candidate: t,
+                                stats: &mut c.stats,
+                            })
+                        }
+                        _ => None,
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        shard.state.apply_shadowed(batch, &apply_cfg, shadow.as_mut())
+                    }));
+                    match outcome {
+                        Ok(Ok(ApplyOutcome::Applied)) => report.wal_replayed += 1,
+                        Ok(Ok(ApplyOutcome::Duplicate)) => report.wal_duplicates += 1,
+                        Ok(Err(_)) => report.wal_rejected += 1,
+                        Err(_) => report.wal_quarantined += 1,
+                    }
+                }
+                WalRecord::Rollout(ev) => {
+                    report.wal_rollout_events += 1;
+                    apply_rollout(&mut epoch, &mut shards, cfg.n_shards, canary, ev);
+                }
             }
         }
 
@@ -285,6 +422,7 @@ impl Daemon {
             applied_since_snapshot: report.wal_replayed,
             stats: DaemonStats::default(),
             completions: Vec::new(),
+            epoch,
             cfg,
         };
         Ok((daemon, report))
@@ -295,13 +433,29 @@ impl Daemon {
     /// daemon now owns it and will emit exactly one completion for it
     /// (barring a crash, which redelivery covers).
     pub fn offer(&mut self, batch: WindowBatch) -> Admit {
+        // Canary barrier: while a candidate is soaking, no test window at
+        // or past the soak end may be applied on ANY shard — the
+        // promote/rollback decision must land first, so that which
+        // threshold governs those windows is a pure function of the
+        // decision, not of delivery interleaving. Refused like overflow:
+        // the source retries after the decision.
+        if let Some(c) = &self.epoch.candidate {
+            if batch.week == Week::Test
+                && u64::from(batch.start) + batch.counts.len() as u64 > u64::from(c.soak_end)
+            {
+                self.stats.barrier_deferred += 1;
+                return Admit::Overflow;
+            }
+        }
         let idx = batch.host as usize % self.cfg.n_shards;
+        let canary = effective_canary(&self.cfg);
         let shard = &mut self.shards[idx];
         if shard.worker.is_dark() {
             // A dark shard sheds on arrival; admission still succeeds so
             // the source does not spin on redelivery.
             self.stats.admitted += 1;
             self.stats.shed_dark += 1;
+            note_soak_loss(&mut self.epoch, canary, idx, &batch);
             self.completions.push(Completion {
                 host: batch.host,
                 seq: batch.seq,
@@ -334,9 +488,18 @@ impl Daemon {
             threshold_q: self.cfg.threshold_q,
         };
         let sup = self.cfg.supervisor;
+        let canary = effective_canary(&self.cfg);
         let mut need_snapshot = false;
 
-        for shard in &mut self.shards {
+        // A soak that completed during replay (the deciding record was
+        // lost to a torn write, or the daemon died right before deciding)
+        // is resolved before any new work, exactly where the uninterrupted
+        // run would have resolved it relative to the batch stream.
+        if self.soak_ready() {
+            self.decide_rollout(kill)?;
+        }
+
+        'shards: for (idx, shard) in self.shards.iter_mut().enumerate() {
             if !shard.worker.poll_running(tick) {
                 continue;
             }
@@ -345,20 +508,38 @@ impl Daemon {
                     None => break,
                     Some(Popped::Stale(b)) => {
                         self.stats.shed_overload += 1;
+                        note_soak_loss(&mut self.epoch, canary, idx, &b);
                         self.completions.push(Completion {
                             host: b.host,
                             seq: b.seq,
                             disposition: Disposition::ShedOverload,
                         });
+                        if self.epoch.candidate.as_ref().is_some_and(|c| c.soak_complete()) {
+                            break 'shards;
+                        }
                         continue;
                     }
                     Some(Popped::Fresh(enq, b)) => (enq, b),
                 };
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| shard.state.apply(&batch, &apply_cfg)));
+                let outcome = {
+                    let mut shadow = match self.epoch.candidate.as_mut() {
+                        Some(c) if idx < canary => {
+                            c.thresholds.get(&batch.host).copied().map(|t| ShadowCtx {
+                                soak_start: c.soak_start,
+                                soak_end: c.soak_end,
+                                candidate: t,
+                                stats: &mut c.stats,
+                            })
+                        }
+                        _ => None,
+                    };
+                    catch_unwind(AssertUnwindSafe(|| {
+                        shard.state.apply_shadowed(&batch, &apply_cfg, shadow.as_mut())
+                    }))
+                };
                 match outcome {
                     Ok(Ok(ApplyOutcome::Applied)) => {
-                        if self.wal.append(&batch, kill)? == AppendOutcome::Killed {
+                        if self.wal.append_batch(&batch, kill)? == AppendOutcome::Killed {
                             return Err(DaemonError::Killed);
                         }
                         shard.worker.note_success();
@@ -378,6 +559,12 @@ impl Daemon {
                             seq: batch.seq,
                             disposition: Disposition::Applied,
                         });
+                        // Decide the instant the last expected soak
+                        // window is in: remaining shards wait a tick so
+                        // the gate sees the same stats in every timeline.
+                        if self.epoch.candidate.as_ref().is_some_and(|c| c.soak_complete()) {
+                            break 'shards;
+                        }
                     }
                     Ok(Ok(ApplyOutcome::Duplicate)) => {
                         shard.worker.note_success();
@@ -404,6 +591,7 @@ impl Daemon {
                         if *strikes >= sup.quarantine_strikes {
                             shard.strikes.remove(&key);
                             self.stats.quarantined += 1;
+                            note_soak_loss(&mut self.epoch, canary, idx, &batch);
                             self.completions.push(Completion {
                                 host: batch.host,
                                 seq: batch.seq,
@@ -416,6 +604,7 @@ impl Daemon {
                             self.stats.breaker_trips += 1;
                             for b in shard.queue.drain_all() {
                                 self.stats.shed_dark += 1;
+                                note_soak_loss(&mut self.epoch, canary, idx, &b);
                                 self.completions.push(Completion {
                                     host: b.host,
                                     seq: b.seq,
@@ -431,10 +620,115 @@ impl Daemon {
             }
         }
 
+        if self.soak_ready() {
+            self.decide_rollout(kill)?;
+        }
         if need_snapshot {
             self.write_snapshot()?;
         }
         Ok(())
+    }
+
+    /// Whether an in-flight candidate has accounted for every expected
+    /// soak window and awaits its promote/rollback decision.
+    fn soak_ready(&self) -> bool {
+        self.epoch.candidate.as_ref().is_some_and(|c| c.soak_complete())
+    }
+
+    /// Journal and apply the promote/rollback decision for a completed
+    /// soak. The WAL record goes first: a crash after the append replays
+    /// the decision; a crash during it (torn record) leaves the completed
+    /// soak in place and the next tick re-derives the identical verdict
+    /// from the identical gate inputs.
+    fn decide_rollout(&mut self, kill: &mut KillSwitch) -> Result<(), DaemonError> {
+        let Some(c) = self.epoch.candidate.as_ref() else {
+            return Ok(());
+        };
+        let ev = match self.cfg.rollout.gate.decide(&c.stats, c.expected_windows) {
+            Ok(()) => RolloutEvent::Promote { epoch: c.epoch },
+            Err(reason) => RolloutEvent::Rollback {
+                epoch: c.epoch,
+                reason,
+            },
+        };
+        if self.wal.append_rollout(&ev, kill)? == AppendOutcome::Killed {
+            return Err(DaemonError::Killed);
+        }
+        let canary = effective_canary(&self.cfg);
+        apply_rollout(
+            &mut self.epoch,
+            &mut self.shards,
+            self.cfg.n_shards,
+            canary,
+            &ev,
+        );
+        if kill.after_rollout_event() {
+            return Err(DaemonError::Killed);
+        }
+        Ok(())
+    }
+
+    /// Begin a canary rollout of `thresholds` soaking over the test
+    /// windows `[soak_start, soak_end)`. Returns the new epoch number.
+    /// The Begin record is journaled before any in-memory effect, so a
+    /// crash at any point either loses the rollout entirely (the
+    /// orchestrator resubmits) or recovers it exactly.
+    pub fn begin_rollout(
+        &mut self,
+        soak_start: u32,
+        soak_end: u32,
+        thresholds: BTreeMap<u32, f64>,
+        kill: &mut KillSwitch,
+    ) -> Result<u32, DaemonError> {
+        if self.epoch.candidate.is_some() {
+            return Err(DaemonError::Config("a rollout is already in progress"));
+        }
+        if thresholds.is_empty() {
+            return Err(DaemonError::Config("candidate threshold set is empty"));
+        }
+        if soak_start >= soak_end || soak_end > self.cfg.n_windows {
+            return Err(DaemonError::Config(
+                "soak span must be nonempty and inside the week",
+            ));
+        }
+        let canary = effective_canary(&self.cfg);
+        let span = u64::from(soak_end) - u64::from(soak_start);
+        if expected_soak_windows(&thresholds, self.cfg.n_shards, canary, span) == 0 {
+            return Err(DaemonError::Config(
+                "candidate has no hosts on canary shards",
+            ));
+        }
+        let epoch_num = self.epoch.last_epoch + 1;
+        let ev = RolloutEvent::Begin {
+            epoch: epoch_num,
+            soak_start,
+            soak_end,
+            thresholds,
+        };
+        if self.wal.append_rollout(&ev, kill)? == AppendOutcome::Killed {
+            return Err(DaemonError::Killed);
+        }
+        apply_rollout(
+            &mut self.epoch,
+            &mut self.shards,
+            self.cfg.n_shards,
+            canary,
+            &ev,
+        );
+        if kill.after_rollout_event() {
+            return Err(DaemonError::Killed);
+        }
+        Ok(epoch_num)
+    }
+
+    /// Current rollout phase.
+    pub fn epoch_phase(&self) -> Phase {
+        self.epoch.phase()
+    }
+
+    /// Full rollout lifecycle state: in-flight candidate plus history.
+    pub fn epoch_state(&self) -> &EpochState {
+        &self.epoch
     }
 
     /// Tick until every queue is empty or `max_ticks` elapse. Returns
@@ -467,6 +761,7 @@ impl Daemon {
             seq: self.next_snapshot_seq,
             n_windows: self.cfg.n_windows,
             hosts,
+            epoch: self.epoch.clone(),
         };
         snapshot::write_snapshot(&self.dir, &snap)?;
         self.wal.reset()?;
@@ -570,6 +865,25 @@ fn validate(cfg: &DaemonConfig) -> Result<(), DaemonError> {
     if cfg.supervisor.breaker_failures == 0 {
         return Err(DaemonError::Config("breaker_failures must be nonzero"));
     }
+    if cfg.rollout.canary_shards == 0 {
+        return Err(DaemonError::Config("rollout.canary_shards must be nonzero"));
+    }
+    let gate = &cfg.rollout.gate;
+    if !(gate.max_fp_increase >= 0.0 && gate.max_alarm_drop >= 0.0) {
+        return Err(DaemonError::Config(
+            "rollout gate alarm-delta bounds must be nonnegative",
+        ));
+    }
+    if !(gate.min_coverage > 0.0 && gate.min_coverage <= 1.0) {
+        return Err(DaemonError::Config(
+            "rollout.gate.min_coverage must be in (0, 1]",
+        ));
+    }
+    if !(gate.max_shed_rate >= 0.0 && gate.max_shed_rate <= 1.0) {
+        return Err(DaemonError::Config(
+            "rollout.gate.max_shed_rate must be in [0, 1]",
+        ));
+    }
     Ok(())
 }
 
@@ -610,6 +924,7 @@ mod tests {
                 quarantine_strikes: 2,
                 breaker_failures: 8,
             },
+            rollout: RolloutConfig::default(),
         }
     }
 
@@ -827,6 +1142,188 @@ mod tests {
         std::fs::remove_dir_all(&dir2).unwrap();
     }
 
+    /// Train both hosts on counts ≤ 8 and open their test weeks with two
+    /// quiet windows, so incumbent thresholds sit near 8 and the soak
+    /// span 4..6 is still unapplied.
+    fn prepare_rollout_daemon(dir: &Path) -> (Daemon, KillSwitch) {
+        let (mut d, _) = Daemon::open(dir, small_cfg()).unwrap();
+        let mut kill = KillSwitch::none();
+        let mut batches = Vec::new();
+        for host in 0..2 {
+            batches.push(b(host, 1, Week::Train, 0, &[1, 2, 3, 4]));
+            batches.push(b(host, 2, Week::Train, 4, &[5, 6, 7, 8]));
+            batches.push(b(host, 3, Week::Test, 0, &[1, 2, 3, 4]));
+        }
+        feed(&mut d, &mut kill, &batches);
+        (d, kill)
+    }
+
+    fn candidate(t: f64) -> BTreeMap<u32, f64> {
+        let mut m = BTreeMap::new();
+        m.insert(0, t);
+        m.insert(1, t);
+        m
+    }
+
+    #[test]
+    fn quiet_candidate_soaks_and_promotes() {
+        let dir = tmpdir("promote");
+        let (mut d, mut kill) = prepare_rollout_daemon(&dir);
+        // Candidate 6.0: soak counts of 5 alarm under neither threshold.
+        let epoch = d.begin_rollout(4, 6, candidate(6.0), &mut kill).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(d.epoch_phase(), Phase::Canary);
+        // Only host 0 sits on the canary shard (0 % 2), so 2 windows.
+        assert_eq!(d.epoch_state().candidate.as_ref().unwrap().expected_windows, 2);
+        feed(&mut d, &mut kill, &[
+            b(0, 4, Week::Test, 4, &[5, 5]),
+            b(1, 4, Week::Test, 4, &[5, 5]),
+        ]);
+        assert_eq!(d.epoch_phase(), Phase::Idle);
+        let hist = &d.epoch_state().history;
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].outcome, EpochOutcome::Promoted);
+        assert_eq!(hist[0].stats.windows, 2);
+        // Post-promotion windows alarm against the candidate: counts of 7
+        // clear the incumbent (~8) but not the promoted 6.0.
+        let alarms_before: u64 = d.hosts().values().map(|h| h.live_alarms).sum();
+        feed(&mut d, &mut kill, &[
+            b(0, 5, Week::Test, 6, &[7, 7]),
+            b(1, 5, Week::Test, 6, &[7, 7]),
+        ]);
+        let alarms_after: u64 = d.hosts().values().map(|h| h.live_alarms).sum();
+        assert_eq!(alarms_after - alarms_before, 4);
+        for st in d.hosts().values() {
+            assert_eq!(st.promoted, Some((6, 6.0)));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn silencing_candidate_rolls_back_bitwise_identically() {
+        // A candidate so high it silences windows the incumbent alarms on
+        // (the poisoned-refit signature) must fail the AlarmDrop gate and
+        // leave host state byte-identical to a run that never attempted a
+        // rollout.
+        let dir_a = tmpdir("rollback-a");
+        let dir_b = tmpdir("rollback-b");
+        let soak = [b(0, 4, Week::Test, 4, &[100, 100]), b(1, 4, Week::Test, 4, &[100, 100])];
+
+        let (mut with_rollout, mut kill) = prepare_rollout_daemon(&dir_a);
+        with_rollout.begin_rollout(4, 6, candidate(1000.0), &mut kill).unwrap();
+        feed(&mut with_rollout, &mut kill, &soak);
+        assert_eq!(with_rollout.epoch_phase(), Phase::Idle);
+        let hist = &with_rollout.epoch_state().history;
+        assert_eq!(
+            hist[0].outcome,
+            EpochOutcome::RolledBack(crate::epoch::RollbackReason::AlarmDrop)
+        );
+
+        let (mut plain, mut kill_b) = prepare_rollout_daemon(&dir_b);
+        feed(&mut plain, &mut kill_b, &soak);
+
+        let a: Vec<(u32, HostState)> = with_rollout.hosts().into_iter().map(|(h, s)| (h, s.clone())).collect();
+        let b: Vec<(u32, HostState)> = plain.hosts().into_iter().map(|(h, s)| (h, s.clone())).collect();
+        assert_eq!(a, b, "rollback must leave zero trace in host state");
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn barrier_defers_post_soak_windows_until_decision() {
+        let dir = tmpdir("barrier");
+        let (mut d, mut kill) = prepare_rollout_daemon(&dir);
+        d.begin_rollout(4, 6, candidate(6.0), &mut kill).unwrap();
+        // Windows 6..8 reach past soak_end=6: refused while the canary
+        // runs, on the non-canary shard too.
+        assert_eq!(d.offer(b(1, 4, Week::Test, 6, &[5, 5])), Admit::Overflow);
+        assert_eq!(d.stats().barrier_deferred, 1);
+        // Train batches pass the barrier freely.
+        assert_ne!(d.offer(b(1, 4, Week::Train, 6, &[5, 5])), Admit::Overflow);
+        feed(&mut d, &mut kill, &[b(0, 5, Week::Test, 4, &[5, 5])]);
+        assert_eq!(d.epoch_phase(), Phase::Idle, "soak complete, decided");
+        // After the decision the same batch is admitted.
+        assert_ne!(d.offer(b(1, 5, Week::Test, 6, &[5, 5])), Admit::Overflow);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn begin_rollout_rejects_bad_requests() {
+        let dir = tmpdir("beginbad");
+        let (mut d, mut kill) = prepare_rollout_daemon(&dir);
+        assert!(matches!(
+            d.begin_rollout(4, 6, BTreeMap::new(), &mut kill),
+            Err(DaemonError::Config(_))
+        ));
+        assert!(matches!(
+            d.begin_rollout(6, 4, candidate(6.0), &mut kill),
+            Err(DaemonError::Config(_))
+        ));
+        assert!(matches!(
+            d.begin_rollout(4, 9, candidate(6.0), &mut kill),
+            Err(DaemonError::Config(_))
+        ));
+        // Host 1 alone lives on the non-canary shard: nothing to soak.
+        let mut off_canary = BTreeMap::new();
+        off_canary.insert(1u32, 6.0);
+        assert!(matches!(
+            d.begin_rollout(4, 6, off_canary, &mut kill),
+            Err(DaemonError::Config(_))
+        ));
+        d.begin_rollout(4, 6, candidate(6.0), &mut kill).unwrap();
+        assert!(matches!(
+            d.begin_rollout(4, 6, candidate(6.0), &mut kill),
+            Err(DaemonError::Config(_)),
+        ), "second concurrent rollout must be refused");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_after_begin_recovers_canary_from_wal() {
+        let dir = tmpdir("killbegin");
+        let (mut d, _) = prepare_rollout_daemon(&dir);
+        let mut kill = KillSwitch::armed(faultsim::KillPoint::AfterRolloutEvents(1));
+        assert!(matches!(
+            d.begin_rollout(4, 6, candidate(6.0), &mut kill),
+            Err(DaemonError::Killed)
+        ));
+        drop(d);
+        let (mut d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert_eq!(rec.wal_rollout_events, 1);
+        assert_eq!(d.epoch_phase(), Phase::Canary, "durable Begin must replay");
+        // The recovered canary proceeds to a normal decision.
+        let mut kill = KillSwitch::none();
+        feed(&mut d, &mut kill, &[b(0, 4, Week::Test, 4, &[5, 5])]);
+        assert_eq!(d.epoch_phase(), Phase::Idle);
+        assert_eq!(d.epoch_state().history[0].outcome, EpochOutcome::Promoted);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_begin_record_means_no_rollout() {
+        let dir = tmpdir("tornbegin");
+        let (mut d, _) = prepare_rollout_daemon(&dir);
+        let wal_len = d.wal_len();
+        // A fresh switch's byte meter lags the real file; pre-feed it so
+        // the armed offset lands inside the Begin frame.
+        let mut pre = KillSwitch::none();
+        pre.before_wal_append(wal_len);
+        pre.rearm(Some(faultsim::KillPoint::AtWalByte {
+            offset: wal_len + 3,
+            torn: 5,
+        }));
+        assert!(matches!(
+            d.begin_rollout(4, 6, candidate(6.0), &mut pre),
+            Err(DaemonError::Killed)
+        ));
+        drop(d);
+        let (d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert!(rec.wal_torn_bytes > 0);
+        assert_eq!(rec.wal_rollout_events, 0);
+        assert_eq!(d.epoch_phase(), Phase::Idle, "torn Begin is a lost rollout");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn bad_config_is_rejected() {
         let dir = tmpdir("badcfg");
@@ -842,6 +1339,11 @@ mod tests {
             |c| c.queue.low = c.queue.high,
             |c| c.supervisor.quarantine_strikes = 0,
             |c| c.supervisor.breaker_failures = 0,
+            |c| c.rollout.canary_shards = 0,
+            |c| c.rollout.gate.max_fp_increase = -0.1,
+            |c| c.rollout.gate.min_coverage = 0.0,
+            |c| c.rollout.gate.min_coverage = 1.5,
+            |c| c.rollout.gate.max_shed_rate = -0.1,
         ] {
             let mut cfg = small_cfg();
             mutate(&mut cfg);

@@ -1,0 +1,617 @@
+//! Versioned threshold epochs: canary rollout, health gates, rollback.
+//!
+//! A refit (driven by `hids_core::drift` through the `itconsole::rollout`
+//! planner) produces a **candidate threshold set**. The daemon never
+//! swaps it in atomically; it stages it:
+//!
+//! ```text
+//!            Begin (WAL)                   Promote (WAL)
+//!   Idle ────────────────▶ Canary ────────────────────────▶ Idle
+//!                            │       gates pass: candidate
+//!                            │       activates fleet-wide for
+//!                            │       windows ≥ soak_end
+//!                            │
+//!                            │       Rollback (WAL)
+//!                            └────────────────────────────▶ Idle
+//!                                    any gate fails: candidate
+//!                                    discarded, incumbent stands
+//! ```
+//!
+//! During Canary the candidate is **shadow-evaluated**: canary shards
+//! keep alarming on the incumbent threshold while counting, per fresh
+//! test window inside the soak span `[soak_start, soak_end)`, what the
+//! candidate *would* have done. Rollback is therefore O(1) and bitwise
+//! exact — the incumbent was never touched — and a rolled-back run's
+//! per-host outputs are byte-identical to a run that never attempted the
+//! rollout. Promotion activates the candidate only for windows at or
+//! after `soak_end` (the daemon's admission barrier guarantees no such
+//! window was applied earlier), which keeps every alarm a pure function
+//! of `(host stream, decision)` regardless of delivery interleaving or
+//! crash/restart timing.
+//!
+//! All three transitions are journaled as first-class WAL records,
+//! interleaved in order with the batch records, so crash recovery
+//! reconstructs the exact phase — and a decision that was made durable is
+//! *replayed*, never re-derived, while a decision lost to a torn write is
+//! re-derived from the identical replayed gate inputs.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{put_f64, put_u32, put_u64, CodecError, Reader};
+
+/// Sanity bound on candidate-set size in decoded records.
+const MAX_CANDIDATE_HOSTS: u32 = 1 << 20;
+
+/// Rollout tunables carried in the daemon config.
+#[derive(Debug, Clone, Copy)]
+pub struct RolloutConfig {
+    /// Number of canary shards (shards `0..canary_shards`, clamped to the
+    /// shard count). The cohort is a pure function of configuration, so
+    /// every run — and every recovery of a run — canaries the same hosts.
+    pub canary_shards: usize,
+    /// Health gates a candidate must pass to be promoted.
+    pub gate: HealthGate,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        Self {
+            canary_shards: 1,
+            gate: HealthGate::default(),
+        }
+    }
+}
+
+/// Promotion health gates, all evaluated over the canary soak span.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthGate {
+    /// Maximum tolerated increase of the candidate's alarm rate over the
+    /// incumbent's (alarms per soak window). A candidate noisier than
+    /// this would flood the console fleet-wide: rolled back.
+    pub max_fp_increase: f64,
+    /// Maximum tolerated *drop* of the candidate's alarm rate below the
+    /// incumbent's. A candidate that silences windows the incumbent
+    /// alarms on is the signature of a poisoned (inflated) refit —
+    /// exactly what a boiling-frog attacker wants promoted: rolled back.
+    pub max_alarm_drop: f64,
+    /// Minimum fraction of expected soak windows actually observed
+    /// (quarantines and sheds erode this).
+    pub min_coverage: f64,
+    /// Maximum fraction of expected soak windows lost to shedding or
+    /// quarantine on the canary cohort.
+    pub max_shed_rate: f64,
+}
+
+impl Default for HealthGate {
+    fn default() -> Self {
+        Self {
+            max_fp_increase: 0.05,
+            max_alarm_drop: 0.05,
+            min_coverage: 0.9,
+            max_shed_rate: 0.1,
+        }
+    }
+}
+
+/// Why a candidate was rolled back. Gates are evaluated in this order
+/// and the first failure is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackReason {
+    /// Fewer soak windows observed than `min_coverage` requires.
+    LowCoverage,
+    /// Too many soak windows shed or quarantined on the canary cohort.
+    ShedRate,
+    /// Candidate alarm rate exceeded the incumbent's by more than
+    /// `max_fp_increase`.
+    FpIncrease,
+    /// Candidate alarm rate fell below the incumbent's by more than
+    /// `max_alarm_drop` (poisoned-refit signature).
+    AlarmDrop,
+}
+
+impl core::fmt::Display for RollbackReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RollbackReason::LowCoverage => write!(f, "low-coverage"),
+            RollbackReason::ShedRate => write!(f, "shed-rate"),
+            RollbackReason::FpIncrease => write!(f, "fp-increase"),
+            RollbackReason::AlarmDrop => write!(f, "alarm-drop"),
+        }
+    }
+}
+
+impl RollbackReason {
+    fn code(self) -> u8 {
+        match self {
+            RollbackReason::LowCoverage => 0,
+            RollbackReason::ShedRate => 1,
+            RollbackReason::FpIncrease => 2,
+            RollbackReason::AlarmDrop => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, CodecError> {
+        Ok(match c {
+            0 => RollbackReason::LowCoverage,
+            1 => RollbackReason::ShedRate,
+            2 => RollbackReason::FpIncrease,
+            3 => RollbackReason::AlarmDrop,
+            _ => return Err(CodecError::BadDiscriminant),
+        })
+    }
+}
+
+impl HealthGate {
+    /// Evaluate the gates over completed soak statistics. `Ok(())` means
+    /// promote; `Err` carries the first failing gate.
+    pub fn decide(&self, stats: &GateStats, expected_windows: u64) -> Result<(), RollbackReason> {
+        let expected = (expected_windows.max(1)) as f64;
+        let observed = stats.windows as f64;
+        if observed / expected < self.min_coverage {
+            return Err(RollbackReason::LowCoverage);
+        }
+        if stats.sheds as f64 / expected > self.max_shed_rate {
+            return Err(RollbackReason::ShedRate);
+        }
+        let per_window = observed.max(1.0);
+        let inc = stats.incumbent_alarms as f64 / per_window;
+        let cand = stats.candidate_alarms as f64 / per_window;
+        if cand - inc > self.max_fp_increase {
+            return Err(RollbackReason::FpIncrease);
+        }
+        if inc - cand > self.max_alarm_drop {
+            return Err(RollbackReason::AlarmDrop);
+        }
+        Ok(())
+    }
+}
+
+/// Shadow-evaluation counters accumulated over the canary soak span.
+///
+/// The alarm counters are pure functions of the fresh test windows
+/// applied on canary shards inside the span, so WAL replay reconstructs
+/// them exactly; `sheds` additionally counts soak windows lost to
+/// quarantine or shedding (snapshot-durable, and re-counted when the
+/// losing batch is redelivered after a crash).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GateStats {
+    /// Fresh soak-span test windows applied on canary shards.
+    pub windows: u64,
+    /// Of those, windows the incumbent threshold alarmed on.
+    pub incumbent_alarms: u64,
+    /// Of those, windows the candidate threshold would alarm on.
+    pub candidate_alarms: u64,
+    /// Soak-span windows lost to shedding or quarantine on the cohort.
+    pub sheds: u64,
+}
+
+/// The in-flight candidate during a Canary phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateState {
+    /// Epoch this candidate would become.
+    pub epoch: u32,
+    /// First test-window index of the soak span.
+    pub soak_start: u32,
+    /// One past the last test-window index of the soak span; also the
+    /// activation boundary on promotion.
+    pub soak_end: u32,
+    /// Candidate per-host thresholds.
+    pub thresholds: BTreeMap<u32, f64>,
+    /// Soak windows the gate expects: candidate hosts on canary shards ×
+    /// span length. Pure function of `(thresholds, config)`.
+    pub expected_windows: u64,
+    /// Shadow counters so far.
+    pub stats: GateStats,
+}
+
+impl CandidateState {
+    /// Whether every expected soak window has been accounted for
+    /// (observed or lost) and the gate can be evaluated.
+    pub fn soak_complete(&self) -> bool {
+        self.expected_windows > 0 && self.stats.windows + self.stats.sheds >= self.expected_windows
+    }
+}
+
+/// Rollout phase, derived from whether a candidate is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// No rollout in progress; the incumbent thresholds stand.
+    Idle,
+    /// A candidate is shadow-soaking on the canary cohort.
+    Canary,
+}
+
+/// How one epoch concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpochOutcome {
+    /// Gates passed; the candidate became the fleet threshold set.
+    Promoted,
+    /// A gate failed; the incumbent stands.
+    RolledBack(RollbackReason),
+}
+
+/// One concluded epoch in the daemon's history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// The epoch number.
+    pub epoch: u32,
+    /// Promotion or rollback (with reason).
+    pub outcome: EpochOutcome,
+    /// Final gate inputs at decision time.
+    pub stats: GateStats,
+    /// Soak windows the gate expected.
+    pub expected_windows: u64,
+}
+
+/// The daemon's durable rollout state: current candidate plus history.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct EpochState {
+    /// Highest epoch number ever begun (0 = none).
+    pub last_epoch: u32,
+    /// In-flight candidate, if a rollout is in progress.
+    pub candidate: Option<CandidateState>,
+    /// Concluded epochs, oldest first.
+    pub history: Vec<EpochRecord>,
+}
+
+impl EpochState {
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        if self.candidate.is_some() {
+            Phase::Canary
+        } else {
+            Phase::Idle
+        }
+    }
+}
+
+/// A WAL-journaled rollout transition. These interleave with batch
+/// records in the main log so replay reconstructs the exact order of
+/// state mutations relative to batch applies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RolloutEvent {
+    /// Canary start: candidate thresholds and the soak span.
+    Begin {
+        /// Epoch being attempted.
+        epoch: u32,
+        /// First soak window index.
+        soak_start: u32,
+        /// One past the last soak window index / activation boundary.
+        soak_end: u32,
+        /// Candidate per-host thresholds.
+        thresholds: BTreeMap<u32, f64>,
+    },
+    /// Gates passed; candidate activates for windows ≥ its `soak_end`.
+    Promote {
+        /// Epoch promoted.
+        epoch: u32,
+    },
+    /// A gate failed; candidate discarded.
+    Rollback {
+        /// Epoch rolled back.
+        epoch: u32,
+        /// The failing gate.
+        reason: RollbackReason,
+    },
+}
+
+impl RolloutEvent {
+    /// Serialise into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RolloutEvent::Begin {
+                epoch,
+                soak_start,
+                soak_end,
+                thresholds,
+            } => {
+                out.push(0);
+                put_u32(out, *epoch);
+                put_u32(out, *soak_start);
+                put_u32(out, *soak_end);
+                put_u32(out, thresholds.len() as u32);
+                for (&h, &t) in thresholds {
+                    put_u32(out, h);
+                    put_f64(out, t);
+                }
+            }
+            RolloutEvent::Promote { epoch } => {
+                out.push(1);
+                put_u32(out, *epoch);
+            }
+            RolloutEvent::Rollback { epoch, reason } => {
+                out.push(2);
+                put_u32(out, *epoch);
+                out.push(reason.code());
+            }
+        }
+    }
+
+    /// Deserialise from exactly `buf` (trailing bytes are an error).
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(buf);
+        let ev = match r.u8()? {
+            0 => {
+                let epoch = r.u32()?;
+                let soak_start = r.u32()?;
+                let soak_end = r.u32()?;
+                let n = r.u32()?;
+                if n > MAX_CANDIDATE_HOSTS {
+                    return Err(CodecError::ImplausibleLength);
+                }
+                let mut thresholds = BTreeMap::new();
+                for _ in 0..n {
+                    let h = r.u32()?;
+                    let t = r.f64()?;
+                    thresholds.insert(h, t);
+                }
+                RolloutEvent::Begin {
+                    epoch,
+                    soak_start,
+                    soak_end,
+                    thresholds,
+                }
+            }
+            1 => RolloutEvent::Promote { epoch: r.u32()? },
+            2 => RolloutEvent::Rollback {
+                epoch: r.u32()?,
+                reason: RollbackReason::from_code(r.u8()?)?,
+            },
+            _ => return Err(CodecError::BadDiscriminant),
+        };
+        r.finish()?;
+        Ok(ev)
+    }
+}
+
+fn encode_gate_stats(out: &mut Vec<u8>, s: &GateStats) {
+    put_u64(out, s.windows);
+    put_u64(out, s.incumbent_alarms);
+    put_u64(out, s.candidate_alarms);
+    put_u64(out, s.sheds);
+}
+
+fn decode_gate_stats(r: &mut Reader<'_>) -> Result<GateStats, CodecError> {
+    Ok(GateStats {
+        windows: r.u64()?,
+        incumbent_alarms: r.u64()?,
+        candidate_alarms: r.u64()?,
+        sheds: r.u64()?,
+    })
+}
+
+/// Serialise an [`EpochState`] into a snapshot payload.
+pub fn encode_epoch(out: &mut Vec<u8>, e: &EpochState) {
+    put_u32(out, e.last_epoch);
+    match &e.candidate {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_u32(out, c.epoch);
+            put_u32(out, c.soak_start);
+            put_u32(out, c.soak_end);
+            put_u32(out, c.thresholds.len() as u32);
+            for (&h, &t) in &c.thresholds {
+                put_u32(out, h);
+                put_f64(out, t);
+            }
+            put_u64(out, c.expected_windows);
+            encode_gate_stats(out, &c.stats);
+        }
+    }
+    put_u32(out, e.history.len() as u32);
+    for rec in &e.history {
+        put_u32(out, rec.epoch);
+        match rec.outcome {
+            EpochOutcome::Promoted => out.push(0),
+            EpochOutcome::RolledBack(reason) => {
+                out.push(1);
+                out.push(reason.code());
+            }
+        }
+        encode_gate_stats(out, &rec.stats);
+        put_u64(out, rec.expected_windows);
+    }
+}
+
+/// Deserialise an [`EpochState`] from a snapshot payload.
+pub fn decode_epoch(r: &mut Reader<'_>) -> Result<EpochState, CodecError> {
+    let last_epoch = r.u32()?;
+    let candidate = match r.u8()? {
+        0 => None,
+        1 => {
+            let epoch = r.u32()?;
+            let soak_start = r.u32()?;
+            let soak_end = r.u32()?;
+            let n = r.u32()?;
+            if n > MAX_CANDIDATE_HOSTS {
+                return Err(CodecError::ImplausibleLength);
+            }
+            let mut thresholds = BTreeMap::new();
+            for _ in 0..n {
+                let h = r.u32()?;
+                let t = r.f64()?;
+                thresholds.insert(h, t);
+            }
+            let expected_windows = r.u64()?;
+            let stats = decode_gate_stats(r)?;
+            Some(CandidateState {
+                epoch,
+                soak_start,
+                soak_end,
+                thresholds,
+                expected_windows,
+                stats,
+            })
+        }
+        _ => return Err(CodecError::BadDiscriminant),
+    };
+    let n_hist = r.u32()?;
+    if n_hist > MAX_CANDIDATE_HOSTS {
+        return Err(CodecError::ImplausibleLength);
+    }
+    let mut history = Vec::with_capacity(n_hist as usize);
+    for _ in 0..n_hist {
+        let epoch = r.u32()?;
+        let outcome = match r.u8()? {
+            0 => EpochOutcome::Promoted,
+            1 => EpochOutcome::RolledBack(RollbackReason::from_code(r.u8()?)?),
+            _ => return Err(CodecError::BadDiscriminant),
+        };
+        let stats = decode_gate_stats(r)?;
+        let expected_windows = r.u64()?;
+        history.push(EpochRecord {
+            epoch,
+            outcome,
+            stats,
+            expected_windows,
+        });
+    }
+    Ok(EpochState {
+        last_epoch,
+        candidate,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> RolloutEvent {
+        let mut thresholds = BTreeMap::new();
+        thresholds.insert(0, 12.5);
+        thresholds.insert(7, 99.0);
+        RolloutEvent::Begin {
+            epoch: 3,
+            soak_start: 100,
+            soak_end: 220,
+            thresholds,
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        for ev in [
+            sample_event(),
+            RolloutEvent::Promote { epoch: 3 },
+            RolloutEvent::Rollback {
+                epoch: 4,
+                reason: RollbackReason::AlarmDrop,
+            },
+        ] {
+            let mut buf = Vec::new();
+            ev.encode(&mut buf);
+            assert_eq!(RolloutEvent::decode(&buf).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn event_truncation_is_detected() {
+        let mut buf = Vec::new();
+        sample_event().encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(RolloutEvent::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        buf.push(0);
+        assert_eq!(RolloutEvent::decode(&buf), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn epoch_state_roundtrips() {
+        let mut thresholds = BTreeMap::new();
+        thresholds.insert(2, 40.0);
+        let e = EpochState {
+            last_epoch: 5,
+            candidate: Some(CandidateState {
+                epoch: 5,
+                soak_start: 10,
+                soak_end: 50,
+                thresholds,
+                expected_windows: 40,
+                stats: GateStats {
+                    windows: 17,
+                    incumbent_alarms: 2,
+                    candidate_alarms: 1,
+                    sheds: 3,
+                },
+            }),
+            history: vec![
+                EpochRecord {
+                    epoch: 3,
+                    outcome: EpochOutcome::Promoted,
+                    stats: GateStats::default(),
+                    expected_windows: 12,
+                },
+                EpochRecord {
+                    epoch: 4,
+                    outcome: EpochOutcome::RolledBack(RollbackReason::FpIncrease),
+                    stats: GateStats {
+                        windows: 9,
+                        incumbent_alarms: 0,
+                        candidate_alarms: 4,
+                        sheds: 0,
+                    },
+                    expected_windows: 9,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_epoch(&mut buf, &e);
+        let mut r = Reader::new(&buf);
+        let back = decode_epoch(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.phase(), Phase::Canary);
+        assert_eq!(EpochState::default().phase(), Phase::Idle);
+    }
+
+    #[test]
+    fn gate_ordering_and_verdicts() {
+        let gate = HealthGate::default();
+        let ok = GateStats {
+            windows: 100,
+            incumbent_alarms: 2,
+            candidate_alarms: 3,
+            sheds: 0,
+        };
+        assert_eq!(gate.decide(&ok, 100), Ok(()));
+        // Coverage failure wins over everything else.
+        let sparse = GateStats { windows: 10, ..ok };
+        assert_eq!(gate.decide(&sparse, 100), Err(RollbackReason::LowCoverage));
+        let shed = GateStats { windows: 95, sheds: 20, ..ok };
+        assert_eq!(gate.decide(&shed, 100), Err(RollbackReason::ShedRate));
+        let noisy = GateStats {
+            windows: 100,
+            incumbent_alarms: 1,
+            candidate_alarms: 30,
+            sheds: 0,
+        };
+        assert_eq!(gate.decide(&noisy, 100), Err(RollbackReason::FpIncrease));
+        let silenced = GateStats {
+            windows: 100,
+            incumbent_alarms: 30,
+            candidate_alarms: 1,
+            sheds: 0,
+        };
+        assert_eq!(gate.decide(&silenced, 100), Err(RollbackReason::AlarmDrop));
+    }
+
+    #[test]
+    fn soak_completion_counts_losses() {
+        let mut c = CandidateState {
+            epoch: 1,
+            soak_start: 0,
+            soak_end: 10,
+            thresholds: BTreeMap::new(),
+            expected_windows: 10,
+            stats: GateStats::default(),
+        };
+        assert!(!c.soak_complete());
+        c.stats.windows = 7;
+        c.stats.sheds = 2;
+        assert!(!c.soak_complete());
+        c.stats.sheds = 3;
+        assert!(c.soak_complete());
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`snapshot`] — atomic (tmp+rename) full-state checkpoints, newest
 //!   valid image wins, keep-two retention;
 //! * [`state`] — per-host accumulators with seq-deduped idempotent apply;
+//! * [`epoch`] — versioned threshold epochs: WAL-journaled canary
+//!   rollouts with shadow evaluation, health gates, and O(1) bitwise
+//!   rollback;
 //! * [`queue`] — bounded per-shard FIFOs with high/low watermark
 //!   hysteresis and staleness shedding;
 //! * [`supervisor`] — panic containment, exponential-backoff worker
@@ -36,6 +39,7 @@
 
 pub mod codec;
 pub mod daemon;
+pub mod epoch;
 pub mod queue;
 pub mod snapshot;
 pub mod state;
@@ -46,8 +50,12 @@ pub use codec::{Week, WindowBatch};
 pub use daemon::{
     Completion, Daemon, DaemonConfig, DaemonError, DaemonStats, Disposition, RecoveryReport,
 };
+pub use epoch::{
+    EpochOutcome, EpochRecord, EpochState, GateStats, HealthGate, Phase, RollbackReason,
+    RolloutConfig, RolloutEvent,
+};
 pub use queue::{Admit, QueueConfig};
 pub use snapshot::Snapshot;
 pub use state::{ApplyConfig, ApplyError, ApplyOutcome, HostState};
 pub use supervisor::{SupervisorConfig, WorkerStatus};
-pub use wal::{KillSwitch, WalWriter};
+pub use wal::{KillSwitch, WalRecord, WalWriter};

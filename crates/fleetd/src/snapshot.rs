@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use hids_core::WindowAccumulator;
 
 use crate::codec::{crc32, put_f64, put_u32, put_u64, CodecError, Reader};
+use crate::epoch::{decode_epoch, encode_epoch, EpochState};
 use crate::state::{HostState, ShardState};
 
 /// Snapshot file magic: "FSN1".
@@ -43,6 +44,9 @@ pub struct Snapshot {
     pub n_windows: u32,
     /// Full host table, merged across shards.
     pub hosts: BTreeMap<u32, HostState>,
+    /// Rollout lifecycle state (current candidate + epoch history) as of
+    /// this checkpoint.
+    pub epoch: EpochState,
 }
 
 /// Why a snapshot file was rejected during recovery.
@@ -100,9 +104,18 @@ impl Snapshot {
                 }
                 None => payload.push(0),
             }
+            match st.promoted {
+                Some((from, t)) => {
+                    payload.push(1);
+                    put_u32(&mut payload, from);
+                    put_f64(&mut payload, t);
+                }
+                None => payload.push(0),
+            }
             encode_accumulator(&mut payload, &st.train);
             encode_accumulator(&mut payload, &st.test);
         }
+        encode_epoch(&mut payload, &self.epoch);
         let mut out = Vec::with_capacity(12 + payload.len());
         out.extend_from_slice(&SNAP_MAGIC);
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -149,6 +162,11 @@ impl Snapshot {
                 1 => Some(r.f64()?),
                 _ => return Err(CodecError::BadDiscriminant),
             };
+            let promoted = match r.u8()? {
+                0 => None,
+                1 => Some((r.u32()?, r.f64()?)),
+                _ => return Err(CodecError::BadDiscriminant),
+            };
             let train = decode_accumulator(&mut r)?;
             let test = decode_accumulator(&mut r)?;
             hosts.insert(
@@ -159,19 +177,22 @@ impl Snapshot {
                     test,
                     threshold,
                     live_alarms,
+                    promoted,
                 },
             );
         }
+        let epoch = decode_epoch(&mut r)?;
         r.finish()?;
         Ok(Self {
             seq,
             n_windows,
             hosts,
+            epoch,
         })
     }
 
-    /// Build a snapshot image from live shard tables.
-    pub fn from_shards(seq: u64, n_windows: u32, shards: &[ShardState]) -> Self {
+    /// Build a snapshot image from live shard tables plus rollout state.
+    pub fn from_shards(seq: u64, n_windows: u32, shards: &[ShardState], epoch: &EpochState) -> Self {
         let mut hosts = BTreeMap::new();
         for shard in shards {
             for (&h, st) in &shard.hosts {
@@ -182,6 +203,7 @@ impl Snapshot {
             seq,
             n_windows,
             hosts,
+            epoch: epoch.clone(),
         }
     }
 }
@@ -245,6 +267,7 @@ pub fn load_latest(dir: &Path) -> std::io::Result<(Option<Snapshot>, u32)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::{CandidateState, EpochOutcome, EpochRecord, GateStats};
 
     fn sample() -> Snapshot {
         let mut hosts = BTreeMap::new();
@@ -261,6 +284,7 @@ mod tests {
                 test,
                 threshold: Some(8.5),
                 live_alarms: 1,
+                promoted: Some((300, 12.25)),
             },
         );
         hosts.insert(
@@ -271,10 +295,35 @@ mod tests {
                 ..Default::default()
             },
         );
+        let mut thresholds = BTreeMap::new();
+        thresholds.insert(3, 12.25);
+        let epoch = EpochState {
+            last_epoch: 2,
+            candidate: Some(CandidateState {
+                epoch: 2,
+                soak_start: 200,
+                soak_end: 300,
+                thresholds,
+                expected_windows: 100,
+                stats: GateStats {
+                    windows: 40,
+                    incumbent_alarms: 3,
+                    candidate_alarms: 2,
+                    sheds: 1,
+                },
+            }),
+            history: vec![EpochRecord {
+                epoch: 1,
+                outcome: EpochOutcome::Promoted,
+                stats: GateStats::default(),
+                expected_windows: 50,
+            }],
+        };
         Snapshot {
             seq: 7,
             n_windows: 672,
             hosts,
+            epoch,
         }
     }
 
@@ -356,7 +405,7 @@ mod tests {
         let mut s1 = ShardState::default();
         s0.hosts.insert(2, HostState::default());
         s1.hosts.insert(1, HostState::default());
-        let snap = Snapshot::from_shards(5, 672, &[s0, s1]);
+        let snap = Snapshot::from_shards(5, 672, &[s0, s1], &EpochState::default());
         assert_eq!(snap.hosts.keys().copied().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(snap.seq, 5);
     }

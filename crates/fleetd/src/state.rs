@@ -23,6 +23,7 @@ use std::collections::BTreeMap;
 use hids_core::WindowAccumulator;
 
 use crate::codec::{Week, WindowBatch};
+use crate::epoch::GateStats;
 
 /// Tunables the apply path needs.
 #[derive(Debug, Clone, Copy)]
@@ -48,8 +49,29 @@ pub struct HostState {
     /// accumulator was still empty at that point).
     pub threshold: Option<f64>,
     /// Alarms raised online: test windows whose count strictly exceeded
-    /// the threshold at the moment they were first applied.
+    /// the effective threshold at the moment they were first applied.
     pub live_alarms: u64,
+    /// Promoted-epoch override as `(effective_from, threshold)`: windows
+    /// at or after `effective_from` alarm against this threshold instead
+    /// of the incumbent [`HostState::threshold`]. Written only by a
+    /// promoted rollout; a rolled-back rollout leaves it `None`, which is
+    /// what makes rollback bitwise-exact.
+    pub promoted: Option<(u32, f64)>,
+}
+
+/// Shadow-evaluation context for one batch apply during a canary soak:
+/// count, per fresh soak-span test window, what the incumbent did and
+/// what the candidate threshold *would* have done.
+#[derive(Debug)]
+pub struct ShadowCtx<'a> {
+    /// First soak window index (inclusive).
+    pub soak_start: u32,
+    /// One past the last soak window index.
+    pub soak_end: u32,
+    /// Candidate threshold for this batch's host.
+    pub candidate: f64,
+    /// Counters to accumulate into.
+    pub stats: &'a mut GateStats,
 }
 
 /// Result of a successful (non-panicking) apply.
@@ -98,6 +120,15 @@ fn poison_trip(batch: &WindowBatch) -> ! {
 }
 
 impl HostState {
+    /// The threshold window `w` alarms against: the promoted override
+    /// once `w` reaches its activation boundary, the incumbent before.
+    pub fn effective_threshold(&self, w: u32) -> Option<f64> {
+        match self.promoted {
+            Some((from, t)) if w >= from => Some(t),
+            _ => self.threshold,
+        }
+    }
+
     /// Apply one batch. Panics only on poison batches (callers run this
     /// under `catch_unwind`); returns `Duplicate` without mutating when
     /// the sequence number is stale.
@@ -105,6 +136,17 @@ impl HostState {
         &mut self,
         batch: &WindowBatch,
         cfg: &ApplyConfig,
+    ) -> Result<ApplyOutcome, ApplyError> {
+        self.apply_shadowed(batch, cfg, None)
+    }
+
+    /// [`HostState::apply`], additionally shadow-evaluating a candidate
+    /// threshold over fresh soak-span test windows when `shadow` is set.
+    pub fn apply_shadowed(
+        &mut self,
+        batch: &WindowBatch,
+        cfg: &ApplyConfig,
+        mut shadow: Option<&mut ShadowCtx<'_>>,
     ) -> Result<ApplyOutcome, ApplyError> {
         if batch.seq <= self.last_seq {
             return Ok(ApplyOutcome::Duplicate);
@@ -136,13 +178,26 @@ impl HostState {
             }
             Week::Test => {
                 for (i, &c) in batch.counts.iter().enumerate() {
+                    let w = batch.start + i as u32;
                     // Count an alarm only when the window is genuinely
                     // new: re-applied overlaps must not double-alarm.
-                    let fresh = self.test.insert(batch.start + i as u32, c);
+                    let fresh = self.test.insert(w, c);
                     if fresh {
-                        if let Some(t) = self.threshold {
-                            if c as f64 > t {
-                                self.live_alarms += 1;
+                        let incumbent_alarm = self
+                            .effective_threshold(w)
+                            .is_some_and(|t| c as f64 > t);
+                        if incumbent_alarm {
+                            self.live_alarms += 1;
+                        }
+                        if let Some(ctx) = shadow.as_deref_mut() {
+                            if w >= ctx.soak_start && w < ctx.soak_end {
+                                ctx.stats.windows += 1;
+                                if incumbent_alarm {
+                                    ctx.stats.incumbent_alarms += 1;
+                                }
+                                if c as f64 > ctx.candidate {
+                                    ctx.stats.candidate_alarms += 1;
+                                }
                             }
                         }
                     }
@@ -170,6 +225,20 @@ impl ShardState {
         cfg: &ApplyConfig,
     ) -> Result<ApplyOutcome, ApplyError> {
         self.hosts.entry(batch.host).or_default().apply(batch, cfg)
+    }
+
+    /// [`ShardState::apply`] with shadow evaluation of a candidate
+    /// threshold (see [`HostState::apply_shadowed`]).
+    pub fn apply_shadowed(
+        &mut self,
+        batch: &WindowBatch,
+        cfg: &ApplyConfig,
+        shadow: Option<&mut ShadowCtx<'_>>,
+    ) -> Result<ApplyOutcome, ApplyError> {
+        self.hosts
+            .entry(batch.host)
+            .or_default()
+            .apply_shadowed(batch, cfg, shadow)
     }
 }
 
@@ -272,6 +341,60 @@ mod tests {
             h.apply(&stale_poison, &cfg()).unwrap(),
             ApplyOutcome::Duplicate
         );
+    }
+
+    #[test]
+    fn promoted_override_activates_at_its_boundary() {
+        let mut h = HostState::default();
+        h.apply(&b(1, Week::Train, 0, &[1; 8]), &cfg()).unwrap();
+        h.apply(&b(2, Week::Test, 0, &[100, 100]), &cfg()).unwrap();
+        assert_eq!(h.live_alarms, 2, "incumbent alarms before promotion");
+        h.promoted = Some((4, 1000.0));
+        // Windows 2,3 are before the activation boundary: incumbent rules.
+        h.apply(&b(3, Week::Test, 2, &[100, 100]), &cfg()).unwrap();
+        assert_eq!(h.live_alarms, 4);
+        // Windows 4,5 are at/after the boundary: promoted threshold rules.
+        h.apply(&b(4, Week::Test, 4, &[100, 100]), &cfg()).unwrap();
+        assert_eq!(h.live_alarms, 4, "promoted threshold silences these");
+        assert_eq!(h.effective_threshold(3), h.threshold);
+        assert_eq!(h.effective_threshold(4), Some(1000.0));
+    }
+
+    #[test]
+    fn shadow_counts_only_fresh_soak_windows() {
+        let mut h = HostState::default();
+        h.apply(&b(1, Week::Train, 0, &[1; 8]), &cfg()).unwrap();
+        let mut stats = GateStats::default();
+        let mut ctx = ShadowCtx {
+            soak_start: 2,
+            soak_end: 6,
+            candidate: 1000.0,
+            stats: &mut stats,
+        };
+        h.apply_shadowed(&b(2, Week::Test, 0, &[100; 6]), &cfg(), Some(&mut ctx))
+            .unwrap();
+        // Windows 0..6 applied; soak spans 2..6 → 4 shadow windows, all
+        // incumbent alarms, none under the high candidate.
+        assert_eq!(
+            stats,
+            GateStats {
+                windows: 4,
+                incumbent_alarms: 4,
+                candidate_alarms: 0,
+                sheds: 0,
+            }
+        );
+        assert_eq!(h.live_alarms, 6, "shadow never changes live alarms");
+        // Overlapping re-send: no fresh windows, shadow untouched.
+        let mut ctx = ShadowCtx {
+            soak_start: 2,
+            soak_end: 6,
+            candidate: 1000.0,
+            stats: &mut stats,
+        };
+        h.apply_shadowed(&b(3, Week::Test, 0, &[100; 6]), &cfg(), Some(&mut ctx))
+            .unwrap();
+        assert_eq!(stats.windows, 4);
     }
 
     #[test]

@@ -1,14 +1,21 @@
-//! Write-ahead log: length-prefixed, CRC-framed batch records with
-//! torn-tail recovery.
+//! Write-ahead log: length-prefixed, CRC-framed records with torn-tail
+//! recovery.
 //!
 //! Every applied batch is framed and appended before its completion is
 //! acknowledged, so a crash after the append loses nothing, and a crash
-//! before (or during) it loses only work the source will redeliver. The
+//! before (or during) it loses only work the source will redeliver.
+//! Threshold-rollout transitions (canary start, promote, rollback) are
+//! journaled as a second record kind in the *same* log, interleaved in
+//! order with the batches, so replay reconstructs rollout state changes
+//! at exactly the point in the batch stream where they happened. The
 //! frame layout is
 //!
 //! ```text
 //! "WLR1" (4B) | payload_len u32 LE | crc32(payload) u32 LE | payload
 //! ```
+//!
+//! where the payload is one tag byte (0 = window batch, 1 = rollout
+//! event) followed by the record body.
 //!
 //! Replay walks frames from the start and stops at the first defect —
 //! truncated header, bad magic, implausible length, short payload, or CRC
@@ -30,6 +37,7 @@ use std::path::{Path, PathBuf};
 use faultsim::KillPoint;
 
 use crate::codec::{crc32, CodecError, WindowBatch};
+use crate::epoch::RolloutEvent;
 
 /// Frame magic: "WLR1".
 pub const WAL_MAGIC: [u8; 4] = *b"WLR1";
@@ -38,6 +46,41 @@ pub const WAL_HEADER_LEN: usize = 12;
 /// Sanity bound on a frame payload; larger declared lengths mean the
 /// length field itself is damaged.
 pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
+
+/// One journaled record: an applied batch or a rollout transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A durably applied window batch (payload tag 0).
+    Batch(WindowBatch),
+    /// A rollout state transition (payload tag 1).
+    Rollout(RolloutEvent),
+}
+
+impl WalRecord {
+    /// Serialise into `out`: tag byte + record body.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Batch(b) => {
+                out.push(0);
+                b.encode(out);
+            }
+            WalRecord::Rollout(ev) => {
+                out.push(1);
+                ev.encode(out);
+            }
+        }
+    }
+
+    /// Deserialise from exactly `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let (&tag, body) = buf.split_first().ok_or(CodecError::Truncated)?;
+        match tag {
+            0 => Ok(WalRecord::Batch(WindowBatch::decode(body)?)),
+            1 => Ok(WalRecord::Rollout(RolloutEvent::decode(body)?)),
+            _ => Err(CodecError::BadDiscriminant),
+        }
+    }
+}
 
 /// Cooperative crash injector threaded through the daemon.
 ///
@@ -52,6 +95,8 @@ pub struct KillSwitch {
     wal_bytes: u64,
     /// Lifetime batches applied (and acked, unless suppressed by a kill).
     applied: u64,
+    /// Lifetime rollout transition records made durable.
+    rollout_events: u64,
 }
 
 /// What an append attempt should do, as decided by the [`KillSwitch`].
@@ -74,6 +119,7 @@ impl KillSwitch {
             fired: false,
             wal_bytes: 0,
             applied: 0,
+            rollout_events: 0,
         }
     }
 
@@ -105,6 +151,11 @@ impl KillSwitch {
     /// Lifetime applied batches metered so far.
     pub fn applied_batches(&self) -> u64 {
         self.applied
+    }
+
+    /// Lifetime rollout transition records metered so far.
+    pub fn rollout_events(&self) -> u64 {
+        self.rollout_events
     }
 
     /// Meter an intended append of `frame_len` bytes and decide whether
@@ -144,13 +195,28 @@ impl KillSwitch {
             _ => false,
         }
     }
+
+    /// Meter one durable rollout transition record; returns `true` when
+    /// the daemon must die now, after the record is on disk but before
+    /// the in-memory state machine observes success (recovery must replay
+    /// the durable transition and converge to the same epoch state).
+    pub(crate) fn after_rollout_event(&mut self) -> bool {
+        self.rollout_events += 1;
+        match self.point {
+            Some(KillPoint::AfterRolloutEvents(n)) if !self.fired && self.rollout_events >= u64::from(n) => {
+                self.fired = true;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// What replay recovered from an existing WAL file.
 #[derive(Debug)]
 pub struct WalReplay {
-    /// CRC-verified batches, in append order.
-    pub batches: Vec<WindowBatch>,
+    /// CRC-verified records, in append order.
+    pub records: Vec<WalRecord>,
     /// File length after truncating the torn tail.
     pub valid_bytes: u64,
     /// Bytes discarded as a torn / corrupt tail (0 for a clean log).
@@ -194,52 +260,64 @@ pub enum AppendOutcome {
     Killed,
 }
 
-/// Build the on-disk frame for one batch.
-pub fn frame_batch(batch: &WindowBatch) -> Vec<u8> {
-    let mut payload = Vec::new();
-    batch.encode(&mut payload);
+/// Frame an already-encoded record payload.
+fn frame_payload(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(WAL_HEADER_LEN + payload.len());
     frame.extend_from_slice(&WAL_MAGIC);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
     frame
 }
 
-/// Walk the frames of `bytes`, returning the recovered batches, the
+/// Build the on-disk frame for one batch record.
+pub fn frame_batch(batch: &WindowBatch) -> Vec<u8> {
+    let mut payload = vec![0u8];
+    batch.encode(&mut payload);
+    frame_payload(&payload)
+}
+
+/// Build the on-disk frame for one rollout transition record.
+pub fn frame_rollout(ev: &RolloutEvent) -> Vec<u8> {
+    let mut payload = vec![1u8];
+    ev.encode(&mut payload);
+    frame_payload(&payload)
+}
+
+/// Walk the frames of `bytes`, returning the recovered records, the
 /// length of the valid prefix, and the defect (if any) that stopped the
 /// walk. Pure function — file truncation is the caller's job.
-pub fn scan_frames(bytes: &[u8]) -> (Vec<WindowBatch>, u64, Option<TailDefect>) {
-    let mut batches = Vec::new();
+pub fn scan_frames(bytes: &[u8]) -> (Vec<WalRecord>, u64, Option<TailDefect>) {
+    let mut records = Vec::new();
     let mut pos = 0usize;
     loop {
         let rest = &bytes[pos..];
         if rest.is_empty() {
-            return (batches, pos as u64, None);
+            return (records, pos as u64, None);
         }
         if rest.len() < WAL_HEADER_LEN {
-            return (batches, pos as u64, Some(TailDefect::ShortHeader));
+            return (records, pos as u64, Some(TailDefect::ShortHeader));
         }
         if rest[..4] != WAL_MAGIC {
-            return (batches, pos as u64, Some(TailDefect::BadMagic));
+            return (records, pos as u64, Some(TailDefect::BadMagic));
         }
         let len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         if len > MAX_FRAME_PAYLOAD {
-            return (batches, pos as u64, Some(TailDefect::ImplausibleLength));
+            return (records, pos as u64, Some(TailDefect::ImplausibleLength));
         }
         let crc = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
         let total = WAL_HEADER_LEN + len as usize;
         if rest.len() < total {
-            return (batches, pos as u64, Some(TailDefect::ShortPayload));
+            return (records, pos as u64, Some(TailDefect::ShortPayload));
         }
         let payload = &rest[WAL_HEADER_LEN..total];
         if crc32(payload) != crc {
-            return (batches, pos as u64, Some(TailDefect::CrcMismatch));
+            return (records, pos as u64, Some(TailDefect::CrcMismatch));
         }
-        match WindowBatch::decode(payload) {
-            Ok(b) => batches.push(b),
+        match WalRecord::decode(payload) {
+            Ok(r) => records.push(r),
             Err(e) => {
-                return (batches, pos as u64, Some(TailDefect::Undecodable(e)));
+                return (records, pos as u64, Some(TailDefect::Undecodable(e)));
             }
         }
         pos += total;
@@ -259,14 +337,14 @@ impl WalWriter {
             .open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let (batches, valid_bytes, tail_defect) = scan_frames(&bytes);
+        let (records, valid_bytes, tail_defect) = scan_frames(&bytes);
         let torn_bytes = bytes.len() as u64 - valid_bytes;
         if torn_bytes > 0 {
             file.set_len(valid_bytes)?;
         }
         file.seek(SeekFrom::Start(valid_bytes))?;
         let replay = WalReplay {
-            batches,
+            records,
             valid_bytes,
             torn_bytes,
             tail_defect,
@@ -299,12 +377,29 @@ impl WalWriter {
     /// Frame `batch` and append it, consulting `kill` for a mid-frame
     /// crash. On [`AppendOutcome::Killed`] the torn prefix has been
     /// flushed and the caller must treat the process as dead.
-    pub fn append(
+    pub fn append_batch(
         &mut self,
         batch: &WindowBatch,
         kill: &mut KillSwitch,
     ) -> std::io::Result<AppendOutcome> {
-        let frame = frame_batch(batch);
+        self.append_frame(frame_batch(batch), kill)
+    }
+
+    /// Frame a rollout transition and append it, consulting `kill` for a
+    /// mid-frame crash.
+    pub fn append_rollout(
+        &mut self,
+        ev: &RolloutEvent,
+        kill: &mut KillSwitch,
+    ) -> std::io::Result<AppendOutcome> {
+        self.append_frame(frame_rollout(ev), kill)
+    }
+
+    fn append_frame(
+        &mut self,
+        frame: Vec<u8>,
+        kill: &mut KillSwitch,
+    ) -> std::io::Result<AppendOutcome> {
         match kill.before_wal_append(frame.len() as u64) {
             KillVerdict::Proceed => {
                 self.file.write_all(&frame)?;
@@ -367,15 +462,41 @@ mod tests {
         let batches = vec![batch(1, 1, &[5, 6]), batch(2, 1, &[]), batch(1, 2, &[9])];
         {
             let (mut w, replay) = WalWriter::open(&path).unwrap();
-            assert!(replay.batches.is_empty());
+            assert!(replay.records.is_empty());
             let mut kill = KillSwitch::none();
             for b in &batches {
-                assert_eq!(w.append(b, &mut kill).unwrap(), AppendOutcome::Appended);
+                assert_eq!(w.append_batch(b, &mut kill).unwrap(), AppendOutcome::Appended);
             }
         }
         let (_, replay) = WalWriter::open(&path).unwrap();
-        assert_eq!(replay.batches, batches);
+        let expected: Vec<WalRecord> = batches.into_iter().map(WalRecord::Batch).collect();
+        assert_eq!(replay.records, expected);
         assert_eq!(replay.torn_bytes, 0);
+        assert!(replay.tail_defect.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rollout_records_interleave_with_batches_in_order() {
+        let dir = tmpdir("rollout");
+        let path = dir.join("wal.bin");
+        let ev = RolloutEvent::Promote { epoch: 2 };
+        {
+            let (mut w, _) = WalWriter::open(&path).unwrap();
+            let mut kill = KillSwitch::none();
+            w.append_batch(&batch(1, 1, &[3]), &mut kill).unwrap();
+            w.append_rollout(&ev, &mut kill).unwrap();
+            w.append_batch(&batch(1, 2, &[4]), &mut kill).unwrap();
+        }
+        let (_, replay) = WalWriter::open(&path).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![
+                WalRecord::Batch(batch(1, 1, &[3])),
+                WalRecord::Rollout(ev),
+                WalRecord::Batch(batch(1, 2, &[4])),
+            ]
+        );
         assert!(replay.tail_defect.is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -396,9 +517,9 @@ mod tests {
             boundaries.push(all.len());
         }
         for cut in 0..=all.len() {
-            let (batches, valid, defect) = scan_frames(&all[..cut]);
+            let (records, valid, defect) = scan_frames(&all[..cut]);
             let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
-            assert_eq!(batches.len(), whole, "cut {cut}");
+            assert_eq!(records.len(), whole, "cut {cut}");
             assert_eq!(valid as usize, boundaries[whole], "cut {cut}");
             let at_boundary = boundaries.contains(&cut);
             assert_eq!(defect.is_none(), at_boundary, "cut {cut}");
@@ -414,8 +535,8 @@ mod tests {
         let mut all = frames.concat();
         // Flip a payload byte inside frame 0.
         all[WAL_HEADER_LEN + 2] ^= 0xFF;
-        let (batches, valid, defect) = scan_frames(&all);
-        assert!(batches.is_empty());
+        let (records, valid, defect) = scan_frames(&all);
+        assert!(records.is_empty());
         assert_eq!(valid, 0);
         assert_eq!(defect, Some(TailDefect::CrcMismatch));
     }
@@ -431,7 +552,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
 
         let (w, replay) = WalWriter::open(&path).unwrap();
-        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.torn_bytes, torn.len() as u64);
         assert_eq!(replay.tail_defect, Some(TailDefect::ShortHeader));
         assert_eq!(w.len(), good.len() as u64);
@@ -456,13 +577,13 @@ mod tests {
             offset: f1_len + 3,
             torn: 7,
         });
-        assert_eq!(w.append(&b1, &mut kill).unwrap(), AppendOutcome::Appended);
-        assert_eq!(w.append(&b2, &mut kill).unwrap(), AppendOutcome::Killed);
+        assert_eq!(w.append_batch(&b1, &mut kill).unwrap(), AppendOutcome::Appended);
+        assert_eq!(w.append_batch(&b2, &mut kill).unwrap(), AppendOutcome::Killed);
         assert!(kill.fired());
         drop(w);
 
         let (_, replay) = WalWriter::open(&path).unwrap();
-        assert_eq!(replay.batches, vec![b1]);
+        assert_eq!(replay.records, vec![WalRecord::Batch(b1)]);
         assert_eq!(replay.torn_bytes, 7);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -493,11 +614,11 @@ mod tests {
             offset: 0,
             torn: u32::MAX,
         });
-        assert_eq!(w.append(&b, &mut kill).unwrap(), AppendOutcome::Killed);
+        assert_eq!(w.append_batch(&b, &mut kill).unwrap(), AppendOutcome::Killed);
         assert_eq!(w.len(), frame_len - 1);
         drop(w);
         let (_, replay) = WalWriter::open(&path).unwrap();
-        assert!(replay.batches.is_empty());
+        assert!(replay.records.is_empty());
         assert_eq!(replay.torn_bytes, frame_len - 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }

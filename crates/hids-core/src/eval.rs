@@ -56,6 +56,9 @@ impl FeatureDataset {
     /// Panics when the two slices differ in length or are empty; callers
     /// fed by unreliable telemetry should use
     /// [`FeatureDataset::try_from_series`].
+    // The panic is this constructor's documented contract; fallible
+    // callers use `try_from_series`.
+    #[allow(clippy::panic)]
     pub fn from_series(
         train: &[FeatureSeries],
         test: &[FeatureSeries],
@@ -63,10 +66,7 @@ impl FeatureDataset {
     ) -> Self {
         match Self::try_from_series(train, test, feature) {
             Ok(ds) => ds,
-            Err(DatasetError::PopulationMismatch { .. }) => {
-                panic!("one train and one test per user")
-            }
-            Err(DatasetError::EmptyPopulation) => panic!("need at least one user"),
+            Err(e) => panic!("{e}"),
         }
     }
 

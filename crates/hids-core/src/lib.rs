@@ -44,6 +44,7 @@ pub mod adaptive;
 pub mod bundle;
 pub mod degraded;
 pub mod detector;
+pub mod drift;
 pub mod eval;
 pub mod incremental;
 pub mod multi;
@@ -60,6 +61,7 @@ pub use degraded::{
     DegradedEvaluation, DegradedUserPerf, HostStatus,
 };
 pub use detector::{Alert, Detector};
+pub use drift::{DriftConfig, DriftState, DriftTracker};
 pub use eval::{AttackSweep, DatasetError, EvalConfig, FeatureDataset, PolicyEvaluation, UserPerf};
 pub use incremental::{degraded_dataset, WindowAccumulator};
 pub use multi::{evaluate_multi, multi_detection, MultiEvaluation, MultiPolicy, MultiUserPerf};

@@ -20,6 +20,14 @@
 //! `backoff_base << (k - 1)` ticks (exponential), until `max_attempts` is
 //! exhausted and the batch is dropped. Queue order is FIFO; a failing head
 //! does not block delivery of due batches behind it.
+//!
+//! With [`DeliveryConfig::jitter_seed`] set, the schedule switches to
+//! *decorrelated jitter* (`delay = uniform(base, prev_delay * 3)`, capped
+//! at the exponential maximum): a fleet of hosts that all lost the link
+//! at once no longer retries in synchronized waves that re-flatten the
+//! console. The jitter stream is a seeded counter RNG owned by the queue,
+//! so a given `(seed, offer/pump/tick history)` replays to the identical
+//! schedule — chaos and daemon experiment CSVs stay byte-reproducible.
 
 use std::collections::VecDeque;
 
@@ -49,6 +57,10 @@ pub struct DeliveryConfig {
     pub max_attempts: u32,
     /// Backoff after the first failure, in ticks; doubles per attempt.
     pub backoff_base: u64,
+    /// `Some(seed)` switches retry delays to seeded decorrelated jitter
+    /// (`uniform(base, prev * 3)`, capped at the exponential maximum);
+    /// `None` keeps the legacy pure-exponential schedule.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for DeliveryConfig {
@@ -57,6 +69,7 @@ impl Default for DeliveryConfig {
             capacity: 64,
             max_attempts: 5,
             backoff_base: 1,
+            jitter_seed: None,
         }
     }
 }
@@ -101,6 +114,18 @@ struct PendingBatch<B> {
     batch: B,
     attempts: u32,
     next_attempt: u64,
+    prev_backoff: u64,
+}
+
+/// SplitMix64: one 64-bit output per counter increment. Small, seedable,
+/// and stateless beyond the counter — exactly what a replayable retry
+/// schedule needs (the vendored `rand` stub has no small seeded RNG).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A bounded FIFO of payload batches with deterministic retry/backoff over
@@ -111,6 +136,7 @@ pub struct DeliveryQueue<B: Payload = Vec<Alert>> {
     queue: VecDeque<PendingBatch<B>>,
     stats: DeliveryStats,
     now: u64,
+    jitter_state: u64,
 }
 
 impl<B: Payload> DeliveryQueue<B> {
@@ -122,6 +148,7 @@ impl<B: Payload> DeliveryQueue<B> {
         assert!(config.capacity > 0, "queue capacity must be positive");
         assert!(config.max_attempts > 0, "need at least one attempt");
         Self {
+            jitter_state: config.jitter_seed.unwrap_or(0),
             config,
             queue: VecDeque::new(),
             stats: DeliveryStats::default(),
@@ -142,6 +169,7 @@ impl<B: Payload> DeliveryQueue<B> {
             batch,
             attempts: 0,
             next_attempt: self.now,
+            prev_backoff: 0,
         });
         self.stats.enqueued += 1;
         self.stats.queue_high_water = self.stats.queue_high_water.max(self.queue.len());
@@ -181,12 +209,30 @@ impl<B: Payload> DeliveryQueue<B> {
                 self.stats.expired_units += p.batch.units();
             } else {
                 self.stats.retries += 1;
-                p.next_attempt = self.now + (self.config.backoff_base << (p.attempts - 1));
+                let delay = self.backoff_delay(p.attempts, p.prev_backoff);
+                p.prev_backoff = delay;
+                p.next_attempt = self.now + delay;
                 keep.push_back(p);
             }
         }
         self.queue = keep;
         delivered
+    }
+
+    /// The delay before retry attempt `attempts + 1`. Legacy schedule:
+    /// `base << (attempts - 1)`. Jittered: `uniform(base, prev * 3)`
+    /// clamped to the legacy maximum, so jitter never waits longer than
+    /// the worst exponential delay would.
+    fn backoff_delay(&mut self, attempts: u32, prev_backoff: u64) -> u64 {
+        let base = self.config.backoff_base;
+        let exp = base << (attempts - 1);
+        if self.config.jitter_seed.is_none() {
+            return exp;
+        }
+        let cap = base << (self.config.max_attempts.saturating_sub(1));
+        let hi = prev_backoff.max(base).saturating_mul(3).min(cap);
+        let span = hi.saturating_sub(base).saturating_add(1);
+        base + splitmix64(&mut self.jitter_state) % span
     }
 
     /// Batches currently queued.
@@ -260,6 +306,7 @@ mod tests {
             capacity: 4,
             max_attempts: 4,
             backoff_base: 2,
+            jitter_seed: None,
         });
         q.offer(batch(1));
         // Attempt 1 at t=0 fails -> re-armed for t=2.
@@ -284,6 +331,7 @@ mod tests {
             capacity: 4,
             max_attempts: 3,
             backoff_base: 1,
+            jitter_seed: None,
         });
         q.offer(batch(5));
         for _ in 0..10 {
@@ -303,6 +351,7 @@ mod tests {
             capacity: 4,
             max_attempts: 10,
             backoff_base: 100,
+            jitter_seed: None,
         });
         q.offer(batch(1)); // this one the sink rejects
         q.offer(batch(2)); // this one it accepts
@@ -317,6 +366,7 @@ mod tests {
             capacity: 16,
             max_attempts: 8,
             backoff_base: 1,
+            jitter_seed: None,
         });
         for _ in 0..10 {
             q.offer(batch(2));
@@ -345,6 +395,7 @@ mod tests {
             capacity: 1,
             max_attempts: 1,
             backoff_base: 1,
+            jitter_seed: None,
         });
         assert!(q.offer(Windows(24)));
         assert!(!q.offer(Windows(7)), "capacity 1");
@@ -353,5 +404,74 @@ mod tests {
         assert_eq!(s.rejected_units, 7);
         assert_eq!(s.expired_units, 24);
         assert_eq!(s.dropped_units(), 31);
+    }
+
+    /// Drive one batch through failing attempts against an always-down
+    /// sink, measuring the re-arm delay before each of `rounds` retries
+    /// (ticking the clock one unit at a time and watching the attempt
+    /// counters to see exactly when the batch came due).
+    fn observed_delays(config: DeliveryConfig, rounds: u32) -> Vec<u64> {
+        let mut q = DeliveryQueue::new(config);
+        q.offer(batch(1));
+        q.pump(|_| false); // attempt 1, at t=0
+        let mut delays = Vec::new();
+        for _ in 0..rounds {
+            if q.is_empty() {
+                break;
+            }
+            let start = q.now();
+            let before = q.stats().retries + q.stats().expired_batches;
+            loop {
+                q.tick(1);
+                q.pump(|_| false);
+                if q.stats().retries + q.stats().expired_batches > before {
+                    break;
+                }
+                assert!(q.now() - start < 1 << 12, "batch never became due");
+            }
+            delays.push(q.now() - start);
+        }
+        delays
+    }
+
+    #[test]
+    fn jittered_delays_stay_within_bounds_and_replay_exactly() {
+        let config = DeliveryConfig {
+            capacity: 4,
+            max_attempts: 6,
+            backoff_base: 2,
+            jitter_seed: Some(42),
+        };
+        let delays = observed_delays(config, 5);
+        assert_eq!(delays.len(), 5);
+        let cap = config.backoff_base << (config.max_attempts - 1);
+        for (i, &d) in delays.iter().enumerate() {
+            assert!(
+                (config.backoff_base..=cap).contains(&d),
+                "attempt {i} delay {d} outside [base, cap]"
+            );
+        }
+        // Same seed, same history: byte-identical schedule.
+        assert_eq!(observed_delays(config, 5), delays);
+        // A different seed decorrelates the schedule.
+        let other = observed_delays(
+            DeliveryConfig {
+                jitter_seed: Some(43),
+                ..config
+            },
+            5,
+        );
+        assert_ne!(other, delays, "seeds 42 and 43 chose identical jitter");
+    }
+
+    #[test]
+    fn jitter_none_preserves_the_legacy_exponential_schedule() {
+        let config = DeliveryConfig {
+            capacity: 4,
+            max_attempts: 5,
+            backoff_base: 2,
+            jitter_seed: None,
+        };
+        assert_eq!(observed_delays(config, 4), vec![2, 4, 8, 16]);
     }
 }

@@ -20,7 +20,10 @@
 //!   unreliable console link with deterministic retry/backoff and drop
 //!   accounting;
 //! * [`sentinel`] — "best user" identification (Table 2) and a simple
-//!   collaborative-detection scheme over sentinel alarms (§7 future work).
+//!   collaborative-detection scheme over sentinel alarms (§7 future work);
+//! * [`rollout`] — drift-aware threshold lifecycle planning: fleet drift
+//!   monitoring, poisoning-resistant candidate refit with group-threshold
+//!   fallback, and the operator-facing epoch history report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod coalesce;
 pub mod compliance;
 pub mod console;
 pub mod delivery;
+pub mod rollout;
 pub mod sentinel;
 pub mod triage;
 
@@ -38,6 +42,10 @@ pub use coalesce::{coalesce, CoalescedAlert, RateLimiter};
 pub use compliance::{audit, ComplianceReport, Deviation};
 pub use console::{CentralConsole, ConsoleStats};
 pub use delivery::{DeliveryConfig, DeliveryQueue, DeliveryStats, Payload};
+pub use rollout::{
+    build_candidate, fallback_from_outcome, render_history, CandidatePlan, EpochSummary,
+    FleetDriftMonitor, RolloutPlanner, RolloutProposal,
+};
 pub use sentinel::{
     best_users, sentinel_consensus, sentinel_consensus_degraded, DegradedConsensus, SentinelConfig,
 };

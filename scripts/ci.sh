@@ -8,28 +8,34 @@
 # The fault-injection smoke stage runs the chaos experiment at a fixed
 # seed and severity; `repro` prints a warning on any conservation-law
 # violation, and the root `tests/chaos.rs` suite (run by `cargo test`)
-# asserts the same laws hard. The clippy gates keep the packet-decode
-# paths free of `unwrap()` (they must degrade, not panic) and hold the
-# fleetd daemon to the stricter no-unwrap/no-panic bar its supervisor
-# model promises.
+# asserts the same laws hard. The clippy gate holds every workspace crate's
+# library code to the no-unwrap/no-panic bar the fleetd supervisor model
+# promises (test code is exempt: the gate is --lib only).
 #
 # The daemon stages are the crash-safety gate: the root `tests/daemon.rs`
 # suite replays >=20 seeded kill points (including torn WAL tails) and
 # asserts byte-identical recovery, and the `repro daemon` smoke re-runs
-# the scenario under a seeded kill schedule at a fixed seed.
+# the scenario under a seeded kill schedule at a fixed seed. The rollout
+# smoke drives the threshold-lifecycle (canary/rollback) scenarios the
+# same way, including the rollback-identity and epoch-boundary
+# kill-recovery self-checks.
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo test -q --test daemon
-cargo clippy -q -p netpkt -p flowtab --lib -- -D clippy::unwrap_used
-cargo clippy -q -p fleetd --lib --no-deps -- \
-    -D clippy::unwrap_used -D clippy::panic
+cargo test -q --test rollout
+cargo clippy -q \
+    -p netpkt -p flowtab -p tailstats -p synthgen -p hids-core \
+    -p attacksim -p itconsole -p faultsim -p fleetd -p experiments -p bench \
+    --lib --no-deps -- -D clippy::unwrap_used -D clippy::panic
 cargo run -q --release -p experiments --bin repro -- \
     --users 40 --weeks 2 --fault-seed 64273 --fault-rate 0.2 chaos
 cargo run -q --release -p experiments --bin repro -- \
     --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-rate 0.2 daemon
+cargo run -q --release -p experiments --bin repro -- \
+    --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-rate 0.2 rollout
 cargo bench -p bench -- --test
 
 echo "ci.sh: all gates passed"

@@ -20,10 +20,10 @@ use experiments::daemon::{
 };
 use experiments::{Corpus, CorpusConfig};
 use faultsim::{ByteFaults, KillPoint};
-use fleetd::wal::{frame_batch, scan_frames, WAL_HEADER_LEN, WAL_MAGIC};
+use fleetd::wal::{frame_batch, frame_rollout, scan_frames, WAL_HEADER_LEN, WAL_MAGIC};
 use fleetd::{
-    Admit, Daemon, DaemonConfig, DaemonError, HostState, KillSwitch, QueueConfig, Snapshot,
-    SupervisorConfig, Week, WindowBatch,
+    Admit, Daemon, DaemonConfig, DaemonError, EpochState, HostState, KillSwitch, QueueConfig,
+    Snapshot, SupervisorConfig, WalRecord, Week, WindowBatch,
 };
 use hids_core::degraded::HostStatus;
 use hids_core::WindowAccumulator;
@@ -417,6 +417,80 @@ fn corrupt_snapshots_are_discarded_and_redelivery_rebuilds() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn both_snapshots_corrupt_with_surviving_wal_recovers_from_wal_alone() {
+    // Snapshot-retention worst case: every retained checkpoint is damaged
+    // but the WAL survived. Recovery must discard both images with a
+    // warning-grade report — never a panic — and rebuild exactly the
+    // state the WAL tail (everything since the last checkpoint) encodes.
+    let corpus = small_corpus();
+    let mut scenario = base_scenario();
+    // Checkpoints are taken explicitly below; an automatic one mid-tail
+    // would reset the WAL and shrink the tail under test.
+    scenario.daemon.snapshot_every = 1_000_000;
+    let batches = build_batches(&corpus, &scenario);
+    // Per-host seq order within each third is what the daemon sees from
+    // stop-and-wait delivery, so offering thirds in order is equivalent.
+    let thirds: Vec<&[WindowBatch]> = batches.chunks(batches.len() / 3).collect();
+
+    let dir = unique_run_dir("allsnapcorrupt");
+    {
+        let (mut d, _) = Daemon::open(&dir, scenario.daemon).unwrap();
+        let mut kill = KillSwitch::none();
+        offer_all_and_drain(&mut d, &mut kill, thirds[0]);
+        d.checkpoint().unwrap();
+        offer_all_and_drain(&mut d, &mut kill, thirds[1]);
+        d.checkpoint().unwrap();
+        // The tail after the last checkpoint lives only in the WAL.
+        for third in &thirds[2..] {
+            offer_all_and_drain(&mut d, &mut kill, third);
+        }
+        assert!(d.wal_len() > 0, "tail must be WAL-only");
+    }
+    let snaps = fleetd::snapshot::list_snapshots(&dir).unwrap();
+    assert_eq!(snaps.len(), 2, "keep-two retention");
+    for (_, path) in &snaps {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(path, &bytes).unwrap();
+    }
+    // Unlike `corrupt_snapshots_are_discarded_and_redelivery_rebuilds`,
+    // wal.bin is deliberately KEPT.
+
+    let (mut d, rec) = Daemon::open(&dir, scenario.daemon).unwrap();
+    assert_eq!(rec.snapshots_discarded, 2, "both images rejected, no panic");
+    assert!(rec.snapshot_seq.is_none(), "nothing usable to load");
+    let tail_batches: u64 = thirds[2..].iter().map(|t| t.len() as u64).sum();
+    assert_eq!(rec.wal_replayed, tail_batches, "full WAL-only replay");
+    assert_eq!(rec.wal_torn_bytes, 0);
+
+    // WAL-only replay must equal a fresh daemon fed exactly the tail.
+    let expect_dir = unique_run_dir("allsnapcorrupt-expect");
+    let (mut expect, _) = Daemon::open(&expect_dir, scenario.daemon).unwrap();
+    let mut kill = KillSwitch::none();
+    for third in &thirds[2..] {
+        offer_all_and_drain(&mut expect, &mut kill, third);
+    }
+    assert_eq!(final_hosts(&d), final_hosts(&expect));
+
+    // And the recovered daemon is still live: new work after the replayed
+    // tail applies cleanly.
+    let extra = WindowBatch {
+        host: 0,
+        seq: batches.iter().filter(|b| b.host == 0).map(|b| b.seq).max().unwrap() + 1,
+        week: Week::Test,
+        start: 0,
+        counts: vec![1],
+        poison: false,
+    };
+    assert_ne!(d.offer(extra), Admit::Overflow);
+    assert!(d.drain(&mut kill, 1_000).unwrap());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&expect_dir).unwrap();
+}
+
 // ---------------------------------------------------------------------
 // Property suites: the WAL scanner and snapshot codec are total, and
 // recovery is exact on every prefix.
@@ -464,6 +538,7 @@ fn arb_host_state() -> impl Strategy<Value = HostState> {
             test: WindowAccumulator::from_pairs(test),
             threshold: has_thresh.then(|| thresh as f64 / 7.0),
             live_alarms,
+            promoted: (!has_thresh).then(|| (live_alarms as u32 % 672, thresh as f64 / 3.0)),
         })
 }
 
@@ -474,11 +549,14 @@ proptest! {
     /// accepts re-frames to exactly the valid prefix it reported.
     #[test]
     fn wal_scan_is_total_and_exact(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
-        let (batches, valid, defect) = scan_frames(&bytes);
+        let (records, valid, defect) = scan_frames(&bytes);
         prop_assert!(valid as usize <= bytes.len());
         let mut reframed = Vec::new();
-        for b in &batches {
-            reframed.extend(frame_batch(b));
+        for r in &records {
+            match r {
+                WalRecord::Batch(b) => reframed.extend(frame_batch(b)),
+                WalRecord::Rollout(ev) => reframed.extend(frame_rollout(ev)),
+            }
         }
         prop_assert_eq!(&reframed[..], &bytes[..valid as usize]);
         if (valid as usize) < bytes.len() {
@@ -500,7 +578,7 @@ proptest! {
         prop_assert_eq!(recovered.len(), whole);
         prop_assert_eq!(valid as usize, if whole == 0 { 0 } else { ends[whole - 1] });
         for (got, want) in recovered.iter().zip(&batches) {
-            prop_assert_eq!(got, want);
+            prop_assert_eq!(got, &WalRecord::Batch(want.clone()));
         }
         // The cut is mid-frame exactly when bytes remain past the last
         // whole frame — and that torn tail must be flagged, never fatal.
@@ -523,7 +601,7 @@ proptest! {
         let intact = ends.iter().take_while(|&&e| e <= pos).count();
         prop_assert!(recovered.len() >= intact, "frames before the flip survive");
         for (got, want) in recovered.iter().take(intact).zip(&batches) {
-            prop_assert_eq!(got, want);
+            prop_assert_eq!(got, &WalRecord::Batch(want.clone()));
         }
     }
 
@@ -534,7 +612,7 @@ proptest! {
         hosts in proptest::collection::vec((0u32..64, arb_host_state()), 0..8),
     ) {
         let hosts: BTreeMap<u32, HostState> = hosts.into_iter().collect();
-        let snap = Snapshot { seq, n_windows: WINDOWS_PER_WEEK, hosts };
+        let snap = Snapshot { seq, n_windows: WINDOWS_PER_WEEK, hosts, epoch: EpochState::default() };
         let decoded = Snapshot::decode(&snap.encode()).unwrap();
         prop_assert_eq!(decoded, snap);
     }
@@ -547,7 +625,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let hosts: BTreeMap<u32, HostState> = hosts.into_iter().collect();
-        let snap = Snapshot { seq: 7, n_windows: WINDOWS_PER_WEEK, hosts };
+        let snap = Snapshot { seq: 7, n_windows: WINDOWS_PER_WEEK, hosts, epoch: EpochState::default() };
         let mut bytes = snap.encode();
         let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
         bytes[pos] ^= flip;
@@ -613,8 +691,8 @@ fn regression_flip_in_second_frame_magic() {
     };
     let (mut log, ends) = concat_frames(&[b1.clone(), b2]);
     log[ends[0]] ^= 1; // first byte of the second frame's magic
-    let (batches, valid, defect) = scan_frames(&log);
-    assert_eq!(batches, vec![b1]);
+    let (records, valid, defect) = scan_frames(&log);
+    assert_eq!(records, vec![WalRecord::Batch(b1)]);
     assert_eq!(valid as usize, ends[0]);
     assert!(defect.is_some());
 }
@@ -632,8 +710,8 @@ fn regression_empty_batch_roundtrips() {
         poison: true,
     };
     let frame = frame_batch(&batch);
-    let (batches, valid, defect) = scan_frames(&frame);
-    assert_eq!(batches, vec![batch]);
+    let (records, valid, defect) = scan_frames(&frame);
+    assert_eq!(records, vec![WalRecord::Batch(batch)]);
     assert_eq!(valid as usize, frame.len());
     assert!(defect.is_none());
 }
@@ -649,6 +727,7 @@ fn regression_snapshot_of_blank_host() {
         seq: 1,
         n_windows: WINDOWS_PER_WEEK,
         hosts,
+        epoch: EpochState::default(),
     };
     let decoded = Snapshot::decode(&snap.encode()).unwrap();
     assert_eq!(decoded, snap);

@@ -1,0 +1,145 @@
+//! Acceptance suite for the drift-aware threshold lifecycle: canary
+//! rollouts, automatic rollback, and poisoning-resistant refit.
+//!
+//! The contracts under test:
+//!
+//! * **benign drift** → the planner refits every host, the canary soak
+//!   passes the health gates, the epoch promotes, and the promoted
+//!   thresholds catch attacks the stale incumbent misses;
+//! * **poisoned drift** → the alarm-drop gate fails the soak, the epoch
+//!   rolls back, and the fleet's per-host CSV is byte-identical to a run
+//!   that never attempted a rollout;
+//! * **crash safety** → a daemon killed at the canary-start boundary,
+//!   mid-soak, at the decision boundary, or at seeded batch/WAL-byte
+//!   points recovers to the same byte-identical CSV as an uninterrupted
+//!   run.
+
+use experiments::rollout::{
+    build_input, hosts_csv, run, RolloutInput, RolloutRun, RolloutScenario,
+};
+use faultsim::{rollout_kill_points, KillPoint};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rollout-accept-{}-{}-{}", tag, std::process::id(), n))
+}
+
+fn drive(s: &RolloutScenario, input: &RolloutInput, tag: &str, kills: &[KillPoint]) -> RolloutRun {
+    let dir = unique_dir(tag);
+    let out = run(&dir, s, input, kills).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    out
+}
+
+#[test]
+fn benign_promotion_improves_detection_over_stale_incumbent() {
+    let s = RolloutScenario::default();
+    let input = build_input(&s);
+    let r = drive(&s, &input, "benign", &[]);
+    r.check(&s).unwrap();
+    assert!(r.n_attacks > 0, "scenario must inject attacks");
+    assert_eq!(
+        r.fn_stale, r.n_attacks,
+        "attacks are sized to hide under the stale incumbent"
+    );
+    assert_eq!(
+        r.fn_effective, 0,
+        "every attack clears the promoted refit thresholds"
+    );
+    // Promotion is observable online, not just counterfactually: the
+    // post-promotion attacks raised live alarms.
+    let alarms: u64 = r.hosts.iter().map(|(_, st)| st.live_alarms).sum();
+    assert_eq!(alarms, r.n_attacks, "one live alarm per injected attack");
+}
+
+#[test]
+fn poisoned_rollback_restores_incumbent_fleet_byte_for_byte() {
+    let s = RolloutScenario {
+        poison: true,
+        ..RolloutScenario::default()
+    };
+    let input = build_input(&s);
+    let rolled = drive(&s, &input, "poisoned", &[]);
+    rolled.check(&s).unwrap();
+
+    let untouched_s = RolloutScenario {
+        attempt_rollout: false,
+        ..s.clone()
+    };
+    let untouched = drive(&untouched_s, &input, "untouched", &[]);
+    untouched.check(&untouched_s).unwrap();
+    assert_eq!(
+        hosts_csv(&rolled),
+        hosts_csv(&untouched),
+        "a rolled-back epoch must leave no trace in the fleet state"
+    );
+    // The rollout genuinely happened before being discarded.
+    assert_eq!(rolled.epoch.history.len(), 1);
+    assert_eq!(rolled.total_rollout_events, 2, "begin + rollback journaled");
+}
+
+#[test]
+fn kills_at_canary_start_mid_soak_and_decision_recover_identically() {
+    let s = RolloutScenario::default();
+    let input = build_input(&s);
+    let reference = drive(&s, &input, "kill-ref", &[]);
+    let ref_csv = hosts_csv(&reference);
+    assert_eq!(reference.total_rollout_events, 2);
+
+    // Mid-soak: between the canary-start record and the decision record.
+    let mid_soak = reference.total_applied - input.batches.len() as u64 / 4;
+    let points = [
+        ("canary-start", KillPoint::AfterRolloutEvents(1)),
+        ("mid-soak", KillPoint::AfterBatches(mid_soak)),
+        ("decision", KillPoint::AfterRolloutEvents(2)),
+    ];
+    for (name, point) in points {
+        let killed = drive(&s, &input, name, &[point]);
+        assert_eq!(killed.recovery.kills, 1, "{name}: kill never fired");
+        killed.check(&s).unwrap();
+        assert_eq!(hosts_csv(&killed), ref_csv, "{name}");
+    }
+}
+
+#[test]
+fn seeded_kill_schedule_sweep_recovers_identically() {
+    let s = RolloutScenario::default();
+    let input = build_input(&s);
+    let reference = drive(&s, &input, "sweep-ref", &[]);
+    let ref_csv = hosts_csv(&reference);
+
+    let kills = rollout_kill_points(
+        s.seed,
+        6,
+        reference.total_applied,
+        reference.total_wal_bytes,
+        reference.total_rollout_events as u32,
+    );
+    let killed = drive(&s, &input, "sweep", &kills);
+    assert!(killed.recovery.kills >= 1, "schedule must fire at least once");
+    killed.check(&s).unwrap();
+    assert_eq!(hosts_csv(&killed), ref_csv);
+}
+
+#[test]
+fn kill_during_poisoned_rollback_still_restores_incumbent() {
+    let s = RolloutScenario {
+        poison: true,
+        ..RolloutScenario::default()
+    };
+    let input = build_input(&s);
+    let untouched_s = RolloutScenario {
+        attempt_rollout: false,
+        ..s.clone()
+    };
+    let untouched = drive(&untouched_s, &input, "rb-untouched", &[]);
+
+    // Die right after the rollback record is durable but before the
+    // in-memory state machine observes it: recovery must replay the
+    // rollback and still converge to the untouched fleet.
+    let killed = drive(&s, &input, "rb-kill", &[KillPoint::AfterRolloutEvents(2)]);
+    assert_eq!(killed.recovery.kills, 1);
+    killed.check(&s).unwrap();
+    assert_eq!(hosts_csv(&killed), hosts_csv(&untouched));
+}
