@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR]
-//!       [--fault-seed S] [--fault-rate R]
+//!       [--fault-seed S] [--fault-rate R] [--metrics-out PATH]
 //!       [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]
 //!
 //! EXPERIMENT ∈ { fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b
@@ -16,6 +16,13 @@
 //! `--threads N` (or the `REPRO_THREADS` env var) pins the worker-thread
 //! count of the parallel evaluation engine; output is identical at any
 //! setting.
+//!
+//! `--metrics-out PATH` writes the merged metrics registry (counters,
+//! gauges, histograms and the structured event log from every experiment
+//! that ran) as Prometheus exposition text. The snapshot is rendered
+//! deterministically — wall-clock timings are quarantined to a volatile
+//! section that is excluded — so the file is byte-identical at any
+//! `--threads` setting.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,11 +47,12 @@ struct Args {
     fault_rate: f64,
     delivery_attempts: Option<u32>,
     delivery_backoff: Option<u64>,
+    metrics_out: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]\n\
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]\n\
      experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon rollout all"
         .to_string()
 }
@@ -63,6 +71,7 @@ where
         fault_rate: 0.2,
         delivery_attempts: None,
         delivery_backoff: None,
+        metrics_out: None,
         experiments: Vec::new(),
     };
     let mut it = argv.into_iter();
@@ -79,6 +88,9 @@ where
                 args.threads = Some(value("--threads")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(value("--metrics-out")?))
+            }
             "--fault-seed" => {
                 args.fault_seed = value("--fault-seed")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -216,6 +228,12 @@ fn main() -> ExitCode {
     }
 
     let tcp = FeatureKind::TcpConnections;
+
+    // Merged observability snapshot across every experiment that runs.
+    // Each contributor is deterministic (integer-only accumulation,
+    // stable key order), so the rendered text is a pure function of the
+    // work performed — byte-identical at any --threads setting.
+    let mut metrics = hids_metrics::Registry::new();
 
     experiment!("validate", {
         let report = synthgen::validate(&corpus.population, corpus.config.windowing());
@@ -468,6 +486,7 @@ fn main() -> ExitCode {
         if let Err(e) = r.check() {
             eprintln!("warning: chaos invariant violated: {e}");
         }
+        r.export_metrics(&mut metrics);
     });
 
     experiment!("daemon", {
@@ -504,6 +523,7 @@ fn main() -> ExitCode {
         let _ = std::fs::remove_dir_all(&ref_dir);
         emit(&daemon::hosts_table(&reference), &args.out, "daemon_hosts");
         emit(&daemon::ops_table(&reference), &args.out, "daemon_ops");
+        metrics.merge(&reference.metrics);
         if let Err(e) = reference.check() {
             eprintln!("warning: daemon invariant violated: {e}");
         }
@@ -556,6 +576,7 @@ fn main() -> ExitCode {
         let _ = std::fs::remove_dir_all(&ben_dir);
         println!("benign drift: refit, canary, promote");
         print!("{}", itconsole::render_history(&promoted.epoch_summaries()));
+        itconsole::export_history_metrics(&promoted.epoch_summaries(), &mut metrics);
         emit(&rollout::hosts_table(&promoted), &args.out, "rollout_benign_hosts");
         emit(&rollout::epochs_table(&promoted), &args.out, "rollout_benign_epochs");
         emit(&rollout::ops_table(&promoted), &args.out, "rollout_benign_ops");
@@ -579,6 +600,7 @@ fn main() -> ExitCode {
         let _ = std::fs::remove_dir_all(&poi_dir);
         println!("poisoned drift: guard, gate failure, rollback");
         print!("{}", itconsole::render_history(&rolled_back.epoch_summaries()));
+        itconsole::export_history_metrics(&rolled_back.epoch_summaries(), &mut metrics);
         emit(&rollout::hosts_table(&rolled_back), &args.out, "rollout_poisoned_hosts");
         emit(&rollout::epochs_table(&rolled_back), &args.out, "rollout_poisoned_epochs");
         emit(&rollout::ops_table(&rolled_back), &args.out, "rollout_poisoned_ops");
@@ -676,6 +698,23 @@ fn main() -> ExitCode {
             "ablation_binwidth",
         );
     });
+
+    if let Some(path) = &args.metrics_out {
+        // Harvest the sweep kernel's process-wide work counters last so
+        // the snapshot covers every experiment that ran.
+        hids_core::sweep::export_metrics(&mut metrics);
+        let text = metrics.render(hids_metrics::RenderOptions::deterministic());
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, &text)
+        };
+        match write() {
+            Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+        }
+    }
 
     let total_secs = t0.elapsed().as_secs_f64();
     if let Some(dir) = &args.out {

@@ -369,6 +369,145 @@ pub fn run(corpus: &Corpus, feature: FeatureKind, cfg: &ChaosConfig) -> ChaosRep
 }
 
 impl ChaosReport {
+    /// Export the run into `reg` under the `chaos_*` families (plus the
+    /// shared `itc_delivery_*` families for the stage-3 queue).
+    ///
+    /// Every value is a deterministic function of (corpus, severity,
+    /// fault seed) — the chaos pipeline is seeded end to end — so the
+    /// rendered snapshot is byte-identical at any thread count. The
+    /// counters mirror the conservation laws [`ChaosReport::check`]
+    /// asserts: `decoded + rejected = recovered` and per-grouping
+    /// `evaluated + low_coverage + dark = users`.
+    pub fn export_metrics(&self, reg: &mut hids_metrics::Registry) {
+        reg.register_gauge(
+            "chaos_run_info",
+            "Constant 1, labelled with the run's parameters",
+        );
+        reg.gauge_set(
+            "chaos_run_info",
+            &[
+                ("severity_ppm", &((self.severity * 1e6) as i64).to_string()),
+                ("fault_seed", &self.fault_seed.to_string()),
+                ("users", &self.n_users.to_string()),
+            ],
+            1,
+        );
+
+        let c = &self.capture;
+        reg.register_counter(
+            "chaos_capture_frames_total",
+            "Capture-stage frames by pipeline disposition",
+        );
+        let frames: [(&str, u64); 4] = [
+            ("written", c.frames_written),
+            ("recovered", c.records_ok),
+            ("decoded", c.frames_decoded),
+            ("rejected", c.frames_rejected),
+        ];
+        for (d, v) in frames {
+            reg.counter_add("chaos_capture_frames_total", &[("disposition", d)], v);
+        }
+        reg.register_counter(
+            "chaos_capture_skipped_total",
+            "Capture-stage losses to corruption",
+        );
+        reg.counter_add(
+            "chaos_capture_skipped_total",
+            &[("unit", "records")],
+            c.records_skipped,
+        );
+        reg.counter_add(
+            "chaos_capture_skipped_total",
+            &[("unit", "bytes")],
+            c.bytes_skipped,
+        );
+        reg.register_counter(
+            "chaos_faults_injected_total",
+            "Faults the corruptor actually performed",
+        );
+        reg.counter_add(
+            "chaos_faults_injected_total",
+            &[("kind", "length_forged")],
+            c.fault_log.records_length_forged,
+        );
+        reg.counter_add(
+            "chaos_faults_injected_total",
+            &[("kind", "bits_flipped")],
+            c.fault_log.bits_flipped,
+        );
+
+        reg.register_gauge(
+            "chaos_eval_hosts",
+            "Stage-2 hosts by evaluation status, per grouping",
+        );
+        reg.register_gauge(
+            "chaos_eval_coverage_ppm",
+            "Population-mean test coverage per grouping, parts per million",
+        );
+        for row in &self.eval {
+            let g = row.grouping.as_str();
+            reg.gauge_set(
+                "chaos_eval_hosts",
+                &[("grouping", g), ("status", "evaluated")],
+                row.evaluated as i64,
+            );
+            reg.gauge_set(
+                "chaos_eval_hosts",
+                &[("grouping", g), ("status", "low_coverage")],
+                row.low_coverage as i64,
+            );
+            reg.gauge_set(
+                "chaos_eval_hosts",
+                &[("grouping", g), ("status", "dark")],
+                row.dark as i64,
+            );
+            reg.gauge_set(
+                "chaos_eval_coverage_ppm",
+                &[("grouping", g)],
+                (row.mean_test_coverage * 1e6) as i64,
+            );
+        }
+
+        let d = &self.delivery;
+        reg.register_counter(
+            "chaos_alerts_total",
+            "Stage-3 alerts at each pipeline point",
+        );
+        let alerts: [(&str, u64); 3] = [
+            ("emitted", d.alerts_emitted),
+            ("after_faults", d.alerts_after_faults),
+            ("ingested", d.console_alerts),
+        ];
+        for (p, v) in alerts {
+            reg.counter_add("chaos_alerts_total", &[("point", p)], v);
+        }
+        reg.register_counter(
+            "chaos_batches_emitted_total",
+            "Alert batches cut by the per-host batchers",
+        );
+        reg.counter_add("chaos_batches_emitted_total", &[], d.batches_emitted);
+        reg.register_counter(
+            "chaos_late_alerts_total",
+            "Out-of-order alerts folded or dropped by the batchers",
+        );
+        reg.counter_add("chaos_late_alerts_total", &[], d.late_alerts);
+        reg.register_counter(
+            "chaos_network_batch_faults_total",
+            "What the unreliable network did to the batch stream",
+        );
+        reg.counter_add(
+            "chaos_network_batch_faults_total",
+            &[("kind", "duplicated")],
+            d.batch_log.duplicated,
+        );
+        reg.counter_add(
+            "chaos_network_batch_faults_total",
+            &[("kind", "swapped")],
+            d.batch_log.swaps,
+        );
+        d.queue_stats.export_metrics(reg, "chaos");
+    }
+
     /// Verify every cross-stage conservation law; returns the first
     /// violation as text. The chaos acceptance tests call this at every
     /// severity.

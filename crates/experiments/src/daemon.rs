@@ -30,6 +30,7 @@ use hids_core::degraded::{DegradedEvalConfig, DegradedEvaluation, HostStatus};
 use hids_core::eval::EvalConfig;
 use hids_core::threshold::AttackSweep;
 use hids_core::{Grouping, Policy, ThresholdHeuristic, WindowAccumulator};
+use hids_metrics::Registry;
 use itconsole::{DeliveryConfig, DeliveryQueue, DeliveryStats};
 
 use crate::data::Corpus;
@@ -172,6 +173,10 @@ pub struct DaemonRun {
     pub n_windows: u32,
     /// Coverage floor used for the evaluation.
     pub min_coverage: f64,
+    /// Metrics snapshot from the final daemon lifetime plus harness
+    /// totals: `fleetd_*`, `itc_delivery_*`, `hids_degraded_*` families
+    /// and the daemon's structured event log.
+    pub metrics: Registry,
 }
 
 /// Why a run failed.
@@ -303,6 +308,13 @@ pub fn run(
                     .collect();
                 let stats = *daemon.stats();
                 let evaluation = evaluate(&hosts, scenario);
+                let mut metrics = Registry::new();
+                daemon.export_metrics(&mut metrics);
+                delivery_total.export_metrics(&mut metrics, "daemon_link");
+                export_recovery_totals(&recovery, &mut metrics);
+                if let Some(eval) = &evaluation {
+                    eval.export_metrics(&mut metrics);
+                }
                 return Ok(DaemonRun {
                     hosts,
                     evaluation,
@@ -315,6 +327,7 @@ pub fn run(
                     total_wal_bytes: kill.wal_bytes(),
                     n_windows: scenario.daemon.n_windows,
                     min_coverage: scenario.min_coverage,
+                    metrics,
                 });
             }
 
@@ -380,6 +393,50 @@ pub fn run(
             queue.tick(1);
         }
     }
+}
+
+/// Harness-level recovery accounting, summed over every daemon lifetime
+/// (the per-lifetime view is `fleetd_recovery_*` from `RecoveryReport`).
+fn export_recovery_totals(rec: &RecoveryTotals, reg: &mut Registry) {
+    reg.register_counter(
+        "fleetd_harness_lifetimes_total",
+        "Daemon lifetimes driven (1 = uninterrupted)",
+    );
+    reg.counter_add(
+        "fleetd_harness_lifetimes_total",
+        &[],
+        u64::from(rec.lifetimes),
+    );
+    reg.register_counter("fleetd_harness_kills_total", "Kill-switch firings observed");
+    reg.counter_add("fleetd_harness_kills_total", &[], u64::from(rec.kills));
+    reg.register_counter(
+        "fleetd_harness_snapshots_total",
+        "Snapshots at recovery, by fate",
+    );
+    reg.counter_add(
+        "fleetd_harness_snapshots_total",
+        &[("fate", "loaded")],
+        u64::from(rec.snapshots_loaded),
+    );
+    reg.counter_add(
+        "fleetd_harness_snapshots_total",
+        &[("fate", "discarded")],
+        u64::from(rec.snapshots_discarded),
+    );
+    reg.register_counter(
+        "fleetd_harness_wal_replayed_total",
+        "WAL frames replayed into state across recoveries",
+    );
+    reg.counter_add("fleetd_harness_wal_replayed_total", &[], rec.wal_replayed);
+    reg.register_counter(
+        "fleetd_harness_wal_torn_bytes_total",
+        "Torn WAL tail bytes truncated across recoveries",
+    );
+    reg.counter_add(
+        "fleetd_harness_wal_torn_bytes_total",
+        &[],
+        rec.wal_torn_bytes,
+    );
 }
 
 fn sum_delivery(mut acc: DeliveryStats, s: DeliveryStats) -> DeliveryStats {

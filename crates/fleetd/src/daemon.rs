@@ -28,6 +28,8 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
+use hids_metrics::{EventRing, Registry};
+
 use crate::codec::{Week, WindowBatch};
 use crate::epoch::{
     CandidateState, EpochOutcome, EpochRecord, EpochState, GateStats, Phase, RolloutConfig,
@@ -231,6 +233,12 @@ pub struct Daemon {
     stats: DaemonStats,
     completions: Vec<Completion>,
     epoch: EpochState,
+    /// Structured transition log: recoveries, breaker trips, quarantines,
+    /// snapshot rotations, epoch decisions. The daemon is a deterministic
+    /// state machine, so the event sequence is a pure function of the
+    /// offer/tick schedule — safe to include in the deterministic
+    /// snapshot.
+    events: EventRing,
 }
 
 /// Shards `0..canary` form the canary cohort: a pure function of the
@@ -410,6 +418,39 @@ impl Daemon {
             }
         }
 
+        let mut events = EventRing::default();
+        if report.wal_torn_bytes > 0 {
+            events.push(
+                "fleetd.wal",
+                "torn_tail_truncated",
+                &[("bytes", &report.wal_torn_bytes.to_string())],
+            );
+        }
+        if report.snapshots_discarded > 0 {
+            events.push(
+                "fleetd.snapshot",
+                "damaged_discarded",
+                &[("count", &report.snapshots_discarded.to_string())],
+            );
+        }
+        if report.snapshot_seq.is_some() || report.wal_batches > 0 {
+            events.push(
+                "fleetd.recovery",
+                "recovered",
+                &[
+                    (
+                        "snapshot_seq",
+                        &report
+                            .snapshot_seq
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| "none".to_string()),
+                    ),
+                    ("wal_replayed", &report.wal_replayed.to_string()),
+                    ("wal_duplicates", &report.wal_duplicates.to_string()),
+                ],
+            );
+        }
+
         let daemon = Self {
             dir: dir.to_path_buf(),
             wal,
@@ -424,6 +465,7 @@ impl Daemon {
             completions: Vec::new(),
             epoch,
             cfg,
+            events,
         };
         Ok((daemon, report))
     }
@@ -591,6 +633,15 @@ impl Daemon {
                         if *strikes >= sup.quarantine_strikes {
                             shard.strikes.remove(&key);
                             self.stats.quarantined += 1;
+                            self.events.push(
+                                "fleetd.shard",
+                                "quarantined",
+                                &[
+                                    ("shard", &idx.to_string()),
+                                    ("host", &batch.host.to_string()),
+                                    ("seq", &batch.seq.to_string()),
+                                ],
+                            );
                             note_soak_loss(&mut self.epoch, canary, idx, &batch);
                             self.completions.push(Completion {
                                 host: batch.host,
@@ -602,8 +653,10 @@ impl Daemon {
                         }
                         if shard.worker.note_panic(tick, &sup) {
                             self.stats.breaker_trips += 1;
+                            let mut drained = 0u64;
                             for b in shard.queue.drain_all() {
                                 self.stats.shed_dark += 1;
+                                drained += 1;
                                 note_soak_loss(&mut self.epoch, canary, idx, &b);
                                 self.completions.push(Completion {
                                     host: b.host,
@@ -611,6 +664,14 @@ impl Daemon {
                                     disposition: Disposition::ShedDark,
                                 });
                             }
+                            self.events.push(
+                                "fleetd.shard",
+                                "breaker_tripped",
+                                &[
+                                    ("shard", &idx.to_string()),
+                                    ("drained", &drained.to_string()),
+                                ],
+                            );
                         }
                         // The worker is restarting (or dark); its quantum
                         // is over either way.
@@ -662,6 +723,22 @@ impl Daemon {
             canary,
             &ev,
         );
+        match &ev {
+            RolloutEvent::Promote { epoch } => self.events.push(
+                "fleetd.rollout",
+                "promoted",
+                &[("epoch", &epoch.to_string())],
+            ),
+            RolloutEvent::Rollback { epoch, reason } => self.events.push(
+                "fleetd.rollout",
+                "rolled_back",
+                &[
+                    ("epoch", &epoch.to_string()),
+                    ("reason", &reason.to_string()),
+                ],
+            ),
+            RolloutEvent::Begin { .. } => {}
+        }
         if kill.after_rollout_event() {
             return Err(DaemonError::Killed);
         }
@@ -715,6 +792,15 @@ impl Daemon {
             canary,
             &ev,
         );
+        self.events.push(
+            "fleetd.rollout",
+            "begun",
+            &[
+                ("epoch", &epoch_num.to_string()),
+                ("soak_start", &soak_start.to_string()),
+                ("soak_end", &soak_end.to_string()),
+            ],
+        );
         if kill.after_rollout_event() {
             return Err(DaemonError::Killed);
         }
@@ -763,11 +849,17 @@ impl Daemon {
             hosts,
             epoch: self.epoch.clone(),
         };
+        let seq = snap.seq;
         snapshot::write_snapshot(&self.dir, &snap)?;
         self.wal.reset()?;
         self.next_snapshot_seq += 1;
         self.applied_since_snapshot = 0;
         self.stats.snapshots_written += 1;
+        self.events.push(
+            "fleetd.snapshot",
+            "written",
+            &[("seq", &seq.to_string()), ("wal_reset", "true")],
+        );
         Ok(())
     }
 
@@ -832,6 +924,142 @@ impl Daemon {
     /// Current virtual time.
     pub fn now(&self) -> u64 {
         self.tick
+    }
+
+    /// Export lifetime counters, live gauges, epoch history and the
+    /// structured event log into `reg` under the `fleetd_*` families.
+    ///
+    /// Everything exported is a pure function of the offer/tick schedule
+    /// (the daemon's determinism contract), so the rendered snapshot is
+    /// byte-identical for identical schedules — at any thread count of
+    /// the surrounding harness. The batch counters satisfy
+    /// `admitted = Σ terminal dispositions + queued` at quiescent points
+    /// ([`DaemonStats::conservation_holds`]).
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.register_counter(
+            "fleetd_batches_total",
+            "Batches by admission/terminal disposition",
+        );
+        let disp: [(&str, u64); 9] = [
+            ("admitted", self.stats.admitted),
+            ("overflow", self.stats.overflow),
+            ("applied", self.stats.applied),
+            ("duplicate", self.stats.duplicates),
+            ("quarantined", self.stats.quarantined),
+            ("shed_overload", self.stats.shed_overload),
+            ("shed_dark", self.stats.shed_dark),
+            ("rejected", self.stats.rejected),
+            ("barrier_deferred", self.stats.barrier_deferred),
+        ];
+        for (d, v) in disp {
+            reg.counter_add("fleetd_batches_total", &[("disposition", d)], v);
+        }
+        reg.register_counter(
+            "fleetd_breaker_trips_total",
+            "Shard circuit-breaker trips this lifetime",
+        );
+        reg.counter_add("fleetd_breaker_trips_total", &[], self.stats.breaker_trips);
+        reg.register_counter(
+            "fleetd_worker_restarts_total",
+            "Shard worker restarts after panics",
+        );
+        reg.counter_add("fleetd_worker_restarts_total", &[], self.worker_restarts());
+        reg.register_counter(
+            "fleetd_snapshots_written_total",
+            "Snapshots installed (each also truncates the WAL)",
+        );
+        reg.counter_add(
+            "fleetd_snapshots_written_total",
+            &[],
+            self.stats.snapshots_written,
+        );
+
+        reg.register_gauge("fleetd_queue_depth", "Batches currently queued, fleet-wide");
+        reg.gauge_set("fleetd_queue_depth", &[], self.queued_total() as i64);
+        reg.register_gauge(
+            "fleetd_queue_max_depth",
+            "Deepest any shard queue has been this lifetime",
+        );
+        reg.gauge_set("fleetd_queue_max_depth", &[], self.max_queue_depth() as i64);
+        reg.register_gauge("fleetd_wal_bytes", "Current WAL length");
+        reg.gauge_set("fleetd_wal_bytes", &[], self.wal_len() as i64);
+        reg.register_gauge("fleetd_virtual_ticks", "Virtual-clock position");
+        reg.gauge_set("fleetd_virtual_ticks", &[], self.tick as i64);
+        reg.register_gauge("fleetd_shards", "Shard workers by supervision state");
+        let (mut running, mut backoff, mut dark) = (0i64, 0i64, 0i64);
+        for st in self.shard_statuses() {
+            match st {
+                WorkerStatus::Running => running += 1,
+                WorkerStatus::Backoff { .. } => backoff += 1,
+                WorkerStatus::Dark => dark += 1,
+            }
+        }
+        reg.gauge_set("fleetd_shards", &[("state", "running")], running);
+        reg.gauge_set("fleetd_shards", &[("state", "backoff")], backoff);
+        reg.gauge_set("fleetd_shards", &[("state", "dark")], dark);
+
+        reg.register_counter(
+            "fleetd_epochs_total",
+            "Concluded rollout epochs by outcome",
+        );
+        let (mut promoted, mut rolled_back) = (0u64, 0u64);
+        for rec in &self.epoch.history {
+            match rec.outcome {
+                EpochOutcome::Promoted => promoted += 1,
+                EpochOutcome::RolledBack(_) => rolled_back += 1,
+            }
+        }
+        reg.counter_add("fleetd_epochs_total", &[("outcome", "promoted")], promoted);
+        reg.counter_add(
+            "fleetd_epochs_total",
+            &[("outcome", "rolled_back")],
+            rolled_back,
+        );
+
+        reg.merge_events(&self.events);
+    }
+}
+
+impl RecoveryReport {
+    /// Export what recovery found into `reg` under `fleetd_recovery_*`.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.register_counter(
+            "fleetd_recovery_wal_frames_total",
+            "WAL frames found at recovery, by replay disposition",
+        );
+        let frames: [(&str, u64); 5] = [
+            ("found", self.wal_batches),
+            ("replayed", self.wal_replayed),
+            ("duplicate", self.wal_duplicates),
+            ("rejected", self.wal_rejected),
+            ("quarantined", self.wal_quarantined),
+        ];
+        for (d, v) in frames {
+            reg.counter_add("fleetd_recovery_wal_frames_total", &[("disposition", d)], v);
+        }
+        reg.register_counter(
+            "fleetd_recovery_torn_bytes_total",
+            "Torn/corrupt tail bytes truncated from the WAL at recovery",
+        );
+        reg.counter_add("fleetd_recovery_torn_bytes_total", &[], self.wal_torn_bytes);
+        reg.register_counter(
+            "fleetd_recovery_snapshots_discarded_total",
+            "Newer-but-damaged snapshots skipped at recovery",
+        );
+        reg.counter_add(
+            "fleetd_recovery_snapshots_discarded_total",
+            &[],
+            u64::from(self.snapshots_discarded),
+        );
+        reg.register_counter(
+            "fleetd_recovery_rollout_events_total",
+            "Rollout transition records replayed from the WAL",
+        );
+        reg.counter_add(
+            "fleetd_recovery_rollout_events_total",
+            &[],
+            self.wal_rollout_events,
+        );
     }
 }
 

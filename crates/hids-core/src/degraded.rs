@@ -292,6 +292,47 @@ impl DegradedEvaluation {
             .map(|p| p.false_alarms)
             .sum()
     }
+
+    /// Export this evaluation into `reg` under the `hids_degraded_*`
+    /// families. Coverage (a deterministic fraction) is exposed as an
+    /// integer gauge in parts per million, keeping the snapshot inside
+    /// the integer-only determinism contract.
+    pub fn export_metrics(&self, reg: &mut hids_metrics::Registry) {
+        reg.register_gauge(
+            "hids_degraded_hosts",
+            "Hosts by degraded-evaluation status",
+        );
+        reg.register_counter(
+            "hids_degraded_false_alarms_total",
+            "False alarms raised by scored hosts",
+        );
+        reg.register_gauge(
+            "hids_degraded_mean_test_coverage_ppm",
+            "Population-mean test coverage, parts per million",
+        );
+        let (scored, low, dark) = self.status_counts();
+        reg.gauge_set(
+            "hids_degraded_hosts",
+            &[("status", "evaluated")],
+            scored as i64,
+        );
+        reg.gauge_set(
+            "hids_degraded_hosts",
+            &[("status", "low_coverage")],
+            low as i64,
+        );
+        reg.gauge_set("hids_degraded_hosts", &[("status", "dark")], dark as i64);
+        reg.counter_add(
+            "hids_degraded_false_alarms_total",
+            &[],
+            self.total_false_alarms(),
+        );
+        reg.gauge_set(
+            "hids_degraded_mean_test_coverage_ppm",
+            &[],
+            (self.mean_test_coverage() * 1e6) as i64,
+        );
+    }
 }
 
 /// Configure `policy` on the evaluable hosts' available training data and

@@ -22,9 +22,107 @@
 //! property the equivalence suite in `tests/` asserts over random
 //! distributions.
 
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use hids_metrics::Registry;
 use tailstats::EmpiricalDist;
 
 use crate::threshold::AttackSweep;
+
+// Process-wide kernel work counters. Plain commutative additions on
+// relaxed atomics: totals depend only on the work performed, never on
+// which thread performed it, so a harvested snapshot is deterministic at
+// any `--threads`. Wall-clock phase timings are inherently not, so they
+// harvest into the registry's quarantined volatile section instead.
+static TABLES: AtomicU64 = AtomicU64::new(0);
+static CANDIDATES: AtomicU64 = AtomicU64::new(0);
+static SIZE_PASSES: AtomicU64 = AtomicU64::new(0);
+static PATH_LATTICE: AtomicU64 = AtomicU64::new(0);
+static PATH_GENERAL: AtomicU64 = AtomicU64::new(0);
+static PREPARE_NANOS: AtomicU64 = AtomicU64::new(0);
+static ACCUMULATE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Harvest (read **and reset**) the kernel's process-wide work counters
+/// into `reg`. Harvest semantics make consecutive runs in one process
+/// independent: each harvest accounts exactly the work since the last.
+///
+/// Deterministic families:
+/// * `hids_sweep_tables_total` — [`SweepTable::compute`] calls;
+/// * `hids_sweep_candidates_total` — candidate thresholds scored;
+/// * `hids_sweep_size_passes_total` — per-attack-size accumulation passes;
+/// * `hids_sweep_path_total{path}` — lattice fast path vs general merge.
+///
+/// Volatile (excluded from the deterministic render):
+/// * `hids_sweep_phase_nanos{phase}` — wall-clock per kernel phase.
+pub fn export_metrics(reg: &mut Registry) {
+    reg.register_counter(
+        "hids_sweep_tables_total",
+        "Threshold-sweep tables computed by the kernel",
+    );
+    reg.register_counter(
+        "hids_sweep_candidates_total",
+        "Candidate thresholds scored across all sweep tables",
+    );
+    reg.register_counter(
+        "hids_sweep_size_passes_total",
+        "Per-attack-size accumulation passes executed",
+    );
+    reg.register_counter(
+        "hids_sweep_path_total",
+        "Sweep-table computations by accumulation path",
+    );
+    reg.counter_add("hids_sweep_tables_total", &[], TABLES.swap(0, Relaxed));
+    reg.counter_add(
+        "hids_sweep_candidates_total",
+        &[],
+        CANDIDATES.swap(0, Relaxed),
+    );
+    reg.counter_add(
+        "hids_sweep_size_passes_total",
+        &[],
+        SIZE_PASSES.swap(0, Relaxed),
+    );
+    reg.counter_add(
+        "hids_sweep_path_total",
+        &[("path", "lattice")],
+        PATH_LATTICE.swap(0, Relaxed),
+    );
+    reg.counter_add(
+        "hids_sweep_path_total",
+        &[("path", "general")],
+        PATH_GENERAL.swap(0, Relaxed),
+    );
+    reg.register_volatile(
+        "hids_sweep_phase_nanos",
+        "Wall-clock nanoseconds per kernel phase",
+    );
+    reg.volatile_add(
+        "hids_sweep_phase_nanos",
+        &[("phase", "prepare")],
+        PREPARE_NANOS.swap(0, Relaxed) as f64,
+    );
+    reg.volatile_add(
+        "hids_sweep_phase_nanos",
+        &[("phase", "accumulate")],
+        ACCUMULATE_NANOS.swap(0, Relaxed) as f64,
+    );
+}
+
+/// Discard any accumulated kernel counters (test isolation).
+pub fn reset_metrics() {
+    for c in [
+        &TABLES,
+        &CANDIDATES,
+        &SIZE_PASSES,
+        &PATH_LATTICE,
+        &PATH_GENERAL,
+        &PREPARE_NANOS,
+        &ACCUMULATE_NANOS,
+    ] {
+        c.store(0, Relaxed);
+    }
+}
 
 /// The scored candidate thresholds of one distribution under one attack
 /// sweep: ascending thresholds with each one's FP and mean-FN rate.
@@ -39,6 +137,7 @@ impl SweepTable {
     /// Score every candidate threshold — each distinct observed value of
     /// `dist` plus one step above its maximum — against `sweep`.
     pub fn compute(dist: &EmpiricalDist, sweep: &AttackSweep) -> Self {
+        let prepare_started = Instant::now();
         let samples = dist.samples();
         let n = samples.len();
 
@@ -83,33 +182,56 @@ impl SweepTable {
             && lo.abs() <= 1e15
             && hi.abs() <= 1e15
             && samples.iter().all(|s| s.fract() == 0.0);
+        TABLES.fetch_add(1, Relaxed);
+        CANDIDATES.fetch_add(m as u64, Relaxed);
+        SIZE_PASSES.fetch_add(sizes.len() as u64, Relaxed);
         if lattice {
-            // cumf[j] = frac[#{samples ≤ lo + j}] — count-below folded
-            // straight into its already-divided term.
+            PATH_LATTICE.fetch_add(1, Relaxed);
+        } else {
+            PATH_GENERAL.fetch_add(1, Relaxed);
+        }
+        let accumulate_started = Instant::now();
+        PREPARE_NANOS.fetch_add(
+            (accumulate_started - prepare_started).as_nanos() as u64,
+            Relaxed,
+        );
+        if lattice {
+            // cumf[0] = frac[0] (= +0.0) is the explicit "cut at or below
+            // lo: nothing strictly below" slot; cumf[j] for j ≥ 1 =
+            // frac[#{samples ≤ lo + j − 1}] — count-below folded straight
+            // into its already-divided term.
             let range = (hi - lo) as usize;
             let mut cum = vec![0usize; range + 1];
             for &s in samples {
                 cum[(s - lo) as usize] += 1;
             }
+            let mut cumf: Vec<f64> = Vec::with_capacity(range + 2);
+            cumf.push(frac[0]);
             let mut running = 0usize;
-            let cumf: Vec<f64> = cum
-                .iter()
-                .map(|&c| {
-                    running += c;
-                    frac[running]
-                })
-                .collect();
+            for &c in &cum {
+                running += c;
+                cumf.push(frac[running]);
+            }
             for &b in sizes {
                 // The skip predicate evaluates the same `t − b` the loop
                 // body does, so prefix membership is decided on the exact
-                // rounded cut value.
+                // rounded cut value. It is purely an optimisation: a
+                // skipped candidate's term is cumf[0] = +0.0, which the
+                // accumulator absorbs bitwise.
                 let start = thresholds.partition_point(|&t| t - b <= lo);
                 for (slot, &t) in acc[start..].iter_mut().zip(&thresholds[start..]) {
-                    // t − b > lo (integral) here, so ⌈t − b⌉ − 1 ≥ lo and
-                    // the index is non-negative; the cast saturates for
-                    // oversized cuts and `min` clamps them to "all below".
-                    let j = ((t - b).ceil() - 1.0 - lo) as usize;
-                    *slot += cumf[j.min(range)];
+                    // #{g < c} on an integer lattice is #{g ≤ ⌈c⌉ − 1},
+                    // exact for fractional cuts (⌊c⌋ = ⌈c⌉ − 1, the
+                    // fractional-attack-size case) and integral cuts
+                    // alike. The index is shifted by one so a cut at or
+                    // below lo lands on the explicit zero slot rather
+                    // than depending on the skip predicate: ⌈c⌉ − lo ≤ 0
+                    // would otherwise cast-saturate to slot 0 and claim
+                    // the samples *equal to* lo as "below". `max` keeps
+                    // the cast in range, and `min` clamps oversized cuts
+                    // to "all below".
+                    let j = ((t - b).ceil() - lo).max(0.0) as usize;
+                    *slot += cumf[j.min(range + 1)];
                 }
             }
         } else {
@@ -130,6 +252,7 @@ impl SweepTable {
         }
         let n_sizes = sizes.len() as f64;
         let mean_fn: Vec<f64> = acc.into_iter().map(|s| s / n_sizes).collect();
+        ACCUMULATE_NANOS.fetch_add(accumulate_started.elapsed().as_nanos() as u64, Relaxed);
 
         Self {
             thresholds,

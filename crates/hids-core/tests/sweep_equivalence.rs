@@ -65,6 +65,17 @@ fn arb_sweep() -> impl Strategy<Value = AttackSweep> {
     (1.0f64..10_000.0, 2usize..300).prop_map(|(b_max, n)| AttackSweep::new(b_max, n))
 }
 
+/// A sweep guaranteed to contain non-integral attack sizes: the size grid
+/// is `1 + (b_max − 1)·i/(n − 1)`, so an irrational-ish fractional `b_max`
+/// over a coarse grid puts every interior size off the integer lattice.
+/// This is the shape `AttackSweep::up_to` produces in practice, and the
+/// one the lattice fast path's documented invariant used to be wrong for.
+fn arb_fractional_sweep() -> impl Strategy<Value = AttackSweep> {
+    (1u32..160_000, 2usize..60).prop_map(|(sixteenths, n)| {
+        AttackSweep::new(1.0 + f64::from(sixteenths) / 16.0 + 0.03125, n)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -126,6 +137,34 @@ proptest! {
         assert_bitwise_equal(&dist, &AttackSweep::up_to(value as f64 + 1.0));
     }
 
+    /// Explicitly fractional attack sizes over integer lattices: cuts
+    /// `t − b` fall strictly between lattice points, so the fast path's
+    /// `#{g < c} = #{g ≤ ⌈c⌉ − 1}` identity is exercised in its
+    /// `⌊c⌋ = ⌈c⌉ − 1` branch at every candidate, including cuts at or
+    /// below the lattice origin (the historical cast-saturation hazard).
+    #[test]
+    fn kernel_matches_naive_on_lattice_with_fractional_sizes(
+        counts in proptest::collection::vec(0u64..2_000, 1..400),
+        sweep in arb_fractional_sweep(),
+    ) {
+        let dist = EmpiricalDist::from_counts(&counts);
+        assert_bitwise_equal(&dist, &sweep);
+    }
+
+    /// Mixed fractional thresholds AND fractional sizes: samples on a
+    /// quarter-integer grid make the candidate thresholds themselves
+    /// non-integral (merge path), while the sweep keeps the cuts
+    /// fractional too — nothing in the pipeline is lattice-aligned.
+    #[test]
+    fn kernel_matches_naive_on_fractional_thresholds_and_sizes(
+        quarters in proptest::collection::vec(0u64..40_000, 1..300),
+        sweep in arb_fractional_sweep(),
+    ) {
+        let samples: Vec<f64> = quarters.iter().map(|&q| q as f64 / 4.0).collect();
+        let dist = EmpiricalDist::from_samples(samples);
+        assert_bitwise_equal(&dist, &sweep);
+    }
+
     /// The heuristics built on the kernel agree with naive scoring end to
     /// end: UtilityMax and FMeasure pick exactly the naive argmax.
     #[test]
@@ -164,4 +203,46 @@ proptest! {
         });
         prop_assert_eq!(fmeasure.to_bits(), naive_f.to_bits());
     }
+}
+
+// Pinned counterexample shapes for the fractional-size lattice hazard:
+// before the index math was made total, the fast path's correctness for
+// cuts at or below the lattice origin depended on the skip predicate
+// (an optimisation) rescuing a cast that would otherwise saturate
+// `⌈t − b⌉ − lo ≤ 0` to slot 0 and count the samples *equal to* `lo` as
+// strictly below it. These pins hold the hazard shapes in place even if
+// the proptest strategies drift.
+
+/// Fractional sizes whose cuts land at and below the lattice origin:
+/// sizes {1, 1.5, 2, 2.5} against lo = 3 put cuts 0.5..=2.0 under the
+/// origin for the lowest candidate.
+#[test]
+fn regression_fractional_cut_at_or_below_lattice_origin() {
+    let dist = EmpiricalDist::from_counts(&[3, 4, 5]);
+    assert_bitwise_equal(&dist, &AttackSweep::new(2.5, 4));
+}
+
+/// Integral size landing a cut *exactly on* the origin (t − b == lo):
+/// `#{g < lo}` must be 0, not the multiplicity of `lo`.
+#[test]
+fn regression_integral_cut_exactly_on_origin() {
+    let dist = EmpiricalDist::from_counts(&[5, 5, 5, 9]);
+    // size grid {1, 2, 3, 4}: candidate t = 9 with b = 4 cuts at 5 = lo.
+    assert_bitwise_equal(&dist, &AttackSweep::new(4.0, 4));
+}
+
+/// All-equal lattice (range 0, one interior slot) under fractional sizes.
+#[test]
+fn regression_all_equal_lattice_fractional_sizes() {
+    let dist = EmpiricalDist::from_counts(&[9, 9, 9]);
+    assert_bitwise_equal(&dist, &AttackSweep::new(1.25, 3));
+}
+
+/// A duplicated-value lattice with a sub-1-step fractional sweep: every
+/// interior cut has `⌊c⌋ = ⌈c⌉ − 1` and oversized candidates clamp to
+/// the "all below" slot.
+#[test]
+fn regression_duplicates_with_fractional_sizes() {
+    let dist = EmpiricalDist::from_counts(&[0, 2, 2, 7]);
+    assert_bitwise_equal(&dist, &AttackSweep::new(3.75, 5));
 }

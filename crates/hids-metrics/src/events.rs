@@ -1,0 +1,171 @@
+//! Bounded structured event ring.
+//!
+//! Counters say *how often*; events say *what happened, in order*. The
+//! ring records discrete state transitions — a WAL tail truncated, a
+//! circuit breaker tripping, an epoch promoted — as structured
+//! `(scope, name, fields)` tuples with a monotone sequence number. It is
+//! bounded: past capacity the oldest events are evicted and counted, so
+//! a chatty subsystem can never grow the ring without bound (the same
+//! discipline the delivery queue applies to batches).
+//!
+//! Determinism: producers are the workspace's virtual-clock state
+//! machines, whose transition order is a pure function of their inputs;
+//! merged rings concatenate in the caller's merge order. Nothing here
+//! reads a clock.
+
+/// One recorded state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number within the owning ring (re-assigned on
+    /// merge so the merged ring is itself monotone).
+    pub seq: u64,
+    /// Subsystem that emitted the event (e.g. `fleetd.wal`).
+    pub scope: String,
+    /// What happened (e.g. `torn_tail_truncated`).
+    pub name: String,
+    /// Key/value payload, in the order the producer supplied it.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A bounded FIFO of [`Event`]s with eviction accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    capacity: usize,
+    events: std::collections::VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Ring size used when none is specified.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Create a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: std::collections::VecDeque::new(),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn push(&mut self, scope: &str, name: &str, fields: &[(&str, &str)]) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            seq: self.next_seq,
+            scope: scope.to_string(),
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Events held right now.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (lost) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append another ring's events after this ring's, re-sequencing so
+    /// the merged ring stays monotone. Eviction and total counters add.
+    /// Merge order is the caller's: merge shards in input order, not
+    /// completion order, to keep the result deterministic.
+    pub fn merge(&mut self, other: &EventRing) {
+        for ev in other.events() {
+            if self.events.len() == self.capacity {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+            self.events.push_back(Event {
+                seq: self.next_seq,
+                ..ev.clone()
+            });
+            self.next_seq += 1;
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back_in_order() {
+        let mut r = EventRing::new(8);
+        r.push("fleetd.wal", "torn_tail_truncated", &[("bytes", "17")]);
+        r.push("fleetd.snapshot", "rotated", &[]);
+        let names: Vec<_> = r.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["torn_tail_truncated", "rotated"]);
+        assert_eq!(r.events().next().map(|e| e.seq), Some(0));
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_with_accounting() {
+        let mut r = EventRing::new(2);
+        for i in 0..5 {
+            r.push("s", &format!("e{i}"), &[]);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.total(), 5);
+        let names: Vec<_> = r.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e3", "e4"]);
+    }
+
+    #[test]
+    fn merge_concatenates_and_resequences() {
+        let mut a = EventRing::new(8);
+        a.push("a", "one", &[]);
+        let mut b = EventRing::new(8);
+        b.push("b", "two", &[]);
+        b.push("b", "three", &[]);
+        a.merge(&b);
+        let seqs: Vec<_> = a.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        let scopes: Vec<_> = a.events().map(|e| e.scope.as_str()).collect();
+        assert_eq!(scopes, vec!["a", "b", "b"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        r.push("s", "only", &[]);
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixed-bucket integer histograms.
+
+/// A cumulative-on-render histogram over fixed `u64` bucket bounds.
+///
+/// Bounds are inclusive upper edges (`le` in Prometheus terms) plus an
+/// implicit `+Inf` bucket; counts and the sum are integers, so merging
+/// two histograms (bucket-wise addition) commutes exactly — the property
+/// the deterministic snapshot rests on. Observations are whatever integer
+/// quantity the caller chooses: batch sizes, queue depths, retry counts,
+/// window spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly ascending. May be empty (then
+    /// only the `+Inf` bucket exists).
+    bounds: Vec<u64>,
+    /// `counts[i]` = observations with `value <= bounds[i]` and
+    /// `> bounds[i-1]` (non-cumulative storage; cumulated at render).
+    /// One extra slot at the end for `+Inf`.
+    counts: Vec<u64>,
+    /// Sum of all observed values (saturating: a ledger, not a checksum).
+    sum: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over `bounds` (deduplicated, sorted).
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut b = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        let n = b.len();
+        Self {
+            bounds: b,
+            counts: vec![0; n + 1],
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Inclusive upper bounds (ascending, without `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative counts per bound, ending with the `+Inf` total — the
+    /// shape Prometheus `_bucket` series carry.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut running = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                running += c;
+                running
+            })
+            .collect()
+    }
+
+    /// Add another histogram's observations into this one.
+    ///
+    /// # Panics
+    /// Panics when the bucket bounds disagree — merging histograms of the
+    /// same family with different layouts is a wiring bug, not a runtime
+    /// condition to paper over.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_inclusive_buckets() {
+        let mut h = Histogram::new(&[1, 10, 100]);
+        for v in [0, 1, 2, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative(), vec![2, 4, 6, 8]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 0 + 1 + 2 + 10 + 11 + 100 + 101 + 5000);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::new(&[2, 4]);
+        let mut b = Histogram::new(&[2, 4]);
+        for v in [1, 3, 5] {
+            a.observe(v);
+        }
+        for v in [2, 4, 6, 8] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+    }
+
+    #[test]
+    fn unsorted_duplicate_bounds_are_canonicalised() {
+        let h = Histogram::new(&[10, 1, 10, 5]);
+        assert_eq!(h.bounds(), &[1, 5, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn mismatched_merge_panics() {
+        let mut a = Histogram::new(&[1]);
+        a.merge(&Histogram::new(&[2]));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new(&[]);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

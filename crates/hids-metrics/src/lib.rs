@@ -1,0 +1,45 @@
+//! # hids-metrics — deterministic fleet observability primitives
+//!
+//! Counters, gauges, fixed-bucket histograms and a bounded structured
+//! event ring, designed around one non-negotiable property: a merged
+//! metrics snapshot is a **pure function of the work performed**, never
+//! of scheduling. The workspace's headline determinism contract (CSVs
+//! byte-identical at any `--threads` setting) extends to observability:
+//! `repro ... --metrics-out` must produce byte-identical Prometheus text
+//! at `--threads 1`, `4` and `32`.
+//!
+//! Three design rules make that hold:
+//!
+//! * **Integer-only accumulation.** Counters and histogram buckets are
+//!   `u64`, gauges are `i64`; sums of integers are associative and
+//!   commutative, so per-shard registries merged in *any* order agree.
+//!   Wall-clock durations — inherently nondeterministic — are quarantined
+//!   in a separate *volatile* section ([`Registry::volatile_add`]) that
+//!   the deterministic snapshot omits by default.
+//! * **Stable key order.** Families and label sets live in `BTreeMap`s;
+//!   rendering walks them in sorted order, so the byte layout of a
+//!   snapshot does not depend on insertion order.
+//! * **Sharded registries, deterministic merge.** Parallel workers each
+//!   own a private [`Registry`] and the owner merges them in a fixed
+//!   (input, not completion) order via [`Registry::merge`]. Counter and
+//!   histogram merges commute; event rings concatenate in merge order,
+//!   which the caller fixes.
+//!
+//! The rendered snapshot is Prometheus text exposition format (families
+//! sorted by name, label sets sorted lexicographically), followed by the
+//! event ring as `# event` comment lines — still a valid Prometheus
+//! scrape body, so one file serves both machine ingestion and operator
+//! eyeballs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod histogram;
+mod registry;
+mod render;
+
+pub use events::{Event, EventRing};
+pub use histogram::Histogram;
+pub use registry::{MetricKind, Registry};
+pub use render::RenderOptions;

@@ -1,0 +1,227 @@
+//! Prometheus text exposition of a registry.
+//!
+//! Families render in `BTreeMap` (lexicographic) order, series within a
+//! family in canonical-label order, so the output is byte-identical for
+//! equal registries. Events append as `# event …` comment lines — still
+//! a valid scrape body, since `#` lines that are not `HELP`/`TYPE` are
+//! comments to a Prometheus parser.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricKind, Registry};
+
+/// Controls which sections of the registry render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Include the quarantined nondeterministic (wall-clock) section.
+    /// Off by default: the default render is the deterministic snapshot
+    /// the byte-identity contract applies to.
+    pub include_volatile: bool,
+    /// Include trailing `# event` lines.
+    pub include_events: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self {
+            include_volatile: false,
+            include_events: true,
+        }
+    }
+}
+
+impl RenderOptions {
+    /// The deterministic default: no volatile section, events included.
+    pub fn deterministic() -> Self {
+        Self::default()
+    }
+
+    /// Everything, volatile timings included — for human inspection, not
+    /// for byte-comparison.
+    pub fn full() -> Self {
+        Self {
+            include_volatile: true,
+            include_events: true,
+        }
+    }
+}
+
+impl Registry {
+    /// Render the registry as Prometheus exposition text.
+    pub fn render(&self, opts: RenderOptions) -> String {
+        let mut out = String::new();
+        for (name, kind, help, _bounds) in self.families_iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(out, "# TYPE {name} {}", kind.as_str());
+            match kind {
+                MetricKind::Counter => {
+                    if let Some(series) = self.counter_series(name) {
+                        for (labels, v) in series {
+                            let _ = writeln!(out, "{name}{labels} {v}");
+                        }
+                    }
+                }
+                MetricKind::Gauge => {
+                    if let Some(series) = self.gauge_series(name) {
+                        for (labels, v) in series {
+                            let _ = writeln!(out, "{name}{labels} {v}");
+                        }
+                    }
+                }
+                MetricKind::Histogram => {
+                    if let Some(series) = self.histogram_series(name) {
+                        for (labels, h) in series {
+                            let cumulative = h.cumulative();
+                            let n_bounds = h.bounds().len();
+                            for (i, &le) in h.bounds().iter().enumerate() {
+                                let _ = writeln!(
+                                    out,
+                                    "{name}_bucket{} {}",
+                                    with_label(labels, "le", &le.to_string()),
+                                    cumulative[i]
+                                );
+                            }
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {}",
+                                with_label(labels, "le", "+Inf"),
+                                cumulative[n_bounds]
+                            );
+                            let _ = writeln!(out, "{name}_sum{labels} {}", h.sum());
+                            let _ = writeln!(out, "{name}_count{labels} {}", h.count());
+                        }
+                    }
+                }
+            }
+        }
+        if opts.include_volatile {
+            for (name, help, series) in self.volatile_iter() {
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} {} (volatile: excluded from deterministic snapshot)",
+                    escape_help(help)
+                );
+                let _ = writeln!(out, "# TYPE {name} untyped");
+                for (labels, v) in series {
+                    let _ = writeln!(out, "{name}{labels} {v}");
+                }
+            }
+        }
+        if opts.include_events {
+            let ring = self.events();
+            if ring.total() > 0 {
+                let _ = writeln!(
+                    out,
+                    "# events total={} dropped={}",
+                    ring.total(),
+                    ring.dropped()
+                );
+                for ev in ring.events() {
+                    let _ = write!(out, "# event {} {} {}", ev.seq, ev.scope, ev.name);
+                    for (k, v) in &ev.fields {
+                        let _ = write!(out, " {k}={:?}", v);
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a help string for a single `# HELP` line.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Append `extra="value"` to an already-rendered label set.
+fn with_label(rendered: &str, key: &str, value: &str) -> String {
+    if rendered.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        // rendered ends with '}': splice before it.
+        format!("{},{key}=\"{value}\"}}", &rendered[..rendered.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.register_counter("fleet_applied_total", "Batches applied");
+        r.register_gauge("fleet_queue_depth", "Live queue depth");
+        r.register_histogram("fleet_batch_span", "Window span per batch", &[1, 8]);
+        r.counter_add("fleet_applied_total", &[("shard", "0")], 7);
+        r.counter_add("fleet_applied_total", &[("shard", "1")], 3);
+        r.gauge_set("fleet_queue_depth", &[], 4);
+        r.histogram_observe("fleet_batch_span", &[], 1);
+        r.histogram_observe("fleet_batch_span", &[], 9);
+        r.volatile_add("sweep_wall_nanos", &[], 123.5);
+        r.event("fleetd.wal", "torn_tail_truncated", &[("bytes", "17")]);
+        r
+    }
+
+    #[test]
+    fn renders_sorted_families_and_series() {
+        let text = sample().render(RenderOptions::deterministic());
+        let expected = "\
+# HELP fleet_applied_total Batches applied
+# TYPE fleet_applied_total counter
+fleet_applied_total{shard=\"0\"} 7
+fleet_applied_total{shard=\"1\"} 3
+# HELP fleet_batch_span Window span per batch
+# TYPE fleet_batch_span histogram
+fleet_batch_span_bucket{le=\"1\"} 1
+fleet_batch_span_bucket{le=\"8\"} 1
+fleet_batch_span_bucket{le=\"+Inf\"} 2
+fleet_batch_span_sum 10
+fleet_batch_span_count 2
+# HELP fleet_queue_depth Live queue depth
+# TYPE fleet_queue_depth gauge
+fleet_queue_depth 4
+# events total=1 dropped=0
+# event 0 fleetd.wal torn_tail_truncated bytes=\"17\"
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn deterministic_render_excludes_volatile() {
+        let text = sample().render(RenderOptions::deterministic());
+        assert!(!text.contains("sweep_wall_nanos"));
+        let full = sample().render(RenderOptions::full());
+        assert!(full.contains("sweep_wall_nanos 123.5"));
+    }
+
+    #[test]
+    fn render_is_stable_under_shard_merge_order() {
+        let mut shard0 = Registry::new();
+        shard0.counter_add("work_total", &[("k", "a")], 1);
+        let mut shard1 = Registry::new();
+        shard1.counter_add("work_total", &[("k", "b")], 2);
+
+        let mut merged_a = Registry::new();
+        merged_a.merge(&shard0);
+        merged_a.merge(&shard1);
+        let mut merged_b = Registry::new();
+        merged_b.merge(&shard1);
+        merged_b.merge(&shard0);
+        let opts = RenderOptions {
+            include_events: false,
+            ..RenderOptions::deterministic()
+        };
+        assert_eq!(merged_a.render(opts), merged_b.render(opts));
+    }
+
+    #[test]
+    fn histogram_bucket_labels_compose_with_series_labels() {
+        let mut r = Registry::new();
+        r.register_histogram("h", "", &[5]);
+        r.histogram_observe("h", &[("shard", "2")], 4);
+        let text = r.render(RenderOptions::deterministic());
+        assert!(text.contains("h_bucket{shard=\"2\",le=\"5\"} 1"));
+        assert!(text.contains("h_sum{shard=\"2\"} 4"));
+    }
+}

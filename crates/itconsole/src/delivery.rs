@@ -17,8 +17,10 @@
 //! instantiation; `fleetd::WindowBatch` is the second.
 //!
 //! Retry schedule: attempt `k` (1-based) failing re-arms the batch after
-//! `backoff_base << (k - 1)` ticks (exponential), until `max_attempts` is
-//! exhausted and the batch is dropped. Queue order is FIFO; a failing head
+//! `backoff_base << (k - 1)` ticks (exponential, saturating at
+//! `u64::MAX` once the shift outgrows the word — large attempt budgets
+//! must degrade into "retry never", not a wrapped-to-zero hot loop),
+//! until `max_attempts` is exhausted and the batch is dropped. Queue order is FIFO; a failing head
 //! does not block delivery of due batches behind it.
 //!
 //! With [`DeliveryConfig::jitter_seed`] set, the schedule switches to
@@ -107,6 +109,64 @@ impl DeliveryStats {
     pub fn dropped_units(&self) -> u64 {
         self.rejected_units + self.expired_units
     }
+
+    /// Export these stats into `reg` under the `itc_delivery_*` families,
+    /// labelled with the owning queue's name. The batch counters obey
+    /// `enqueued = delivered + expired + len` once the queue is idle —
+    /// the conservation law the metrics suite asserts.
+    pub fn export_metrics(&self, reg: &mut hids_metrics::Registry, queue: &str) {
+        reg.register_counter(
+            "itc_delivery_batches_total",
+            "Alert batches by delivery disposition",
+        );
+        reg.register_counter(
+            "itc_delivery_units_total",
+            "Alert units inside dropped batches, by reason",
+        );
+        reg.register_counter("itc_delivery_retries_total", "Failed attempts re-armed");
+        reg.register_gauge(
+            "itc_delivery_queue_high_water",
+            "Highest queue occupancy observed",
+        );
+        let q = &[("queue", queue)][..];
+        let with = |disp: &'static str| {
+            let mut v = vec![("queue", queue)];
+            v.push(("disposition", disp));
+            v
+        };
+        reg.counter_add("itc_delivery_batches_total", &with("enqueued"), self.enqueued);
+        reg.counter_add(
+            "itc_delivery_batches_total",
+            &with("delivered"),
+            self.delivered,
+        );
+        reg.counter_add(
+            "itc_delivery_batches_total",
+            &with("rejected"),
+            self.rejected_batches,
+        );
+        reg.counter_add(
+            "itc_delivery_batches_total",
+            &with("expired"),
+            self.expired_batches,
+        );
+        reg.counter_add(
+            "itc_delivery_units_total",
+            &with("rejected"),
+            self.rejected_units,
+        );
+        reg.counter_add(
+            "itc_delivery_units_total",
+            &with("expired"),
+            self.expired_units,
+        );
+        reg.counter_add("itc_delivery_retries_total", q, self.retries);
+        reg.gauge_set(
+            "itc_delivery_queue_high_water",
+            q,
+            self.queue_high_water as i64,
+        );
+    }
 }
 
 #[derive(Debug)]
@@ -115,6 +175,20 @@ struct PendingBatch<B> {
     attempts: u32,
     next_attempt: u64,
     prev_backoff: u64,
+}
+
+/// `base << shift`, saturating at `u64::MAX` instead of shifting bits out
+/// (or panicking on shift ≥ 64). Exponential backoff with a generous
+/// `max_attempts` (64 and up) walks the shift amount past what `u64` can
+/// hold; a saturated delay just means "retry at the end of time", which
+/// the expiry path then turns into a normal drop-with-accounting.
+fn sat_shl(base: u64, shift: u32) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    base.checked_shl(shift)
+        .filter(|&v| v >> shift == base)
+        .unwrap_or(u64::MAX)
 }
 
 /// SplitMix64: one 64-bit output per counter increment. Small, seedable,
@@ -176,9 +250,10 @@ impl<B: Payload> DeliveryQueue<B> {
         true
     }
 
-    /// Advance the virtual clock by `ticks`.
+    /// Advance the virtual clock by `ticks` (saturating: once backoff
+    /// delays saturate, "the end of time" is a reachable clock value).
     pub fn tick(&mut self, ticks: u64) {
-        self.now += ticks;
+        self.now = self.now.saturating_add(ticks);
     }
 
     /// Current virtual time.
@@ -211,7 +286,10 @@ impl<B: Payload> DeliveryQueue<B> {
                 self.stats.retries += 1;
                 let delay = self.backoff_delay(p.attempts, p.prev_backoff);
                 p.prev_backoff = delay;
-                p.next_attempt = self.now + delay;
+                // A saturated delay must not wrap the clock: MAX is "never
+                // due again", and the attempt budget still bounds the
+                // batch's lifetime.
+                p.next_attempt = self.now.saturating_add(delay);
                 keep.push_back(p);
             }
         }
@@ -220,19 +298,23 @@ impl<B: Payload> DeliveryQueue<B> {
     }
 
     /// The delay before retry attempt `attempts + 1`. Legacy schedule:
-    /// `base << (attempts - 1)`. Jittered: `uniform(base, prev * 3)`
-    /// clamped to the legacy maximum, so jitter never waits longer than
-    /// the worst exponential delay would.
+    /// `base << (attempts - 1)`, saturating at `u64::MAX` (a plain shift
+    /// silently drops bits — collapsing the delay to 0 and turning
+    /// backoff into a hot retry loop — once `attempts` outgrows the
+    /// width; `max_attempts ≥ 65` even makes the shift amount itself
+    /// overflow). Jittered: `uniform(base, prev * 3)` clamped to the
+    /// legacy maximum, so jitter never waits longer than the worst
+    /// exponential delay would.
     fn backoff_delay(&mut self, attempts: u32, prev_backoff: u64) -> u64 {
         let base = self.config.backoff_base;
-        let exp = base << (attempts - 1);
+        let exp = sat_shl(base, attempts - 1);
         if self.config.jitter_seed.is_none() {
             return exp;
         }
-        let cap = base << (self.config.max_attempts.saturating_sub(1));
+        let cap = sat_shl(base, self.config.max_attempts.saturating_sub(1));
         let hi = prev_backoff.max(base).saturating_mul(3).min(cap);
         let span = hi.saturating_sub(base).saturating_add(1);
-        base + splitmix64(&mut self.jitter_state) % span
+        base.saturating_add(splitmix64(&mut self.jitter_state) % span)
     }
 
     /// Batches currently queued.
@@ -462,6 +544,73 @@ mod tests {
             5,
         );
         assert_ne!(other, delays, "seeds 42 and 43 chose identical jitter");
+    }
+
+    #[test]
+    fn huge_attempt_budget_saturates_instead_of_overflowing() {
+        // With max_attempts = 64 the raw schedule wants `base << 63` (and
+        // the jitter cap `base << 63` too): for any base >= 2 the old
+        // plain shift silently dropped the high bits, collapsing delays
+        // to 0. The saturated schedule must stay monotone, never panic,
+        // and still expire the batch with full accounting.
+        for jitter_seed in [None, Some(7)] {
+            let mut q = DeliveryQueue::new(DeliveryConfig {
+                capacity: 2,
+                max_attempts: 64,
+                backoff_base: u64::MAX / 2,
+                jitter_seed,
+            });
+            q.offer(batch(3));
+            let mut rounds = 0u32;
+            while !q.is_empty() {
+                q.pump(|_| false);
+                q.tick(u64::MAX);
+                rounds += 1;
+                assert!(rounds <= 70, "batch must expire within max_attempts");
+            }
+            let s = q.stats();
+            assert_eq!(s.expired_batches, 1);
+            assert_eq!(s.expired_units, 3);
+            assert_eq!(s.retries, 63);
+        }
+    }
+
+    #[test]
+    fn saturated_exponential_delay_is_never_due_before_the_horizon() {
+        // base << (attempts - 1) overflows at attempt 3 for this base;
+        // the delay must pin to u64::MAX (unreachable except by a
+        // saturated clock), not wrap to something small.
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 2,
+            max_attempts: 8,
+            backoff_base: u64::MAX / 2,
+            jitter_seed: None,
+        });
+        q.offer(batch(1));
+        q.pump(|_| false); // attempt 1: re-armed for now + MAX/2
+        q.tick(u64::MAX / 2);
+        q.pump(|_| false); // attempt 2: delay saturates to MAX
+        q.tick(u64::MAX / 4);
+        assert_eq!(
+            q.pump(|_| true),
+            0,
+            "a saturated delay must not wrap into the near future"
+        );
+        assert_eq!(q.len(), 1);
+        q.tick(u64::MAX); // clock saturates at the horizon: now due
+        assert_eq!(q.pump(|_| true), 1);
+    }
+
+    #[test]
+    fn sat_shl_matches_plain_shift_in_range_and_saturates_out_of_range() {
+        assert_eq!(sat_shl(1, 0), 1);
+        assert_eq!(sat_shl(2, 10), 2 << 10);
+        assert_eq!(sat_shl(1, 63), 1 << 63);
+        assert_eq!(sat_shl(2, 63), u64::MAX);
+        assert_eq!(sat_shl(1, 64), u64::MAX);
+        assert_eq!(sat_shl(u64::MAX, 1), u64::MAX);
+        assert_eq!(sat_shl(0, 70), 0, "zero base shifts to zero at any amount");
+        assert_eq!(sat_shl(0, 63), 0);
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub use compliance::{audit, ComplianceReport, Deviation};
 pub use console::{CentralConsole, ConsoleStats};
 pub use delivery::{DeliveryConfig, DeliveryQueue, DeliveryStats, Payload};
 pub use rollout::{
-    build_candidate, fallback_from_outcome, render_history, CandidatePlan, EpochSummary,
-    FleetDriftMonitor, RolloutPlanner, RolloutProposal,
+    build_candidate, export_history_metrics, fallback_from_outcome, render_history, CandidatePlan,
+    EpochSummary, FleetDriftMonitor, RolloutPlanner, RolloutProposal,
 };
 pub use sentinel::{
     best_users, sentinel_consensus, sentinel_consensus_degraded, DegradedConsensus, SentinelConfig,

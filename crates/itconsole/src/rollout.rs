@@ -268,6 +268,77 @@ pub struct EpochSummary {
     pub candidate_alarms: u64,
 }
 
+/// Export an epoch history into `reg`: `itc_rollout_*` counters by
+/// outcome plus one `itconsole.rollout` event per epoch, in epoch order
+/// (rollback events carry the gate's reason so the snapshot alone
+/// explains *why* a candidate died).
+pub fn export_history_metrics(history: &[EpochSummary], reg: &mut hids_metrics::Registry) {
+    reg.register_counter(
+        "itc_rollout_epochs_total",
+        "Completed rollout epochs by outcome",
+    );
+    reg.register_counter(
+        "itc_rollout_soak_windows_total",
+        "Soak windows shadow-evaluated vs expected",
+    );
+    reg.register_counter(
+        "itc_rollout_alarms_total",
+        "Alarms raised over soak spans, by threshold set",
+    );
+    let mut promoted = 0u64;
+    let mut rolled_back = 0u64;
+    for e in history {
+        match &e.rolled_back {
+            None => {
+                promoted += 1;
+                reg.event(
+                    "itconsole.rollout",
+                    "promoted",
+                    &[("epoch", &e.epoch.to_string())],
+                );
+            }
+            Some(reason) => {
+                rolled_back += 1;
+                reg.event(
+                    "itconsole.rollout",
+                    "rolled_back",
+                    &[("epoch", &e.epoch.to_string()), ("reason", reason)],
+                );
+            }
+        }
+        reg.counter_add(
+            "itc_rollout_soak_windows_total",
+            &[("kind", "evaluated")],
+            e.windows,
+        );
+        reg.counter_add(
+            "itc_rollout_soak_windows_total",
+            &[("kind", "expected")],
+            e.expected_windows,
+        );
+        reg.counter_add(
+            "itc_rollout_alarms_total",
+            &[("set", "incumbent")],
+            e.incumbent_alarms,
+        );
+        reg.counter_add(
+            "itc_rollout_alarms_total",
+            &[("set", "candidate")],
+            e.candidate_alarms,
+        );
+    }
+    reg.counter_add(
+        "itc_rollout_epochs_total",
+        &[("outcome", "promoted")],
+        promoted,
+    );
+    reg.counter_add(
+        "itc_rollout_epochs_total",
+        &[("outcome", "rolled_back")],
+        rolled_back,
+    );
+}
+
 /// Render an epoch history as the operator-facing report: one line per
 /// epoch, deterministic byte-for-byte for a given input.
 pub fn render_history(history: &[EpochSummary]) -> String {

@@ -19,6 +19,12 @@
 # smoke drives the threshold-lifecycle (canary/rollback) scenarios the
 # same way, including the rollback-identity and epoch-boundary
 # kill-recovery self-checks.
+#
+# The metrics smoke stage writes a deterministic Prometheus snapshot via
+# `--metrics-out` and greps for one metric family per instrumented
+# subsystem; the root `tests/metrics.rs` suite (run by `cargo test`)
+# asserts the stronger contracts (byte-identical across thread counts,
+# conservation laws).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,9 +32,11 @@ cargo build --release
 cargo test -q
 cargo test -q --test daemon
 cargo test -q --test rollout
+cargo test -q --test metrics
 cargo clippy -q \
     -p netpkt -p flowtab -p tailstats -p synthgen -p hids-core \
     -p attacksim -p itconsole -p faultsim -p fleetd -p experiments -p bench \
+    -p hids-metrics \
     --lib --no-deps -- -D clippy::unwrap_used -D clippy::panic
 cargo run -q --release -p experiments --bin repro -- \
     --users 40 --weeks 2 --fault-seed 64273 --fault-rate 0.2 chaos
@@ -36,6 +44,19 @@ cargo run -q --release -p experiments --bin repro -- \
     --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-rate 0.2 daemon
 cargo run -q --release -p experiments --bin repro -- \
     --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-rate 0.2 rollout
+metrics_out="target/ci-metrics.prom"
+rm -f "$metrics_out"
+cargo run -q --release -p experiments --bin repro -- \
+    --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-rate 0.2 \
+    --metrics-out "$metrics_out" daemon
+for family in fleetd_batches_total fleetd_snapshots_written_total \
+    itc_delivery_batches_total hids_degraded_hosts hids_sweep_tables_total \
+    fleetd_harness_lifetimes_total; do
+    grep -q "^# TYPE $family " "$metrics_out" || {
+        echo "ci.sh: metrics smoke missing family: $family" >&2
+        exit 1
+    }
+done
 cargo bench -p bench -- --test
 
 echo "ci.sh: all gates passed"

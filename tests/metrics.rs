@@ -1,0 +1,211 @@
+//! Observability acceptance tests (ISSUE 5).
+//!
+//! Two guarantees over the `hids-metrics` layer:
+//!
+//! 1. **deterministic snapshots** — the merged Prometheus rendering of a
+//!    chaos run is byte-identical at any worker-thread count, and stable
+//!    under shard-merge order;
+//! 2. **conservation laws** — the exported counters account for every
+//!    batch: fleet-side `admitted = Σ terminal dispositions` at
+//!    quiescence, delivery-side `enqueued = delivered + expired`, and the
+//!    WAL/recovery counters agree with the run's own recovery totals.
+
+use experiments::chaos::{self, ChaosConfig};
+use experiments::daemon::{build_batches, run, unique_run_dir, DaemonScenario};
+use experiments::{Corpus, CorpusConfig};
+use fleetd::{DaemonConfig, QueueConfig};
+use flowtab::FeatureKind;
+use hids_metrics::{Registry, RenderOptions};
+
+fn corpus(n_users: usize, seed: u64) -> Corpus {
+    Corpus::generate(CorpusConfig {
+        n_users,
+        n_weeks: 2,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn chaos_snapshot(corpus: &Corpus) -> String {
+    let r = chaos::run(
+        corpus,
+        FeatureKind::TcpConnections,
+        &ChaosConfig::new(0xFA11, 0.2),
+    );
+    r.check().expect("chaos invariants");
+    let mut reg = Registry::new();
+    r.export_metrics(&mut reg);
+    reg.render(RenderOptions::deterministic())
+}
+
+/// The headline determinism contract: the same work renders to the same
+/// bytes no matter how many threads performed it. (The `repro` binary's
+/// `--metrics-out` is the same export path; `scripts/ci.sh` smokes that
+/// end of it.)
+#[test]
+fn chaos_metrics_snapshot_is_byte_identical_across_thread_counts() {
+    let corpus = corpus(24, 42);
+    let mut renders = Vec::new();
+    for threads in [1usize, 4, 32] {
+        hids_core::set_threads(threads);
+        renders.push((threads, chaos_snapshot(&corpus)));
+    }
+    hids_core::set_threads(0); // back to auto for the rest of the binary
+    let (_, reference) = &renders[0];
+    assert!(
+        reference.contains("# TYPE chaos_capture_frames_total counter"),
+        "snapshot should carry the chaos families:\n{reference}"
+    );
+    for (threads, render) in &renders[1..] {
+        assert_eq!(
+            render, reference,
+            "metrics snapshot diverged at --threads {threads}"
+        );
+    }
+}
+
+/// Registry merge must not depend on which shard finished first: folding
+/// the same shard registries in opposite orders renders identically
+/// (events excluded — their order IS the merge order, which the engine
+/// fixes by always merging in input order).
+#[test]
+fn shard_merge_order_does_not_change_the_rendered_counters() {
+    let shard = |id: u64| {
+        let mut r = Registry::new();
+        r.register_histogram("batch_span", "windows per batch", &[4, 16]);
+        r.counter_add("work_total", &[("shard", &id.to_string())], id + 1);
+        r.counter_add("work_total", &[], 10 * (id + 1));
+        r.histogram_observe("batch_span", &[], id);
+        r.gauge_set("depth", &[], id as i64);
+        r
+    };
+    let opts = RenderOptions {
+        include_events: false,
+        ..RenderOptions::deterministic()
+    };
+    let mut forward = Registry::new();
+    for i in 0..6 {
+        forward.merge(&shard(i));
+    }
+    let mut reverse = Registry::new();
+    for i in (0..6).rev() {
+        reverse.merge(&shard(i));
+    }
+    assert_eq!(forward.render(opts), reverse.render(opts));
+}
+
+/// Conservation over a real daemon run, read back from the exported
+/// registry: every admitted batch reaches exactly one terminal
+/// disposition, and the delivery link neither invents nor loses batches.
+#[test]
+fn exported_counters_obey_the_conservation_laws() {
+    let corpus = corpus(8, 7);
+    let scenario = DaemonScenario {
+        feature: FeatureKind::TcpConnections,
+        batch_windows: 112,
+        poison_hosts: vec![3],
+        daemon: DaemonConfig {
+            n_shards: 3,
+            snapshot_every: 20,
+            queue: QueueConfig {
+                capacity: 64,
+                high: 48,
+                low: 16,
+                shed_after: 1_000_000,
+                quantum: 4,
+            },
+            ..DaemonConfig::default()
+        },
+        ..DaemonScenario::default()
+    };
+    let batches = build_batches(&corpus, &scenario);
+    let dir = unique_run_dir("metrics-conservation");
+    let outcome = run(&dir, &scenario, &batches, &[]).expect("daemon run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let m = &outcome.metrics;
+    let batch = |d: &str| m.counter_value("fleetd_batches_total", &[("disposition", d)]);
+    let admitted = batch("admitted");
+    let accounted = batch("applied")
+        + batch("duplicate")
+        + batch("quarantined")
+        + batch("shed_overload")
+        + batch("shed_dark")
+        + batch("rejected");
+    assert!(admitted > 0, "scenario admitted no batches");
+    assert_eq!(
+        admitted,
+        accounted + m.gauge_value("fleetd_queue_depth", &[]) as u64,
+        "fleet conservation: admitted must equal terminal dispositions + queued"
+    );
+    // The poisoned host must be visible in the snapshot, twice over:
+    // the counter and its structured event.
+    assert_eq!(batch("quarantined"), 1);
+    assert!(m
+        .events()
+        .events()
+        .any(|e| e.scope == "fleetd.shard" && e.name == "quarantined"));
+
+    let link = |d: &str| {
+        m.counter_value(
+            "itc_delivery_batches_total",
+            &[("queue", "daemon_link"), ("disposition", d)],
+        )
+    };
+    assert_eq!(
+        link("enqueued"),
+        link("delivered") + link("expired"),
+        "delivery conservation: a quiescent queue has delivered or expired \
+         everything it accepted"
+    );
+    // Cross-layer agreement: counters exported from different structs
+    // describe the same run.
+    assert_eq!(
+        m.counter_value("fleetd_harness_lifetimes_total", &[]),
+        u64::from(outcome.recovery.lifetimes)
+    );
+    assert_eq!(
+        m.counter_value("fleetd_snapshots_written_total", &[]),
+        outcome.stats.snapshots_written
+    );
+}
+
+/// The rendered text form itself: families sorted, HELP/TYPE present,
+/// histograms cumulative, events parse as comments. This is what a
+/// Prometheus scraper (or the ci.sh smoke grep) consumes.
+#[test]
+fn rendered_snapshot_is_valid_exposition_text() {
+    let mut reg = Registry::new();
+    reg.register_counter("z_total", "last family");
+    reg.register_histogram("spans", "span histogram", &[1, 10]);
+    reg.counter_add("z_total", &[], 3);
+    reg.histogram_observe("spans", &[], 2);
+    reg.histogram_observe("spans", &[], 100);
+    reg.event("scope", "name", &[("k", "v w")]);
+    let text = reg.render(RenderOptions::deterministic());
+    let lines: Vec<&str> = text.lines().collect();
+    // Families render in lexicographic order: spans before z_total.
+    let spans_at = lines
+        .iter()
+        .position(|l| *l == "# HELP spans span histogram")
+        .expect("spans HELP line");
+    let z_at = lines
+        .iter()
+        .position(|l| *l == "# HELP z_total last family")
+        .expect("z_total HELP line");
+    assert!(spans_at < z_at);
+    assert!(text.contains("spans_bucket{le=\"1\"} 0"));
+    assert!(text.contains("spans_bucket{le=\"10\"} 1"));
+    assert!(text.contains("spans_bucket{le=\"+Inf\"} 2"));
+    assert!(text.contains("spans_sum 102"));
+    assert!(text.contains("spans_count 2"));
+    assert!(text.contains("z_total 3"));
+    assert!(text.contains("# event 0 scope name k=\"v w\""));
+    // Every non-comment line is `name{labels} integer`.
+    for line in lines.iter().filter(|l| !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().expect("value field");
+        value.parse::<i64>().unwrap_or_else(|_| {
+            unreachable!("non-integer value in deterministic render: {line}")
+        });
+    }
+}
