@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the mergeable quantile sketch behind the
+//! megafleet path: update throughput, shard merge/pool cost, and
+//! quantile query latency, each against the exact `EmpiricalDist`
+//! equivalent where one exists.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tailstats::{EmpiricalDist, KllSketch, QuantileSource};
+
+const EPS: f64 = 0.01;
+const STREAM: usize = 100_000;
+
+/// A heavy-tailed count stream shaped like a busy host's week.
+fn stream(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            // Pareto-ish: most windows small, a few enormous.
+            ((1.0 - u).powf(-1.5) - 1.0).min(1e7) as u64
+        })
+        .collect()
+}
+
+fn update(c: &mut Criterion) {
+    let data = stream(7, STREAM);
+    let mut group = c.benchmark_group("sketch_update");
+    group.throughput(Throughput::Elements(STREAM as u64));
+    group.bench_function(format!("kll_insert_{STREAM}"), |b| {
+        b.iter(|| {
+            let mut s = KllSketch::new(EPS);
+            for &v in black_box(&data) {
+                s.insert(v);
+            }
+            black_box(s.len())
+        })
+    });
+    group.bench_function(format!("exact_from_counts_{STREAM}"), |b| {
+        b.iter(|| black_box(EmpiricalDist::from_counts(black_box(&data))).len())
+    });
+    group.finish();
+}
+
+fn merge(c: &mut Criterion) {
+    // 64 shard sketches over distinct sub-streams, as megafleet pools
+    // per-shard summaries into a fleet tail.
+    let shards: Vec<KllSketch> = (0..64)
+        .map(|i| {
+            let mut s = KllSketch::new(EPS);
+            for v in stream(100 + i, STREAM / 64) {
+                s.insert(v);
+            }
+            s
+        })
+        .collect();
+    let mut group = c.benchmark_group("sketch_merge");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("pairwise_merge_64_shards", |b| {
+        b.iter(|| {
+            let mut acc = shards[0].clone();
+            for s in &shards[1..] {
+                acc.merge(black_box(s));
+            }
+            black_box(acc.len())
+        })
+    });
+    group.bench_function("canonical_pool_64_shards", |b| {
+        b.iter(|| {
+            let refs: Vec<&KllSketch> = shards.iter().collect();
+            black_box(KllSketch::pool(black_box(&refs)).len())
+        })
+    });
+    group.finish();
+}
+
+fn query(c: &mut Criterion) {
+    let data = stream(13, STREAM);
+    let mut sk = KllSketch::new(EPS);
+    for &v in &data {
+        sk.insert(v);
+    }
+    let sketch_src = QuantileSource::Sketch(sk);
+    let exact_src = QuantileSource::Exact(EmpiricalDist::from_counts(&data));
+    let qs = [0.5, 0.9, 0.95, 0.99, 0.999];
+    let mut group = c.benchmark_group("sketch_query");
+    group.throughput(Throughput::Elements(qs.len() as u64));
+    group.bench_function("sketch_quantiles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in black_box(&qs) {
+                acc += sketch_src.quantile(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("exact_quantiles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in black_box(&qs) {
+                acc += exact_src.quantile(q);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, update, merge, query);
+criterion_main!(benches);

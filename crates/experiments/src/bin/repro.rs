@@ -31,7 +31,7 @@ use std::time::Instant;
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
     ablation, chaos, collab, daemon, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5,
-    multifeat, ops, report, rollout, seeds, tab2, tab3, Corpus, Table,
+    megafleet, multifeat, ops, report, rollout, seeds, sketchablate, tab2, tab3, Corpus, Table,
 };
 use flowtab::FeatureKind;
 use synthgen::StormConfig;
@@ -48,12 +48,16 @@ struct Args {
     delivery_attempts: Option<u32>,
     delivery_backoff: Option<u64>,
     metrics_out: Option<PathBuf>,
+    sketch_eps: f64,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [EXPERIMENT...]\n\
-     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon rollout all"
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--sketch-eps E] [EXPERIMENT...]\n\
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon rollout all\n\
+     scale experiments (run only when named; not part of `all`): megafleet sketchablate\n\
+     megafleet streams --users hosts through bounded-memory rank sketches (--sketch-eps, default 0.01);\n\
+     sketchablate quantifies sketch-vs-exact error on the corpus"
         .to_string()
 }
 
@@ -72,6 +76,7 @@ where
         delivery_attempts: None,
         delivery_backoff: None,
         metrics_out: None,
+        sketch_eps: 0.01,
         experiments: Vec::new(),
     };
     let mut it = argv.into_iter();
@@ -111,6 +116,9 @@ where
                         .map_err(|e| format!("{e}"))?,
                 )
             }
+            "--sketch-eps" => {
+                args.sketch_eps = value("--sketch-eps")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -124,6 +132,12 @@ where
     }
     if args.users == 0 {
         return Err("--users must be at least 1".into());
+    }
+    if args.users > u32::MAX as usize {
+        return Err("--users overflows the 32-bit host id space".into());
+    }
+    if !(args.sketch_eps > 0.0 && args.sketch_eps < 1.0) {
+        return Err("--sketch-eps must be in the open interval (0, 1)".into());
     }
     if args.weeks < 2 {
         return Err("--weeks must be at least 2 (train + test)".into());
@@ -150,6 +164,43 @@ fn emit(table: &Table, out: &Option<PathBuf>, name: &str) {
             eprintln!("warning: failed to write {name}.csv: {e}");
         }
     }
+}
+
+/// Flush the merged metrics registry as deterministic Prometheus text.
+fn write_metrics(path: &PathBuf, metrics: &mut hids_metrics::Registry) {
+    // Harvest the sweep kernel's process-wide work counters last so the
+    // snapshot covers every experiment that ran.
+    hids_core::sweep::export_metrics(metrics);
+    let text = metrics.render(hids_metrics::RenderOptions::deterministic());
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &text)
+    };
+    match write() {
+        Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// `BENCH_megafleet.json`: wall time plus the bounded-memory evidence.
+fn megafleet_json(args: &Args, r: &megafleet::MegafleetResult, secs: f64) -> String {
+    format!(
+        "{{\n  \"users\": {},\n  \"sketch_eps\": {},\n  \"threads\": {},\n  \"wall_secs\": {:.3},\n  \
+         \"peak_host_state_bytes\": {},\n  \"total_sketch_bytes\": {},\n  \"total_compactions\": {},\n  \
+         \"max_rank_error_ppm\": {},\n  \"mean_utility\": {:.6},\n  \"hosts_csv_fnv64\": \"{:016x}\"\n}}\n",
+        args.users,
+        args.sketch_eps,
+        hids_core::current_threads(),
+        secs,
+        r.peak_host_state_bytes,
+        r.total_sketch_bytes,
+        r.total_compactions,
+        r.max_rank_error_ppm,
+        r.mean_utility,
+        r.hosts_csv_hash(),
+    )
 }
 
 /// Serialise the timing ledger as JSON by hand (no serializer dependency).
@@ -190,6 +241,72 @@ fn main() -> ExitCode {
             .iter()
             .any(|e| e == name || e == "all")
     };
+    // Scale experiments run only when named explicitly — `all` at a
+    // million hosts would be a footgun.
+    let named = |name: &str| args.experiments.iter().any(|e| e == name);
+
+    // Merged observability snapshot across every experiment that runs.
+    // Each contributor is deterministic (integer-only accumulation,
+    // stable key order), so the rendered text is a pure function of the
+    // work performed — byte-identical at any --threads setting.
+    let mut metrics = hids_metrics::Registry::new();
+    let mut pre_timings: Vec<(String, f64)> = Vec::new();
+
+    if named("megafleet") {
+        // Streams every host (no corpus materialisation), so it runs
+        // before — and can entirely replace — corpus generation.
+        let mcfg = megafleet::MegafleetConfig {
+            n_users: args.users as u64,
+            seed: args.seed,
+            sketch_eps: args.sketch_eps,
+            ..Default::default()
+        };
+        eprintln!(
+            "megafleet: streaming {} hosts at eps {} ({} threads)...",
+            mcfg.n_users,
+            mcfg.sketch_eps,
+            hids_core::current_threads()
+        );
+        let t = Instant::now();
+        let r = megafleet::run(&mcfg);
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!("[timing] megafleet: {secs:.2}s");
+        println!("{}", r.summary_table().render());
+        if let Err(e) = r.check() {
+            eprintln!("warning: megafleet invariant violated: {e}");
+        }
+        r.export_metrics(&mut metrics);
+        pre_timings.push(("megafleet".to_string(), secs));
+        if let Some(dir) = &args.out {
+            let write = || -> std::io::Result<()> {
+                use std::io::Write as _;
+                std::fs::create_dir_all(dir)?;
+                std::fs::write(
+                    dir.join("BENCH_megafleet.json"),
+                    megafleet_json(&args, &r, secs),
+                )?;
+                let mut f = std::io::BufWriter::new(std::fs::File::create(
+                    dir.join("megafleet_hosts.csv"),
+                )?);
+                writeln!(f, "{}", megafleet::HOSTS_CSV_HEADER)?;
+                for shard in &r.shard_csvs {
+                    f.write_all(shard.as_bytes())?;
+                }
+                Ok(())
+            };
+            if let Err(e) = write() {
+                eprintln!("warning: failed to write megafleet outputs: {e}");
+            }
+        }
+        if args.experiments.iter().all(|e| e == "megafleet") {
+            // Sole experiment: skip corpus generation entirely.
+            if let Some(path) = &args.metrics_out {
+                write_metrics(path, &mut metrics);
+            }
+            eprintln!("done in {secs:.1}s");
+            return ExitCode::SUCCESS;
+        }
+    }
 
     let cfg = CorpusConfig {
         n_users: args.users,
@@ -209,7 +326,8 @@ fn main() -> ExitCode {
     let corpus_secs = t0.elapsed().as_secs_f64();
     eprintln!("corpus ready in {corpus_secs:.1}s");
 
-    let mut timings: Vec<(String, f64)> = vec![("corpus".to_string(), corpus_secs)];
+    let mut timings: Vec<(String, f64)> = pre_timings;
+    timings.push(("corpus".to_string(), corpus_secs));
 
     // Run one experiment under the wall-clock ledger.
     macro_rules! experiment {
@@ -228,12 +346,6 @@ fn main() -> ExitCode {
     }
 
     let tcp = FeatureKind::TcpConnections;
-
-    // Merged observability snapshot across every experiment that runs.
-    // Each contributor is deterministic (integer-only accumulation,
-    // stable key order), so the rendered text is a pure function of the
-    // work performed — byte-identical at any --threads setting.
-    let mut metrics = hids_metrics::Registry::new();
 
     experiment!("validate", {
         let report = synthgen::validate(&corpus.population, corpus.config.windowing());
@@ -699,21 +811,22 @@ fn main() -> ExitCode {
         );
     });
 
-    if let Some(path) = &args.metrics_out {
-        // Harvest the sweep kernel's process-wide work counters last so
-        // the snapshot covers every experiment that ran.
-        hids_core::sweep::export_metrics(&mut metrics);
-        let text = metrics.render(hids_metrics::RenderOptions::deterministic());
-        let write = || -> std::io::Result<()> {
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                std::fs::create_dir_all(parent)?;
-            }
-            std::fs::write(path, &text)
-        };
-        match write() {
-            Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
-            Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    experiment!("sketchablate", named("sketchablate"), {
+        let r = sketchablate::run(&corpus, tcp, args.sketch_eps);
+        emit(&r.rank_table(), &args.out, "sketchablate_rank");
+        emit(&r.heuristic_table(), &args.out, "sketchablate_heuristics");
+        match r.check() {
+            Ok(()) => eprintln!(
+                "sketchablate self-check: worst rank deviation {:.6} within budget {:.6}",
+                r.worst_rank_dev,
+                r.rank_budget()
+            ),
+            Err(e) => eprintln!("warning: sketchablate rank bound violated: {e}"),
         }
+    });
+
+    if let Some(path) = &args.metrics_out {
+        write_metrics(path, &mut metrics);
     }
 
     let total_secs = t0.elapsed().as_secs_f64();
@@ -771,6 +884,29 @@ mod tests {
         assert!(parse(&["--delivery-attempts", "0"])
             .unwrap_err()
             .contains("--delivery-attempts"));
+    }
+
+    #[test]
+    fn sketch_eps_outside_open_unit_interval_is_rejected() {
+        for bad in ["0", "0.0", "1", "1.0", "-0.1", "2.5", "NaN"] {
+            assert!(
+                parse(&["--sketch-eps", bad]).unwrap_err().contains("(0, 1)"),
+                "--sketch-eps {bad} must be rejected"
+            );
+        }
+        let args = parse(&["--sketch-eps", "0.05", "megafleet"]).unwrap();
+        assert_eq!(args.sketch_eps, 0.05);
+        assert_eq!(parse(&[]).unwrap().sketch_eps, 0.01, "default eps");
+    }
+
+    #[test]
+    fn users_beyond_host_id_space_are_rejected() {
+        assert!(parse(&["--users", "4294967296"])
+            .unwrap_err()
+            .contains("host id space"));
+        assert!(parse(&["--users", "4294967295"]).is_ok());
+        // Values that overflow usize itself fail at the parse step.
+        assert!(parse(&["--users", "99999999999999999999999"]).is_err());
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! | [`chaos`] | extension: fault injection & degraded-mode behaviour |
 //! | [`daemon`] | extension: crash-safe streaming evaluation daemon |
 //! | [`rollout`] | extension: drift-aware canary rollouts & rollback |
+//! | [`megafleet`] | extension: million-host sketch-backed fleet evaluation |
+//! | [`sketchablate`] | extension: sketch-vs-exact error ablation at paper scale |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,12 +40,14 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod megafleet;
 pub mod multifeat;
 pub mod ops;
 pub mod plot;
 pub mod report;
 pub mod rollout;
 pub mod seeds;
+pub mod sketchablate;
 pub mod tab2;
 pub mod tab3;
 

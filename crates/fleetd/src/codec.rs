@@ -131,6 +131,11 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Read `n` raw bytes (opaque nested payloads, e.g. sketch images).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
     /// Fail unless every byte has been consumed.
     pub fn finish(&self) -> Result<(), CodecError> {
         if self.remaining() == 0 {

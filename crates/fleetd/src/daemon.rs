@@ -58,6 +58,11 @@ pub struct DaemonConfig {
     pub supervisor: SupervisorConfig,
     /// Canary cohort sizing and promotion health gates.
     pub rollout: RolloutConfig,
+    /// Bounded-memory per-host accumulation: `Some(eps)` stores each
+    /// host's weeks as rank sketches with that error budget instead of
+    /// exact window maps (see [`ApplyConfig::sketch_eps`]). `None` is the
+    /// exact default.
+    pub sketch_eps: Option<f64>,
 }
 
 impl Default for DaemonConfig {
@@ -70,6 +75,7 @@ impl Default for DaemonConfig {
             queue: QueueConfig::default(),
             supervisor: SupervisorConfig::default(),
             rollout: RolloutConfig::default(),
+            sketch_eps: None,
         }
     }
 }
@@ -382,6 +388,7 @@ impl Daemon {
         let apply_cfg = ApplyConfig {
             n_windows: cfg.n_windows,
             threshold_q: cfg.threshold_q,
+            sketch_eps: cfg.sketch_eps,
         };
         let canary = effective_canary(&cfg);
         for record in &replay.records {
@@ -528,6 +535,7 @@ impl Daemon {
         let apply_cfg = ApplyConfig {
             n_windows: self.cfg.n_windows,
             threshold_q: self.cfg.threshold_q,
+            sketch_eps: self.cfg.sketch_eps,
         };
         let sup = self.cfg.supervisor;
         let canary = effective_canary(&self.cfg);
@@ -1073,6 +1081,11 @@ fn validate(cfg: &DaemonConfig) -> Result<(), DaemonError> {
     if !(cfg.threshold_q > 0.0 && cfg.threshold_q <= 1.0) {
         return Err(DaemonError::Config("threshold_q must be in (0, 1]"));
     }
+    if let Some(eps) = cfg.sketch_eps {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(DaemonError::Config("sketch_eps must be in (0, 1)"));
+        }
+    }
     if cfg.snapshot_every == 0 {
         return Err(DaemonError::Config("snapshot_every must be nonzero"));
     }
@@ -1153,6 +1166,7 @@ mod tests {
                 breaker_failures: 8,
             },
             rollout: RolloutConfig::default(),
+            sketch_eps: None,
         }
     }
 
@@ -1241,6 +1255,65 @@ mod tests {
         feed(&mut d, &mut kill, &batches);
         assert_eq!(d.stats().duplicates, 16);
         assert_eq!(d.stats().applied, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sketch_mode_survives_snapshot_and_wal_recovery() {
+        // Same batch stream through exact and sketch daemons: at a tight
+        // eps nothing compacts, so fitted thresholds and alarm counts
+        // agree bitwise, while per-host state stays bounded. A snapshot +
+        // reopen must reproduce the sketch-mode state exactly (sketch
+        // images roundtrip through the snapshot codec).
+        let sketch_cfg = DaemonConfig {
+            sketch_eps: Some(0.001),
+            snapshot_every: 8,
+            ..small_cfg()
+        };
+        let batches: Vec<_> = (0..4).flat_map(week_batches).collect();
+
+        let exact_dir = tmpdir("sketch-exact");
+        let (mut exact, _) = Daemon::open(&exact_dir, small_cfg()).unwrap();
+        let mut kill = KillSwitch::none();
+        feed(&mut exact, &mut kill, &batches);
+        let exact_hosts: Vec<_> = exact
+            .hosts()
+            .into_iter()
+            .map(|(h, s)| (h, s.clone()))
+            .collect();
+
+        let dir = tmpdir("sketch-daemon");
+        let reference;
+        {
+            let (mut d, _) = Daemon::open(&dir, sketch_cfg.clone()).unwrap();
+            let mut kill = KillSwitch::none();
+            feed(&mut d, &mut kill, &batches);
+            reference = d
+                .hosts()
+                .into_iter()
+                .map(|(h, s)| (h, s.clone()))
+                .collect::<Vec<_>>();
+        }
+        for ((he, se), (hs, ss)) in exact_hosts.iter().zip(&reference) {
+            assert_eq!(he, hs);
+            assert_eq!(
+                se.threshold.unwrap().to_bits(),
+                ss.threshold.unwrap().to_bits(),
+                "uncompacted sketch threshold must match exact bitwise"
+            );
+            assert_eq!(se.live_alarms, ss.live_alarms);
+            assert!(ss.train.is_empty() && ss.test.is_empty());
+            assert!(ss.sketch_state_bytes() > 0);
+        }
+        let (d, rec) = Daemon::open(&dir, sketch_cfg).unwrap();
+        assert!(rec.snapshot_seq.is_some(), "snapshot_every=8 checkpointed");
+        let recovered: Vec<_> = d
+            .hosts()
+            .into_iter()
+            .map(|(h, s)| (h, s.clone()))
+            .collect();
+        assert_eq!(recovered, reference);
+        std::fs::remove_dir_all(&exact_dir).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

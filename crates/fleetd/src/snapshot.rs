@@ -23,7 +23,8 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use hids_core::WindowAccumulator;
+use hids_core::{SketchAccumulator, WindowAccumulator};
+use tailstats::KllSketch;
 
 use crate::codec::{crc32, put_f64, put_u32, put_u64, CodecError, Reader};
 use crate::epoch::{decode_epoch, encode_epoch, EpochState};
@@ -86,6 +87,50 @@ fn decode_accumulator(r: &mut Reader<'_>) -> Result<WindowAccumulator, CodecErro
     Ok(acc)
 }
 
+/// Flag byte + (bitmap words, opaque sketch image) when present. Exact-mode
+/// hosts write a single 0 byte, so snapshots taken without
+/// `sketch_eps` differ from the pre-sketch format only by two zero bytes
+/// per host.
+fn encode_sketch(out: &mut Vec<u8>, acc: &Option<SketchAccumulator>) {
+    match acc {
+        None => out.push(0),
+        Some(a) => {
+            out.push(1);
+            put_u32(out, a.seen_words().len() as u32);
+            for &w in a.seen_words() {
+                put_u64(out, w);
+            }
+            let img = a.sketch().to_bytes();
+            put_u32(out, img.len() as u32);
+            out.extend_from_slice(&img);
+        }
+    }
+}
+
+fn decode_sketch(r: &mut Reader<'_>) -> Result<Option<SketchAccumulator>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n_words = r.u32()?;
+            if n_words > MAX_SNAP_PAYLOAD / 8 {
+                return Err(CodecError::ImplausibleLength);
+            }
+            let mut seen = Vec::with_capacity(n_words as usize);
+            for _ in 0..n_words {
+                seen.push(r.u64()?);
+            }
+            let img_len = r.u32()?;
+            if img_len > MAX_SNAP_PAYLOAD {
+                return Err(CodecError::ImplausibleLength);
+            }
+            let img = r.bytes(img_len as usize)?;
+            let sketch = KllSketch::from_bytes(img).map_err(|_| CodecError::BadDiscriminant)?;
+            Ok(Some(SketchAccumulator::from_parts(seen, sketch)))
+        }
+        _ => Err(CodecError::BadDiscriminant),
+    }
+}
+
 impl Snapshot {
     /// Serialise to the framed on-disk byte form.
     pub fn encode(&self) -> Vec<u8> {
@@ -114,6 +159,8 @@ impl Snapshot {
             }
             encode_accumulator(&mut payload, &st.train);
             encode_accumulator(&mut payload, &st.test);
+            encode_sketch(&mut payload, &st.train_sketch);
+            encode_sketch(&mut payload, &st.test_sketch);
         }
         encode_epoch(&mut payload, &self.epoch);
         let mut out = Vec::with_capacity(12 + payload.len());
@@ -169,12 +216,16 @@ impl Snapshot {
             };
             let train = decode_accumulator(&mut r)?;
             let test = decode_accumulator(&mut r)?;
+            let train_sketch = decode_sketch(&mut r)?;
+            let test_sketch = decode_sketch(&mut r)?;
             hosts.insert(
                 host,
                 HostState {
                     last_seq,
                     train,
                     test,
+                    train_sketch,
+                    test_sketch,
                     threshold,
                     live_alarms,
                     promoted,
@@ -285,6 +336,7 @@ mod tests {
                 threshold: Some(8.5),
                 live_alarms: 1,
                 promoted: Some((300, 12.25)),
+                ..Default::default()
             },
         );
         hosts.insert(
@@ -292,6 +344,23 @@ mod tests {
             HostState {
                 last_seq: 2,
                 threshold: None,
+                ..Default::default()
+            },
+        );
+        // A sketch-mode host: its accumulators are bounded sketches.
+        let mut train_sk = SketchAccumulator::new(0.01);
+        train_sk.insert(0, 7);
+        train_sk.insert(41, 3);
+        let mut test_sk = SketchAccumulator::new(0.01);
+        test_sk.insert(650, 99);
+        hosts.insert(
+            12,
+            HostState {
+                last_seq: 5,
+                threshold: Some(6.0),
+                live_alarms: 1,
+                train_sketch: Some(train_sk),
+                test_sketch: Some(test_sk),
                 ..Default::default()
             },
         );

@@ -20,7 +20,7 @@
 
 use std::collections::BTreeMap;
 
-use hids_core::WindowAccumulator;
+use hids_core::{SketchAccumulator, WindowAccumulator};
 
 use crate::codec::{Week, WindowBatch};
 use crate::epoch::GateStats;
@@ -33,6 +33,12 @@ pub struct ApplyConfig {
     /// Quantile of the host's own training distribution used as its live
     /// alarm threshold (the paper's per-host baseline policy).
     pub threshold_q: f64,
+    /// `Some(eps)` switches per-host accumulation to bounded-memory
+    /// [`SketchAccumulator`]s with rank-error budget `eps` — the
+    /// million-host mode. `None` (the default everywhere) keeps the
+    /// original exact [`WindowAccumulator`] path bit-for-bit unchanged,
+    /// including the snapshot byte format.
+    pub sketch_eps: Option<f64>,
 }
 
 /// Everything the daemon tracks for one host.
@@ -40,10 +46,18 @@ pub struct ApplyConfig {
 pub struct HostState {
     /// Highest batch sequence number applied (0 = none yet).
     pub last_seq: u64,
-    /// Training-week window counts accumulated so far.
+    /// Training-week window counts accumulated so far (exact mode).
     pub train: WindowAccumulator,
-    /// Test-week window counts accumulated so far.
+    /// Test-week window counts accumulated so far (exact mode).
     pub test: WindowAccumulator,
+    /// Training-week sketch, populated only when
+    /// [`ApplyConfig::sketch_eps`] is set; `None` in exact mode so the
+    /// exact path's state (and its `PartialEq`/snapshot image) is
+    /// untouched.
+    pub train_sketch: Option<SketchAccumulator>,
+    /// Test-week sketch (sketch mode only; see
+    /// [`HostState::train_sketch`]).
+    pub test_sketch: Option<SketchAccumulator>,
     /// Live alarm threshold, fit from the training accumulator when the
     /// first test-week batch arrives (None until then, or if the training
     /// accumulator was still empty at that point).
@@ -129,6 +143,18 @@ impl HostState {
         }
     }
 
+    /// Bytes of bounded sketch state this host holds (window bitmaps plus
+    /// sketch buffers); 0 in exact mode. The per-host memory figure the
+    /// million-host sizing argument is about.
+    pub fn sketch_state_bytes(&self) -> usize {
+        let one = |a: &Option<SketchAccumulator>| {
+            a.as_ref().map_or(0, |a| {
+                a.seen_words().len() * 8 + a.sketch().state_bytes() as usize
+            })
+        };
+        one(&self.train_sketch) + one(&self.test_sketch)
+    }
+
     /// Apply one batch. Panics only on poison batches (callers run this
     /// under `catch_unwind`); returns `Duplicate` without mutating when
     /// the sequence number is stale.
@@ -167,13 +193,29 @@ impl HostState {
         // Replay and redelivery preserve the original apply order per
         // host, so this fit sees the same data every time.
         if batch.week == Week::Test && self.threshold.is_none() {
-            self.threshold = self.train.dist().map(|d| d.quantile(cfg.threshold_q));
+            self.threshold = match cfg.sketch_eps {
+                None => self.train.dist().map(|d| d.quantile(cfg.threshold_q)),
+                Some(_) => self
+                    .train_sketch
+                    .as_ref()
+                    .and_then(SketchAccumulator::source)
+                    .map(|s| s.quantile(cfg.threshold_q)),
+            };
         }
 
         match batch.week {
             Week::Train => {
-                for (i, &c) in batch.counts.iter().enumerate() {
-                    self.train.insert(batch.start + i as u32, c);
+                if let Some(eps) = cfg.sketch_eps {
+                    let acc = self
+                        .train_sketch
+                        .get_or_insert_with(|| SketchAccumulator::new(eps));
+                    for (i, &c) in batch.counts.iter().enumerate() {
+                        acc.insert(batch.start + i as u32, c);
+                    }
+                } else {
+                    for (i, &c) in batch.counts.iter().enumerate() {
+                        self.train.insert(batch.start + i as u32, c);
+                    }
                 }
             }
             Week::Test => {
@@ -181,7 +223,15 @@ impl HostState {
                     let w = batch.start + i as u32;
                     // Count an alarm only when the window is genuinely
                     // new: re-applied overlaps must not double-alarm.
-                    let fresh = self.test.insert(w, c);
+                    // The sketch accumulator's window bitmap provides the
+                    // same first-write-wins guarantee in sketch mode.
+                    let fresh = match cfg.sketch_eps {
+                        None => self.test.insert(w, c),
+                        Some(eps) => self
+                            .test_sketch
+                            .get_or_insert_with(|| SketchAccumulator::new(eps))
+                            .insert(w, c),
+                    };
                     if fresh {
                         let incumbent_alarm = self
                             .effective_threshold(w)
@@ -250,6 +300,14 @@ mod tests {
         ApplyConfig {
             n_windows: 8,
             threshold_q: 0.99,
+            sketch_eps: None,
+        }
+    }
+
+    fn sketch_cfg() -> ApplyConfig {
+        ApplyConfig {
+            sketch_eps: Some(0.001),
+            ..cfg()
         }
     }
 
@@ -395,6 +453,46 @@ mod tests {
         h.apply_shadowed(&b(3, Week::Test, 0, &[100; 6]), &cfg(), Some(&mut ctx))
             .unwrap();
         assert_eq!(stats.windows, 4);
+    }
+
+    #[test]
+    fn sketch_mode_matches_exact_threshold_and_alarms_when_uncompacted() {
+        // At eps = 0.001 the sketch buffers hold far more than 8 samples,
+        // so no compaction occurs and the fitted threshold must be
+        // bit-identical to the exact path's.
+        let mut exact = HostState::default();
+        let mut sk = HostState::default();
+        let train: Vec<u64> = vec![0, 1, 2, 3, 4, 5, 6, 100];
+        exact.apply(&b(1, Week::Train, 0, &train), &cfg()).unwrap();
+        sk.apply(&b(1, Week::Train, 0, &train), &sketch_cfg())
+            .unwrap();
+        exact.apply(&b(2, Week::Test, 0, &[50, 200]), &cfg()).unwrap();
+        sk.apply(&b(2, Week::Test, 0, &[50, 200]), &sketch_cfg())
+            .unwrap();
+        let te = exact.threshold.expect("exact threshold");
+        let ts = sk.threshold.expect("sketch threshold");
+        assert_eq!(te.to_bits(), ts.to_bits());
+        assert_eq!(exact.live_alarms, sk.live_alarms);
+        // Exact accumulators stay untouched in sketch mode: that is the
+        // bounded-memory claim.
+        assert!(sk.train.is_empty() && sk.test.is_empty());
+        assert!(sk.sketch_state_bytes() > 0);
+        assert_eq!(exact.sketch_state_bytes(), 0);
+    }
+
+    #[test]
+    fn sketch_mode_alarms_only_count_fresh_windows() {
+        let mut h = HostState::default();
+        h.apply(&b(1, Week::Train, 0, &[1; 8]), &sketch_cfg()).unwrap();
+        h.apply(&b(2, Week::Test, 0, &[100, 100]), &sketch_cfg())
+            .unwrap();
+        assert_eq!(h.live_alarms, 2);
+        // Overlapping re-send under a new seq: the sketch accumulator's
+        // bitmap suppresses both the alarms and the duplicate samples.
+        h.apply(&b(3, Week::Test, 0, &[100, 100]), &sketch_cfg())
+            .unwrap();
+        assert_eq!(h.live_alarms, 2);
+        assert_eq!(h.test_sketch.as_ref().unwrap().len(), 2);
     }
 
     #[test]

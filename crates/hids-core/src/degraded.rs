@@ -27,9 +27,10 @@
 
 use flowtab::{FeatureKind, FeatureSeries};
 use serde::{Deserialize, Serialize};
-use tailstats::EmpiricalDist;
+use tailstats::{EmpiricalDist, QuantileSource};
 
 use crate::eval::{EvalConfig, UserPerf};
+use crate::threshold::AttackSweep;
 use crate::{Policy, PolicyOutcome};
 
 /// Why a degraded dataset or evaluation could not be produced.
@@ -335,6 +336,37 @@ impl DegradedEvaluation {
     }
 }
 
+/// The paper's per-user utility `U = 1 − [w·FN + (1−w)·FP]` — the one
+/// scoring formula every evaluation path (exact, degraded, sketch-backed)
+/// shares.
+#[inline]
+pub fn utility_of(w: f64, fp: f64, fn_rate: f64) -> f64 {
+    1.0 - (w * fn_rate + (1.0 - w) * fp)
+}
+
+/// Score one host's already-fitted threshold against its test-week
+/// quantile backend — the per-host kernel of the evaluation loop, exposed
+/// for fleet-scale callers that hold [`QuantileSource::Sketch`] state
+/// instead of stored samples.
+///
+/// `false_alarms` is derived as `round(exceedance · n)`: on the exact
+/// backend this equals the stored-count tally the batch path computes,
+/// and on the sketch backend it is the same quantity within the sketch's
+/// rank-error bound.
+pub fn score_source(test: &QuantileSource, threshold: f64, sweep: &AttackSweep, w: f64) -> UserPerf {
+    let fp = test.exceedance(threshold);
+    let fn_rate = sweep.mean_fn_source(test, threshold);
+    let utility = utility_of(w, fp, fn_rate);
+    let false_alarms = (fp * test.len() as f64).round() as u64;
+    UserPerf {
+        threshold,
+        fp,
+        fn_rate,
+        utility,
+        false_alarms,
+    }
+}
+
 /// Configure `policy` on the evaluable hosts' available training data and
 /// score them on their available test windows, reporting coverage and
 /// exclusion status for every host.
@@ -387,7 +419,7 @@ pub fn evaluate_policy_degraded(
         let counts = &dataset.test_counts[u];
         let fp = test.exceedance(t);
         let fn_rate = config.base.sweep.mean_fn(test, t);
-        let utility = 1.0 - (config.base.w * fn_rate + (1.0 - config.base.w) * fp);
+        let utility = utility_of(config.base.w, fp, fn_rate);
         let false_alarms = counts.iter().filter(|&&c| c as f64 > t).count() as u64;
         UserPerf {
             threshold: t,
@@ -697,5 +729,36 @@ mod tests {
             assert_eq!(ds.test_counts[u].len(), kept);
             assert!((ds.test_coverage[u] - kept as f64 / 200.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn score_source_exact_arm_matches_batch_scoring() {
+        let counts: Vec<u64> = (0..300u64).map(|i| (i * 17) % 83).collect();
+        let d = EmpiricalDist::from_counts(&counts);
+        let sweep = AttackSweep::up_to(200.0);
+        let w = 0.4;
+        let t = 70.0;
+        let perf = score_source(&QuantileSource::Exact(d.clone()), t, &sweep, w);
+        // The batch closure's formulas, inlined.
+        assert_eq!(perf.fp, d.exceedance(t));
+        assert_eq!(perf.fn_rate, sweep.mean_fn(&d, t));
+        assert_eq!(perf.utility, utility_of(w, perf.fp, perf.fn_rate));
+        let tally = counts.iter().filter(|&&c| c as f64 > t).count() as u64;
+        assert_eq!(perf.false_alarms, tally);
+    }
+
+    #[test]
+    fn score_source_sketch_arm_stays_within_rank_bound() {
+        let counts: Vec<u64> = (0..2000u64).map(|i| (i * 29) % 1223).collect();
+        let d = EmpiricalDist::from_counts(&counts);
+        let sweep = AttackSweep::up_to(1500.0);
+        let src = QuantileSource::sketch_from_counts(0.01, &counts);
+        let t = d.quantile_discrete(0.95);
+        let exact = score_source(&QuantileSource::Exact(d), t, &sweep, 0.5);
+        let sketched = score_source(&src, t, &sweep, 0.5);
+        let eps = 0.01 + 1.0 / counts.len() as f64;
+        assert!((exact.fp - sketched.fp).abs() <= eps);
+        assert!((exact.fn_rate - sketched.fn_rate).abs() <= eps);
+        assert!((exact.utility - sketched.utility).abs() <= eps);
     }
 }

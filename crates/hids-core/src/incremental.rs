@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use flowtab::FeatureKind;
-use tailstats::EmpiricalDist;
+use tailstats::{EmpiricalDist, KllSketch, QuantileSource};
 
 use crate::degraded::{DegradedDataset, DegradedError};
 
@@ -127,6 +127,116 @@ impl WindowAccumulator {
             None
         } else {
             Some(EmpiricalDist::from_counts(&self.counts()))
+        }
+    }
+}
+
+/// The bounded-memory analogue of [`WindowAccumulator`] for fleet-scale
+/// runs: counts stream into a deterministic [`KllSketch`] instead of a
+/// per-window map, while a compact bitmap over window indices preserves
+/// the accumulator contract the daemon relies on — idempotent
+/// first-write-wins [`insert`](SketchAccumulator::insert) (so WAL replay
+/// after a crash cannot double-count a window) and exact coverage
+/// accounting. Unlike `WindowAccumulator` the original per-window counts
+/// are *not* recoverable; only rank/tail queries (through
+/// [`source`](SketchAccumulator::source)) are supported, which is all
+/// threshold fitting needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchAccumulator {
+    /// Window-index bitmap: bit `w` set iff window `w` was recorded.
+    seen: Vec<u64>,
+    /// Number of set bits in `seen` (windows recorded).
+    n_seen: u64,
+    sketch: KllSketch,
+}
+
+impl SketchAccumulator {
+    /// An empty accumulator with rank-error budget `eps` (see
+    /// [`KllSketch::new`] for the accepted range).
+    pub fn new(eps: f64) -> Self {
+        Self {
+            seen: Vec::new(),
+            n_seen: 0,
+            sketch: KllSketch::new(eps),
+        }
+    }
+
+    /// Wrap an already-built sketch plus its window bitmap (snapshot
+    /// load). `n_seen` is recounted from the bitmap.
+    pub fn from_parts(seen: Vec<u64>, sketch: KllSketch) -> Self {
+        let n_seen = seen.iter().map(|w| w.count_ones() as u64).sum();
+        Self {
+            seen,
+            n_seen,
+            sketch,
+        }
+    }
+
+    /// Record one window's count. Returns `true` when the window was new;
+    /// a window already present is ignored entirely (idempotent re-apply —
+    /// the count does not enter the sketch a second time).
+    pub fn insert(&mut self, window: u32, count: u64) -> bool {
+        let slot = (window / 64) as usize;
+        let bit = 1u64 << (window % 64);
+        if slot >= self.seen.len() {
+            self.seen.resize(slot + 1, 0);
+        }
+        if self.seen[slot] & bit != 0 {
+            return false;
+        }
+        self.seen[slot] |= bit;
+        self.n_seen += 1;
+        self.sketch.insert(count);
+        true
+    }
+
+    /// Number of windows recorded.
+    pub fn len(&self) -> usize {
+        self.n_seen as usize
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n_seen == 0
+    }
+
+    /// Fraction of an `n_windows`-wide week that has been recorded, with
+    /// the same empty-week convention as
+    /// [`WindowAccumulator::coverage`].
+    pub fn coverage(&self, n_windows: usize) -> f64 {
+        if n_windows == 0 {
+            1.0
+        } else {
+            (self.n_seen as usize).min(n_windows) as f64 / n_windows as f64
+        }
+    }
+
+    /// Whether a particular window has been recorded.
+    pub fn contains(&self, window: u32) -> bool {
+        let slot = (window / 64) as usize;
+        self.seen
+            .get(slot)
+            .is_some_and(|&w| w & (1u64 << (window % 64)) != 0)
+    }
+
+    /// Borrow the underlying sketch.
+    pub fn sketch(&self) -> &KllSketch {
+        &self.sketch
+    }
+
+    /// Borrow the window bitmap (snapshot encode).
+    pub fn seen_words(&self) -> &[u64] {
+        &self.seen
+    }
+
+    /// Quantile source over the recorded windows; `None` when no window
+    /// has been recorded (a dark week), mirroring
+    /// [`WindowAccumulator::dist`].
+    pub fn source(&self) -> Option<QuantileSource> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(QuantileSource::Sketch(self.sketch.clone()))
         }
     }
 }
@@ -318,6 +428,56 @@ mod tests {
             degraded_dataset(FeatureKind::TcpConnections, 10, &[]).unwrap_err(),
             DegradedError::EmptyPopulation
         );
+    }
+
+    #[test]
+    fn sketch_accumulator_first_write_wins_and_tracks_coverage() {
+        let mut acc = SketchAccumulator::new(0.01);
+        assert!(acc.insert(3, 10));
+        assert!(!acc.insert(3, 99), "re-apply must be a no-op");
+        assert!(acc.insert(70, 20));
+        assert_eq!(acc.len(), 2);
+        assert!(acc.contains(3) && acc.contains(70) && !acc.contains(4));
+        assert_eq!(acc.coverage(100), 0.02);
+        // The replayed count never entered the sketch.
+        let src = acc.source().expect("non-empty");
+        assert_eq!(src.len(), 2);
+        assert_eq!(src.max(), 20.0);
+    }
+
+    #[test]
+    fn sketch_accumulator_matches_window_accumulator_when_uncompacted() {
+        let s = series(64, |w| (w as u64 * 13) % 29);
+        let exact = accumulate(&s, |w| w % 5 != 0);
+        let mut sk = SketchAccumulator::new(0.001);
+        for (w, &c) in s
+            .feature(FeatureKind::TcpConnections)
+            .iter()
+            .enumerate()
+        {
+            if w % 5 != 0 {
+                sk.insert(w as u32, c);
+            }
+        }
+        assert_eq!(sk.len(), exact.len());
+        assert_eq!(sk.coverage(64), exact.coverage(64));
+        let d = exact.dist().expect("non-empty");
+        let src = sk.source().expect("non-empty");
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(src.quantile_discrete(q), d.quantile_discrete(q));
+        }
+    }
+
+    #[test]
+    fn sketch_accumulator_roundtrips_parts() {
+        let mut acc = SketchAccumulator::new(0.05);
+        for w in 0..200u32 {
+            acc.insert(w, u64::from(w) % 17);
+        }
+        let back =
+            SketchAccumulator::from_parts(acc.seen_words().to_vec(), acc.sketch().clone());
+        assert_eq!(back, acc);
+        assert_eq!(back.len(), 200);
     }
 
     #[test]

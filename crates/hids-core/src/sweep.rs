@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
 use hids_metrics::Registry;
-use tailstats::EmpiricalDist;
+use tailstats::{EmpiricalDist, QuantileSource};
 
 use crate::threshold::AttackSweep;
 
@@ -40,6 +40,7 @@ static CANDIDATES: AtomicU64 = AtomicU64::new(0);
 static SIZE_PASSES: AtomicU64 = AtomicU64::new(0);
 static PATH_LATTICE: AtomicU64 = AtomicU64::new(0);
 static PATH_GENERAL: AtomicU64 = AtomicU64::new(0);
+static PATH_WEIGHTED: AtomicU64 = AtomicU64::new(0);
 static PREPARE_NANOS: AtomicU64 = AtomicU64::new(0);
 static ACCUMULATE_NANOS: AtomicU64 = AtomicU64::new(0);
 
@@ -93,6 +94,11 @@ pub fn export_metrics(reg: &mut Registry) {
         &[("path", "general")],
         PATH_GENERAL.swap(0, Relaxed),
     );
+    reg.counter_add(
+        "hids_sweep_path_total",
+        &[("path", "weighted")],
+        PATH_WEIGHTED.swap(0, Relaxed),
+    );
     reg.register_volatile(
         "hids_sweep_phase_nanos",
         "Wall-clock nanoseconds per kernel phase",
@@ -117,6 +123,7 @@ pub fn reset_metrics() {
         &SIZE_PASSES,
         &PATH_LATTICE,
         &PATH_GENERAL,
+        &PATH_WEIGHTED,
         &PREPARE_NANOS,
         &ACCUMULATE_NANOS,
     ] {
@@ -261,6 +268,89 @@ impl SweepTable {
         }
     }
 
+    /// Score every candidate threshold of a [`QuantileSource`]: the exact
+    /// backend takes the historical bit-identical [`compute`](Self::compute)
+    /// path; the sketch backend runs the weighted kernel over its
+    /// `(value, weight)` summary.
+    pub fn compute_source(source: &QuantileSource, sweep: &AttackSweep) -> Self {
+        match source {
+            QuantileSource::Exact(d) => Self::compute(d, sweep),
+            QuantileSource::Sketch(s) => Self::compute_weighted(&s.weighted_items(), sweep),
+        }
+    }
+
+    /// The weighted-sample kernel: candidates are the distinct summary
+    /// values (ascending) plus one step above the maximum, with FP and
+    /// mean-FN computed from cumulative *weights* instead of raw sample
+    /// counts — `O(S · (k + m))` for `k` summary items, independent of the
+    /// stream length the sketch summarises.
+    ///
+    /// `items` must be ascending in value with positive weights (the shape
+    /// [`tailstats::KllSketch::weighted_items`] returns). An empty summary
+    /// yields the one-candidate table `{t: 1.0, fp: 0, fn: 0}` rather than
+    /// panicking, honouring the workspace no-panic bar.
+    pub fn compute_weighted(items: &[(u64, u64)], sweep: &AttackSweep) -> Self {
+        let prepare_started = Instant::now();
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        if total == 0 {
+            return Self {
+                thresholds: vec![1.0],
+                fp: vec![0.0],
+                mean_fn: vec![0.0],
+            };
+        }
+        let n = total as f64;
+        let mut thresholds: Vec<f64> = Vec::with_capacity(items.len() + 1);
+        let mut le_weights: Vec<u64> = Vec::with_capacity(items.len() + 1);
+        let mut running = 0u64;
+        for &(v, w) in items {
+            running = running.saturating_add(w);
+            thresholds.push(v as f64);
+            le_weights.push(running);
+        }
+        let max = thresholds.last().copied().unwrap_or(0.0);
+        thresholds.push(max + 1.0);
+        le_weights.push(total);
+        let m = thresholds.len();
+        let fp: Vec<f64> = le_weights.iter().map(|&c| 1.0 - c as f64 / n).collect();
+
+        let sizes = sweep.sizes();
+        TABLES.fetch_add(1, Relaxed);
+        CANDIDATES.fetch_add(m as u64, Relaxed);
+        SIZE_PASSES.fetch_add(sizes.len() as u64, Relaxed);
+        PATH_WEIGHTED.fetch_add(1, Relaxed);
+        let accumulate_started = Instant::now();
+        PREPARE_NANOS.fetch_add(
+            (accumulate_started - prepare_started).as_nanos() as u64,
+            Relaxed,
+        );
+        // Same merge-style two-pointer structure as the general exact
+        // path: for each size, as the candidate ascends so does the cut
+        // t − b, so the strictly-below weight pointer only moves forward.
+        let mut acc = vec![0.0f64; m];
+        for &b in sizes {
+            let mut ptr = 0usize;
+            let mut below = 0u64;
+            for (slot, &t) in acc.iter_mut().zip(&thresholds) {
+                let cut = t - b;
+                while ptr < items.len() && (items[ptr].0 as f64) < cut {
+                    below = below.saturating_add(items[ptr].1);
+                    ptr += 1;
+                }
+                *slot += below as f64 / n;
+            }
+        }
+        let n_sizes = sizes.len() as f64;
+        let mean_fn: Vec<f64> = acc.into_iter().map(|s| s / n_sizes).collect();
+        ACCUMULATE_NANOS.fetch_add(accumulate_started.elapsed().as_nanos() as u64, Relaxed);
+
+        Self {
+            thresholds,
+            fp,
+            mean_fn,
+        }
+    }
+
     /// Number of candidate thresholds.
     pub fn len(&self) -> usize {
         self.thresholds.len()
@@ -386,6 +476,53 @@ mod tests {
         for w in table.mean_fn().windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
         }
+    }
+
+    #[test]
+    fn weighted_kernel_matches_exact_on_unit_weights() {
+        // A weighted summary with all-unit weights is the same sample; the
+        // weighted kernel performs the same float operations in the same
+        // order as the general exact path, so the tables are bit-identical.
+        let counts: Vec<u64> = (0..200u64).map(|i| (i * 7) % 45).collect();
+        let d = EmpiricalDist::from_counts(&counts);
+        let sweep = AttackSweep::new(60.0, 17);
+        let exact = SweepTable::compute(&d, &sweep);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        for v in sorted {
+            match items.last_mut() {
+                Some(last) if last.0 == v => last.1 += 1,
+                _ => items.push((v, 1)),
+            }
+        }
+        let weighted = SweepTable::compute_weighted(&items, &sweep);
+        assert_eq!(exact.thresholds(), weighted.thresholds());
+        assert_eq!(exact.fp(), weighted.fp());
+        assert_eq!(exact.mean_fn(), weighted.mean_fn());
+    }
+
+    #[test]
+    fn weighted_kernel_empty_summary_is_safe() {
+        let table = SweepTable::compute_weighted(&[], &AttackSweep::up_to(10.0));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.best_by(|fp, f| 1.0 - fp - f), 1.0);
+    }
+
+    #[test]
+    fn compute_source_dispatches_both_backends() {
+        let counts: Vec<u64> = (0..150u64).map(|i| i % 31).collect();
+        let sweep = AttackSweep::up_to(50.0);
+        let exact_src = QuantileSource::exact_from_counts(&counts);
+        let exact = SweepTable::compute_source(&exact_src, &sweep);
+        let d = EmpiricalDist::from_counts(&counts);
+        let reference = SweepTable::compute(&d, &sweep);
+        assert_eq!(exact, reference);
+        // Uncompacted sketch holds the exact multiset: identical table.
+        let sketch_src = QuantileSource::sketch_from_counts(0.001, &counts);
+        let sketched = SweepTable::compute_source(&sketch_src, &sweep);
+        assert_eq!(sketched.thresholds(), reference.thresholds());
+        assert_eq!(sketched.fp(), reference.fp());
     }
 
     #[test]

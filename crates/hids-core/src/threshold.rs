@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use tailstats::EmpiricalDist;
+use tailstats::{EmpiricalDist, QuantileSource};
 
 use crate::sweep::SweepTable;
 
@@ -71,6 +71,14 @@ impl AttackSweep {
         let sum: f64 = self.sizes.iter().map(|&b| dist.below(t - b)).sum();
         sum / self.sizes.len() as f64
     }
+
+    /// [`mean_fn`](Self::mean_fn) over either quantile backend. The exact
+    /// arm performs the identical accumulation (same sizes, same `below`
+    /// values, same order), so it is bit-identical to `mean_fn`.
+    pub fn mean_fn_source(&self, source: &QuantileSource, t: f64) -> f64 {
+        let sum: f64 = self.sizes.iter().map(|&b| source.below(t - b)).sum();
+        sum / self.sizes.len() as f64
+    }
 }
 
 /// A rule mapping a training distribution to a threshold.
@@ -134,6 +142,43 @@ impl ThresholdHeuristic {
                         }
                     }
                 }),
+        }
+    }
+
+    /// Compute a threshold from either quantile backend.
+    ///
+    /// The exact arm delegates to [`threshold`](Self::threshold) outright,
+    /// so the default path stays bit-identical to the historical behavior;
+    /// the sketch arm reads the same statistics off the summary (discrete
+    /// quantile, moment sums, or the weighted [`SweepTable`] kernel).
+    pub fn threshold_source(&self, train: &QuantileSource) -> f64 {
+        if let QuantileSource::Exact(d) = train {
+            return self.threshold(d);
+        }
+        match self {
+            ThresholdHeuristic::Percentile(q) => train.quantile_discrete(*q),
+            ThresholdHeuristic::MeanSigma(k) => train.mean() + k * train.stddev(),
+            ThresholdHeuristic::UtilityMax { w, sweep } => {
+                SweepTable::compute_source(train, sweep)
+                    .best_by(|fp, fn_rate| 1.0 - (w * fn_rate + (1.0 - w) * fp))
+            }
+            ThresholdHeuristic::FMeasure { prevalence, sweep } => {
+                SweepTable::compute_source(train, sweep).best_by(|fpr, fn_rate| {
+                    let recall = 1.0 - fn_rate;
+                    let tp = prevalence * recall;
+                    let fp = (1.0 - prevalence) * fpr;
+                    if tp + fp == 0.0 {
+                        0.0
+                    } else {
+                        let precision = tp / (tp + fp);
+                        if precision + recall == 0.0 {
+                            0.0
+                        } else {
+                            2.0 * precision * recall / (precision + recall)
+                        }
+                    }
+                })
+            }
         }
     }
 }
@@ -228,6 +273,60 @@ mod tests {
             t_common <= t_rare,
             "common attacks push thresholds down: {t_common} <= {t_rare}"
         );
+    }
+
+    #[test]
+    fn threshold_source_exact_arm_is_bit_identical() {
+        let counts: Vec<u64> = (0..400).map(|i| (i * 11) % 257).collect();
+        let d = EmpiricalDist::from_counts(&counts);
+        let src = QuantileSource::Exact(d.clone());
+        let sweep = AttackSweep::up_to(500.0);
+        for h in [
+            ThresholdHeuristic::P99,
+            ThresholdHeuristic::MeanSigma(3.0),
+            ThresholdHeuristic::UtilityMax {
+                w: 0.4,
+                sweep: sweep.clone(),
+            },
+            ThresholdHeuristic::FMeasure {
+                prevalence: 0.01,
+                sweep: sweep.clone(),
+            },
+        ] {
+            assert_eq!(h.threshold(&d), h.threshold_source(&src), "{h:?}");
+        }
+        assert_eq!(
+            sweep.mean_fn(&d, 123.0),
+            sweep.mean_fn_source(&src, 123.0)
+        );
+    }
+
+    #[test]
+    fn threshold_source_sketch_arm_tracks_exact() {
+        // At paper-ish scale with a 1% budget the sketch thresholds land
+        // within the rank bound of the exact ones for every heuristic.
+        let counts: Vec<u64> = (0..2000u64).map(|i| (i * i) % 997).collect();
+        let d = EmpiricalDist::from_counts(&counts);
+        let src = QuantileSource::sketch_from_counts(0.01, &counts);
+        let sweep = AttackSweep::up_to(1500.0);
+        for h in [
+            ThresholdHeuristic::P99,
+            ThresholdHeuristic::MeanSigma(3.0),
+            ThresholdHeuristic::UtilityMax {
+                w: 0.4,
+                sweep: sweep.clone(),
+            },
+        ] {
+            let exact = h.threshold(&d);
+            let sketched = h.threshold_source(&src);
+            // Rank-space check: the exact CDF at the two thresholds must
+            // agree within eps plus one discrete step.
+            let drift = (d.cdf(exact) - d.cdf(sketched)).abs();
+            assert!(
+                drift <= 0.01 + 1.0 / counts.len() as f64,
+                "{h:?}: exact {exact} vs sketch {sketched} (cdf drift {drift})"
+            );
+        }
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod validate;
 pub use counts::{invariants_hold, user_week_series, user_week_series_trended, window_counts};
 pub use export::{export_user_week_to_file, export_user_windows, ExportStats};
 pub use profile::{
-    mix_seed, stream_rng, Population, PopulationConfig, TailLevels, UserId, UserProfile,
+    mix_seed, sample_user, stream_rng, Population, PopulationConfig, TailLevels, UserId,
+    UserProfile,
 };
 pub use render::{render_flows_to_frames, render_window_flows, TimedFrame, RESOLVERS};
 pub use schedule::{Regime, Schedule, DAY_SECS, WEEK_SECS};

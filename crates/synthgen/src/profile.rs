@@ -153,7 +153,12 @@ impl Population {
     }
 }
 
-fn sample_user(config: &PopulationConfig, id: UserId) -> UserProfile {
+/// Sample one host's profile without materializing a [`Population`] —
+/// the streaming entry point fleet-scale runs use to generate millions of
+/// hosts one at a time in O(1) memory. Bit-identical to the profile
+/// `Population::sample` would produce at index `id` for the same config
+/// (the population path simply maps this function over `0..n_users`).
+pub fn sample_user(config: &PopulationConfig, id: UserId) -> UserProfile {
     let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, u64::from(id), 0xFACE));
 
     // Shared heaviness factor: how much of a power user this person is.

@@ -14,7 +14,11 @@
 //! * [`FiveNumber`] — boxplot summaries (Figures 3(a) and 4(b));
 //! * [`kmeans`](mod@kmeans) — Lloyd's algorithm with deterministic initialisation, used
 //!   for the paper's (unsuccessful) natural-clusters probe;
-//! * [`Confusion`] — precision/recall/F-measure for threshold heuristics.
+//! * [`Confusion`] — precision/recall/F-measure for threshold heuristics;
+//! * [`KllSketch`] — deterministic integer-only mergeable rank sketch with
+//!   a guaranteed rank-error ledger, for fleet-scale per-host state;
+//! * [`QuantileSource`] — one facade over `EmpiricalDist | KllSketch` with
+//!   the pinned boundary/NaN contract both backends honour.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,8 @@ pub mod metrics;
 pub mod moments;
 pub mod p2;
 pub mod resample;
+pub mod sketch;
+pub mod source;
 
 pub use edf::EmpiricalDist;
 pub use ewma::Ewma;
@@ -38,3 +44,5 @@ pub use metrics::Confusion;
 pub use moments::Moments;
 pub use p2::P2Quantile;
 pub use resample::{bootstrap_ci, gini, ks_distance, lorenz_curve, BootstrapCi};
+pub use sketch::{KllSketch, SketchDecodeError};
+pub use source::QuantileSource;

@@ -1,0 +1,270 @@
+//! A single quantile-query facade over the exact and sketched backends.
+//!
+//! Threshold fitting in `hids-core` only ever needs rank queries
+//! (`quantile`, `quantile_discrete`), tail probabilities (`cdf`,
+//! `exceedance`, `below`) and the first two moments. [`QuantileSource`]
+//! exposes exactly that surface over either an exact
+//! [`EmpiricalDist`] (the default — bit-identical to the historical
+//! behavior) or a [`KllSketch`] (bounded memory for fleet scale).
+//!
+//! # The boundary contract (pinned here, for both backends)
+//!
+//! This is the **single normative statement** of the quantile API's edge
+//! behavior; the `boundary_contract_*` tests below hold both backends to
+//! it, and neither backend documents a divergent rule.
+//!
+//! * `q` is clamped to `[0, 1]`: `quantile(0.0) == min()`,
+//!   `quantile(1.0) == max()`, `q < 0` behaves as `0`, `q > 1` as `1`.
+//! * `quantile_discrete(q)` returns a value that actually occurred; its
+//!   rank is `clamp(ceil(q·n), 1, n)`, so `q = 0.0` also yields the
+//!   minimum.
+//! * A NaN `q` is **not rejected and does not propagate**: `clamp`
+//!   preserves NaN, the derived rank casts to 0, and both query forms
+//!   return the minimum sample. (Historical `EmpiricalDist` behavior,
+//!   now pinned for every backend.)
+//! * NaN/±∞ **samples** are rejected at ingest: `EmpiricalDist`
+//!   construction panics (callers validate), while the sketch's
+//!   [`KllSketch::insert_f64`] returns `false` without panicking —
+//!   non-finite values carry no rank information and never enter state.
+//! * Queries on an *empty* sketch return `0.0` (an empty
+//!   `EmpiricalDist` is unconstructible, so the enum's exact arm is
+//!   always non-empty).
+
+use crate::edf::EmpiricalDist;
+use crate::sketch::KllSketch;
+
+/// Either an exact empirical distribution or a mergeable rank sketch,
+/// answering the same quantile/tail-probability queries.
+///
+/// The exact arm stays the workspace default; the sketch arm is selected
+/// explicitly (fleet-scale runs, `--sketch-eps`). See the
+/// [module docs](self) for the boundary contract both arms honour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantileSource {
+    /// Exact stored-sample backend (bit-identical to historical paths).
+    Exact(EmpiricalDist),
+    /// Bounded-memory deterministic sketch backend.
+    Sketch(KllSketch),
+}
+
+impl QuantileSource {
+    /// Build an exact source from integer counts.
+    pub fn exact_from_counts(counts: &[u64]) -> Self {
+        Self::Exact(EmpiricalDist::from_counts(counts))
+    }
+
+    /// Build a sketch source with budget `eps` from integer counts.
+    pub fn sketch_from_counts(eps: f64, counts: &[u64]) -> Self {
+        let mut s = KllSketch::new(eps);
+        s.extend_from_counts(counts);
+        Self::Sketch(s)
+    }
+
+    /// Hyndman–Fan type-7 interpolated quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        match self {
+            Self::Exact(d) => d.quantile(q),
+            Self::Sketch(s) => s.quantile(q),
+        }
+    }
+
+    /// The smallest observed value with rank at least `ceil(q·n)`.
+    pub fn quantile_discrete(&self, q: f64) -> f64 {
+        match self {
+            Self::Exact(d) => d.quantile_discrete(q),
+            Self::Sketch(s) => s.quantile_discrete(q),
+        }
+    }
+
+    /// Number of samples represented (total weight for the sketch).
+    pub fn len(&self) -> u64 {
+        match self {
+            Self::Exact(d) => d.len() as u64,
+            Self::Sketch(s) => s.len(),
+        }
+    }
+
+    /// Whether no samples are represented.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest sample (exact in both backends).
+    pub fn min(&self) -> f64 {
+        match self {
+            Self::Exact(d) => d.min(),
+            Self::Sketch(s) => s.min(),
+        }
+    }
+
+    /// Largest sample (exact in both backends).
+    pub fn max(&self) -> f64 {
+        match self {
+            Self::Exact(d) => d.max(),
+            Self::Sketch(s) => s.max(),
+        }
+    }
+
+    /// Sample mean (exact in both backends; the sketch keeps integer
+    /// moment sums).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Self::Exact(d) => d.mean(),
+            Self::Sketch(s) => s.mean(),
+        }
+    }
+
+    /// Unbiased sample standard deviation. Exact backend: cached
+    /// two-pass value; sketch: from exact integer moment sums (equal in
+    /// value up to float association, not guaranteed bitwise).
+    pub fn stddev(&self) -> f64 {
+        match self {
+            Self::Exact(d) => d.stddev(),
+            Self::Sketch(s) => s.stddev(),
+        }
+    }
+
+    /// Fraction of samples `≤ x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match self {
+            Self::Exact(d) => d.cdf(x),
+            Self::Sketch(s) => s.cdf(x),
+        }
+    }
+
+    /// Fraction of samples strictly greater than `x` (false-positive rate
+    /// of threshold `x`).
+    pub fn exceedance(&self, x: f64) -> f64 {
+        match self {
+            Self::Exact(d) => d.exceedance(x),
+            Self::Sketch(s) => s.exceedance(x),
+        }
+    }
+
+    /// Fraction of samples strictly below `x` (the paper's
+    /// false-negative rate via `below(T - b)`).
+    pub fn below(&self, x: f64) -> f64 {
+        match self {
+            Self::Exact(d) => d.below(x),
+            Self::Sketch(s) => s.below(x),
+        }
+    }
+
+    /// The worst-case rank-error bound: 0 for the exact backend, the
+    /// sketch's ledger otherwise.
+    pub fn rank_error_bound(&self) -> u64 {
+        match self {
+            Self::Exact(_) => 0,
+            Self::Sketch(s) => s.rank_error_bound(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALS: &[u64] = &[10, 20, 20, 30, 40, 50, 60, 70, 80, 90];
+
+    fn both() -> (QuantileSource, QuantileSource) {
+        (
+            QuantileSource::exact_from_counts(VALS),
+            // Tight eps on a small stream keeps buffers roomy (capacity
+            // grows as 1/eps), so the sketch never compacts and the two
+            // backends must agree exactly — the contract tests below then
+            // pin identical boundary behavior.
+            QuantileSource::sketch_from_counts(0.05, VALS),
+        )
+    }
+
+    #[test]
+    fn boundary_contract_q_zero_is_min() {
+        let (e, s) = both();
+        for src in [&e, &s] {
+            assert_eq!(src.quantile(0.0), 10.0);
+            assert_eq!(src.quantile_discrete(0.0), 10.0);
+        }
+    }
+
+    #[test]
+    fn boundary_contract_q_one_is_max() {
+        let (e, s) = both();
+        for src in [&e, &s] {
+            assert_eq!(src.quantile(1.0), 90.0);
+            assert_eq!(src.quantile_discrete(1.0), 90.0);
+        }
+    }
+
+    #[test]
+    fn boundary_contract_q_clamped_outside_unit_interval() {
+        let (e, s) = both();
+        for src in [&e, &s] {
+            assert_eq!(src.quantile(-0.5), src.quantile(0.0));
+            assert_eq!(src.quantile(1.5), src.quantile(1.0));
+            assert_eq!(src.quantile_discrete(-0.5), src.quantile_discrete(0.0));
+            assert_eq!(src.quantile_discrete(1.5), src.quantile_discrete(1.0));
+        }
+    }
+
+    #[test]
+    fn boundary_contract_nan_q_returns_min_in_both_backends() {
+        let (e, s) = both();
+        for src in [&e, &s] {
+            assert_eq!(src.quantile(f64::NAN), 10.0);
+            assert_eq!(src.quantile_discrete(f64::NAN), 10.0);
+        }
+        // And identically across backends, not just per-backend:
+        assert_eq!(e.quantile(f64::NAN), s.quantile(f64::NAN));
+        assert_eq!(
+            e.quantile_discrete(f64::NAN),
+            s.quantile_discrete(f64::NAN)
+        );
+    }
+
+    #[test]
+    fn boundary_contract_nan_samples_rejected_at_ingest() {
+        // Sketch: non-panicking rejection.
+        let mut sk = KllSketch::new(0.1);
+        assert!(!sk.insert_f64(f64::NAN));
+        assert!(!sk.insert_f64(f64::INFINITY));
+        assert!(sk.is_empty());
+        // Exact: construction panics (validated by edf.rs's own
+        // `nan_rejected` test; here we only assert the sketch side keeps
+        // state clean so both backends never hold non-finite samples).
+    }
+
+    #[test]
+    fn backends_agree_exactly_when_uncompacted() {
+        let (e, s) = both();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(e.quantile(q), s.quantile(q), "q={q}");
+            assert_eq!(e.quantile_discrete(q), s.quantile_discrete(q), "q={q}");
+        }
+        for x in [5.0, 10.0, 20.0, 55.0, 90.0, 1000.0] {
+            assert_eq!(e.cdf(x), s.cdf(x));
+            assert_eq!(e.exceedance(x), s.exceedance(x));
+            assert_eq!(e.below(x), s.below(x));
+        }
+        assert_eq!(e.min(), s.min());
+        assert_eq!(e.max(), s.max());
+        assert_eq!(e.mean(), s.mean());
+        assert_eq!(e.len(), s.len());
+    }
+
+    #[test]
+    fn empty_sketch_source_queries_return_zero() {
+        let src = QuantileSource::Sketch(KllSketch::new(0.05));
+        assert!(src.is_empty());
+        assert_eq!(src.quantile(0.5), 0.0);
+        assert_eq!(src.quantile_discrete(0.99), 0.0);
+        assert_eq!(src.mean(), 0.0);
+        assert_eq!(src.exceedance(1.0), 0.0);
+    }
+
+    #[test]
+    fn rank_error_bound_zero_for_exact() {
+        let (e, s) = both();
+        assert_eq!(e.rank_error_bound(), 0);
+        assert_eq!(s.rank_error_bound(), 0); // uncompacted
+    }
+}

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use tailstats::{gini, ks_distance, lorenz_curve, EmpiricalDist, FiveNumber, Moments, P2Quantile};
+use tailstats::{
+    gini, ks_distance, lorenz_curve, EmpiricalDist, FiveNumber, KllSketch, Moments, P2Quantile,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -101,5 +103,165 @@ proptest! {
         prop_assert!(d.cdf(v) >= q - 1e-12, "cdf({v}) = {} < {q}", d.cdf(v));
         // Exceedance complement.
         prop_assert!((d.cdf(v) + d.exceedance(v) - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Heavy-tailed adversarial count streams: most values tiny, some huge,
+/// long duplicate runs — the shapes that stress compaction decisions.
+fn heavy_tailed() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,
+            0u64..16,
+            0u64..1_000,
+            0u64..1_000_000_000,
+        ],
+        0..600,
+    )
+}
+
+/// One of a few representative rank-error budgets (lossy through tight).
+fn any_eps() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.2), Just(0.05), Just(0.01)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sketch merge is commutative to the byte: merge(a,b) == merge(b,a)
+    /// in serialized form, for any pair of streams and any budget.
+    #[test]
+    fn sketch_merge_commutative_byte_identical(
+        xs in heavy_tailed(),
+        ys in heavy_tailed(),
+        eps in any_eps(),
+    ) {
+        let mut a = KllSketch::new(eps);
+        a.extend_from_counts(&xs);
+        let mut b = KllSketch::new(eps);
+        b.extend_from_counts(&ys);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.to_bytes(), ba.to_bytes());
+    }
+
+    /// Sketch merge is associative to the byte:
+    /// merge(merge(a,b),c) == merge(a,merge(b,c)).
+    #[test]
+    fn sketch_merge_associative_byte_identical(
+        xs in heavy_tailed(),
+        ys in heavy_tailed(),
+        zs in heavy_tailed(),
+        eps in any_eps(),
+    ) {
+        let mut a = KllSketch::new(eps);
+        a.extend_from_counts(&xs);
+        let mut b = KllSketch::new(eps);
+        b.extend_from_counts(&ys);
+        let mut c = KllSketch::new(eps);
+        c.extend_from_counts(&zs);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.to_bytes(), right.to_bytes());
+    }
+
+    /// Pooling is invariant to input permutation (rotation + reversal
+    /// cover the orders a sharded reduction actually produces).
+    #[test]
+    fn sketch_pool_permutation_invariant(
+        xs in heavy_tailed(),
+        parts in 1usize..7,
+        rot in 0usize..7,
+        eps in any_eps(),
+    ) {
+        let chunk = (xs.len() / parts).max(1);
+        let sketches: Vec<KllSketch> = xs
+            .chunks(chunk)
+            .map(|c| {
+                let mut s = KllSketch::new(eps);
+                s.extend_from_counts(c);
+                s
+            })
+            .collect();
+        if !sketches.is_empty() {
+            let forward: Vec<&KllSketch> = sketches.iter().collect();
+            let mut rotated: Vec<&KllSketch> = sketches.iter().collect();
+            rotated.rotate_left(rot % sketches.len());
+            let reversed: Vec<&KllSketch> = sketches.iter().rev().collect();
+            let base = KllSketch::pool(&forward).to_bytes();
+            prop_assert_eq!(&KllSketch::pool(&rotated).to_bytes(), &base);
+            prop_assert_eq!(&KllSketch::pool(&reversed).to_bytes(), &base);
+        }
+    }
+
+    /// The observed rank (CDF) deviation against the exact distribution
+    /// never exceeds the configured budget, probed at every distinct
+    /// sample value (one discretisation step of slack for the strict /
+    /// non-strict rank convention at probe points).
+    #[test]
+    fn sketch_rank_error_within_bound(xs in heavy_tailed(), eps in any_eps()) {
+        if !xs.is_empty() {
+            let exact = EmpiricalDist::from_counts(&xs);
+            let mut sk = KllSketch::new(eps);
+            sk.extend_from_counts(&xs);
+            let slack = 1.0 / xs.len() as f64 + 1e-12;
+            let mut probes: Vec<u64> = xs.clone();
+            probes.sort_unstable();
+            probes.dedup();
+            for &v in &probes {
+                let dev = (sk.cdf(v as f64) - exact.cdf(v as f64)).abs();
+                prop_assert!(
+                    dev <= eps + slack,
+                    "cdf deviation {dev} at {v} exceeds eps {eps} (n={})",
+                    xs.len()
+                );
+            }
+            // The internal ledger agrees: err <= floor(weight * eps).
+            let budget = (sk.len() as f64 * eps).floor() as u64;
+            prop_assert!(sk.rank_error_bound() <= budget);
+        }
+    }
+
+    /// No panics and sane outputs on degenerate shapes: empty sketches,
+    /// single values, duplicate floods — including queries, merge with
+    /// empty, and a serialization round trip.
+    #[test]
+    fn sketch_no_panic_on_degenerate_inputs(
+        v in 0u64..1_000_000,
+        dupes in 0usize..2000,
+        q in -0.5f64..1.5,
+        eps in any_eps(),
+    ) {
+        let empty = KllSketch::new(eps);
+        prop_assert_eq!(empty.quantile(q), 0.0);
+        prop_assert_eq!(empty.mean(), 0.0);
+        prop_assert_eq!(empty.cdf(v as f64), 0.0);
+
+        let mut single = KllSketch::new(eps);
+        single.insert(v);
+        prop_assert_eq!(single.quantile(q), v as f64);
+
+        let mut flood = KllSketch::new(eps);
+        for _ in 0..dupes {
+            flood.insert(v);
+        }
+        flood.merge(&empty);
+        let mut all = empty.clone();
+        all.merge(&single);
+        all.merge(&flood);
+        prop_assert_eq!(all.len(), 1 + dupes as u64);
+        if dupes > 0 {
+            prop_assert_eq!(flood.quantile(q), v as f64);
+        }
+        let back = KllSketch::from_bytes(&all.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(&back, &all);
+        prop_assert_eq!(back.to_bytes(), all.to_bytes());
     }
 }

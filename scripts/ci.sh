@@ -25,6 +25,13 @@
 # subsystem; the root `tests/metrics.rs` suite (run by `cargo test`)
 # asserts the stronger contracts (byte-identical across thread counts,
 # conservation laws).
+#
+# The megafleet smoke runs the sketch-backed fleet path at reduced scale
+# with its health gauges exported, asserting the tailstats_sketch_*
+# families exist and that the run's internal merge-order / rank-budget
+# self-checks pass (a violated invariant prints a warning we grep for).
+# The sketchablate smoke verifies the sketch-vs-exact rank error bound on
+# a small corpus the same way.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -57,6 +64,34 @@ for family in fleetd_batches_total fleetd_snapshots_written_total \
         exit 1
     }
 done
+mega_metrics="target/ci-megafleet.prom"
+mega_log="target/ci-megafleet.log"
+rm -f "$mega_metrics" "$mega_log"
+cargo run -q --release -p experiments --bin repro -- \
+    --users 20000 --sketch-eps 0.01 --metrics-out "$mega_metrics" \
+    megafleet 2> "$mega_log"
+for family in tailstats_sketch_bytes_total tailstats_sketch_peak_host_bytes \
+    tailstats_sketch_compactions_total tailstats_sketch_rank_error_ppm_max; do
+    grep -q "^# TYPE $family " "$mega_metrics" || {
+        echo "ci.sh: megafleet smoke missing family: $family" >&2
+        exit 1
+    }
+done
+if grep -q "megafleet invariant violated" "$mega_log"; then
+    echo "ci.sh: megafleet self-check failed" >&2
+    cat "$mega_log" >&2
+    exit 1
+fi
+ablate_log="target/ci-sketchablate.log"
+rm -f "$ablate_log"
+cargo run -q --release -p experiments --bin repro -- \
+    --users 40 --weeks 2 --sketch-eps 0.05 sketchablate 2> "$ablate_log" \
+    > /dev/null
+grep -q "sketchablate self-check: worst rank deviation" "$ablate_log" || {
+    echo "ci.sh: sketchablate rank bound violated" >&2
+    cat "$ablate_log" >&2
+    exit 1
+}
 cargo bench -p bench -- --test
 
 echo "ci.sh: all gates passed"

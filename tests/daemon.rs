@@ -539,6 +539,8 @@ fn arb_host_state() -> impl Strategy<Value = HostState> {
             threshold: has_thresh.then(|| thresh as f64 / 7.0),
             live_alarms,
             promoted: (!has_thresh).then(|| (live_alarms as u32 % 672, thresh as f64 / 3.0)),
+            train_sketch: None,
+            test_sketch: None,
         })
 }
 
