@@ -30,8 +30,9 @@ use std::time::Instant;
 
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
-    ablation, chaos, collab, daemon, data::CorpusConfig, drift, fig1, fig2, fig3, fig4, fig5,
-    megafleet, multifeat, ops, report, rollout, seeds, sketchablate, tab2, tab3, Corpus, Table,
+    ablation, chaos, cluster, collab, daemon, data::CorpusConfig, drift, fig1, fig2, fig3, fig4,
+    fig5, megafleet, multifeat, ops, report, rollout, seeds, sketchablate, tab2, tab3, Corpus,
+    Table,
 };
 use flowtab::FeatureKind;
 use synthgen::StormConfig;
@@ -49,15 +50,22 @@ struct Args {
     delivery_backoff: Option<u64>,
     metrics_out: Option<PathBuf>,
     sketch_eps: f64,
+    nodes: u32,
+    kill_seed: u64,
+    heartbeat_interval: u64,
+    heartbeat_timeout: u64,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--sketch-eps E] [EXPERIMENT...]\n\
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--sketch-eps E] [--nodes N] [--kill-seed S] [--heartbeat-interval T] [--heartbeat-timeout T] [EXPERIMENT...]\n\
      experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon rollout all\n\
-     scale experiments (run only when named; not part of `all`): megafleet sketchablate\n\
+     scale experiments (run only when named; not part of `all`): megafleet sketchablate cluster\n\
      megafleet streams --users hosts through bounded-memory rank sketches (--sketch-eps, default 0.01);\n\
-     sketchablate quantifies sketch-vs-exact error on the corpus"
+     sketchablate quantifies sketch-vs-exact error on the corpus;\n\
+     cluster shards fleetd across --nodes worker nodes (default 2) over a lossy wire, then\n\
+     replays the run under a --kill-seed schedule of node and process kills and demands a\n\
+     byte-identical merged hosts CSV (--heartbeat-interval/--heartbeat-timeout tune detection)"
         .to_string()
 }
 
@@ -77,6 +85,10 @@ where
         delivery_backoff: None,
         metrics_out: None,
         sketch_eps: 0.01,
+        nodes: 2,
+        kill_seed: 0xC1A5,
+        heartbeat_interval: 4,
+        heartbeat_timeout: 16,
         experiments: Vec::new(),
     };
     let mut it = argv.into_iter();
@@ -119,6 +131,20 @@ where
             "--sketch-eps" => {
                 args.sketch_eps = value("--sketch-eps")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--kill-seed" => {
+                args.kill_seed = value("--kill-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--heartbeat-interval" => {
+                args.heartbeat_interval = value("--heartbeat-interval")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--heartbeat-timeout" => {
+                args.heartbeat_timeout = value("--heartbeat-timeout")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -153,6 +179,18 @@ where
     }
     if args.delivery_backoff == Some(0) {
         return Err("--delivery-backoff must be at least 1 tick".into());
+    }
+    if args.nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    if args.nodes > 4096 {
+        return Err("--nodes must be at most 4096".into());
+    }
+    if args.heartbeat_interval == 0 {
+        return Err("--heartbeat-interval must be at least 1 tick".into());
+    }
+    if args.heartbeat_timeout <= args.heartbeat_interval {
+        return Err("--heartbeat-timeout must exceed --heartbeat-interval".into());
     }
     Ok(args)
 }
@@ -811,6 +849,107 @@ fn main() -> ExitCode {
         );
     });
 
+    experiment!("cluster", named("cluster"), {
+        let mut scenario = cluster::ClusterScenario {
+            feature: tcp,
+            ..cluster::ClusterScenario::default()
+        };
+        scenario.cluster.n_nodes = args.nodes;
+        scenario.cluster.heartbeat_interval = args.heartbeat_interval;
+        scenario.cluster.heartbeat_timeout = args.heartbeat_timeout;
+        if let Some(n) = args.delivery_attempts {
+            scenario.delivery.max_attempts = n;
+        }
+        if let Some(t) = args.delivery_backoff {
+            scenario.delivery.backoff_base = t;
+        }
+        let batches =
+            daemon::build_batches_for(&corpus, tcp, scenario.batch_windows, &scenario.poison_hosts);
+
+        // Single-node reference: the merged table every sharded run must
+        // reproduce byte-for-byte.
+        let mut ref_scenario = scenario.clone();
+        ref_scenario.cluster.n_nodes = 1;
+        let ref_dir = daemon::unique_run_dir("cluster-ref");
+        let reference = match cluster::run(&ref_dir, &ref_scenario, &batches, &[]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cluster experiment failed (single-node reference): {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&ref_dir);
+
+        let multi_dir = daemon::unique_run_dir("cluster-multi");
+        let multi = match cluster::run(&multi_dir, &scenario, &batches, &[]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cluster experiment failed ({} nodes): {e}", args.nodes);
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&multi_dir);
+        emit(&cluster::hosts_table(&multi), &args.out, "cluster_hosts");
+        emit(&cluster::ops_table(&multi), &args.out, "cluster_ops");
+        metrics.merge(&multi.metrics);
+        if let Err(e) = multi.check() {
+            eprintln!("warning: cluster invariant violated: {e}");
+        }
+        if cluster::hosts_csv(&multi) == cluster::hosts_csv(&reference)
+            && cluster::determinism_snapshot(&multi) == cluster::determinism_snapshot(&reference)
+        {
+            eprintln!(
+                "cluster determinism check ({} nodes vs 1): hosts CSV and metrics snapshot identical",
+                args.nodes
+            );
+        } else {
+            eprintln!(
+                "warning: cluster determinism check FAILED: {}-node output diverged from single-node",
+                args.nodes
+            );
+        }
+
+        if args.fault_rate > 0.0 {
+            // Fault-tolerance self-check: replay the same stream under a
+            // seeded schedule of silent node deaths, batch-boundary
+            // process kills, and torn WAL/journal writes, and demand the
+            // identical merged hosts CSV.
+            let kills = faultsim::cluster_kill_points(
+                args.kill_seed,
+                10,
+                args.nodes,
+                multi.total_applied,
+                multi.total_wal_bytes,
+                multi.total_ticks,
+            );
+            let kill_dir = daemon::unique_run_dir("cluster-kill");
+            match cluster::run(&kill_dir, &scenario, &batches, &kills) {
+                Ok(killed) => {
+                    if let Err(e) = killed.check() {
+                        eprintln!("warning: cluster invariant violated under kills: {e}");
+                    }
+                    let identical = cluster::hosts_csv(&killed) == cluster::hosts_csv(&reference)
+                        && cluster::determinism_snapshot(&killed)
+                            == cluster::determinism_snapshot(&reference);
+                    if identical {
+                        eprintln!(
+                            "cluster kill-recovery check: {} node deaths, {} process kills over {} lifetimes, \
+                             {} dark episodes, hosts CSV identical",
+                            killed.node_deaths_total,
+                            killed.recovery.kills,
+                            killed.recovery.lifetimes,
+                            killed.dark_episodes.len()
+                        );
+                    } else {
+                        eprintln!("warning: cluster kill-recovery check FAILED: hosts CSV diverged");
+                    }
+                }
+                Err(e) => eprintln!("warning: cluster kill-recovery run failed: {e}"),
+            }
+            let _ = std::fs::remove_dir_all(&kill_dir);
+        }
+    });
+
     experiment!("sketchablate", named("sketchablate"), {
         let r = sketchablate::run(&corpus, tcp, args.sketch_eps);
         emit(&r.rank_table(), &args.out, "sketchablate_rank");
@@ -897,6 +1036,50 @@ mod tests {
         let args = parse(&["--sketch-eps", "0.05", "megafleet"]).unwrap();
         assert_eq!(args.sketch_eps, 0.05);
         assert_eq!(parse(&[]).unwrap().sketch_eps, 0.01, "default eps");
+    }
+
+    #[test]
+    fn cluster_flags_parse_with_defaults() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.nodes, 2);
+        assert_eq!(args.heartbeat_interval, 4);
+        assert_eq!(args.heartbeat_timeout, 16);
+        let args = parse(&[
+            "--nodes",
+            "4",
+            "--kill-seed",
+            "99",
+            "--heartbeat-interval",
+            "3",
+            "--heartbeat-timeout",
+            "12",
+            "cluster",
+        ])
+        .unwrap();
+        assert_eq!(args.nodes, 4);
+        assert_eq!(args.kill_seed, 99);
+        assert_eq!(args.heartbeat_interval, 3);
+        assert_eq!(args.heartbeat_timeout, 12);
+        assert_eq!(args.experiments, vec!["cluster"]);
+    }
+
+    #[test]
+    fn cluster_flag_misuse_is_rejected() {
+        assert!(parse(&["--nodes", "0"]).unwrap_err().contains("--nodes"));
+        assert!(parse(&["--nodes", "4097"]).unwrap_err().contains("--nodes"));
+        assert!(parse(&["--heartbeat-interval", "0"])
+            .unwrap_err()
+            .contains("--heartbeat-interval"));
+        // The timeout must strictly exceed the interval, else a healthy
+        // node can never prove liveness between detector sweeps.
+        assert!(parse(&["--heartbeat-interval", "8", "--heartbeat-timeout", "8"])
+            .unwrap_err()
+            .contains("--heartbeat-timeout"));
+        assert!(parse(&["--heartbeat-interval", "8", "--heartbeat-timeout", "4"])
+            .unwrap_err()
+            .contains("--heartbeat-timeout"));
+        assert!(parse(&["--kill-seed"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--kill-seed", "not-a-seed"]).is_err());
     }
 
     #[test]

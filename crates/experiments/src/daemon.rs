@@ -91,8 +91,24 @@ impl Default for DaemonScenario {
 /// across hosts (all hosts make progress concurrently, exercising every
 /// shard).
 pub fn build_batches(corpus: &Corpus, scenario: &DaemonScenario) -> Vec<WindowBatch> {
-    let feature = scenario.feature;
-    let width = scenario.batch_windows.max(1);
+    build_batches_for(
+        corpus,
+        scenario.feature,
+        scenario.batch_windows,
+        &scenario.poison_hosts,
+    )
+}
+
+/// [`build_batches`] without a [`DaemonScenario`]: the same stream shape
+/// for any harness that drives window batches (the cluster harness shares
+/// this so single-daemon and clustered runs ingest identical streams).
+pub fn build_batches_for(
+    corpus: &Corpus,
+    feature: FeatureKind,
+    batch_windows: usize,
+    poison_hosts: &[u32],
+) -> Vec<WindowBatch> {
+    let width = batch_windows.max(1);
     let mut per_host: Vec<Vec<WindowBatch>> = Vec::with_capacity(corpus.n_users());
     for host in 0..corpus.n_users() {
         let mut seq = 0u64;
@@ -104,7 +120,7 @@ pub fn build_batches(corpus: &Corpus, scenario: &DaemonScenario) -> Vec<WindowBa
                 seq += 1;
                 let poison = week == Week::Test
                     && chunk_start == 0
-                    && scenario.poison_hosts.contains(&(host as u32));
+                    && poison_hosts.contains(&(host as u32));
                 batches.push(WindowBatch {
                     host: host as u32,
                     seq,
@@ -439,30 +455,46 @@ fn export_recovery_totals(rec: &RecoveryTotals, reg: &mut Registry) {
     );
 }
 
-fn sum_delivery(mut acc: DeliveryStats, s: DeliveryStats) -> DeliveryStats {
+pub(crate) fn sum_delivery(mut acc: DeliveryStats, s: DeliveryStats) -> DeliveryStats {
     acc.enqueued += s.enqueued;
     acc.delivered += s.delivered;
     acc.retries += s.retries;
+    acc.acknowledged += s.acknowledged;
     acc.rejected_batches += s.rejected_batches;
     acc.rejected_units += s.rejected_units;
     acc.expired_batches += s.expired_batches;
     acc.expired_units += s.expired_units;
+    acc.evicted_batches += s.evicted_batches;
+    acc.evicted_units += s.evicted_units;
     acc.queue_high_water = acc.queue_high_water.max(s.queue_high_water);
     acc
 }
 
 fn evaluate(hosts: &[(u32, HostState)], scenario: &DaemonScenario) -> Option<DegradedEvaluation> {
+    evaluate_hosts(
+        hosts,
+        scenario.feature,
+        scenario.daemon.n_windows as usize,
+        scenario.min_coverage,
+    )
+}
+
+/// [`evaluate`] without a [`DaemonScenario`]: the shared degraded-mode
+/// evaluation every streaming harness (single daemon or cluster) runs over
+/// its final host table. Keeping one implementation is what makes the
+/// cross-harness byte-identity claims meaningful.
+pub(crate) fn evaluate_hosts(
+    hosts: &[(u32, HostState)],
+    feature: FeatureKind,
+    n_windows: usize,
+    min_coverage: f64,
+) -> Option<DegradedEvaluation> {
     if hosts.is_empty() {
         return None;
     }
     let pairs: Vec<(&WindowAccumulator, &WindowAccumulator)> =
         hosts.iter().map(|(_, s)| (&s.train, &s.test)).collect();
-    let dataset = hids_core::degraded_dataset(
-        scenario.feature,
-        scenario.daemon.n_windows as usize,
-        &pairs,
-    )
-    .ok()?;
+    let dataset = hids_core::degraded_dataset(feature, n_windows, &pairs).ok()?;
     let b_max = dataset
         .train
         .iter()
@@ -478,7 +510,7 @@ fn evaluate(hosts: &[(u32, HostState)], scenario: &DaemonScenario) -> Option<Deg
             w: 0.5,
             sweep: AttackSweep::up_to(b_max),
         },
-        min_coverage: scenario.min_coverage,
+        min_coverage,
     };
     hids_core::evaluate_policy_degraded(&dataset, &policy, &cfg).ok()
 }
@@ -498,8 +530,25 @@ fn status_name(s: HostStatus) -> &'static str {
 /// Floats use Rust's shortest-roundtrip `Display`, so equal strings mean
 /// equal `f64`s bit-for-bit (modulo the sign of zero).
 pub fn hosts_table(run: &DaemonRun) -> Table {
-    let mut t = Table::new(
+    hosts_table_titled(
         "daemon — per-host streaming evaluation",
+        &run.hosts,
+        run.evaluation.as_ref(),
+        run.n_windows,
+    )
+}
+
+/// [`hosts_table`] over raw parts, shared with the cluster harness so both
+/// render the identical column set — the cluster determinism contract is
+/// stated as byte-equality of this table's CSV across node counts.
+pub(crate) fn hosts_table_titled(
+    title: &str,
+    hosts: &[(u32, HostState)],
+    evaluation: Option<&DegradedEvaluation>,
+    n_windows: u32,
+) -> Table {
+    let mut t = Table::new(
+        title,
         &[
             "host",
             "last_seq",
@@ -516,8 +565,8 @@ pub fn hosts_table(run: &DaemonRun) -> Table {
         ],
     );
     let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x}"));
-    for (i, (host, st)) in run.hosts.iter().enumerate() {
-        let user = run.evaluation.as_ref().map(|e| &e.users[i]);
+    for (i, (host, st)) in hosts.iter().enumerate() {
+        let user = evaluation.map(|e| &e.users[i]);
         let (status, train_cov, test_cov) = match user {
             Some(u) => (
                 status_name(u.status).to_string(),
@@ -525,7 +574,7 @@ pub fn hosts_table(run: &DaemonRun) -> Table {
                 format!("{}", u.test_coverage),
             ),
             None => {
-                let n = run.n_windows as usize;
+                let n = n_windows as usize;
                 (
                     "unevaluated".to_string(),
                     format!("{}", st.train.coverage(n)),

@@ -22,6 +22,7 @@
 //! | [`ablation`] | extension: group count / binning / heuristic ablations |
 //! | [`chaos`] | extension: fault injection & degraded-mode behaviour |
 //! | [`daemon`] | extension: crash-safe streaming evaluation daemon |
+//! | [`cluster`] | extension: fault-tolerant multi-node fleetd sharding |
 //! | [`rollout`] | extension: drift-aware canary rollouts & rollback |
 //! | [`megafleet`] | extension: million-host sketch-backed fleet evaluation |
 //! | [`sketchablate`] | extension: sketch-vs-exact error ablation at paper scale |
@@ -31,6 +32,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod cluster;
 pub mod collab;
 pub mod daemon;
 pub mod data;

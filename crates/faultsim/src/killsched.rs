@@ -132,6 +132,83 @@ pub fn rollout_kill_points(
         .collect()
 }
 
+/// One scheduled death in a multi-node cluster run.
+///
+/// A cluster has two distinct failure granularities: the whole simulated
+/// process (coordinator + every node, sharing one WAL byte meter — the
+/// [`KillPoint`] classes, which exercise torn cluster-journal records and
+/// mid-batch node-WAL crashes), and a *single node* dying silently while
+/// the rest of the cluster keeps running (which exercises heartbeat-timeout
+/// detection, `Dark` accounting, and journaled rebalance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ClusterKillPoint {
+    /// The whole process dies at a [`KillPoint`]; the harness restarts it
+    /// and recovery replays every WAL plus the cluster journal.
+    Process(KillPoint),
+    /// One worker node dies silently at the given cumulative cluster tick
+    /// (lifetime of the run, monotone across process restarts) and never
+    /// comes back. The coordinator must notice via missed heartbeats.
+    Node {
+        /// The node that dies. Never node 0 in generated schedules, so a
+        /// multi-node cluster always retains a survivor to rebalance onto.
+        node: u32,
+        /// Cumulative cluster tick at which the node stops executing.
+        at_tick: u64,
+    },
+}
+
+/// Derive `n` cluster kill points from `master_seed`, cycling through
+/// three classes: silent node deaths (heartbeat-expiry coverage),
+/// batch-boundary process deaths (mid-batch coverage), and torn-write
+/// process deaths (mid-handoff coverage — offsets land inside cluster
+/// journal records as well as node WAL records, because all writers share
+/// one byte meter). `max_ticks`, `max_batches`, and `max_wal_bytes` come
+/// from an uninterrupted reference run; zero maxima yield points that can
+/// never fire. Node deaths pick victims from `1..n_nodes` so node 0
+/// always survives; single-node clusters get unfireable node kills.
+pub fn cluster_kill_points(
+    master_seed: u64,
+    n: usize,
+    n_nodes: u32,
+    max_batches: u64,
+    max_wal_bytes: u64,
+    max_ticks: u64,
+) -> Vec<ClusterKillPoint> {
+    let mut rng = StdRng::seed_from_u64(crate::subseed(master_seed, 9));
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => {
+                let (node, at_tick) = if n_nodes < 2 || max_ticks == 0 {
+                    (u32::MAX, u64::MAX)
+                } else {
+                    (
+                        rng.random_range(1..n_nodes),
+                        rng.random_range(1..=max_ticks),
+                    )
+                };
+                ClusterKillPoint::Node { node, at_tick }
+            }
+            1 => {
+                let after = if max_batches == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(1..=max_batches)
+                };
+                ClusterKillPoint::Process(KillPoint::AfterBatches(after))
+            }
+            _ => {
+                let offset = if max_wal_bytes == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(0..max_wal_bytes)
+                };
+                let torn = rng.random_range(0..=MAX_TORN_BYTES);
+                ClusterKillPoint::Process(KillPoint::AtWalByte { offset, torn })
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +273,37 @@ mod tests {
             }
         }
         assert_eq!(events, 4);
+    }
+
+    #[test]
+    fn cluster_schedule_cycles_node_batch_and_torn_deaths() {
+        let pts = cluster_kill_points(5, 12, 4, 64, 4096, 500);
+        assert_eq!(pts, cluster_kill_points(5, 12, 4, 64, 4096, 500));
+        for (i, p) in pts.iter().enumerate() {
+            match (i % 3, p) {
+                (0, ClusterKillPoint::Node { node, at_tick }) => {
+                    assert!((1..4).contains(node), "point {i}: {p:?}");
+                    assert!((1..=500).contains(at_tick), "point {i}: {p:?}");
+                }
+                (1, ClusterKillPoint::Process(KillPoint::AfterBatches(n))) => {
+                    assert!((1..=64).contains(n), "point {i}: {p:?}")
+                }
+                (2, ClusterKillPoint::Process(KillPoint::AtWalByte { offset, torn })) => {
+                    assert!(*offset < 4096 && *torn <= MAX_TORN_BYTES, "point {i}: {p:?}")
+                }
+                _ => panic!("point {i} has the wrong class: {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_schedule_single_node_never_kills_the_only_node() {
+        for p in cluster_kill_points(1, 9, 1, 10, 100, 50) {
+            if let ClusterKillPoint::Node { node, at_tick } = p {
+                assert_eq!(node, u32::MAX);
+                assert_eq!(at_tick, u64::MAX);
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`killsched`] — seeded process-death schedules (batch-boundary kills
 //!   and mid-record torn WAL writes), attacking `fleetd`'s crash recovery;
 //! * [`driftfault`] — seeded baseline drift ramps and boiling-frog
-//!   poisoning schedules, attacking the threshold-refit lifecycle.
+//!   poisoning schedules, attacking the threshold-refit lifecycle;
+//! * [`linkfault`] — seeded wire faults (frame drops, duplicates,
+//!   reorders, byte corruption) plus silent node deaths, attacking
+//!   `fleetd`'s cluster transport and heartbeat failure detector.
 //!
 //! A [`FaultPlan`] bundles all three behind a single master seed, deriving
 //! an independent deterministic stream per class, and scales with a single
@@ -36,12 +39,16 @@ pub mod batchfault;
 pub mod bytes;
 pub mod driftfault;
 pub mod killsched;
+pub mod linkfault;
 pub mod telemetry;
 
 pub use batchfault::{BatchFaultLog, BatchFaults};
 pub use bytes::{ByteFaultLog, ByteFaults};
 pub use driftfault::{drifted_hosts, poisoned_hosts, RampInject};
-pub use killsched::{kill_points, rollout_kill_points, KillPoint};
+pub use killsched::{
+    cluster_kill_points, kill_points, rollout_kill_points, ClusterKillPoint, KillPoint,
+};
+pub use linkfault::{LinkFaultLog, LinkFaults, LinkSim};
 pub use telemetry::{TelemetryFaultLog, TelemetryFaults};
 
 /// Derive an independent sub-seed for one fault class from a master seed.

@@ -1,0 +1,194 @@
+//! Seeded link faults for the cluster wire: drops, duplicates, reorders,
+//! and byte corruption of framed messages in flight.
+//!
+//! The cluster transport is an in-process simulation of a real
+//! datacenter link, and real links lose frames, deliver them twice,
+//! deliver them late, and flip bits. [`LinkSim`] applies those faults to
+//! each transmitted frame from one seeded stream, so a lossy run is
+//! exactly replayable from `(faults, seed)` — the property every other
+//! fault class in this crate maintains. The receiving side's CRC framing
+//! and resynchronizing decoder turn corruption into loss, and the
+//! coordinator's ARQ retransmission turns loss into delay; the cluster
+//! determinism contract (byte-identical final host table) must survive
+//! the whole menu.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+/// Per-frame fault probabilities for one simulated link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a frame vanishes entirely.
+    pub drop_rate: f64,
+    /// Probability a frame is delivered twice (second copy slightly
+    /// later).
+    pub dup_rate: f64,
+    /// Probability a frame is held back extra ticks (arriving after
+    /// frames sent later).
+    pub reorder_rate: f64,
+    /// Probability one byte of the frame is bit-flipped in flight.
+    pub corrupt_rate: f64,
+}
+
+impl LinkFaults {
+    /// A perfectly reliable link.
+    pub fn none() -> Self {
+        Self {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            corrupt_rate: 0.0,
+        }
+    }
+
+    /// True when no fault can occur.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.dup_rate <= 0.0
+            && self.reorder_rate <= 0.0
+            && self.corrupt_rate <= 0.0
+    }
+
+    /// Scale a canonical fault mix by one severity knob in `[0, 1]`,
+    /// mirroring [`crate::FaultPlan::with_severity`].
+    pub fn with_severity(severity: f64) -> Self {
+        let s = severity.clamp(0.0, 1.0);
+        Self {
+            drop_rate: 0.08 * s,
+            dup_rate: 0.10 * s,
+            reorder_rate: 0.10 * s,
+            corrupt_rate: 0.05 * s,
+        }
+    }
+}
+
+/// What one link direction did to its traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LinkFaultLog {
+    /// Frames offered for transmission.
+    pub frames: u64,
+    /// Frames dropped outright.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back for late delivery.
+    pub reordered: u64,
+    /// Frames with a byte corrupted in flight.
+    pub corrupted: u64,
+}
+
+/// One seeded lossy link direction.
+#[derive(Debug)]
+pub struct LinkSim {
+    faults: LinkFaults,
+    rng: StdRng,
+    /// Running fault accounting.
+    pub log: LinkFaultLog,
+}
+
+impl LinkSim {
+    /// A link with the given fault mix and seed (derive per-direction
+    /// seeds with [`crate::subseed`]-style mixing at the call site so
+    /// directions are uncorrelated).
+    pub fn new(faults: LinkFaults, seed: u64) -> Self {
+        Self {
+            faults,
+            rng: StdRng::seed_from_u64(seed),
+            log: LinkFaultLog::default(),
+        }
+    }
+
+    /// Transmit one frame: returns the scheduled delivery copies as
+    /// `(extra_delay_ticks, bytes)` — empty when dropped, two entries
+    /// when duplicated. The caller adds its base latency on top of the
+    /// extra delay.
+    pub fn transmit(&mut self, frame: &[u8]) -> Vec<(u64, Vec<u8>)> {
+        self.log.frames += 1;
+        if self.faults.is_none() {
+            return vec![(0, frame.to_vec())];
+        }
+        if self.faults.drop_rate > 0.0 && self.rng.random_bool(self.faults.drop_rate) {
+            self.log.dropped += 1;
+            return Vec::new();
+        }
+        let mut delay = 0u64;
+        if self.faults.reorder_rate > 0.0 && self.rng.random_bool(self.faults.reorder_rate) {
+            self.log.reordered += 1;
+            delay = self.rng.random_range(1..=3);
+        }
+        let mut bytes = frame.to_vec();
+        if !bytes.is_empty()
+            && self.faults.corrupt_rate > 0.0
+            && self.rng.random_bool(self.faults.corrupt_rate)
+        {
+            self.log.corrupted += 1;
+            let idx = self.rng.random_range(0..bytes.len());
+            let bit = self.rng.random_range(0..8u32);
+            bytes[idx] ^= 1 << bit;
+        }
+        let mut copies = vec![(delay, bytes)];
+        if self.faults.dup_rate > 0.0 && self.rng.random_bool(self.faults.dup_rate) {
+            self.log.duplicated += 1;
+            // The duplicate is the *uncorrupted* original, arriving a
+            // little later — the classic retransmit-on-spurious-timeout
+            // artifact.
+            copies.push((delay + self.rng.random_range(1..=2), frame.to_vec()));
+        }
+        copies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(seed: u64, faults: LinkFaults) -> (Vec<Vec<(u64, Vec<u8>)>>, LinkFaultLog) {
+        let mut link = LinkSim::new(faults, seed);
+        let out: Vec<_> = (0..200u8).map(|i| link.transmit(&[i, i ^ 0x5A, 7])).collect();
+        (out, link.log)
+    }
+
+    #[test]
+    fn clean_link_is_the_identity_with_zero_delay() {
+        let (out, log) = drive(1, LinkFaults::none());
+        assert!(out.iter().all(|c| c.len() == 1 && c[0].0 == 0));
+        assert_eq!(log.dropped + log.duplicated + log.reordered + log.corrupted, 0);
+        assert_eq!(log.frames, 200);
+    }
+
+    #[test]
+    fn faulty_link_replays_exactly_per_seed() {
+        let faults = LinkFaults::with_severity(1.0);
+        let (a, log_a) = drive(42, faults);
+        let (b, log_b) = drive(42, faults);
+        assert_eq!(a, b);
+        assert_eq!(log_a, log_b);
+        let (c, _) = drive(43, faults);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn severity_one_exercises_every_fault_class() {
+        let (_, log) = drive(7, LinkFaults::with_severity(1.0));
+        assert!(log.dropped > 0);
+        assert!(log.duplicated > 0);
+        assert!(log.reordered > 0);
+        assert!(log.corrupted > 0);
+        assert!(log.dropped < log.frames, "most frames still get through");
+    }
+
+    #[test]
+    fn duplicates_preserve_the_original_bytes() {
+        let faults = LinkFaults {
+            dup_rate: 1.0,
+            corrupt_rate: 1.0,
+            ..LinkFaults::none()
+        };
+        let mut link = LinkSim::new(faults, 3);
+        let copies = link.transmit(&[1, 2, 3, 4]);
+        assert_eq!(copies.len(), 2);
+        assert_eq!(copies[1].1, vec![1, 2, 3, 4], "dup is the clean original");
+        assert_ne!(copies[0].1, vec![1, 2, 3, 4], "primary was corrupted");
+        assert!(copies[1].0 > copies[0].0, "dup arrives later");
+    }
+}

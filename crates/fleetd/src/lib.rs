@@ -26,17 +26,25 @@
 //! * [`supervisor`] — panic containment, exponential-backoff worker
 //!   restart, poison-batch quarantine, circuit breaker;
 //! * [`daemon`] — the virtual-clock event loop composing all of the
-//!   above, with a conservation law over every admitted batch.
+//!   above, with a conservation law over every admitted batch;
+//! * [`wire`] — the `CLW1` cluster wire protocol: CRC-framed
+//!   batch/ack/heartbeat messages with a resynchronizing,
+//!   bounded-allocation stream decoder;
+//! * [`cluster`] — coordinator + N worker nodes over a simulated lossy
+//!   wire: consistent-hash assignment, heartbeat failure detection,
+//!   journaled rebalance, and a deterministic merged host table.
 //!
 //! The contract the root `tests/daemon.rs` suite enforces: kill the
 //! daemon at *any* batch boundary or WAL byte offset (including torn
 //! mid-frame writes), restart it, redeliver unacknowledged work, and the
 //! final per-host evaluation outputs are byte-identical to a run that
-//! was never interrupted.
+//! was never interrupted. The root `tests/cluster.rs` suite extends the
+//! same contract across node counts, seeded node kills, and wire faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod codec;
 pub mod daemon;
 pub mod epoch;
@@ -45,7 +53,12 @@ pub mod snapshot;
 pub mod state;
 pub mod supervisor;
 pub mod wal;
+pub mod wire;
 
+pub use cluster::{
+    AssignEvent, AssignState, Cluster, ClusterConfig, ClusterKillSwitch, ClusterRecovery,
+    ClusterSnapshot, ClusterStats, DarkEpisode, HandoffNotice, HashRing,
+};
 pub use codec::{Week, WindowBatch};
 pub use daemon::{
     Completion, Daemon, DaemonConfig, DaemonError, DaemonStats, Disposition, RecoveryReport,
@@ -59,3 +72,4 @@ pub use snapshot::Snapshot;
 pub use state::{ApplyConfig, ApplyError, ApplyOutcome, HostState};
 pub use supervisor::{SupervisorConfig, WorkerStatus};
 pub use wal::{KillSwitch, WalRecord, WalWriter};
+pub use wire::{ClusterMsg, WireDecoder, WireStats};

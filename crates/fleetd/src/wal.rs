@@ -225,6 +225,21 @@ pub struct WalReplay {
     pub tail_defect: Option<TailDefect>,
 }
 
+/// What raw replay recovered: CRC-verified frame payloads with no
+/// structural interpretation (the caller owns the payload grammar — the
+/// cluster's assignment journal uses this).
+#[derive(Debug)]
+pub struct RawReplay {
+    /// CRC-verified payloads, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// File length after truncating the torn tail.
+    pub valid_bytes: u64,
+    /// Bytes discarded as a torn / corrupt tail (0 for a clean log).
+    pub torn_bytes: u64,
+    /// Why the walk stopped early, if it did.
+    pub tail_defect: Option<TailDefect>,
+}
+
 /// The defect that terminated a replay walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TailDefect {
@@ -260,6 +275,15 @@ pub enum AppendOutcome {
     Killed,
 }
 
+/// Frame an arbitrary already-encoded payload with the `WLR1` header
+/// (magic, length, CRC). This is the framing discipline itself, exposed
+/// so other journals — the cluster coordinator's assignment log, the
+/// cluster wire protocol — can reuse it without inventing a second,
+/// subtly different frame grammar.
+pub fn frame_raw(payload: &[u8]) -> Vec<u8> {
+    frame_payload(payload)
+}
+
 /// Frame an already-encoded record payload.
 fn frame_payload(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(WAL_HEADER_LEN + payload.len());
@@ -284,44 +308,64 @@ pub fn frame_rollout(ev: &RolloutEvent) -> Vec<u8> {
     frame_payload(&payload)
 }
 
-/// Walk the frames of `bytes`, returning the recovered records, the
-/// length of the valid prefix, and the defect (if any) that stopped the
-/// walk. Pure function — file truncation is the caller's job.
-pub fn scan_frames(bytes: &[u8]) -> (Vec<WalRecord>, u64, Option<TailDefect>) {
-    let mut records = Vec::new();
+/// Walk the `WLR1` frames of `bytes` at the framing level only, returning
+/// each CRC-verified payload together with the byte offset one past its
+/// frame, the length of the valid prefix, and the defect (if any) that
+/// stopped the walk. Structural interpretation of the payloads is the
+/// caller's job — this is the piece the cluster journal shares with the
+/// daemon WAL. Pure function; file truncation is also the caller's job.
+pub fn scan_raw_frames(bytes: &[u8]) -> (Vec<(u64, Vec<u8>)>, u64, Option<TailDefect>) {
+    let mut payloads = Vec::new();
     let mut pos = 0usize;
     loop {
         let rest = &bytes[pos..];
         if rest.is_empty() {
-            return (records, pos as u64, None);
+            return (payloads, pos as u64, None);
         }
         if rest.len() < WAL_HEADER_LEN {
-            return (records, pos as u64, Some(TailDefect::ShortHeader));
+            return (payloads, pos as u64, Some(TailDefect::ShortHeader));
         }
         if rest[..4] != WAL_MAGIC {
-            return (records, pos as u64, Some(TailDefect::BadMagic));
+            return (payloads, pos as u64, Some(TailDefect::BadMagic));
         }
         let len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         if len > MAX_FRAME_PAYLOAD {
-            return (records, pos as u64, Some(TailDefect::ImplausibleLength));
+            return (payloads, pos as u64, Some(TailDefect::ImplausibleLength));
         }
         let crc = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
         let total = WAL_HEADER_LEN + len as usize;
         if rest.len() < total {
-            return (records, pos as u64, Some(TailDefect::ShortPayload));
+            return (payloads, pos as u64, Some(TailDefect::ShortPayload));
         }
         let payload = &rest[WAL_HEADER_LEN..total];
         if crc32(payload) != crc {
-            return (records, pos as u64, Some(TailDefect::CrcMismatch));
-        }
-        match WalRecord::decode(payload) {
-            Ok(r) => records.push(r),
-            Err(e) => {
-                return (records, pos as u64, Some(TailDefect::Undecodable(e)));
-            }
+            return (payloads, pos as u64, Some(TailDefect::CrcMismatch));
         }
         pos += total;
+        payloads.push((pos as u64, payload.to_vec()));
     }
+}
+
+/// Walk the frames of `bytes`, returning the recovered records, the
+/// length of the valid prefix, and the defect (if any) that stopped the
+/// walk. Pure function — file truncation is the caller's job.
+pub fn scan_frames(bytes: &[u8]) -> (Vec<WalRecord>, u64, Option<TailDefect>) {
+    let (payloads, valid, defect) = scan_raw_frames(bytes);
+    let mut records = Vec::with_capacity(payloads.len());
+    let mut prev_end = 0u64;
+    for (end, payload) in payloads {
+        match WalRecord::decode(&payload) {
+            Ok(r) => records.push(r),
+            Err(e) => {
+                // A frame that passes CRC but fails structural decode is
+                // only possible with deliberate corruption; truncate from
+                // the frame's start like any other tail defect.
+                return (records, prev_end, Some(TailDefect::Undecodable(e)));
+            }
+        }
+        prev_end = end;
+    }
+    (records, valid, defect)
 }
 
 impl WalWriter {
@@ -345,6 +389,43 @@ impl WalWriter {
         file.seek(SeekFrom::Start(valid_bytes))?;
         let replay = WalReplay {
             records,
+            valid_bytes,
+            torn_bytes,
+            tail_defect,
+        };
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+                len: valid_bytes,
+            },
+            replay,
+        ))
+    }
+
+    /// Open (creating if absent) the log at `path` like [`WalWriter::open`],
+    /// but replay at the framing level only: payloads are returned
+    /// CRC-verified and uninterpreted. Use this for logs whose record
+    /// grammar is not [`WalRecord`] — opening such a log with
+    /// [`WalWriter::open`] would mis-decode the first record as a batch
+    /// and truncate the whole file as an undecodable tail.
+    pub fn open_raw(path: &Path) -> std::io::Result<(Self, RawReplay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (ends, valid_bytes, tail_defect) = scan_raw_frames(&bytes);
+        let torn_bytes = bytes.len() as u64 - valid_bytes;
+        if torn_bytes > 0 {
+            file.set_len(valid_bytes)?;
+        }
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        let replay = RawReplay {
+            payloads: ends.into_iter().map(|(_, p)| p).collect(),
             valid_bytes,
             torn_bytes,
             tail_defect,
@@ -393,6 +474,20 @@ impl WalWriter {
         kill: &mut KillSwitch,
     ) -> std::io::Result<AppendOutcome> {
         self.append_frame(frame_rollout(ev), kill)
+    }
+
+    /// Frame an arbitrary pre-encoded payload and append it, consulting
+    /// `kill` for a mid-frame crash. The payload's structure is the
+    /// caller's contract (the cluster journal appends assignment events
+    /// through this); the framing, CRC, torn-tail, and kill-switch
+    /// discipline is identical to the batch/rollout paths — one byte
+    /// meter covers every append in the process.
+    pub fn append_raw(
+        &mut self,
+        payload: &[u8],
+        kill: &mut KillSwitch,
+    ) -> std::io::Result<AppendOutcome> {
+        self.append_frame(frame_payload(payload), kill)
     }
 
     fn append_frame(

@@ -95,6 +95,16 @@ pub struct DeliveryStats {
     pub expired_batches: u64,
     /// Units inside expired batches.
     pub expired_units: u64,
+    /// Batches removed by [`DeliveryQueue::acknowledge`] — delivered work
+    /// confirmed out-of-band (the ARQ path, where the sink fires frames at
+    /// a lossy wire and success is only known when an ack comes back).
+    pub acknowledged: u64,
+    /// Batches removed by [`DeliveryQueue::evict`] — withdrawn by the
+    /// caller (e.g. a shard handoff re-routing a host), accounted by the
+    /// caller under its own taxonomy.
+    pub evicted_batches: u64,
+    /// Units inside evicted batches.
+    pub evicted_units: u64,
     /// Highest queue occupancy observed.
     pub queue_high_water: usize,
 }
@@ -159,6 +169,21 @@ impl DeliveryStats {
             "itc_delivery_units_total",
             &with("expired"),
             self.expired_units,
+        );
+        reg.counter_add(
+            "itc_delivery_batches_total",
+            &with("acknowledged"),
+            self.acknowledged,
+        );
+        reg.counter_add(
+            "itc_delivery_batches_total",
+            &with("evicted"),
+            self.evicted_batches,
+        );
+        reg.counter_add(
+            "itc_delivery_units_total",
+            &with("evicted"),
+            self.evicted_units,
         );
         reg.counter_add("itc_delivery_retries_total", q, self.retries);
         reg.gauge_set(
@@ -315,6 +340,52 @@ impl<B: Payload> DeliveryQueue<B> {
         let hi = prev_backoff.max(base).saturating_mul(3).min(cap);
         let span = hi.saturating_sub(base).saturating_add(1);
         base.saturating_add(splitmix64(&mut self.jitter_state) % span)
+    }
+
+    /// Remove every queued batch matching `pred`, counting each as
+    /// acknowledged. This is the ARQ (automatic-repeat-request) delivery
+    /// path: when the sink is a lossy wire, `pump`'s sink fires a frame
+    /// and returns `false` — transmission, not delivery — so the batch
+    /// stays armed for a backed-off retransmit. A confirmation arriving
+    /// out-of-band (an ack frame) calls this to retire the batch. Returns
+    /// how many were removed (0 when the ack raced an expiry; >1 only if
+    /// the caller enqueued duplicates).
+    pub fn acknowledge<F: FnMut(&B) -> bool>(&mut self, mut pred: F) -> usize {
+        let mut kept: VecDeque<PendingBatch<B>> = VecDeque::with_capacity(self.queue.len());
+        let mut removed = 0usize;
+        while let Some(p) = self.queue.pop_front() {
+            if pred(&p.batch) {
+                self.stats.acknowledged += 1;
+                removed += 1;
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.queue = kept;
+        removed
+    }
+
+    /// Remove every queued batch matching `pred` *without* counting it as
+    /// delivered — the batch is withdrawn, not completed (e.g. a shard
+    /// handoff invalidating in-flight work for a re-routed host; the
+    /// caller re-drives the host from its journaled assignment). The
+    /// removal is still visible in [`DeliveryStats::evicted_batches`] so
+    /// the queue's conservation law (`enqueued = delivered + acknowledged
+    /// + expired + evicted + len` once idle) keeps holding.
+    pub fn evict<F: FnMut(&B) -> bool>(&mut self, mut pred: F) -> usize {
+        let mut kept: VecDeque<PendingBatch<B>> = VecDeque::with_capacity(self.queue.len());
+        let mut removed = 0usize;
+        while let Some(p) = self.queue.pop_front() {
+            if pred(&p.batch) {
+                self.stats.evicted_batches += 1;
+                self.stats.evicted_units += p.batch.units();
+                removed += 1;
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.queue = kept;
+        removed
     }
 
     /// Batches currently queued.
@@ -611,6 +682,85 @@ mod tests {
         assert_eq!(sat_shl(u64::MAX, 1), u64::MAX);
         assert_eq!(sat_shl(0, 70), 0, "zero base shifts to zero at any amount");
         assert_eq!(sat_shl(0, 63), 0);
+    }
+
+    #[test]
+    fn acknowledge_retires_queued_batches_as_delivered_work() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 8,
+            max_attempts: 10,
+            backoff_base: 4,
+            jitter_seed: None,
+        });
+        q.offer(batch(1));
+        q.offer(batch(2));
+        // ARQ discipline: the sink transmits and reports false; both
+        // batches stay queued awaiting confirmation.
+        assert_eq!(q.pump(|_| false), 0);
+        assert_eq!(q.len(), 2);
+        // The ack for the size-2 batch arrives out-of-band.
+        assert_eq!(q.acknowledge(|b| b.len() == 2), 1);
+        assert_eq!(q.len(), 1);
+        let s = q.stats();
+        assert_eq!(s.acknowledged, 1);
+        assert_eq!(s.delivered, 0, "sink never reported synchronous success");
+        // An ack for a batch no longer queued is a no-op.
+        assert_eq!(q.acknowledge(|b| b.len() == 2), 0);
+    }
+
+    #[test]
+    fn evict_withdraws_without_delivery_accounting() {
+        let mut q = DeliveryQueue::new(DeliveryConfig {
+            capacity: 8,
+            max_attempts: 10,
+            backoff_base: 4,
+            jitter_seed: None,
+        });
+        q.offer(batch(3));
+        q.offer(batch(1));
+        assert_eq!(q.evict(|b| b.len() == 3), 1);
+        let s = q.stats();
+        assert_eq!(s.evicted_batches, 1);
+        assert_eq!(s.evicted_units, 3);
+        assert_eq!(s.acknowledged, 0);
+        assert_eq!(s.delivered, 0);
+        assert_eq!(q.len(), 1);
+        // Conservation once idle: enqueued = delivered + acknowledged +
+        // expired + evicted + len.
+        assert_eq!(
+            s.enqueued,
+            s.delivered + s.acknowledged + s.expired_batches + s.evicted_batches + q.len() as u64
+        );
+    }
+
+    #[test]
+    fn arq_retransmit_schedule_survives_huge_attempt_budgets() {
+        // The wire-path shape of the PR 5 saturating-shift regression: an
+        // ARQ queue whose sink always returns false (fire at a black-holed
+        // link) with max_attempts >= 64 walks the backoff shift past the
+        // u64 width. The schedule must saturate — never wrap to a hot
+        // loop, never panic — and finally expire the batch with full
+        // accounting.
+        for jitter_seed in [None, Some(0xC1)] {
+            let mut q = DeliveryQueue::new(DeliveryConfig {
+                capacity: 4,
+                max_attempts: 96,
+                backoff_base: 3,
+                jitter_seed,
+            });
+            q.offer(batch(2));
+            let mut rounds = 0u32;
+            while !q.is_empty() {
+                q.pump(|_| false);
+                q.tick(u64::MAX);
+                rounds += 1;
+                assert!(rounds <= 100, "batch must expire within max_attempts");
+            }
+            let s = q.stats();
+            assert_eq!(s.expired_batches, 1);
+            assert_eq!(s.retries, 95);
+            assert_eq!(s.acknowledged, 0);
+        }
     }
 
     #[test]

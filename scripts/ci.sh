@@ -20,6 +20,14 @@
 # same way, including the rollback-identity and epoch-boundary
 # kill-recovery self-checks.
 #
+# The cluster stages are the distribution gate: the root `tests/cluster.rs`
+# suite asserts byte-identical merged output across 1/2/4 nodes and a
+# >=12-point node-kill/process-kill sweep, and the `repro cluster` smoke
+# re-runs the 4-node scenario under a seeded kill schedule, printing a
+# warning on any determinism or kill-recovery self-check failure (which
+# we grep for), with the fleetd_cluster_* metric families asserted
+# present in the exported snapshot.
+#
 # The metrics smoke stage writes a deterministic Prometheus snapshot via
 # `--metrics-out` and greps for one metric family per instrumented
 # subsystem; the root `tests/metrics.rs` suite (run by `cargo test`)
@@ -39,6 +47,7 @@ cargo build --release
 cargo test -q
 cargo test -q --test daemon
 cargo test -q --test rollout
+cargo test -q --test cluster
 cargo test -q --test metrics
 cargo clippy -q \
     -p netpkt -p flowtab -p tailstats -p synthgen -p hids-core \
@@ -64,6 +73,36 @@ for family in fleetd_batches_total fleetd_snapshots_written_total \
         exit 1
     }
 done
+cluster_metrics="target/ci-cluster.prom"
+cluster_log="target/ci-cluster.log"
+rm -f "$cluster_metrics" "$cluster_log"
+cargo run -q --release -p experiments --bin repro -- \
+    --users 16 --weeks 2 --seed 42 --nodes 4 --kill-seed 64273 \
+    --fault-seed 64273 --fault-rate 0.2 --metrics-out "$cluster_metrics" \
+    cluster 2> "$cluster_log" > /dev/null
+for family in fleetd_cluster_batches_total fleetd_cluster_nodes \
+    fleetd_cluster_node_deaths_total fleetd_cluster_handoffs_total \
+    fleetd_cluster_wire_frames_total fleetd_cluster_harness_lifetimes_total; do
+    grep -q "^# TYPE $family " "$cluster_metrics" || {
+        echo "ci.sh: cluster smoke missing family: $family" >&2
+        exit 1
+    }
+done
+grep -q "cluster determinism check (4 nodes vs 1)" "$cluster_log" || {
+    echo "ci.sh: cluster determinism check did not run" >&2
+    cat "$cluster_log" >&2
+    exit 1
+}
+grep -q "cluster kill-recovery check:" "$cluster_log" || {
+    echo "ci.sh: cluster kill-recovery check did not run" >&2
+    cat "$cluster_log" >&2
+    exit 1
+}
+if grep -q "FAILED" "$cluster_log"; then
+    echo "ci.sh: cluster self-check failed" >&2
+    cat "$cluster_log" >&2
+    exit 1
+fi
 mega_metrics="target/ci-megafleet.prom"
 mega_log="target/ci-megafleet.log"
 rm -f "$mega_metrics" "$mega_log"
