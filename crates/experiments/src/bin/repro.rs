@@ -49,6 +49,9 @@ struct Args {
     delivery_attempts: Option<u32>,
     delivery_backoff: Option<u64>,
     metrics_out: Option<PathBuf>,
+    ingest_rate: u64,
+    ingest_burst: u64,
+    fault_severity: f64,
     sketch_eps: f64,
     nodes: u32,
     kill_seed: u64,
@@ -58,8 +61,12 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--sketch-eps E] [--nodes N] [--kill-seed S] [--heartbeat-interval T] [--heartbeat-timeout T] [EXPERIMENT...]\n\
-     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon rollout all\n\
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--ingest-rate N] [--ingest-burst N] [--fault-severity S] [--sketch-eps E] [--nodes N] [--kill-seed S] [--heartbeat-interval T] [--heartbeat-timeout T] [EXPERIMENT...]\n\
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon ingest rollout all\n\
+     ingest re-encodes the daemon stream as syslog/CEF + DNS datagrams through the hardened wire\n\
+     front-end: severity 0 must reproduce the synthetic hosts CSV byte-for-byte, then a\n\
+     --fault-severity sweep plus a seeded flood exercise shedding and degraded accounting\n\
+     (--ingest-rate/--ingest-burst tune the per-source token bucket);\n\
      scale experiments (run only when named; not part of `all`): megafleet sketchablate cluster\n\
      megafleet streams --users hosts through bounded-memory rank sketches (--sketch-eps, default 0.01);\n\
      sketchablate quantifies sketch-vs-exact error on the corpus;\n\
@@ -84,6 +91,9 @@ where
         delivery_attempts: None,
         delivery_backoff: None,
         metrics_out: None,
+        ingest_rate: 16,
+        ingest_burst: 64,
+        fault_severity: 0.2,
         sketch_eps: 0.01,
         nodes: 2,
         kill_seed: 0xC1A5,
@@ -127,6 +137,17 @@ where
                         .parse()
                         .map_err(|e| format!("{e}"))?,
                 )
+            }
+            "--ingest-rate" => {
+                args.ingest_rate = value("--ingest-rate")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--ingest-burst" => {
+                args.ingest_burst = value("--ingest-burst")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--fault-severity" => {
+                args.fault_severity = value("--fault-severity")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--sketch-eps" => {
                 args.sketch_eps = value("--sketch-eps")?.parse().map_err(|e| format!("{e}"))?
@@ -173,6 +194,15 @@ where
     }
     if !(0.0..=1.0).contains(&args.fault_rate) {
         return Err("--fault-rate must be in [0, 1]".into());
+    }
+    if !(0.0..=1.0).contains(&args.fault_severity) {
+        return Err("--fault-severity must be in [0, 1]".into());
+    }
+    if args.ingest_rate == 0 {
+        return Err("--ingest-rate must be at least 1 datagram/tick".into());
+    }
+    if args.ingest_burst < args.ingest_rate {
+        return Err("--ingest-burst must be at least --ingest-rate".into());
     }
     if args.delivery_attempts == Some(0) {
         return Err("--delivery-attempts must be at least 1".into());
@@ -238,6 +268,37 @@ fn megafleet_json(args: &Args, r: &megafleet::MegafleetResult, secs: f64) -> Str
         r.max_rank_error_ppm,
         r.mean_utility,
         r.hosts_csv_hash(),
+    )
+}
+
+/// `BENCH_ingest.json`: decode throughput plus the conservation evidence.
+fn ingest_json(
+    args: &Args,
+    clean: &experiments::ingest::IngestRun,
+    faulted: &experiments::ingest::IngestRun,
+    events_per_sec: f64,
+) -> String {
+    format!(
+        "{{\n  \"users\": {},\n  \"ingest_rate\": {},\n  \"ingest_burst\": {},\n  \
+         \"fault_severity\": {},\n  \"threads\": {},\n  \"decode_events_per_sec_core\": {:.0},\n  \
+         \"clean\": {{ \"received\": {}, \"accepted\": {}, \"shed\": {}, \"malformed\": {} }},\n  \
+         \"faulted\": {{ \"received\": {}, \"accepted\": {}, \"shed\": {}, \"malformed\": {}, \
+         \"flood_latched\": {} }}\n}}\n",
+        args.users,
+        args.ingest_rate,
+        args.ingest_burst,
+        args.fault_severity,
+        hids_core::current_threads(),
+        events_per_sec,
+        clean.stats.received,
+        clean.stats.accepted,
+        clean.stats.shed,
+        clean.stats.malformed,
+        faulted.stats.received,
+        faulted.stats.accepted,
+        faulted.stats.shed,
+        faulted.stats.malformed,
+        faulted.stats.flood_latched,
     )
 }
 
@@ -706,6 +767,102 @@ fn main() -> ExitCode {
         }
     });
 
+    experiment!("ingest", {
+        let base = experiments::ingest::IngestScenario {
+            seed: args.fault_seed,
+            rate_per_tick: args.ingest_rate,
+            burst: args.ingest_burst,
+            daemon: daemon::DaemonScenario {
+                feature: tcp,
+                ..daemon::DaemonScenario::default()
+            },
+            ..experiments::ingest::IngestScenario::default()
+        };
+
+        // Identity leg: a clean wire must reproduce the synthetic-batch
+        // hosts CSV byte-for-byte — the wire format adds nothing.
+        let clean_dir = daemon::unique_run_dir("ingest-clean");
+        let clean = match experiments::ingest::run(&clean_dir, &corpus, &base) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ingest experiment failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let batches = daemon::build_batches(&corpus, &base.daemon);
+        let ref_dir = daemon::unique_run_dir("ingest-ref");
+        match daemon::run(&ref_dir, &base.daemon, &batches, &[]) {
+            Ok(reference) => {
+                if clean.hosts_csv() == daemon::hosts_csv(&reference) {
+                    eprintln!("ingest identity check: severity-0 hosts CSV identical to synthetic path");
+                } else {
+                    eprintln!("warning: ingest identity check FAILED: hosts CSV diverged");
+                }
+            }
+            Err(e) => eprintln!("warning: ingest reference run failed: {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&ref_dir);
+
+        // Degradation leg: a faulted wire plus one flooding agent. The
+        // flood drains its own source's bucket, so that host's test week
+        // is shed — it must surface through degraded accounting, not
+        // vanish.
+        let flooded_host = (args.fault_seed % args.users as u64) as u32;
+        let hostile = experiments::ingest::IngestScenario {
+            severity: args.fault_severity,
+            flood_hosts: vec![flooded_host],
+            ..base.clone()
+        };
+        let hostile_dir = daemon::unique_run_dir("ingest-hostile");
+        let faulted = match experiments::ingest::run(&hostile_dir, &corpus, &hostile) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ingest experiment failed (severity {}): {e}", args.fault_severity);
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&hostile_dir);
+        emit(
+            &experiments::ingest::sweep_table(&[
+                (0.0, &clean),
+                (args.fault_severity, &faulted),
+            ]),
+            &args.out,
+            "ingest_sweep",
+        );
+        metrics.merge(&faulted.run.metrics);
+        for (label, r) in [("clean", &clean), ("hostile", &faulted)] {
+            if let Err(e) = r.check() {
+                eprintln!("warning: ingest invariant violated ({label}): {e}");
+            }
+        }
+        use hids_core::degraded::HostStatus;
+        match faulted.host_status(flooded_host) {
+            Some(HostStatus::Evaluated) => {
+                eprintln!("warning: flooded host {flooded_host} was fully evaluated — flood had no effect")
+            }
+            Some(s) => eprintln!(
+                "ingest flood check: host {flooded_host} degraded to {s:?} with {} datagrams shed",
+                faulted.stats.shed
+            ),
+            None => eprintln!("ingest flood check: host {flooded_host} fully dark (no state)"),
+        }
+
+        // Throughput: events/sec for one core through the hardened
+        // parser, recorded as a tracked benchmark artifact.
+        let events_per_sec = experiments::ingest::measure_decode_throughput(200_000);
+        eprintln!("ingest decode throughput: {events_per_sec:.0} events/sec/core");
+        if let Some(dir) = &args.out {
+            let json = ingest_json(&args, &clean, &faulted, events_per_sec);
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join("BENCH_ingest.json"), json))
+            {
+                eprintln!("warning: failed to write BENCH_ingest.json: {e}");
+            }
+        }
+    });
+
     experiment!("rollout", {
         // Synthetic drift streams (not the corpus): sized so both
         // narratives — benign promotion and poisoned rollback — are
@@ -1080,6 +1237,49 @@ mod tests {
             .contains("--heartbeat-timeout"));
         assert!(parse(&["--kill-seed"]).unwrap_err().contains("requires a value"));
         assert!(parse(&["--kill-seed", "not-a-seed"]).is_err());
+    }
+
+    #[test]
+    fn ingest_flags_parse_with_defaults() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.ingest_rate, 16);
+        assert_eq!(args.ingest_burst, 64);
+        assert_eq!(args.fault_severity, 0.2);
+        let args = parse(&[
+            "--ingest-rate",
+            "4",
+            "--ingest-burst",
+            "32",
+            "--fault-severity",
+            "0.05",
+            "ingest",
+        ])
+        .unwrap();
+        assert_eq!(args.ingest_rate, 4);
+        assert_eq!(args.ingest_burst, 32);
+        assert_eq!(args.fault_severity, 0.05);
+        assert_eq!(args.experiments, vec!["ingest"]);
+    }
+
+    #[test]
+    fn ingest_flag_misuse_is_rejected() {
+        assert!(parse(&["--ingest-rate", "0"])
+            .unwrap_err()
+            .contains("--ingest-rate"));
+        // A burst below the refill rate can never fill the bucket —
+        // honest sources would shed on their very first tick.
+        assert!(parse(&["--ingest-rate", "8", "--ingest-burst", "4"])
+            .unwrap_err()
+            .contains("--ingest-burst"));
+        for bad in ["1.5", "-0.1", "NaN"] {
+            assert!(
+                parse(&["--fault-severity", bad]).unwrap_err().contains("[0, 1]"),
+                "--fault-severity {bad} must be rejected"
+            );
+        }
+        assert!(parse(&["--fault-severity"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--ingest-rate", "not-a-rate"]).is_err());
+        assert!(parse(&["--fault-severity", "1.0"]).is_ok());
     }
 
     #[test]

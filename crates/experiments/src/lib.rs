@@ -22,6 +22,7 @@
 //! | [`ablation`] | extension: group count / binning / heuristic ablations |
 //! | [`chaos`] | extension: fault injection & degraded-mode behaviour |
 //! | [`daemon`] | extension: crash-safe streaming evaluation daemon |
+//! | [`ingest`] | extension: hardened syslog/CEF + DNS wire ingest plane |
 //! | [`cluster`] | extension: fault-tolerant multi-node fleetd sharding |
 //! | [`rollout`] | extension: drift-aware canary rollouts & rollback |
 //! | [`megafleet`] | extension: million-host sketch-backed fleet evaluation |
@@ -42,6 +43,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod ingest;
 pub mod megafleet;
 pub mod multifeat;
 pub mod ops;

@@ -23,7 +23,10 @@
 //!   poisoning schedules, attacking the threshold-refit lifecycle;
 //! * [`linkfault`] — seeded wire faults (frame drops, duplicates,
 //!   reorders, byte corruption) plus silent node deaths, attacking
-//!   `fleetd`'s cluster transport and heartbeat failure detector.
+//!   `fleetd`'s cluster transport and heartbeat failure detector;
+//! * [`datagram`] — per-datagram UDP faults (loss, duplication, byte
+//!   corruption, truncation), attacking `fleetd`'s syslog/CEF and DNS
+//!   ingest plane.
 //!
 //! A [`FaultPlan`] bundles all three behind a single master seed, deriving
 //! an independent deterministic stream per class, and scales with a single
@@ -37,6 +40,7 @@
 
 pub mod batchfault;
 pub mod bytes;
+pub mod datagram;
 pub mod driftfault;
 pub mod killsched;
 pub mod linkfault;
@@ -44,6 +48,7 @@ pub mod telemetry;
 
 pub use batchfault::{BatchFaultLog, BatchFaults};
 pub use bytes::{ByteFaultLog, ByteFaults};
+pub use datagram::{DatagramFaultLog, DatagramFaults};
 pub use driftfault::{drifted_hosts, poisoned_hosts, RampInject};
 pub use killsched::{
     cluster_kill_points, kill_points, rollout_kill_points, ClusterKillPoint, KillPoint,

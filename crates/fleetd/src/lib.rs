@@ -27,6 +27,10 @@
 //!   restart, poison-batch quarantine, circuit breaker;
 //! * [`daemon`] — the virtual-clock event loop composing all of the
 //!   above, with a conservation law over every admitted batch;
+//! * [`ingest`] — the wire-facing front-end: panic-free syslog/CEF and
+//!   DNS datagram parsing with sanitization, per-source token-bucket
+//!   flood control, and a `received = accepted + shed + malformed`
+//!   conservation law of its own;
 //! * [`wire`] — the `CLW1` cluster wire protocol: CRC-framed
 //!   batch/ack/heartbeat messages with a resynchronizing,
 //!   bounded-allocation stream decoder;
@@ -48,6 +52,7 @@ pub mod cluster;
 pub mod codec;
 pub mod daemon;
 pub mod epoch;
+pub mod ingest;
 pub mod queue;
 pub mod snapshot;
 pub mod state;
@@ -66,6 +71,10 @@ pub use daemon::{
 pub use epoch::{
     EpochOutcome, EpochRecord, EpochState, GateStats, HealthGate, Phase, RollbackReason,
     RolloutConfig, RolloutEvent,
+};
+pub use ingest::{
+    decode_batch_datagram, encode_batch_datagram, encode_dns_datagram, sanitize, CefEvent,
+    IngestConfig, IngestOutcome, IngestStats, Ingestor, Lane, LaneStats, SyslogMsg,
 };
 pub use queue::{Admit, QueueConfig};
 pub use snapshot::Snapshot;

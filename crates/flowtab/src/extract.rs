@@ -52,7 +52,7 @@ pub struct ExtractStats {
     pub bad_ip_checksum: u64,
     /// Parse failures by layer (dense by [`Layer::index`]); the loss
     /// taxonomy operators read when judging a host's telemetry quality.
-    pub parse_errors: [u64; 9],
+    pub parse_errors: [u64; Layer::ALL.len()],
 }
 
 impl ExtractStats {

@@ -197,6 +197,19 @@ impl DnsQuestion {
     }
 }
 
+/// Case-fold a presentation-format domain name for comparison.
+///
+/// DNS names compare case-insensitively over the ASCII range only
+/// (RFC 4343): `FOO.Example` and `foo.example` are the same name, but
+/// non-ASCII bytes are left untouched. Distinct-contact accounting must
+/// fold through this before counting, or one server queried under two
+/// spellings inflates the feature.
+pub fn fold_name(name: &str) -> String {
+    name.chars()
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
 /// Length of `name` when wire-encoded (labels + length bytes + root byte).
 pub fn encoded_name_len(name: &str) -> usize {
     if name.is_empty() {
@@ -465,6 +478,17 @@ mod tests {
         let mut buf = vec![0u8; 32];
         buf[12] = 0x80; // reserved 10xxxxxx prefix
         assert!(matches!(parse_name(&buf, 12), Err(Error::Malformed)));
+    }
+
+    #[test]
+    fn fold_name_is_ascii_only_and_idempotent() {
+        assert_eq!(fold_name("FOO.Example"), "foo.example");
+        assert_eq!(fold_name("already.lower"), "already.lower");
+        // Non-ASCII bytes pass through untouched (RFC 4343 scope); the
+        // ASCII letters around them still fold.
+        assert_eq!(fold_name("ÅNGSTRÖM.example"), "ÅngstrÖm.example");
+        let once = fold_name("MiXeD.CaSe.Example");
+        assert_eq!(fold_name(&once), once);
     }
 
     #[test]

@@ -31,11 +31,15 @@ pub enum Layer {
     Icmp,
     /// DNS message.
     Dns,
+    /// Syslog (RFC 5424) envelope of a telemetry datagram.
+    Syslog,
+    /// CEF event carried in a syslog message body.
+    Cef,
 }
 
 impl Layer {
     /// All layers, in stack order (container first).
-    pub const ALL: [Layer; 9] = [
+    pub const ALL: [Layer; 11] = [
         Layer::Pcap,
         Layer::Ethernet,
         Layer::Arp,
@@ -45,6 +49,8 @@ impl Layer {
         Layer::Udp,
         Layer::Icmp,
         Layer::Dns,
+        Layer::Syslog,
+        Layer::Cef,
     ];
 
     /// Dense index (for per-layer counter arrays).
@@ -59,6 +65,8 @@ impl Layer {
             Layer::Udp => 6,
             Layer::Icmp => 7,
             Layer::Dns => 8,
+            Layer::Syslog => 9,
+            Layer::Cef => 10,
         }
     }
 
@@ -74,6 +82,8 @@ impl Layer {
             Layer::Udp => "udp",
             Layer::Icmp => "icmp",
             Layer::Dns => "dns",
+            Layer::Syslog => "syslog",
+            Layer::Cef => "cef",
         }
     }
 }
@@ -133,7 +143,7 @@ mod tests {
 
     #[test]
     fn indices_are_dense_and_distinct() {
-        let mut seen = [false; 9];
+        let mut seen = [false; 11];
         for l in Layer::ALL {
             assert!(!seen[l.index()], "duplicate index for {l}");
             seen[l.index()] = true;

@@ -42,7 +42,9 @@ pub mod testutil;
 pub mod udp;
 
 pub use arp::{ArpOp, ArpPacket, ARP_LEN};
-pub use dns::{DnsHeader, DnsOpcode, DnsQuestion, DnsRcode, DnsRecord, DnsRecordType, RData};
+pub use dns::{
+    fold_name, DnsHeader, DnsOpcode, DnsQuestion, DnsRcode, DnsRecord, DnsRecordType, RData,
+};
 pub use error::{DecodeError, Layer, LayerResultExt};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
 pub use icmp::{IcmpMessage, IcmpType, ICMP_HEADER_LEN};

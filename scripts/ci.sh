@@ -34,6 +34,14 @@
 # asserts the stronger contracts (byte-identical across thread counts,
 # conservation laws).
 #
+# The ingest stages are the wire-hardening gate: the root `tests/ingest.rs`
+# suite asserts severity-0 byte-identity to the synthetic path across
+# thread counts, zero-panic conservation across the severity sweep, flood
+# degradation, DNS case-folding, and parser totality (pinned hostile
+# corpus + property suites). The `repro ingest` smoke re-runs the
+# identity self-check and a seeded flood at a fixed severity, with the
+# ingest_* metric families asserted present in the exported snapshot.
+#
 # The megafleet smoke runs the sketch-backed fleet path at reduced scale
 # with its health gauges exported, asserting the tailstats_sketch_*
 # families exist and that the run's internal merge-order / rank-budget
@@ -49,6 +57,7 @@ cargo test -q --test daemon
 cargo test -q --test rollout
 cargo test -q --test cluster
 cargo test -q --test metrics
+cargo test -q --test ingest
 cargo clippy -q \
     -p netpkt -p flowtab -p tailstats -p synthgen -p hids-core \
     -p attacksim -p itconsole -p faultsim -p fleetd -p experiments -p bench \
@@ -101,6 +110,34 @@ grep -q "cluster kill-recovery check:" "$cluster_log" || {
 if grep -q "FAILED" "$cluster_log"; then
     echo "ci.sh: cluster self-check failed" >&2
     cat "$cluster_log" >&2
+    exit 1
+fi
+ingest_metrics="target/ci-ingest.prom"
+ingest_log="target/ci-ingest.log"
+rm -f "$ingest_metrics" "$ingest_log"
+cargo run -q --release -p experiments --bin repro -- \
+    --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-severity 0.2 \
+    --metrics-out "$ingest_metrics" ingest 2> "$ingest_log" > /dev/null
+for family in ingest_datagrams_total ingest_malformed_total \
+    ingest_sources ingest_dns_names_total; do
+    grep -q "^# TYPE $family " "$ingest_metrics" || {
+        echo "ci.sh: ingest smoke missing family: $family" >&2
+        exit 1
+    }
+done
+grep -q "ingest identity check: severity-0 hosts CSV identical" "$ingest_log" || {
+    echo "ci.sh: ingest identity check did not run" >&2
+    cat "$ingest_log" >&2
+    exit 1
+}
+grep -q "ingest flood check:" "$ingest_log" || {
+    echo "ci.sh: ingest flood check did not run" >&2
+    cat "$ingest_log" >&2
+    exit 1
+}
+if grep -q "FAILED" "$ingest_log"; then
+    echo "ci.sh: ingest self-check failed" >&2
+    cat "$ingest_log" >&2
     exit 1
 fi
 mega_metrics="target/ci-megafleet.prom"
