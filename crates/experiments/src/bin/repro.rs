@@ -30,9 +30,9 @@ use std::time::Instant;
 
 use experiments::plot::{render as plot, ChartSpec, Series};
 use experiments::{
-    ablation, chaos, cluster, collab, daemon, data::CorpusConfig, drift, fig1, fig2, fig3, fig4,
-    fig5, megafleet, multifeat, ops, report, rollout, seeds, sketchablate, tab2, tab3, Corpus,
-    Table,
+    ablation, chaos, cluster, collab, controlplane, daemon, data::CorpusConfig, drift, fig1, fig2,
+    fig3, fig4, fig5, megafleet, multifeat, ops, report, rollout, seeds, sketchablate, tab2, tab3,
+    Corpus, Table,
 };
 use flowtab::FeatureKind;
 use synthgen::StormConfig;
@@ -57,12 +57,17 @@ struct Args {
     kill_seed: u64,
     heartbeat_interval: u64,
     heartbeat_timeout: u64,
+    admin_port: Option<u16>,
     experiments: Vec<String>,
 }
 
 fn usage() -> String {
-    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--ingest-rate N] [--ingest-burst N] [--fault-severity S] [--sketch-eps E] [--nodes N] [--kill-seed S] [--heartbeat-interval T] [--heartbeat-timeout T] [EXPERIMENT...]\n\
-     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon ingest rollout all\n\
+    "usage: repro [--users N] [--weeks N] [--seed S] [--threads N] [--out DIR] [--fault-seed S] [--fault-rate R] [--metrics-out PATH] [--delivery-attempts N] [--delivery-backoff T] [--ingest-rate N] [--ingest-burst N] [--fault-severity S] [--sketch-eps E] [--nodes N] [--kill-seed S] [--heartbeat-interval T] [--heartbeat-timeout T] [--admin-port P] [EXPERIMENT...]\n\
+     experiments: validate fig1 fig2 tab2 fig3a fig3b tab3 fig4a fig4b fig5a fig5b multi collab seeds ops drift ablation chaos daemon ingest rollout controlplane all\n\
+     controlplane replays a scripted operator timeline (drain/pin/undrain, canary rollout +\n\
+     force-rollback, valid + rejected hot reload) through the crash-injection harness and demands\n\
+     a byte-identical hosts CSV; with --admin-port P it also binds the admin endpoint on\n\
+     127.0.0.1:P and drives reload/command/metrics requests over raw TCP;\n\
      ingest re-encodes the daemon stream as syslog/CEF + DNS datagrams through the hardened wire\n\
      front-end: severity 0 must reproduce the synthetic hosts CSV byte-for-byte, then a\n\
      --fault-severity sweep plus a seeded flood exercise shedding and degraded accounting\n\
@@ -99,8 +104,10 @@ where
         kill_seed: 0xC1A5,
         heartbeat_interval: 4,
         heartbeat_timeout: 16,
+        admin_port: None,
         experiments: Vec::new(),
     };
+    let mut admin_port_raw: Option<String> = None;
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -166,6 +173,7 @@ where
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--admin-port" => admin_port_raw = Some(value("--admin-port")?),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -222,6 +230,32 @@ where
     if args.heartbeat_timeout <= args.heartbeat_interval {
         return Err("--heartbeat-timeout must exceed --heartbeat-interval".into());
     }
+    // The control-plane knobs route through the daemon's own FleetConfig
+    // machinery, so repro accepts exactly the values a live reload would.
+    let mut fc = fleetd::FleetConfig::default();
+    let routed: [(&str, &str, Option<String>); 5] = [
+        (
+            "--delivery-attempts",
+            "delivery_attempts",
+            args.delivery_attempts.map(|v| v.to_string()),
+        ),
+        (
+            "--delivery-backoff",
+            "delivery_backoff",
+            args.delivery_backoff.map(|v| v.to_string()),
+        ),
+        ("--ingest-rate", "ingest_rate", Some(args.ingest_rate.to_string())),
+        ("--ingest-burst", "ingest_burst", Some(args.ingest_burst.to_string())),
+        ("--admin-port", "admin_port", admin_port_raw),
+    ];
+    for (flag, key, val) in routed {
+        if let Some(v) = val {
+            fc.set(key, &v).map_err(|e| format!("{flag}: {e}"))?;
+        }
+    }
+    fc.validate()
+        .map_err(|e| format!("--{}", e.replacen('_', "-", 1)))?;
+    args.admin_port = fc.admin_port;
     Ok(args)
 }
 
@@ -300,6 +334,75 @@ fn ingest_json(
         faulted.stats.malformed,
         faulted.stats.flood_latched,
     )
+}
+
+/// Drive the live admin endpoint over real TCP: bind on `port`, serve
+/// from this thread while a client thread issues one request per probe,
+/// and return the `(label, raw response)` pairs.
+fn admin_probe(
+    port: u16,
+    daemon_cfg: fleetd::DaemonConfig,
+) -> Result<Vec<(String, String)>, String> {
+    use std::io::{Read as _, Write as _};
+    let dir = daemon::unique_run_dir("ctrl-admin");
+    let (mut d, _) = fleetd::Daemon::open(&dir, daemon_cfg).map_err(|e| e.to_string())?;
+    let mut kill = fleetd::KillSwitch::none();
+    let server = fleetd::AdminServer::bind(port, fleetd::AdminConfig::default())
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let actual = server.port();
+    let post = |path: &str, body: &str| {
+        format!(
+            "POST {path} HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    let requests: Vec<(String, String)> = vec![
+        (
+            "reload-valid".into(),
+            post("/reload", "snapshot_every = 257\n"),
+        ),
+        ("reload-invalid".into(), post("/reload", "n_shards = 8\n")),
+        (
+            "pin-threshold".into(),
+            post("/command", "pin-threshold 0 42"),
+        ),
+        ("state".into(), "GET /state HTTP/1.0\r\n\r\n".into()),
+        ("metrics".into(), "GET /metrics HTTP/1.0\r\n\r\n".into()),
+    ];
+    let n = requests.len();
+    let client = std::thread::spawn(move || -> Result<Vec<(String, String)>, String> {
+        let mut out = Vec::new();
+        for (label, raw) in requests {
+            let mut s = std::net::TcpStream::connect(("127.0.0.1", actual))
+                .map_err(|e| format!("{label}: connect: {e}"))?;
+            s.write_all(raw.as_bytes())
+                .map_err(|e| format!("{label}: write: {e}"))?;
+            let mut resp = String::new();
+            s.read_to_string(&mut resp)
+                .map_err(|e| format!("{label}: read: {e}"))?;
+            out.push((label, resp));
+        }
+        Ok(out)
+    });
+    let mut ctl = fleetd::DaemonControl {
+        daemon: &mut d,
+        kill: &mut kill,
+    };
+    let mut serve_err = None;
+    for _ in 0..n {
+        if let Err(e) = server.serve_one(&mut ctl) {
+            serve_err = Some(e.to_string());
+            break;
+        }
+    }
+    let out = client
+        .join()
+        .map_err(|_| "admin client thread panicked".to_string())?;
+    let _ = std::fs::remove_dir_all(&dir);
+    match serve_err {
+        Some(e) => Err(format!("serve: {e}")),
+        None => out,
+    }
 }
 
 /// Serialise the timing ledger as JSON by hand (no serializer dependency).
@@ -962,6 +1065,142 @@ fn main() -> ExitCode {
         }
     });
 
+    experiment!("controlplane", {
+        let mut scenario = controlplane::ControlScenario {
+            feature: tcp,
+            ..controlplane::ControlScenario::default()
+        };
+        if let Some(n) = args.delivery_attempts {
+            scenario.delivery.max_attempts = n;
+        }
+        if let Some(t) = args.delivery_backoff {
+            scenario.delivery.backoff_base = t;
+        }
+        if args.users == 1 {
+            // A one-host fleet: the script's drain/pin target must exist.
+            scenario.drain_shard = 0;
+            scenario.pin_host = 0;
+        }
+        let batches = daemon::build_batches_for(&corpus, tcp, scenario.batch_windows, &[]);
+
+        let ref_dir = daemon::unique_run_dir("ctrl-ref");
+        let reference = match controlplane::run(&ref_dir, &scenario, &batches, &[]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("controlplane experiment failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        emit(&controlplane::hosts_table(&reference), &args.out, "controlplane_hosts");
+        emit(
+            &controlplane::evidence_table(&reference),
+            &args.out,
+            "controlplane_evidence",
+        );
+        metrics.merge(&reference.metrics);
+        match reference.check(&scenario) {
+            Ok(()) => eprintln!(
+                "controlplane script check: drain refused admission, operator rollback recorded, \
+                 reload generation {}, invalid reload rejected with old config live",
+                reference.evidence.generation_after_reload
+            ),
+            Err(e) => eprintln!("warning: controlplane invariant violated: {e}"),
+        }
+
+        // Determinism: a second uninterrupted run of the same script must
+        // reproduce the hosts CSV byte-for-byte.
+        let dup_dir = daemon::unique_run_dir("ctrl-dup");
+        match controlplane::run(&dup_dir, &scenario, &batches, &[]) {
+            Ok(dup) => {
+                if controlplane::hosts_csv(&dup) == controlplane::hosts_csv(&reference) {
+                    eprintln!("controlplane determinism check: hosts CSV identical");
+                } else {
+                    eprintln!("warning: controlplane determinism check FAILED: hosts CSV diverged");
+                }
+            }
+            Err(e) => eprintln!("warning: controlplane determinism run failed: {e}"),
+        }
+        let _ = std::fs::remove_dir_all(&dup_dir);
+
+        if args.fault_rate > 0.0 {
+            // Crash-recovery self-check: kill at seeded batch boundaries,
+            // WAL byte offsets (including torn tails over command
+            // records), and post-command ack windows, and demand a
+            // byte-identical hosts CSV.
+            let kills = faultsim::command_kill_points(
+                args.fault_seed,
+                10,
+                reference.total_applied,
+                reference.total_wal_bytes,
+                reference.total_commands as u32,
+            );
+            let kill_dir = daemon::unique_run_dir("ctrl-kill");
+            match controlplane::run(&kill_dir, &scenario, &batches, &kills) {
+                Ok(killed) => {
+                    if let Err(e) = killed.check(&scenario) {
+                        eprintln!("warning: controlplane invariant violated under kills: {e}");
+                    }
+                    if controlplane::hosts_csv(&killed) == controlplane::hosts_csv(&reference) {
+                        eprintln!(
+                            "controlplane kill-recovery check: {} kills over {} lifetimes across \
+                             {} scheduled points, hosts CSV identical",
+                            killed.recovery.kills,
+                            killed.recovery.lifetimes,
+                            kills.len()
+                        );
+                    } else {
+                        eprintln!(
+                            "warning: controlplane kill-recovery check FAILED: hosts CSV diverged"
+                        );
+                    }
+                }
+                Err(e) => eprintln!("warning: controlplane kill-recovery run failed: {e}"),
+            }
+            let _ = std::fs::remove_dir_all(&kill_dir);
+        }
+
+        if let Some(port) = args.admin_port {
+            // Live endpoint leg: serve the admin plane on a real socket
+            // and drive reload / rejected reload / command / scrape
+            // requests through it.
+            match admin_probe(port, scenario.daemon) {
+                Ok(responses) => {
+                    let get = |label: &str| {
+                        responses
+                            .iter()
+                            .find(|(l, _)| l == label)
+                            .map(|(_, r)| r.as_str())
+                            .unwrap_or("")
+                    };
+                    let reload_ok = get("reload-valid").starts_with("HTTP/1.0 200")
+                        && get("reload-valid").contains("\"generation\":2");
+                    let reject_ok = get("reload-invalid").starts_with("HTTP/1.0 422")
+                        && get("reload-invalid").contains("restart");
+                    let pin_ok = get("pin-threshold").starts_with("HTTP/1.0 200");
+                    let state_ok = get("state").contains("\"config_generation\":2");
+                    for line in get("metrics").lines() {
+                        if line.starts_with("# TYPE control_") {
+                            println!("{line}");
+                        }
+                    }
+                    if reload_ok && reject_ok && pin_ok && state_ok {
+                        eprintln!(
+                            "controlplane admin check: reload applied at generation 2, structural \
+                             reload rejected 422, pin-threshold accepted over 127.0.0.1:{port}"
+                        );
+                    } else {
+                        eprintln!(
+                            "warning: controlplane admin check FAILED (reload {reload_ok}, \
+                             reject {reject_ok}, pin {pin_ok}, state {state_ok})"
+                        );
+                    }
+                }
+                Err(e) => eprintln!("warning: controlplane admin probe failed: {e}"),
+            }
+        }
+    });
+
     experiment!("ablation", {
         emit(
             &ablation::group_count_table(&ablation::group_count(&corpus, tcp, 0.5)),
@@ -1280,6 +1519,23 @@ mod tests {
         assert!(parse(&["--fault-severity"]).unwrap_err().contains("requires a value"));
         assert!(parse(&["--ingest-rate", "not-a-rate"]).is_err());
         assert!(parse(&["--fault-severity", "1.0"]).is_ok());
+    }
+
+    #[test]
+    fn admin_port_routes_through_fleet_config_validation() {
+        // Port 0 parses as a number but is forbidden by FleetConfig's own
+        // validator — the same rule a live reload enforces.
+        assert!(parse(&["--admin-port", "0"]).unwrap_err().contains("--admin-port"));
+        // Out of u16 range fails at the typed key parse, with the flag named.
+        assert!(parse(&["--admin-port", "70000"])
+            .unwrap_err()
+            .contains("--admin-port"));
+        assert!(parse(&["--admin-port"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--admin-port", "not-a-port"]).is_err());
+        let args = parse(&["--admin-port", "18080", "controlplane"]).unwrap();
+        assert_eq!(args.admin_port, Some(18080));
+        assert_eq!(args.experiments, vec!["controlplane"]);
+        assert_eq!(parse(&[]).unwrap().admin_port, None, "endpoint off by default");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`ingest`] | extension: hardened syslog/CEF + DNS wire ingest plane |
 //! | [`cluster`] | extension: fault-tolerant multi-node fleetd sharding |
 //! | [`rollout`] | extension: drift-aware canary rollouts & rollback |
+//! | [`controlplane`] | extension: operator control plane under crash injection |
 //! | [`megafleet`] | extension: million-host sketch-backed fleet evaluation |
 //! | [`sketchablate`] | extension: sketch-vs-exact error ablation at paper scale |
 
@@ -35,6 +36,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod cluster;
 pub mod collab;
+pub mod controlplane;
 pub mod daemon;
 pub mod data;
 pub mod drift;

@@ -47,6 +47,13 @@ pub enum KillPoint {
     /// the promote/rollback decision — the epoch-boundary analogues of
     /// [`KillPoint::AfterBatches`].
     AfterRolloutEvents(u32),
+    /// Crash immediately after the *n*-th operator-command record has
+    /// been made durable and applied, before the operator is
+    /// acknowledged. Together with [`KillPoint::AtWalByte`] offsets that
+    /// land inside command frames (kills mid-command-record), this is the
+    /// control-plane analogue of the rollout-event class: a recovered run
+    /// must show the command either fully applied or not applied at all.
+    AfterCommands(u32),
 }
 
 /// Largest torn-prefix length [`kill_points`] will schedule. Record frames
@@ -127,6 +134,52 @@ pub fn rollout_kill_points(
                     rng.random_range(1..=max_events)
                 };
                 KillPoint::AfterRolloutEvents(after)
+            }
+        })
+        .collect()
+}
+
+/// Derive `n` kill points for a run driven by operator commands, cycling
+/// through three classes: batch-boundary deaths, torn WAL writes (whose
+/// offsets land inside command records as well as batch records, because
+/// every append shares one byte meter — the "kill mid-command-record"
+/// class), and command-boundary deaths ("kill between apply and ack").
+/// `max_commands` is the number of command records the reference run
+/// journals; zero maxima yield points that can never fire.
+pub fn command_kill_points(
+    master_seed: u64,
+    n: usize,
+    max_batches: u64,
+    max_wal_bytes: u64,
+    max_commands: u32,
+) -> Vec<KillPoint> {
+    let mut rng = StdRng::seed_from_u64(crate::subseed(master_seed, 11));
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => {
+                let after = if max_batches == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(1..=max_batches)
+                };
+                KillPoint::AfterBatches(after)
+            }
+            1 => {
+                let offset = if max_wal_bytes == 0 {
+                    u64::MAX
+                } else {
+                    rng.random_range(0..max_wal_bytes)
+                };
+                let torn = rng.random_range(0..=MAX_TORN_BYTES);
+                KillPoint::AtWalByte { offset, torn }
+            }
+            _ => {
+                let after = if max_commands == 0 {
+                    u32::MAX
+                } else {
+                    rng.random_range(1..=max_commands)
+                };
+                KillPoint::AfterCommands(after)
             }
         })
         .collect()
@@ -307,13 +360,40 @@ mod tests {
     }
 
     #[test]
+    fn command_schedule_covers_all_three_classes() {
+        let pts = command_kill_points(13, 12, 64, 4096, 5);
+        assert_eq!(pts, command_kill_points(13, 12, 64, 4096, 5));
+        let mut commands = 0;
+        for (i, p) in pts.iter().enumerate() {
+            match (i % 3, p) {
+                (0, KillPoint::AfterBatches(n)) => assert!((1..=64).contains(n)),
+                (1, KillPoint::AtWalByte { offset, torn }) => {
+                    assert!(*offset < 4096 && *torn <= MAX_TORN_BYTES)
+                }
+                (2, KillPoint::AfterCommands(n)) => {
+                    assert!((1..=5).contains(n));
+                    commands += 1;
+                }
+                _ => panic!("point {i} has the wrong class: {p:?}"),
+            }
+        }
+        assert_eq!(commands, 4);
+        // Degenerate maxima yield unfireable command kills.
+        for p in command_kill_points(13, 3, 0, 0, 0) {
+            if let KillPoint::AfterCommands(n) = p {
+                assert_eq!(n, u32::MAX);
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_reference_never_fires() {
         for p in kill_points(1, 8, 0, 0) {
             match p {
                 KillPoint::AfterBatches(n) => assert_eq!(n, u64::MAX),
                 KillPoint::AtWalByte { offset, .. } => assert_eq!(offset, u64::MAX),
-                KillPoint::AfterRolloutEvents(_) => {
-                    panic!("kill_points never schedules rollout-event kills")
+                KillPoint::AfterRolloutEvents(_) | KillPoint::AfterCommands(_) => {
+                    panic!("kill_points never schedules event or command kills")
                 }
             }
         }

@@ -51,7 +51,8 @@ pub use bytes::{ByteFaultLog, ByteFaults};
 pub use datagram::{DatagramFaultLog, DatagramFaults};
 pub use driftfault::{drifted_hosts, poisoned_hosts, RampInject};
 pub use killsched::{
-    cluster_kill_points, kill_points, rollout_kill_points, ClusterKillPoint, KillPoint,
+    cluster_kill_points, command_kill_points, kill_points, rollout_kill_points, ClusterKillPoint,
+    KillPoint,
 };
 pub use linkfault::{LinkFaultLog, LinkFaults, LinkSim};
 pub use telemetry::{TelemetryFaultLog, TelemetryFaults};

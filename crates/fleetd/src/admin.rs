@@ -1,0 +1,604 @@
+//! Zero-dependency HTTP/1.0 admin endpoint for the daemon.
+//!
+//! One loopback `TcpListener`, one connection at a time, four routes:
+//!
+//! * `GET /metrics` — the Prometheus text exposition the daemon renders
+//!   deterministically (`control_*` and `fleetd_*` families);
+//! * `GET /state` — epoch/rollout/drain state as a JSON document
+//!   ([`Daemon::state_json`](crate::daemon::Daemon::state_json));
+//! * `POST /reload` — body is a [`FleetConfig`](crate::control::FleetConfig)
+//!   key=value file; applied via the reject-and-keep-old reload path;
+//! * `POST /command` — body is one operator command line
+//!   ([`ControlCommand::parse`](crate::control::ControlCommand::parse)),
+//!   journaled to the WAL before it takes effect.
+//!
+//! The endpoint is **off by default** (the daemon has no admin port unless
+//! the operator passes one) and binds `127.0.0.1` only. It speaks strict
+//! HTTP/1.0 with `Connection: close` — no keep-alive, no chunking, no
+//! pipelining — because the operator surface needs exactly "request in,
+//! response out" and nothing that complicates the totality argument.
+//!
+//! Totality against hostile input is the design driver: request size is
+//! bounded ([`AdminConfig::max_request_bytes`], 413 beyond it), socket
+//! reads carry a deadline ([`AdminConfig::read_timeout_ms`], 408 on
+//! expiry), and the parse/route/respond core is a pure function over a
+//! byte buffer ([`respond`]) with no panicking operation on any path —
+//! the property tests in the root `tests/control.rs` suite drive it with
+//! arbitrary bytes. A malformed request earns a 4xx response, never a
+//! hang, never a crash, and never a half-applied command (commands ride
+//! the same WAL-first discipline as everything else).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::control::{ControlCommand, FleetConfig};
+use crate::daemon::Daemon;
+use crate::wal::KillSwitch;
+use hids_metrics::{Registry, RenderOptions};
+
+/// Bounds on what a single admin request may cost.
+#[derive(Debug, Clone, Copy)]
+pub struct AdminConfig {
+    /// Hard cap on the whole request (head + body); 413 beyond it.
+    pub max_request_bytes: usize,
+    /// Socket read deadline; 408 once it expires mid-request.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for AdminConfig {
+    fn default() -> Self {
+        Self {
+            max_request_bytes: 64 * 1024,
+            read_timeout_ms: 2000,
+        }
+    }
+}
+
+/// What the endpoint serves — the daemon-facing surface, abstracted so
+/// the HTTP layer can be tested (and fuzzed) against a mock.
+pub trait AdminHandler {
+    /// Render the Prometheus text exposition.
+    fn metrics_text(&mut self) -> String;
+    /// Render the state JSON document.
+    fn state_json(&mut self) -> String;
+    /// Parse + validate + hot-apply a config file; `Ok` is the new
+    /// generation, `Err` is the rejection reason (old config stays live).
+    fn reload(&mut self, config_text: &str) -> Result<u64, String>;
+    /// Parse + journal + apply one operator command line.
+    fn command(&mut self, line: &str) -> Result<(), String>;
+}
+
+/// The production [`AdminHandler`]: a borrowed daemon plus the kill
+/// switch its command journal consults.
+pub struct DaemonControl<'a> {
+    /// The live daemon.
+    pub daemon: &'a mut Daemon,
+    /// Kill switch threaded into journaled command appends.
+    pub kill: &'a mut KillSwitch,
+}
+
+impl AdminHandler for DaemonControl<'_> {
+    fn metrics_text(&mut self) -> String {
+        let mut reg = Registry::default();
+        self.daemon.export_metrics(&mut reg);
+        reg.render(RenderOptions::deterministic())
+    }
+
+    fn state_json(&mut self) -> String {
+        self.daemon.state_json()
+    }
+
+    fn reload(&mut self, config_text: &str) -> Result<u64, String> {
+        let fc = FleetConfig::parse(config_text)?;
+        self.daemon.reload(&fc.daemon).map_err(|e| e.to_string())
+    }
+
+    fn command(&mut self, line: &str) -> Result<(), String> {
+        let cmd = ControlCommand::parse(line)?;
+        self.daemon.command(cmd, self.kill).map_err(|e| e.to_string())
+    }
+}
+
+/// A fully-formed HTTP/1.0 response, ready to serialise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn error(status: u16) -> Self {
+        Self::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", reason(status)),
+        )
+    }
+
+    /// Serialise as an HTTP/1.0 wire response (`Connection: close`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format!(
+            "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Error",
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal. Covers the
+/// characters that can actually appear in our error messages (which may
+/// quote hostile operator input back at the operator).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Where an in-progress request buffer stands.
+enum Progress {
+    /// Head or body still incomplete; keep reading.
+    NeedMore,
+    /// A complete request of this many bytes is in the buffer.
+    Complete,
+    /// The request can never become valid; answer with this status.
+    Fail(u16),
+}
+
+/// Find the end of the header block (`\r\n\r\n`); returns
+/// `(head_len, body_start)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| (i, i + 4))
+}
+
+/// Parse the header block: request line (`METHOD /path HTTP/1.x`) plus a
+/// case-insensitive `Content-Length`. Returns `(method, path,
+/// content_length)` or a 4xx status. Total over any string.
+fn parse_head(head: &str) -> Result<(&str, &str, usize), u16> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(400u16)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(400u16)?;
+    let path = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if parts.next().is_some() || method.is_empty() || !path.starts_with('/') {
+        return Err(400);
+    }
+    if version != "HTTP/1.0" && version != "HTTP/1.1" {
+        return Err(400);
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(400);
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse::<usize>().map_err(|_| 400u16)?;
+        }
+    }
+    Ok((method, path, content_length))
+}
+
+/// Classify an accumulating request buffer without allocating.
+fn progress(buf: &[u8], max_request_bytes: usize) -> Progress {
+    let Some((head_len, body_start)) = find_head_end(buf) else {
+        return if buf.len() > max_request_bytes {
+            Progress::Fail(413)
+        } else {
+            Progress::NeedMore
+        };
+    };
+    let Ok(head) = core::str::from_utf8(&buf[..head_len]) else {
+        return Progress::Fail(400);
+    };
+    let (_, _, content_length) = match parse_head(head) {
+        Ok(t) => t,
+        Err(status) => return Progress::Fail(status),
+    };
+    if body_start.saturating_add(content_length) > max_request_bytes {
+        return Progress::Fail(413);
+    }
+    if buf.len() >= body_start + content_length {
+        Progress::Complete
+    } else {
+        Progress::NeedMore
+    }
+}
+
+/// Route one parsed request. Pure over its inputs; every arm returns a
+/// response, none can panic.
+pub fn handle_request(
+    method: &str,
+    path: &str,
+    body: &[u8],
+    h: &mut dyn AdminHandler,
+) -> Response {
+    match path {
+        "/metrics" => match method {
+            "GET" => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: h.metrics_text(),
+            },
+            _ => Response::error(405),
+        },
+        "/state" => match method {
+            "GET" => Response::json(200, h.state_json()),
+            _ => Response::error(405),
+        },
+        "/reload" => match method {
+            "POST" => {
+                let Ok(text) = core::str::from_utf8(body) else {
+                    return Response::error(400);
+                };
+                match h.reload(text) {
+                    Ok(generation) => Response::json(
+                        200,
+                        format!("{{\"applied\":true,\"generation\":{generation}}}"),
+                    ),
+                    Err(e) => Response::json(
+                        422,
+                        format!("{{\"applied\":false,\"error\":\"{}\"}}", json_escape(&e)),
+                    ),
+                }
+            }
+            _ => Response::error(405),
+        },
+        "/command" => match method {
+            "POST" => {
+                let Ok(line) = core::str::from_utf8(body) else {
+                    return Response::error(400);
+                };
+                match h.command(line) {
+                    Ok(()) => Response::json(200, "{\"applied\":true}".to_string()),
+                    Err(e) => Response::json(
+                        422,
+                        format!("{{\"applied\":false,\"error\":\"{}\"}}", json_escape(&e)),
+                    ),
+                }
+            }
+            _ => Response::error(405),
+        },
+        _ => Response::error(404),
+    }
+}
+
+/// The pure request→response core: parse `raw` as one HTTP/1.0 request
+/// and produce the full wire response. Total over arbitrary bytes — this
+/// is the property-test target. An incomplete buffer (the socket layer
+/// never hands one over, but a fuzzer will) earns a 400.
+pub fn respond(raw: &[u8], max_request_bytes: usize, h: &mut dyn AdminHandler) -> Vec<u8> {
+    let resp = match progress(raw, max_request_bytes) {
+        Progress::NeedMore => Response::error(400),
+        Progress::Fail(status) => Response::error(status),
+        Progress::Complete => {
+            // progress() proved head validity; re-derive the pieces.
+            match find_head_end(raw) {
+                Some((head_len, body_start)) => {
+                    match core::str::from_utf8(&raw[..head_len]).map_err(|_| 400u16).and_then(parse_head) {
+                        Ok((method, path, content_length)) => {
+                            let body = &raw[body_start..body_start + content_length];
+                            handle_request(method, path, body, h)
+                        }
+                        Err(status) => Response::error(status),
+                    }
+                }
+                None => Response::error(400),
+            }
+        }
+    };
+    resp.to_bytes()
+}
+
+/// The listener: loopback-only, one connection served at a time.
+pub struct AdminServer {
+    listener: TcpListener,
+    cfg: AdminConfig,
+    port: u16,
+}
+
+impl AdminServer {
+    /// Bind `127.0.0.1:port` (`port = 0` asks the OS for a free one —
+    /// the CLI forbids 0 from operators, but tests want it).
+    pub fn bind(port: u16, cfg: AdminConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let port = listener.local_addr()?.port();
+        Ok(Self {
+            listener,
+            cfg,
+            port,
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Accept one connection, serve one request on it, close it.
+    pub fn serve_one(&self, h: &mut dyn AdminHandler) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        self.serve_stream(stream, h)
+    }
+
+    fn serve_stream(&self, mut stream: TcpStream, h: &mut dyn AdminHandler) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(self.cfg.read_timeout_ms.max(1))))?;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let outcome: Result<(), u16> = loop {
+            match progress(&buf, self.cfg.max_request_bytes) {
+                Progress::Complete => break Ok(()),
+                Progress::Fail(status) => break Err(status),
+                Progress::NeedMore => {}
+            }
+            match stream.read(&mut chunk) {
+                // Peer closed before completing the request.
+                Ok(0) => break Err(400),
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break Err(408);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let bytes = match outcome {
+            Ok(()) => respond(&buf, self.cfg.max_request_bytes, h),
+            Err(status) => Response::error(status).to_bytes(),
+        };
+        // The peer may already be gone; a failed write is its problem.
+        let _ = stream.write_all(&bytes);
+        let _ = stream.flush();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scriptable handler that records what it was asked.
+    struct Mock {
+        reload_result: Result<u64, String>,
+        command_result: Result<(), String>,
+        log: Vec<String>,
+    }
+
+    impl Default for Mock {
+        fn default() -> Self {
+            Self {
+                reload_result: Ok(2),
+                command_result: Ok(()),
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl AdminHandler for Mock {
+        fn metrics_text(&mut self) -> String {
+            self.log.push("metrics".into());
+            "# TYPE control_config_generation gauge\ncontrol_config_generation 1\n".into()
+        }
+        fn state_json(&mut self) -> String {
+            self.log.push("state".into());
+            "{\"phase\":\"idle\"}".into()
+        }
+        fn reload(&mut self, text: &str) -> Result<u64, String> {
+            self.log.push(format!("reload:{text}"));
+            self.reload_result.clone()
+        }
+        fn command(&mut self, line: &str) -> Result<(), String> {
+            self.log.push(format!("command:{line}"));
+            self.command_result.clone()
+        }
+    }
+
+    fn req(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    fn status_of(resp: &[u8]) -> u16 {
+        let text = core::str::from_utf8(resp).unwrap();
+        text.split(' ').nth(1).unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn routes_dispatch_and_close() {
+        let mut m = Mock::default();
+        let r = respond(
+            &req("GET /metrics HTTP/1.0\r\n\r\n"),
+            1024,
+            &mut m,
+        );
+        assert_eq!(status_of(&r), 200);
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.contains("Connection: close"));
+        assert!(text.contains("control_config_generation 1"));
+
+        let r = respond(&req("GET /state HTTP/1.1\r\n\r\n"), 1024, &mut m);
+        assert_eq!(status_of(&r), 200);
+
+        let body = "snapshot_every=32\n";
+        let r = respond(
+            &req(&format!(
+                "POST /reload HTTP/1.0\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )),
+            1024,
+            &mut m,
+        );
+        assert_eq!(status_of(&r), 200);
+        assert!(String::from_utf8(r).unwrap().contains("\"generation\":2"));
+
+        let line = "drain-shard 1";
+        let r = respond(
+            &req(&format!(
+                "POST /command HTTP/1.0\r\nContent-Length: {}\r\n\r\n{}",
+                line.len(),
+                line
+            )),
+            1024,
+            &mut m,
+        );
+        assert_eq!(status_of(&r), 200);
+        assert_eq!(
+            m.log,
+            vec![
+                "metrics".to_string(),
+                "state".to_string(),
+                format!("reload:{body}"),
+                format!("command:{line}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejections_map_to_422_with_escaped_error() {
+        let mut m = Mock {
+            reload_result: Err("bad \"key\"\nline 2".into()),
+            ..Mock::default()
+        };
+        let r = respond(
+            &req("POST /reload HTTP/1.0\r\nContent-Length: 0\r\n\r\n"),
+            1024,
+            &mut m,
+        );
+        assert_eq!(status_of(&r), 422);
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.contains("bad \\\"key\\\"\\nline 2"), "{text}");
+    }
+
+    #[test]
+    fn hostile_requests_get_4xx_never_panic() {
+        let mut m = Mock::default();
+        let cases: &[&[u8]] = &[
+            b"",
+            b"\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET /metrics\r\n\r\n",
+            b"GET /metrics HTTP/2.0\r\n\r\n",
+            b"GET metrics HTTP/1.0\r\n\r\n",
+            b"PUT /metrics HTTP/1.0\r\n\r\n",
+            b"POST /state HTTP/1.0\r\n\r\n",
+            b"GET /nope HTTP/1.0\r\n\r\n",
+            b"GET /metrics HTTP/1.0\r\nContent-Length: banana\r\n\r\n",
+            b"GET /metrics HTTP/1.0\r\nno-colon-here\r\n\r\n",
+            b"POST /command HTTP/1.0\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc",
+            b"\xff\xff\xff\xff\r\n\r\n",
+        ];
+        for c in cases {
+            let r = respond(c, 1024, &mut m);
+            let s = status_of(&r);
+            assert!(
+                (400..=422).contains(&s),
+                "expected 4xx for {c:?}, got {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_requests_get_413() {
+        let mut m = Mock::default();
+        // Head alone blows the cap without ever completing.
+        let r = respond(&vec![b'A'; 2048], 1024, &mut m);
+        assert_eq!(status_of(&r), 413);
+        // Declared body longer than the cap.
+        let r = respond(
+            &req("POST /reload HTTP/1.0\r\nContent-Length: 999999\r\n\r\n"),
+            1024,
+            &mut m,
+        );
+        assert_eq!(status_of(&r), 413);
+    }
+
+    #[test]
+    fn server_serves_over_real_sockets() {
+        let server = AdminServer::bind(0, AdminConfig::default()).unwrap();
+        let port = server.port();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            s.write_all(b"GET /state HTTP/1.0\r\n\r\n").unwrap();
+            let mut resp = Vec::new();
+            s.read_to_end(&mut resp).unwrap();
+            resp
+        });
+        let mut m = Mock::default();
+        server.serve_one(&mut m).unwrap();
+        let resp = client.join().unwrap();
+        assert_eq!(status_of(&resp), 200);
+        assert!(String::from_utf8(resp).unwrap().ends_with("{\"phase\":\"idle\"}"));
+    }
+
+    #[test]
+    fn server_times_out_slow_clients() {
+        let server = AdminServer::bind(
+            0,
+            AdminConfig {
+                max_request_bytes: 1024,
+                read_timeout_ms: 100,
+            },
+        )
+        .unwrap();
+        let port = server.port();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            // Send half a request and stall past the deadline.
+            s.write_all(b"GET /metrics HTT").unwrap();
+            let mut resp = Vec::new();
+            s.read_to_end(&mut resp).unwrap();
+            resp
+        });
+        let mut m = Mock::default();
+        server.serve_one(&mut m).unwrap();
+        let resp = client.join().unwrap();
+        assert_eq!(status_of(&resp), 408);
+    }
+}

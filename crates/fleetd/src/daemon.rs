@@ -24,16 +24,17 @@
 //! Every window is covered by at-least-once redelivery plus idempotent
 //! apply, which is the whole recovery argument in one line.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use hids_metrics::{EventRing, Registry};
 
 use crate::codec::{Week, WindowBatch};
+use crate::control::{check_config, ControlCommand, ControlStats};
 use crate::epoch::{
-    CandidateState, EpochOutcome, EpochRecord, EpochState, GateStats, Phase, RolloutConfig,
-    RolloutEvent,
+    CandidateState, EpochOutcome, EpochRecord, EpochState, GateStats, Phase, RollbackReason,
+    RolloutConfig, RolloutEvent,
 };
 use crate::queue::{Admit, Popped, QueueConfig, ShardQueue};
 use crate::snapshot::{self, Snapshot};
@@ -174,6 +175,9 @@ pub struct DaemonStats {
     /// extend past the in-flight candidate's soak end; the source retries
     /// them after the promote/rollback decision.
     pub barrier_deferred: u64,
+    /// Batches refused at admission because their shard was drained by
+    /// the control plane; the source retries after the undrain.
+    pub drain_deferred: u64,
 }
 
 impl DaemonStats {
@@ -217,6 +221,8 @@ pub struct RecoveryReport {
     pub wal_torn_bytes: u64,
     /// Rollout transition records replayed from the WAL.
     pub wal_rollout_events: u64,
+    /// Operator-command records replayed from the WAL.
+    pub wal_commands: u64,
 }
 
 struct Shard {
@@ -239,6 +245,15 @@ pub struct Daemon {
     stats: DaemonStats,
     completions: Vec<Completion>,
     epoch: EpochState,
+    /// Shards the control plane has drained: admission refused, queued
+    /// work still processed. Journaled (commands) and snapshot-durable.
+    drained: BTreeSet<u32>,
+    /// Live config generation: starts at 1 each process start and bumps
+    /// on every accepted hot reload. Not journaled — the config file is
+    /// the durable source of configuration, not the WAL.
+    config_generation: u64,
+    /// Control-plane counters (reloads, commands) this lifetime.
+    control_stats: ControlStats,
     /// Structured transition log: recoveries, breaker trips, quarantines,
     /// snapshot rotations, epoch decisions. The daemon is a deterministic
     /// state machine, so the event sequence is a pure function of the
@@ -330,6 +345,48 @@ fn apply_rollout(
     }
 }
 
+/// Mutate daemon state for one durable operator command. Called both on
+/// the live path (right after the command record is appended) and on WAL
+/// replay, so the two converge by construction — the same discipline as
+/// [`apply_rollout`]. Total over any decodable command: out-of-range
+/// shard ids (possible only via deliberate log corruption, since the
+/// live path validates before journaling) are ignored rather than
+/// panicking.
+fn apply_command(
+    epoch: &mut EpochState,
+    shards: &mut [Shard],
+    drained: &mut BTreeSet<u32>,
+    n_shards: usize,
+    canary: usize,
+    cmd: &ControlCommand,
+) {
+    match cmd {
+        ControlCommand::ForceRollback => {
+            if let Some(c) = epoch.candidate.as_ref() {
+                let ev = RolloutEvent::Rollback {
+                    epoch: c.epoch,
+                    reason: RollbackReason::Operator,
+                };
+                apply_rollout(epoch, shards, n_shards, canary, &ev);
+            }
+        }
+        ControlCommand::PinThreshold { host, t } => {
+            let idx = *host as usize % n_shards;
+            if let Some(shard) = shards.get_mut(idx) {
+                shard.state.hosts.entry(*host).or_default().pinned = Some(*t);
+            }
+        }
+        ControlCommand::DrainShard { shard } => {
+            if (*shard as usize) < n_shards {
+                drained.insert(*shard);
+            }
+        }
+        ControlCommand::UndrainShard { shard } => {
+            drained.remove(shard);
+        }
+    }
+}
+
 /// Count soak-span test windows of a batch lost to shedding or
 /// quarantine on a canary shard, toward the candidate's loss meter.
 fn note_soak_loss(epoch: &mut EpochState, canary: usize, shard_idx: usize, batch: &WindowBatch) {
@@ -368,6 +425,7 @@ impl Daemon {
 
         let mut next_snapshot_seq = 1;
         let mut epoch = EpochState::default();
+        let mut drained: BTreeSet<u32> = BTreeSet::new();
         if let Some(snap) = snap {
             if snap.n_windows != cfg.n_windows {
                 return Err(DaemonError::Config(
@@ -377,6 +435,7 @@ impl Daemon {
             report.snapshot_seq = Some(snap.seq);
             next_snapshot_seq = snap.seq + 1;
             epoch = snap.epoch;
+            drained = snap.drained.into_iter().collect();
             for (host, st) in snap.hosts {
                 let idx = host as usize % cfg.n_shards;
                 shards[idx].state.hosts.insert(host, st);
@@ -421,6 +480,17 @@ impl Daemon {
                 WalRecord::Rollout(ev) => {
                     report.wal_rollout_events += 1;
                     apply_rollout(&mut epoch, &mut shards, cfg.n_shards, canary, ev);
+                }
+                WalRecord::Command(cmd) => {
+                    report.wal_commands += 1;
+                    apply_command(
+                        &mut epoch,
+                        &mut shards,
+                        &mut drained,
+                        cfg.n_shards,
+                        canary,
+                        cmd,
+                    );
                 }
             }
         }
@@ -471,6 +541,9 @@ impl Daemon {
             stats: DaemonStats::default(),
             completions: Vec::new(),
             epoch,
+            drained,
+            config_generation: 1,
+            control_stats: ControlStats::default(),
             cfg,
             events,
         };
@@ -497,6 +570,13 @@ impl Daemon {
             }
         }
         let idx = batch.host as usize % self.cfg.n_shards;
+        // A drained shard refuses admission outright (the source retries
+        // after the undrain) while its already-queued work keeps
+        // processing — drain bounds *new* work without losing owned work.
+        if self.drained.contains(&(idx as u32)) {
+            self.stats.drain_deferred += 1;
+            return Admit::Overflow;
+        }
         let canary = effective_canary(&self.cfg);
         let shard = &mut self.shards[idx];
         if shard.worker.is_dark() {
@@ -815,6 +895,240 @@ impl Daemon {
         Ok(epoch_num)
     }
 
+    /// Journal and apply one operator command. The WAL record goes first
+    /// (write-ahead: a crash after the append replays the command; a
+    /// crash during it — a torn command record — loses it entirely and
+    /// the operator re-issues), then the in-memory apply, then the
+    /// `after-command` kill window that models dying before the operator
+    /// hears the acknowledgement. Validation happens *before* the
+    /// journal append so an invalid command is never made durable.
+    pub fn command(
+        &mut self,
+        cmd: ControlCommand,
+        kill: &mut KillSwitch,
+    ) -> Result<(), DaemonError> {
+        match cmd {
+            ControlCommand::ForceRollback => {
+                if self.epoch.candidate.is_none() {
+                    return Err(DaemonError::Config("no rollout in progress to roll back"));
+                }
+            }
+            ControlCommand::PinThreshold { t, .. } => {
+                if !t.is_finite() {
+                    return Err(DaemonError::Config("pinned threshold must be finite"));
+                }
+            }
+            ControlCommand::DrainShard { shard } | ControlCommand::UndrainShard { shard } => {
+                if shard as usize >= self.cfg.n_shards {
+                    return Err(DaemonError::Config("shard id out of range"));
+                }
+            }
+        }
+        if self.wal.append_command(&cmd, kill)? == AppendOutcome::Killed {
+            return Err(DaemonError::Killed);
+        }
+        let canary = effective_canary(&self.cfg);
+        apply_command(
+            &mut self.epoch,
+            &mut self.shards,
+            &mut self.drained,
+            self.cfg.n_shards,
+            canary,
+            &cmd,
+        );
+        match cmd {
+            ControlCommand::ForceRollback => self.control_stats.force_rollbacks += 1,
+            ControlCommand::PinThreshold { .. } => self.control_stats.pins += 1,
+            ControlCommand::DrainShard { .. } => self.control_stats.drains += 1,
+            ControlCommand::UndrainShard { .. } => self.control_stats.undrains += 1,
+        }
+        self.events.push(
+            "fleetd.control",
+            "command_applied",
+            &[("command", cmd.name())],
+        );
+        if kill.after_command() {
+            return Err(DaemonError::Killed);
+        }
+        Ok(())
+    }
+
+    /// Why `new` cannot be hot-applied over the current config, if it
+    /// cannot. Structural fields — anything baked into shard routing,
+    /// the snapshot format, queue memory, threshold fitting, or the
+    /// canary cohort — require a restart; the WAL replays through the
+    /// *current* config, so changing them live would break the
+    /// recovery-convergence contract.
+    fn reload_reject_reason(&self, new: &DaemonConfig) -> Option<&'static str> {
+        if let Err(reason) = check_config(new) {
+            return Some(reason);
+        }
+        let cur = &self.cfg;
+        if new.n_shards != cur.n_shards {
+            return Some("n_shards cannot change without restart");
+        }
+        if new.n_windows != cur.n_windows {
+            return Some("n_windows cannot change without restart");
+        }
+        if new.threshold_q.to_bits() != cur.threshold_q.to_bits() {
+            return Some("threshold_q cannot change without restart");
+        }
+        let eps_same = match (new.sketch_eps, cur.sketch_eps) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        };
+        if !eps_same {
+            return Some("sketch_eps cannot change without restart");
+        }
+        if new.queue.capacity != cur.queue.capacity
+            || new.queue.high != cur.queue.high
+            || new.queue.low != cur.queue.low
+            || new.queue.shed_after != cur.queue.shed_after
+            || new.queue.quantum != cur.queue.quantum
+        {
+            return Some("queue sizing cannot change without restart");
+        }
+        if new.rollout.canary_shards != cur.rollout.canary_shards {
+            return Some("rollout.canary_shards cannot change without restart");
+        }
+        None
+    }
+
+    /// Hot-reload the live-appliable subset of the daemon config
+    /// (`snapshot_every`, the supervisor tunables, and the rollout health
+    /// gates). **Reject-and-keep-old**: the candidate is validated and
+    /// checked for structural changes first, and on any failure the
+    /// current generation stays live untouched — the rejection is
+    /// recorded as an event and a counter, never a partial apply. On
+    /// success the generation bumps and the new values take effect from
+    /// the next tick. Returns the new generation.
+    pub fn reload(&mut self, new: &DaemonConfig) -> Result<u64, DaemonError> {
+        if let Some(reason) = self.reload_reject_reason(new) {
+            self.control_stats.reloads_rejected += 1;
+            self.events.push(
+                "fleetd.control",
+                "config_rejected",
+                &[("reason", reason)],
+            );
+            return Err(DaemonError::Config(reason));
+        }
+        self.cfg.snapshot_every = new.snapshot_every;
+        self.cfg.supervisor = new.supervisor;
+        self.cfg.rollout.gate = new.rollout.gate;
+        self.config_generation += 1;
+        self.control_stats.reloads_applied += 1;
+        self.events.push(
+            "fleetd.control",
+            "config_applied",
+            &[("generation", &self.config_generation.to_string())],
+        );
+        Ok(self.config_generation)
+    }
+
+    /// Live config generation (1 at process start, +1 per accepted
+    /// reload).
+    pub fn config_generation(&self) -> u64 {
+        self.config_generation
+    }
+
+    /// The live daemon configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// Control-plane counters this lifetime.
+    pub fn control_stats(&self) -> &ControlStats {
+        &self.control_stats
+    }
+
+    /// Shards currently drained, ascending.
+    pub fn drained_shards(&self) -> Vec<u32> {
+        self.drained.iter().copied().collect()
+    }
+
+    /// Epoch/rollout/drain state as deterministic JSON (the admin
+    /// endpoint's `GET /state` body). Hand-rolled — every value is an
+    /// integer, bool, or a string from a fixed vocabulary, so no escaping
+    /// is needed and the output is a pure function of daemon state.
+    pub fn state_json(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"config_generation\":{},\"virtual_ticks\":{},\"queued\":{},\"phase\":\"{}\"",
+            self.config_generation,
+            self.tick,
+            self.queued_total(),
+            match self.epoch.phase() {
+                Phase::Idle => "idle",
+                Phase::Canary => "canary",
+            }
+        );
+        let _ = write!(out, ",\"last_epoch\":{}", self.epoch.last_epoch);
+        match &self.epoch.candidate {
+            None => out.push_str(",\"candidate\":null"),
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    ",\"candidate\":{{\"epoch\":{},\"soak_start\":{},\"soak_end\":{},\
+                     \"hosts\":{},\"expected_windows\":{},\"windows\":{},\"sheds\":{}}}",
+                    c.epoch,
+                    c.soak_start,
+                    c.soak_end,
+                    c.thresholds.len(),
+                    c.expected_windows,
+                    c.stats.windows,
+                    c.stats.sheds
+                );
+            }
+        }
+        out.push_str(",\"history\":[");
+        for (i, rec) in self.epoch.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match rec.outcome {
+                EpochOutcome::Promoted => {
+                    let _ = write!(
+                        out,
+                        "{{\"epoch\":{},\"outcome\":\"promoted\"}}",
+                        rec.epoch
+                    );
+                }
+                EpochOutcome::RolledBack(reason) => {
+                    let _ = write!(
+                        out,
+                        "{{\"epoch\":{},\"outcome\":\"rolled_back\",\"reason\":\"{reason}\"}}",
+                        rec.epoch
+                    );
+                }
+            }
+        }
+        out.push_str("],\"drained_shards\":[");
+        for (i, s) in self.drained.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{s}");
+        }
+        out.push_str("],\"shards\":[");
+        for (i, st) in self.shard_statuses().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(match st {
+                WorkerStatus::Running => "running",
+                WorkerStatus::Backoff { .. } => "backoff",
+                WorkerStatus::Dark => "dark",
+            });
+            out.push('"');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Current rollout phase.
     pub fn epoch_phase(&self) -> Phase {
         self.epoch.phase()
@@ -856,6 +1170,7 @@ impl Daemon {
             n_windows: self.cfg.n_windows,
             hosts,
             epoch: self.epoch.clone(),
+            drained: self.drained.iter().copied().collect(),
         };
         let seq = snap.seq;
         snapshot::write_snapshot(&self.dir, &snap)?;
@@ -929,6 +1244,19 @@ impl Daemon {
         self.wal.len()
     }
 
+    /// The structured event ring (recovery, shard, rollout, and
+    /// control-plane events this lifetime).
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Checkpoint now, regardless of `snapshot_every` (the operator's
+    /// pre-maintenance "make recovery cheap" lever; drains make this
+    /// useful — a drained fleet checkpoints small).
+    pub fn force_snapshot(&mut self) -> Result<(), DaemonError> {
+        self.write_snapshot()
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> u64 {
         self.tick
@@ -948,7 +1276,7 @@ impl Daemon {
             "fleetd_batches_total",
             "Batches by admission/terminal disposition",
         );
-        let disp: [(&str, u64); 9] = [
+        let disp: [(&str, u64); 10] = [
             ("admitted", self.stats.admitted),
             ("overflow", self.stats.overflow),
             ("applied", self.stats.applied),
@@ -958,6 +1286,7 @@ impl Daemon {
             ("shed_dark", self.stats.shed_dark),
             ("rejected", self.stats.rejected),
             ("barrier_deferred", self.stats.barrier_deferred),
+            ("drain_deferred", self.stats.drain_deferred),
         ];
         for (d, v) in disp {
             reg.counter_add("fleetd_batches_total", &[("disposition", d)], v);
@@ -1024,6 +1353,48 @@ impl Daemon {
             rolled_back,
         );
 
+        reg.register_gauge(
+            "control_config_generation",
+            "Live config generation (1 at start, +1 per accepted reload)",
+        );
+        reg.gauge_set(
+            "control_config_generation",
+            &[],
+            self.config_generation as i64,
+        );
+        reg.register_counter(
+            "control_reloads_total",
+            "Config reload attempts by outcome",
+        );
+        reg.counter_add(
+            "control_reloads_total",
+            &[("outcome", "applied")],
+            self.control_stats.reloads_applied,
+        );
+        reg.counter_add(
+            "control_reloads_total",
+            &[("outcome", "rejected")],
+            self.control_stats.reloads_rejected,
+        );
+        reg.register_counter(
+            "control_commands_total",
+            "Operator commands journaled and applied, by command",
+        );
+        let cmds: [(&str, u64); 4] = [
+            ("force-rollback", self.control_stats.force_rollbacks),
+            ("pin-threshold", self.control_stats.pins),
+            ("drain-shard", self.control_stats.drains),
+            ("undrain-shard", self.control_stats.undrains),
+        ];
+        for (c, v) in cmds {
+            reg.counter_add("control_commands_total", &[("command", c)], v);
+        }
+        reg.register_gauge(
+            "control_drained_shards",
+            "Shards currently refusing new admissions",
+        );
+        reg.gauge_set("control_drained_shards", &[], self.drained.len() as i64);
+
         reg.merge_events(&self.events);
     }
 }
@@ -1068,64 +1439,20 @@ impl RecoveryReport {
             &[],
             self.wal_rollout_events,
         );
+        reg.register_counter(
+            "fleetd_recovery_command_records_total",
+            "Operator command records replayed from the WAL",
+        );
+        reg.counter_add(
+            "fleetd_recovery_command_records_total",
+            &[],
+            self.wal_commands,
+        );
     }
 }
 
 fn validate(cfg: &DaemonConfig) -> Result<(), DaemonError> {
-    if cfg.n_shards == 0 {
-        return Err(DaemonError::Config("n_shards must be nonzero"));
-    }
-    if cfg.n_windows == 0 {
-        return Err(DaemonError::Config("n_windows must be nonzero"));
-    }
-    if !(cfg.threshold_q > 0.0 && cfg.threshold_q <= 1.0) {
-        return Err(DaemonError::Config("threshold_q must be in (0, 1]"));
-    }
-    if let Some(eps) = cfg.sketch_eps {
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(DaemonError::Config("sketch_eps must be in (0, 1)"));
-        }
-    }
-    if cfg.snapshot_every == 0 {
-        return Err(DaemonError::Config("snapshot_every must be nonzero"));
-    }
-    if cfg.queue.quantum == 0 {
-        return Err(DaemonError::Config("queue.quantum must be nonzero"));
-    }
-    if cfg.queue.high == 0 || cfg.queue.high > cfg.queue.capacity {
-        return Err(DaemonError::Config(
-            "queue.high must be in 1..=queue.capacity",
-        ));
-    }
-    if cfg.queue.low >= cfg.queue.high {
-        return Err(DaemonError::Config("queue.low must be below queue.high"));
-    }
-    if cfg.supervisor.quarantine_strikes == 0 {
-        return Err(DaemonError::Config("quarantine_strikes must be nonzero"));
-    }
-    if cfg.supervisor.breaker_failures == 0 {
-        return Err(DaemonError::Config("breaker_failures must be nonzero"));
-    }
-    if cfg.rollout.canary_shards == 0 {
-        return Err(DaemonError::Config("rollout.canary_shards must be nonzero"));
-    }
-    let gate = &cfg.rollout.gate;
-    if !(gate.max_fp_increase >= 0.0 && gate.max_alarm_drop >= 0.0) {
-        return Err(DaemonError::Config(
-            "rollout gate alarm-delta bounds must be nonnegative",
-        ));
-    }
-    if !(gate.min_coverage > 0.0 && gate.min_coverage <= 1.0) {
-        return Err(DaemonError::Config(
-            "rollout.gate.min_coverage must be in (0, 1]",
-        ));
-    }
-    if !(gate.max_shed_rate >= 0.0 && gate.max_shed_rate <= 1.0) {
-        return Err(DaemonError::Config(
-            "rollout.gate.max_shed_rate must be in [0, 1]",
-        ));
-    }
-    Ok(())
+    check_config(cfg).map_err(DaemonError::Config)
 }
 
 #[cfg(test)]
@@ -1653,6 +1980,241 @@ mod tests {
                 Err(DaemonError::Config(_))
             ));
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pin_threshold_overrides_and_survives_wal_replay() {
+        let dir = tmpdir("pin");
+        let pinned_alarms;
+        {
+            let (mut d, mut kill) = prepare_rollout_daemon(&dir);
+            // Incumbent threshold ≈ 8: counts of 20 alarm. Pin host 0 at
+            // 1000: nothing alarms on it any more.
+            d.command(
+                ControlCommand::PinThreshold { host: 0, t: 1000.0 },
+                &mut kill,
+            )
+            .unwrap();
+            assert!(matches!(
+                d.command(
+                    ControlCommand::PinThreshold {
+                        host: 0,
+                        t: f64::NAN
+                    },
+                    &mut kill
+                ),
+                Err(DaemonError::Config("pinned threshold must be finite"))
+            ));
+            feed(&mut d, &mut kill, &[
+                b(0, 4, Week::Test, 4, &[20, 20]),
+                b(1, 4, Week::Test, 4, &[20, 20]),
+            ]);
+            let hosts = d.hosts();
+            assert_eq!(hosts[&0].pinned, Some(1000.0));
+            assert_eq!(hosts[&0].live_alarms, 0, "pin silences host 0");
+            assert_eq!(hosts[&1].live_alarms, 2, "host 1 unpinned");
+            assert_eq!(d.control_stats().pins, 1);
+            pinned_alarms = (hosts[&0].live_alarms, hosts[&1].live_alarms);
+            // Drop without snapshot: recovery replays the command record.
+        }
+        let (d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert_eq!(rec.wal_commands, 1);
+        let hosts = d.hosts();
+        assert_eq!(hosts[&0].pinned, Some(1000.0));
+        assert_eq!(
+            (hosts[&0].live_alarms, hosts[&1].live_alarms),
+            pinned_alarms,
+            "WAL replay reproduces pinned evaluation exactly"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drain_refuses_admission_until_undrain_and_survives_snapshot() {
+        let dir = tmpdir("drain");
+        {
+            let (mut d, mut kill) = prepare_rollout_daemon(&dir);
+            // Host 0 routes to shard 0; drain it.
+            d.command(ControlCommand::DrainShard { shard: 0 }, &mut kill)
+                .unwrap();
+            assert_eq!(d.drained_shards(), vec![0]);
+            assert_eq!(d.offer(b(0, 4, Week::Test, 4, &[5, 5])), Admit::Overflow);
+            assert_eq!(d.stats().drain_deferred, 1);
+            // Host 1 (shard 1) is unaffected.
+            assert_ne!(d.offer(b(1, 4, Week::Test, 4, &[5, 5])), Admit::Overflow);
+            assert!(matches!(
+                d.command(ControlCommand::DrainShard { shard: 9 }, &mut kill),
+                Err(DaemonError::Config("shard id out of range"))
+            ));
+            // Snapshot while drained: the drain must persist through it.
+            d.force_snapshot().unwrap();
+        }
+        let (mut d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert!(rec.snapshot_seq.is_some());
+        assert_eq!(d.drained_shards(), vec![0], "drain survives snapshot");
+        let mut kill = KillSwitch::none();
+        assert_eq!(d.offer(b(0, 5, Week::Test, 4, &[5, 5])), Admit::Overflow);
+        d.command(ControlCommand::UndrainShard { shard: 0 }, &mut kill)
+            .unwrap();
+        assert!(d.drained_shards().is_empty());
+        assert_ne!(d.offer(b(0, 5, Week::Test, 4, &[5, 5])), Admit::Overflow);
+        assert_eq!(d.control_stats().undrains, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn force_rollback_records_operator_reason_and_leaves_no_trace() {
+        let dir_a = tmpdir("oproll-a");
+        let dir_b = tmpdir("oproll-b");
+        let (mut with_cmd, mut kill) = prepare_rollout_daemon(&dir_a);
+        assert!(matches!(
+            with_cmd.command(ControlCommand::ForceRollback, &mut kill),
+            Err(DaemonError::Config("no rollout in progress to roll back"))
+        ));
+        with_cmd
+            .begin_rollout(4, 6, candidate(6.0), &mut kill)
+            .unwrap();
+        assert_eq!(with_cmd.epoch_phase(), Phase::Canary);
+        with_cmd
+            .command(ControlCommand::ForceRollback, &mut kill)
+            .unwrap();
+        assert_eq!(with_cmd.epoch_phase(), Phase::Idle);
+        let hist = &with_cmd.epoch_state().history;
+        assert_eq!(
+            hist[0].outcome,
+            EpochOutcome::RolledBack(RollbackReason::Operator)
+        );
+        let after = [
+            b(0, 4, Week::Test, 4, &[5, 5]),
+            b(1, 4, Week::Test, 4, &[5, 5]),
+        ];
+        feed(&mut with_cmd, &mut kill, &after);
+
+        let (mut plain, mut kill_b) = prepare_rollout_daemon(&dir_b);
+        feed(&mut plain, &mut kill_b, &after);
+        let a: Vec<(u32, HostState)> = with_cmd
+            .hosts()
+            .into_iter()
+            .map(|(h, s)| (h, s.clone()))
+            .collect();
+        let b: Vec<(u32, HostState)> = plain
+            .hosts()
+            .into_iter()
+            .map(|(h, s)| (h, s.clone()))
+            .collect();
+        assert_eq!(a, b, "operator rollback leaves host state untouched");
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn kill_after_command_recovers_it_from_the_wal() {
+        let dir = tmpdir("cmdkill");
+        {
+            let (mut d, _) = Daemon::open(&dir, small_cfg()).unwrap();
+            let mut kill = KillSwitch::armed(faultsim::KillPoint::AfterCommands(1));
+            // The command journals, applies, then the "process dies"
+            // before the operator hears the ack.
+            assert!(matches!(
+                d.command(ControlCommand::DrainShard { shard: 1 }, &mut kill),
+                Err(DaemonError::Killed)
+            ));
+        }
+        let (d, rec) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert_eq!(rec.wal_commands, 1);
+        assert_eq!(
+            d.drained_shards(),
+            vec![1],
+            "journaled command survives the crash"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_applies_live_fields_and_bumps_generation() {
+        let dir = tmpdir("reload");
+        let (mut d, _) = Daemon::open(&dir, small_cfg()).unwrap();
+        assert_eq!(d.config_generation(), 1);
+        let mut new = small_cfg();
+        new.snapshot_every = 7;
+        new.supervisor.breaker_failures = 99;
+        new.rollout.gate.min_coverage = 0.5;
+        assert_eq!(d.reload(&new).unwrap(), 2);
+        assert_eq!(d.config_generation(), 2);
+        assert_eq!(d.config().snapshot_every, 7);
+        assert_eq!(d.config().supervisor.breaker_failures, 99);
+        assert_eq!(d.config().rollout.gate.min_coverage, 0.5);
+        assert_eq!(d.control_stats().reloads_applied, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_reload_is_rejected_with_old_config_provably_live() {
+        let dir = tmpdir("reloadbad");
+        let (mut d, _) = Daemon::open(&dir, small_cfg()).unwrap();
+        let before = d.config().clone();
+
+        // Structurally different configs and outright invalid ones all
+        // reject; after each, every old value is still live and the
+        // generation never moved.
+        let cases: Vec<(fn(&mut DaemonConfig), &str)> = vec![
+            (|c| c.n_shards = 8, "n_shards"),
+            (|c| c.n_windows = 16, "n_windows"),
+            (|c| c.threshold_q = 0.5, "threshold_q"),
+            (|c| c.sketch_eps = Some(0.01), "sketch_eps"),
+            (|c| c.queue.capacity = 64, "queue sizing"),
+            (|c| c.queue.quantum = 2, "queue sizing"),
+            (|c| c.rollout.canary_shards = 2, "rollout.canary_shards"),
+            (|c| c.snapshot_every = 0, "snapshot_every must be nonzero"),
+            (|c| c.supervisor.breaker_failures = 0, "breaker_failures"),
+        ];
+        let n_cases = cases.len() as u64;
+        for (mutate, needle) in cases {
+            let mut new = small_cfg();
+            mutate(&mut new);
+            match d.reload(&new) {
+                Err(DaemonError::Config(msg)) => {
+                    assert!(msg.contains(needle), "{msg} should mention {needle}")
+                }
+                other => panic!("expected rejection, got {other:?}"),
+            }
+            assert_eq!(d.config_generation(), 1, "generation unmoved");
+        }
+        // Old values provably live, field by field.
+        let after = d.config().clone();
+        assert_eq!(after.n_shards, before.n_shards);
+        assert_eq!(after.n_windows, before.n_windows);
+        assert_eq!(after.threshold_q.to_bits(), before.threshold_q.to_bits());
+        assert_eq!(after.snapshot_every, before.snapshot_every);
+        assert_eq!(after.queue.capacity, before.queue.capacity);
+        assert_eq!(
+            after.supervisor.breaker_failures,
+            before.supervisor.breaker_failures
+        );
+        assert_eq!(d.control_stats().reloads_rejected, n_cases);
+        // And the rejection trail is in the event ring.
+        assert!(d.events().contains("fleetd.control", "config_rejected"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn control_metrics_families_render() {
+        let dir = tmpdir("ctrlmetrics");
+        let (mut d, mut kill) = prepare_rollout_daemon(&dir);
+        d.command(ControlCommand::DrainShard { shard: 0 }, &mut kill)
+            .unwrap();
+        let mut new = small_cfg();
+        new.snapshot_every = 5;
+        d.reload(&new).unwrap();
+        let mut reg = hids_metrics::Registry::default();
+        d.export_metrics(&mut reg);
+        let text = reg.render(hids_metrics::RenderOptions::deterministic());
+        assert!(text.contains("control_config_generation 2"));
+        assert!(text.contains("control_reloads_total{outcome=\"applied\"} 1"));
+        assert!(text.contains("control_commands_total{command=\"drain-shard\"} 1"));
+        assert!(text.contains("control_drained_shards 1"));
+        assert!(text.contains("disposition=\"drain_deferred\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -107,6 +107,9 @@ pub enum RollbackReason {
     /// Candidate alarm rate fell below the incumbent's by more than
     /// `max_alarm_drop` (poisoned-refit signature).
     AlarmDrop,
+    /// An operator forced the rollback via the control plane
+    /// (`force-rollback`); no gate failed.
+    Operator,
 }
 
 impl core::fmt::Display for RollbackReason {
@@ -116,6 +119,7 @@ impl core::fmt::Display for RollbackReason {
             RollbackReason::ShedRate => write!(f, "shed-rate"),
             RollbackReason::FpIncrease => write!(f, "fp-increase"),
             RollbackReason::AlarmDrop => write!(f, "alarm-drop"),
+            RollbackReason::Operator => write!(f, "operator"),
         }
     }
 }
@@ -127,6 +131,7 @@ impl RollbackReason {
             RollbackReason::ShedRate => 1,
             RollbackReason::FpIncrease => 2,
             RollbackReason::AlarmDrop => 3,
+            RollbackReason::Operator => 4,
         }
     }
 
@@ -136,6 +141,7 @@ impl RollbackReason {
             1 => RollbackReason::ShedRate,
             2 => RollbackReason::FpIncrease,
             3 => RollbackReason::AlarmDrop,
+            4 => RollbackReason::Operator,
             _ => return Err(CodecError::BadDiscriminant),
         })
     }
@@ -498,6 +504,10 @@ mod tests {
             RolloutEvent::Rollback {
                 epoch: 4,
                 reason: RollbackReason::AlarmDrop,
+            },
+            RolloutEvent::Rollback {
+                epoch: 5,
+                reason: RollbackReason::Operator,
             },
         ] {
             let mut buf = Vec::new();

@@ -38,6 +38,8 @@ use hids_metrics::{EventRing, Registry};
 use netpkt::dns::DNS_HEADER_LEN;
 use netpkt::{fold_name, DecodeError, DnsHeader, DnsQuestion, Layer};
 
+use std::borrow::Cow;
+
 use crate::codec::{Week, WindowBatch, MAX_BATCH_WINDOWS};
 
 /// Which listener a datagram arrived on.
@@ -467,7 +469,16 @@ impl Ingestor {
 /// Idempotent: `sanitize(&sanitize(s, n), n) == sanitize(s, n)` for all
 /// inputs — the output contains nothing left to strip and is already
 /// within bounds.
-pub fn sanitize(input: &str, max_len: usize) -> String {
+///
+/// Scan-first fast path: well-formed telemetry — the overwhelmingly
+/// common case — contains nothing to strip, so the input is checked
+/// before anything is copied and clean text is returned borrowed
+/// ([`Cow::Borrowed`]), allocation-free. Only dirty input pays for the
+/// rebuild.
+pub fn sanitize(input: &str, max_len: usize) -> Cow<'_, str> {
+    if sanitize_is_identity(input, max_len) {
+        return Cow::Borrowed(input);
+    }
     let mut out = String::with_capacity(input.len().min(max_len * 4));
     let mut kept = 0usize;
     let mut chars = input.chars();
@@ -496,7 +507,31 @@ pub fn sanitize(input: &str, max_len: usize) -> String {
         out.push(c);
         kept += 1;
     }
-    out
+    Cow::Owned(out)
+}
+
+/// Would [`sanitize`] return `input` unchanged?
+///
+/// Printable ASCII within the length bound is decided byte-wise (one
+/// branch per byte, no decoding); anything else falls back to an exact
+/// character scan. Control characters (Cc: NUL–0x1F, DEL, C1) cover
+/// every strip case including the ESC that opens a CSI sequence.
+fn sanitize_is_identity(input: &str, max_len: usize) -> bool {
+    let bytes = input.as_bytes();
+    if bytes.len() <= max_len && bytes.iter().all(|b| (0x20..0x7f).contains(b)) {
+        return true;
+    }
+    let mut count = 0usize;
+    for c in input.chars() {
+        if c.is_control() {
+            return false;
+        }
+        count += 1;
+        if count > max_len {
+            return false;
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -977,6 +1012,21 @@ mod tests {
         assert_eq!(sanitize("\x1b[2J", 100), "");
         // Truncated CSI at end of input swallows to the end.
         assert_eq!(sanitize("x\x1b[12;3", 100), "x");
+    }
+
+    #[test]
+    fn sanitize_borrows_clean_input_and_copies_dirty() {
+        // Clean printable ASCII within bounds: zero-copy.
+        assert!(matches!(sanitize("plain telemetry 123", 100), Cow::Borrowed(_)));
+        // Clean non-ASCII within bounds: zero-copy via the char scan.
+        assert!(matches!(sanitize("héllo wörld", 100), Cow::Borrowed(_)));
+        // Control bytes, CSI sequences, or overlength force the rebuild.
+        assert!(matches!(sanitize("a\x00b", 100), Cow::Owned(_)));
+        assert!(matches!(sanitize("\x1b[31mred", 100), Cow::Owned(_)));
+        assert!(matches!(sanitize("too long", 3), Cow::Owned(_)));
+        // The fast path must not change the result.
+        assert_eq!(sanitize("plain telemetry 123", 100), "plain telemetry 123");
+        assert_eq!(sanitize("too long", 3), "too");
     }
 
     #[test]

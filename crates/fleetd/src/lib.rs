@@ -27,6 +27,15 @@
 //!   restart, poison-batch quarantine, circuit breaker;
 //! * [`daemon`] — the virtual-clock event loop composing all of the
 //!   above, with a conservation law over every admitted batch;
+//! * [`control`] — the live control plane: a fully-validated hot-reload
+//!   config ([`FleetConfig`](control::FleetConfig), reject-and-keep-old)
+//!   and journaled operator commands (`force-rollback`, `pin-threshold`,
+//!   `drain-shard`, `undrain-shard`) that ride the WAL and survive any
+//!   crash fully-applied-or-not-applied;
+//! * [`admin`] — a zero-dependency single-threaded HTTP/1.0 admin
+//!   endpoint (off by default) serving Prometheus text, a state JSON
+//!   document, config reloads, and operator commands, total against
+//!   hostile input;
 //! * [`ingest`] — the wire-facing front-end: panic-free syslog/CEF and
 //!   DNS datagram parsing with sanitization, per-source token-bucket
 //!   flood control, and a `received = accepted + shed + malformed`
@@ -48,8 +57,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod cluster;
 pub mod codec;
+pub mod control;
 pub mod daemon;
 pub mod epoch;
 pub mod ingest;
@@ -64,7 +75,9 @@ pub use cluster::{
     AssignEvent, AssignState, Cluster, ClusterConfig, ClusterKillSwitch, ClusterRecovery,
     ClusterSnapshot, ClusterStats, DarkEpisode, HandoffNotice, HashRing,
 };
+pub use admin::{AdminConfig, AdminHandler, AdminServer, DaemonControl};
 pub use codec::{Week, WindowBatch};
+pub use control::{check_config, ControlCommand, ControlStats, FleetConfig};
 pub use daemon::{
     Completion, Daemon, DaemonConfig, DaemonError, DaemonStats, Disposition, RecoveryReport,
 };

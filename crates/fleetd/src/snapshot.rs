@@ -48,6 +48,10 @@ pub struct Snapshot {
     /// Rollout lifecycle state (current candidate + epoch history) as of
     /// this checkpoint.
     pub epoch: EpochState,
+    /// Shards the control plane had drained as of this checkpoint
+    /// (sorted, deduplicated). Drains are journaled commands, so the set
+    /// must survive restarts the same way epoch state does.
+    pub drained: Vec<u32>,
 }
 
 /// Why a snapshot file was rejected during recovery.
@@ -157,12 +161,23 @@ impl Snapshot {
                 }
                 None => payload.push(0),
             }
+            match st.pinned {
+                Some(t) => {
+                    payload.push(1);
+                    put_f64(&mut payload, t);
+                }
+                None => payload.push(0),
+            }
             encode_accumulator(&mut payload, &st.train);
             encode_accumulator(&mut payload, &st.test);
             encode_sketch(&mut payload, &st.train_sketch);
             encode_sketch(&mut payload, &st.test_sketch);
         }
         encode_epoch(&mut payload, &self.epoch);
+        put_u32(&mut payload, self.drained.len() as u32);
+        for &s in &self.drained {
+            put_u32(&mut payload, s);
+        }
         let mut out = Vec::with_capacity(12 + payload.len());
         out.extend_from_slice(&SNAP_MAGIC);
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -214,6 +229,11 @@ impl Snapshot {
                 1 => Some((r.u32()?, r.f64()?)),
                 _ => return Err(CodecError::BadDiscriminant),
             };
+            let pinned = match r.u8()? {
+                0 => None,
+                1 => Some(r.f64()?),
+                _ => return Err(CodecError::BadDiscriminant),
+            };
             let train = decode_accumulator(&mut r)?;
             let test = decode_accumulator(&mut r)?;
             let train_sketch = decode_sketch(&mut r)?;
@@ -229,16 +249,26 @@ impl Snapshot {
                     threshold,
                     live_alarms,
                     promoted,
+                    pinned,
                 },
             );
         }
         let epoch = decode_epoch(&mut r)?;
+        let n_drained = r.u32()?;
+        if n_drained > MAX_SNAP_PAYLOAD / 4 {
+            return Err(CodecError::ImplausibleLength);
+        }
+        let mut drained = Vec::with_capacity(n_drained as usize);
+        for _ in 0..n_drained {
+            drained.push(r.u32()?);
+        }
         r.finish()?;
         Ok(Self {
             seq,
             n_windows,
             hosts,
             epoch,
+            drained,
         })
     }
 
@@ -255,6 +285,7 @@ impl Snapshot {
             n_windows,
             hosts,
             epoch: epoch.clone(),
+            drained: Vec::new(),
         }
     }
 }
@@ -336,6 +367,7 @@ mod tests {
                 threshold: Some(8.5),
                 live_alarms: 1,
                 promoted: Some((300, 12.25)),
+                pinned: Some(5.75),
                 ..Default::default()
             },
         );
@@ -393,6 +425,7 @@ mod tests {
             n_windows: 672,
             hosts,
             epoch,
+            drained: vec![0, 2],
         }
     }
 

@@ -71,6 +71,12 @@ pub struct HostState {
     /// promoted rollout; a rolled-back rollout leaves it `None`, which is
     /// what makes rollback bitwise-exact.
     pub promoted: Option<(u32, f64)>,
+    /// Operator-pinned threshold override (the control plane's
+    /// `pin-threshold` command). Pins outrank both the incumbent and any
+    /// promoted epoch — an operator decision beats the automation — and
+    /// are journaled as WAL command records, so crash recovery replays
+    /// them at exactly the point in the batch stream where they landed.
+    pub pinned: Option<f64>,
 }
 
 /// Shadow-evaluation context for one batch apply during a canary soak:
@@ -134,9 +140,13 @@ fn poison_trip(batch: &WindowBatch) -> ! {
 }
 
 impl HostState {
-    /// The threshold window `w` alarms against: the promoted override
-    /// once `w` reaches its activation boundary, the incumbent before.
+    /// The threshold window `w` alarms against: an operator pin if one is
+    /// set, otherwise the promoted override once `w` reaches its
+    /// activation boundary, otherwise the incumbent.
     pub fn effective_threshold(&self, w: u32) -> Option<f64> {
+        if let Some(t) = self.pinned {
+            return Some(t);
+        }
         match self.promoted {
             Some((from, t)) if w >= from => Some(t),
             _ => self.threshold,

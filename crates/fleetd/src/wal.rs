@@ -15,7 +15,7 @@
 //! ```
 //!
 //! where the payload is one tag byte (0 = window batch, 1 = rollout
-//! event) followed by the record body.
+//! event, 2 = operator command) followed by the record body.
 //!
 //! Replay walks frames from the start and stops at the first defect —
 //! truncated header, bad magic, implausible length, short payload, or CRC
@@ -37,6 +37,7 @@ use std::path::{Path, PathBuf};
 use faultsim::KillPoint;
 
 use crate::codec::{crc32, CodecError, WindowBatch};
+use crate::control::ControlCommand;
 use crate::epoch::RolloutEvent;
 
 /// Frame magic: "WLR1".
@@ -47,13 +48,18 @@ pub const WAL_HEADER_LEN: usize = 12;
 /// length field itself is damaged.
 pub const MAX_FRAME_PAYLOAD: u32 = 1 << 24;
 
-/// One journaled record: an applied batch or a rollout transition.
+/// One journaled record: an applied batch, a rollout transition, or an
+/// operator command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// A durably applied window batch (payload tag 0).
     Batch(WindowBatch),
     /// A rollout state transition (payload tag 1).
     Rollout(RolloutEvent),
+    /// An operator command from the control plane (payload tag 2),
+    /// journaled before it takes effect so recovery replays it at
+    /// exactly its point in the batch stream.
+    Command(ControlCommand),
 }
 
 impl WalRecord {
@@ -68,6 +74,10 @@ impl WalRecord {
                 out.push(1);
                 ev.encode(out);
             }
+            WalRecord::Command(cmd) => {
+                out.push(2);
+                cmd.encode(out);
+            }
         }
     }
 
@@ -77,6 +87,7 @@ impl WalRecord {
         match tag {
             0 => Ok(WalRecord::Batch(WindowBatch::decode(body)?)),
             1 => Ok(WalRecord::Rollout(RolloutEvent::decode(body)?)),
+            2 => Ok(WalRecord::Command(ControlCommand::decode(body)?)),
             _ => Err(CodecError::BadDiscriminant),
         }
     }
@@ -97,6 +108,8 @@ pub struct KillSwitch {
     applied: u64,
     /// Lifetime rollout transition records made durable.
     rollout_events: u64,
+    /// Lifetime operator-command records made durable.
+    commands: u64,
 }
 
 /// What an append attempt should do, as decided by the [`KillSwitch`].
@@ -120,6 +133,7 @@ impl KillSwitch {
             wal_bytes: 0,
             applied: 0,
             rollout_events: 0,
+            commands: 0,
         }
     }
 
@@ -156,6 +170,11 @@ impl KillSwitch {
     /// Lifetime rollout transition records metered so far.
     pub fn rollout_events(&self) -> u64 {
         self.rollout_events
+    }
+
+    /// Lifetime operator-command records metered so far.
+    pub fn commands(&self) -> u64 {
+        self.commands
     }
 
     /// Meter an intended append of `frame_len` bytes and decide whether
@@ -204,6 +223,22 @@ impl KillSwitch {
         self.rollout_events += 1;
         match self.point {
             Some(KillPoint::AfterRolloutEvents(n)) if !self.fired && self.rollout_events >= u64::from(n) => {
+                self.fired = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Meter one durable operator-command record; returns `true` when the
+    /// daemon must die now — after the command is on disk and applied,
+    /// but before the caller is acknowledged. Recovery must replay the
+    /// durable command and converge to the same state (the "kill between
+    /// apply and ack" class of the control-plane sweep).
+    pub(crate) fn after_command(&mut self) -> bool {
+        self.commands += 1;
+        match self.point {
+            Some(KillPoint::AfterCommands(n)) if !self.fired && self.commands >= u64::from(n) => {
                 self.fired = true;
                 true
             }
@@ -305,6 +340,13 @@ pub fn frame_batch(batch: &WindowBatch) -> Vec<u8> {
 pub fn frame_rollout(ev: &RolloutEvent) -> Vec<u8> {
     let mut payload = vec![1u8];
     ev.encode(&mut payload);
+    frame_payload(&payload)
+}
+
+/// Build the on-disk frame for one operator-command record.
+pub fn frame_command(cmd: &ControlCommand) -> Vec<u8> {
+    let mut payload = vec![2u8];
+    cmd.encode(&mut payload);
     frame_payload(&payload)
 }
 
@@ -476,6 +518,17 @@ impl WalWriter {
         self.append_frame(frame_rollout(ev), kill)
     }
 
+    /// Frame an operator command and append it, consulting `kill` for a
+    /// mid-frame crash. The command must be journaled before any
+    /// in-memory effect (the same write-ahead discipline as batches).
+    pub fn append_command(
+        &mut self,
+        cmd: &ControlCommand,
+        kill: &mut KillSwitch,
+    ) -> std::io::Result<AppendOutcome> {
+        self.append_frame(frame_command(cmd), kill)
+    }
+
     /// Frame an arbitrary pre-encoded payload and append it, consulting
     /// `kill` for a mid-frame crash. The payload's structure is the
     /// caller's contract (the cluster journal appends assignment events
@@ -594,6 +647,45 @@ mod tests {
         );
         assert!(replay.tail_defect.is_none());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn command_records_interleave_and_roundtrip() {
+        let dir = tmpdir("command");
+        let path = dir.join("wal.bin");
+        let cmd = ControlCommand::PinThreshold { host: 4, t: 7.25 };
+        {
+            let (mut w, _) = WalWriter::open(&path).unwrap();
+            let mut kill = KillSwitch::none();
+            w.append_batch(&batch(1, 1, &[3]), &mut kill).unwrap();
+            w.append_command(&cmd, &mut kill).unwrap();
+            w.append_command(&ControlCommand::DrainShard { shard: 1 }, &mut kill)
+                .unwrap();
+        }
+        let (_, replay) = WalWriter::open(&path).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![
+                WalRecord::Batch(batch(1, 1, &[3])),
+                WalRecord::Command(cmd),
+                WalRecord::Command(ControlCommand::DrainShard { shard: 1 }),
+            ]
+        );
+        assert!(replay.tail_defect.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_switch_fires_after_commands() {
+        let mut kill = KillSwitch::armed(KillPoint::AfterCommands(2));
+        assert!(!kill.after_command());
+        assert!(kill.after_command());
+        assert!(kill.fired());
+        assert_eq!(kill.commands(), 2);
+        // Re-arming keeps the lifetime meter, like the other counters.
+        kill.rearm(Some(KillPoint::AfterCommands(3)));
+        assert!(kill.after_command());
+        assert_eq!(kill.commands(), 3);
     }
 
     #[test]

@@ -73,6 +73,18 @@ impl EventRing {
         self.events.iter()
     }
 
+    /// Does the ring currently hold an event with this scope and name?
+    ///
+    /// The common assertion shape for harnesses and tests ("did a
+    /// `config_rejected` event land?") without spelling out an iterator
+    /// chain at every call site. Only events still held count — an event
+    /// evicted by ring pressure is gone.
+    pub fn contains(&self, scope: &str, name: &str) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.scope == scope && e.name == name)
+    }
+
     /// Events held right now.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -287,6 +287,7 @@ pub fn export_history_metrics(history: &[EpochSummary], reg: &mut hids_metrics::
     );
     let mut promoted = 0u64;
     let mut rolled_back = 0u64;
+    let mut operator = 0u64;
     for e in history {
         match &e.rolled_back {
             None => {
@@ -299,6 +300,12 @@ pub fn export_history_metrics(history: &[EpochSummary], reg: &mut hids_metrics::
             }
             Some(reason) => {
                 rolled_back += 1;
+                // Operator-initiated rollbacks (the `force-rollback`
+                // command) are a distinct signal from gate failures: one
+                // is a human decision, the other an automated guardrail.
+                if reason == "operator" {
+                    operator += 1;
+                }
                 reg.event(
                     "itconsole.rollout",
                     "rolled_back",
@@ -336,6 +343,11 @@ pub fn export_history_metrics(history: &[EpochSummary], reg: &mut hids_metrics::
         "itc_rollout_epochs_total",
         &[("outcome", "rolled_back")],
         rolled_back,
+    );
+    reg.counter_add(
+        "itc_rollout_epochs_total",
+        &[("outcome", "rolled_back_operator")],
+        operator,
     );
 }
 

@@ -42,6 +42,16 @@
 # identity self-check and a seeded flood at a fixed severity, with the
 # ingest_* metric families asserted present in the exported snapshot.
 #
+# The control-plane stages are the operator-surface gate: the root
+# `tests/control.rs` suite asserts reject-and-keep-old reloads, the two
+# command-journal crash classes, a >=10-point seeded kill sweep with
+# byte-identical recovery, and totality of the admin HTTP core under
+# hostile/property-generated requests. The `repro controlplane` smoke
+# replays the scripted operator timeline under a seeded kill schedule
+# with the admin endpoint live, exercising reload + invalid reload +
+# pin-threshold over raw TCP; we grep the control_* metric families, the
+# journaled config_rejected event, and every self-check line.
+#
 # The megafleet smoke runs the sketch-backed fleet path at reduced scale
 # with its health gauges exported, asserting the tailstats_sketch_*
 # families exist and that the run's internal merge-order / rank-budget
@@ -58,6 +68,7 @@ cargo test -q --test rollout
 cargo test -q --test cluster
 cargo test -q --test metrics
 cargo test -q --test ingest
+cargo test -q --test control
 cargo clippy -q \
     -p netpkt -p flowtab -p tailstats -p synthgen -p hids-core \
     -p attacksim -p itconsole -p faultsim -p fleetd -p experiments -p bench \
@@ -138,6 +149,49 @@ grep -q "ingest flood check:" "$ingest_log" || {
 if grep -q "FAILED" "$ingest_log"; then
     echo "ci.sh: ingest self-check failed" >&2
     cat "$ingest_log" >&2
+    exit 1
+fi
+control_metrics="target/ci-control.prom"
+control_log="target/ci-control.log"
+rm -f "$control_metrics" "$control_log"
+cargo run -q --release -p experiments --bin repro -- \
+    --users 16 --weeks 2 --seed 42 --fault-seed 64273 --fault-rate 0.2 \
+    --admin-port 18141 --metrics-out "$control_metrics" \
+    controlplane 2> "$control_log" > /dev/null
+for family in control_config_generation control_reloads_total \
+    control_commands_total control_drained_shards; do
+    grep -q "^# TYPE $family " "$control_metrics" || {
+        echo "ci.sh: controlplane smoke missing family: $family" >&2
+        exit 1
+    }
+done
+grep -q "# event .* fleetd\.control config_rejected" "$control_metrics" || {
+    echo "ci.sh: controlplane smoke missing config_rejected event" >&2
+    exit 1
+}
+grep -q "controlplane script check:" "$control_log" || {
+    echo "ci.sh: controlplane script check did not run" >&2
+    cat "$control_log" >&2
+    exit 1
+}
+grep -q "controlplane determinism check: hosts CSV identical" "$control_log" || {
+    echo "ci.sh: controlplane determinism check did not run" >&2
+    cat "$control_log" >&2
+    exit 1
+}
+grep -q "controlplane kill-recovery check:" "$control_log" || {
+    echo "ci.sh: controlplane kill-recovery check did not run" >&2
+    cat "$control_log" >&2
+    exit 1
+}
+grep -q "controlplane admin check: reload applied at generation 2" "$control_log" || {
+    echo "ci.sh: controlplane admin check did not run" >&2
+    cat "$control_log" >&2
+    exit 1
+}
+if grep -q "FAILED" "$control_log"; then
+    echo "ci.sh: controlplane self-check failed" >&2
+    cat "$control_log" >&2
     exit 1
 fi
 mega_metrics="target/ci-megafleet.prom"

@@ -1,0 +1,337 @@
+//! Acceptance suite for the live control plane: validated hot-reload
+//! config, crash-safe journaled operator commands, and the admin
+//! endpoint.
+//!
+//! The contracts under test:
+//!
+//! * **reject-and-keep-old** — an invalid reload is refused atomically:
+//!   the prior generation stays live (old values provably in effect) and
+//!   a `config_rejected` event lands in the ring;
+//! * **command crash safety** — an operator command killed mid-WAL-record
+//!   recovers to *not applied*; killed between apply and ack it recovers
+//!   to *applied exactly once*; and a seeded ≥10-point kill sweep over
+//!   the whole scripted operator timeline (drain/pin/undrain, canary
+//!   rollout + force-rollback, reloads) recovers a hosts CSV
+//!   byte-identical to an uninterrupted run;
+//! * **admin totality** — the HTTP/1.0 admin plane is a total function
+//!   of its input: hostile, truncated, oversized, or random requests get
+//!   a well-formed 4xx, never a panic or a hang.
+
+use experiments::controlplane::{hosts_csv, run, ControlScenario};
+use experiments::daemon::build_batches_for;
+use experiments::{Corpus, CorpusConfig};
+use faultsim::{command_kill_points, KillPoint};
+use fleetd::admin::respond;
+use fleetd::{
+    AdminConfig, AdminHandler, AdminServer, ControlCommand, Daemon, DaemonConfig, DaemonControl,
+    DaemonError, FleetConfig, KillSwitch,
+};
+use proptest::prelude::*;
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("control-accept-{}-{}-{}", tag, std::process::id(), n))
+}
+
+fn small_corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        n_users: 8,
+        n_weeks: 2,
+        ..CorpusConfig::small()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reject-and-keep-old reload semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_reload_keeps_prior_generation_provably_live() {
+    let dir = unique_dir("reload");
+    let cfg = DaemonConfig::default();
+    let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+
+    // A valid reload through the operator's own config format.
+    let fc = FleetConfig::parse("snapshot_every = 333\n").unwrap();
+    assert_eq!(d.reload(&fc.daemon).unwrap(), 2);
+    assert_eq!(d.config().snapshot_every, 333);
+
+    // A structural change arrives bundled with an otherwise-tempting
+    // live change: the reload must be rejected as a unit.
+    let bad_text = format!(
+        "n_shards = {}\nsnapshot_every = 999\n",
+        cfg.n_shards + 1
+    );
+    let bad = FleetConfig::parse(&bad_text).unwrap();
+    let err = match d.reload(&bad.daemon) {
+        Err(DaemonError::Config(msg)) => msg,
+        other => panic!("structural reload must be rejected, got {other:?}"),
+    };
+    assert!(err.contains("restart"), "rejection names the restart rule: {err}");
+
+    // The prior generation is provably live: generation unmoved, every
+    // old value still in effect — including the live-appliable field the
+    // rejected config tried to smuggle in.
+    assert_eq!(d.config_generation(), 2, "generation must not advance");
+    assert_eq!(d.config().snapshot_every, 333, "old live value still in effect");
+    assert_eq!(d.config().n_shards, cfg.n_shards, "structure untouched");
+    assert!(d.events().contains("fleetd.control", "config_rejected"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Command-journal crash safety: the two kill classes, isolated
+// ---------------------------------------------------------------------------
+
+#[test]
+fn command_killed_mid_wal_record_recovers_to_not_applied() {
+    let dir = unique_dir("torn");
+    let cfg = DaemonConfig::default();
+    let mut kill = KillSwitch::none();
+    {
+        let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+        // Tear the very next WAL write a few bytes in: the command
+        // record is half on disk when the process dies.
+        kill.rearm(Some(KillPoint::AtWalByte {
+            offset: kill.wal_bytes() + 2,
+            torn: 3,
+        }));
+        let err = d.command(ControlCommand::DrainShard { shard: 1 }, &mut kill);
+        assert!(matches!(err, Err(DaemonError::Killed)));
+    }
+    let (d, rec) = Daemon::open(&dir, cfg).unwrap();
+    assert!(
+        d.drained_shards().is_empty(),
+        "a torn command record must recover to not-applied"
+    );
+    assert!(rec.wal_torn_bytes > 0, "the torn tail was found and truncated");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn command_killed_between_apply_and_ack_recovers_to_applied_once() {
+    let dir = unique_dir("ack");
+    let cfg = DaemonConfig::default();
+    let mut kill = KillSwitch::none();
+    {
+        let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+        // The record is durable and applied; the crash hits before the
+        // operator ever sees the acknowledgement.
+        kill.rearm(Some(KillPoint::AfterCommands(1)));
+        let err = d.command(ControlCommand::DrainShard { shard: 1 }, &mut kill);
+        assert!(matches!(err, Err(DaemonError::Killed)));
+    }
+    let (d, rec) = Daemon::open(&dir, cfg).unwrap();
+    assert_eq!(
+        d.drained_shards(),
+        vec![1],
+        "an acked-but-unacknowledged command replays to applied exactly once"
+    );
+    assert_eq!(rec.wal_commands, 1, "one command record replayed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// The headline sweep: ≥10 seeded kill points over the operator script
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ten_point_command_kill_sweep_recovers_byte_identical_csvs() {
+    let corpus = small_corpus();
+    let scenario = ControlScenario::default();
+    let batches = build_batches_for(&corpus, scenario.feature, scenario.batch_windows, &[]);
+
+    let ref_dir = unique_dir("sweep-ref");
+    let reference = run(&ref_dir, &scenario, &batches, &[]).unwrap();
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+    reference.check(&scenario).unwrap();
+    let ref_csv = hosts_csv(&reference);
+
+    // Seeded schedule across every kill class the command journal can
+    // meet: batch boundaries, raw WAL byte offsets (clean and torn —
+    // including torn command records), and post-command ack windows.
+    let kills = command_kill_points(
+        0xC0DE_CAFE,
+        12,
+        reference.total_applied,
+        reference.total_wal_bytes,
+        reference.total_commands as u32,
+    );
+    assert!(kills.len() >= 10, "the sweep must schedule at least 10 points");
+
+    let kill_dir = unique_dir("sweep-kill");
+    let killed = run(&kill_dir, &scenario, &batches, &kills).unwrap();
+    std::fs::remove_dir_all(&kill_dir).unwrap();
+    killed.check(&scenario).unwrap();
+    assert!(killed.recovery.kills > 0, "the schedule must actually fire");
+    assert!(killed.recovery.lifetimes > 1, "recovery must actually happen");
+    assert_eq!(
+        hosts_csv(&killed),
+        ref_csv,
+        "no kill placement may change a single output byte — commands are \
+         fully-applied-or-not-applied"
+    );
+    // The scripted evidence also survived the crashes.
+    assert!(killed.evidence.rollback_operator);
+    assert!(killed.evidence.drain_refused);
+}
+
+// ---------------------------------------------------------------------------
+// Admin endpoint totality
+// ---------------------------------------------------------------------------
+
+/// A handler that answers without touching a daemon, for totality tests.
+struct Stub;
+
+impl AdminHandler for Stub {
+    fn metrics_text(&mut self) -> String {
+        "# TYPE control_config_generation gauge\ncontrol_config_generation 1\n".into()
+    }
+    fn state_json(&mut self) -> String {
+        "{\"config_generation\":1}".into()
+    }
+    fn reload(&mut self, _config_text: &str) -> Result<u64, String> {
+        Err("stub rejects".into())
+    }
+    fn command(&mut self, _line: &str) -> Result<(), String> {
+        Err("stub rejects".into())
+    }
+}
+
+fn status_of(resp: &[u8]) -> u16 {
+    let text = std::str::from_utf8(&resp[..resp.len().min(12)]).unwrap_or("");
+    text.strip_prefix("HTTP/1.0 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn hostile_requests_get_well_formed_4xx_responses() {
+    let hostile: &[&[u8]] = &[
+        b"",
+        b"\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /metrics\r\n\r\n",
+        b"GET /metrics SPDY/3\r\n\r\n",
+        b"FROB /metrics HTTP/1.0\r\n\r\n",
+        b"GET /../etc/passwd HTTP/1.0\r\n\r\n",
+        b"POST /reload HTTP/1.0\r\nContent-Length: oops\r\n\r\n",
+        b"POST /reload HTTP/1.0\r\nContent-Length: 99999999999999999999\r\n\r\n",
+        b"GET /metrics HTTP/1.0\r\nX: \xff\xfe\xfd\r\n\r\n",
+        b"\xff\xff\xff\xff\r\n\r\n",
+        b"GET  /metrics  HTTP/1.0\r\n\r\n",
+    ];
+    for raw in hostile {
+        let resp = respond(raw, 4096, &mut Stub);
+        let status = status_of(&resp);
+        assert!(
+            (400..=499).contains(&status),
+            "hostile input must yield 4xx, got {status} for {raw:?}"
+        );
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.contains("\r\n\r\n"), "response must be fully framed");
+        assert!(text.contains("Connection: close"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The admin responder is a total function of the raw request bytes:
+    /// any input gets exactly one well-formed, fully-framed HTTP/1.0
+    /// response with a known status code.
+    #[test]
+    fn admin_responder_total_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        max in 16usize..4096,
+    ) {
+        let resp = respond(&bytes, max, &mut Stub);
+        let status = status_of(&resp);
+        prop_assert!(
+            matches!(status, 200 | 400 | 404 | 405 | 408 | 413 | 422),
+            "unknown status {status}"
+        );
+        let text = String::from_utf8_lossy(&resp);
+        prop_assert!(text.starts_with("HTTP/1.0 "));
+        prop_assert!(text.contains("\r\n\r\n"));
+    }
+
+    /// Seeding garbage *around* a valid request line must never crash
+    /// either — header torture with a recognisable route.
+    #[test]
+    fn admin_responder_total_on_mangled_headers(
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut raw = b"POST /command HTTP/1.0\r\n".to_vec();
+        raw.extend_from_slice(&junk);
+        raw.extend_from_slice(b"\r\n\r\npin-threshold 0 42");
+        let resp = respond(&raw, 4096, &mut Stub);
+        prop_assert!(status_of(&resp) != 0, "must still answer with HTTP/1.0");
+    }
+}
+
+#[test]
+fn admin_endpoint_drives_a_live_daemon_over_tcp() {
+    use std::io::{Read as _, Write as _};
+
+    let dir = unique_dir("tcp");
+    let cfg = DaemonConfig::default();
+    let (mut d, _) = Daemon::open(&dir, cfg).unwrap();
+    let mut kill = KillSwitch::none();
+    let server = AdminServer::bind(0, AdminConfig::default()).unwrap();
+    let port = server.port();
+
+    let requests: Vec<Vec<u8>> = vec![
+        b"POST /reload HTTP/1.0\r\nContent-Length: 21\r\n\r\nsnapshot_every = 257\n".to_vec(),
+        format!(
+            "POST /reload HTTP/1.0\r\nContent-Length: {}\r\n\r\nn_shards = {}\n",
+            format!("n_shards = {}\n", cfg.n_shards + 1).len(),
+            cfg.n_shards + 1
+        )
+        .into_bytes(),
+        b"POST /command HTTP/1.0\r\nContent-Length: 20\r\n\r\npin-threshold 0 42.5".to_vec(),
+        b"GET /metrics HTTP/1.0\r\n\r\n".to_vec(),
+    ];
+    let n = requests.len();
+    let client = std::thread::spawn(move || -> Vec<String> {
+        requests
+            .into_iter()
+            .map(|raw| {
+                let mut s = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+                s.write_all(&raw).unwrap();
+                let mut resp = String::new();
+                s.read_to_string(&mut resp).unwrap();
+                resp
+            })
+            .collect()
+    });
+    {
+        let mut ctl = DaemonControl {
+            daemon: &mut d,
+            kill: &mut kill,
+        };
+        for _ in 0..n {
+            server.serve_one(&mut ctl).unwrap();
+        }
+    }
+    let responses = client.join().unwrap();
+
+    assert!(responses[0].starts_with("HTTP/1.0 200"), "valid reload: {}", responses[0]);
+    assert!(responses[0].contains("\"generation\":2"));
+    assert!(responses[1].starts_with("HTTP/1.0 422"), "structural reload: {}", responses[1]);
+    assert!(responses[1].contains("restart"));
+    assert!(responses[2].starts_with("HTTP/1.0 200"), "pin command: {}", responses[2]);
+    assert!(responses[3].starts_with("HTTP/1.0 200"));
+    assert!(responses[3].contains("control_config_generation 2"));
+    assert!(responses[3].contains("control_reloads_total{outcome=\"rejected\"} 1"));
+    assert!(responses[3].contains("control_commands_total{command=\"pin-threshold\"} 1"));
+
+    // The TCP-applied effects landed in the daemon itself.
+    assert_eq!(d.config().snapshot_every, 257);
+    assert_eq!(d.hosts().get(&0).and_then(|st| st.pinned), Some(42.5));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

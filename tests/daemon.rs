@@ -20,7 +20,7 @@ use experiments::daemon::{
 };
 use experiments::{Corpus, CorpusConfig};
 use faultsim::{ByteFaults, KillPoint};
-use fleetd::wal::{frame_batch, frame_rollout, scan_frames, WAL_HEADER_LEN, WAL_MAGIC};
+use fleetd::wal::{frame_batch, frame_command, frame_rollout, scan_frames, WAL_HEADER_LEN, WAL_MAGIC};
 use fleetd::{
     Admit, Daemon, DaemonConfig, DaemonError, EpochState, HostState, KillSwitch, QueueConfig,
     Snapshot, SupervisorConfig, WalRecord, Week, WindowBatch,
@@ -538,6 +538,7 @@ fn arb_host_state() -> impl Strategy<Value = HostState> {
             test: WindowAccumulator::from_pairs(test),
             threshold: has_thresh.then(|| thresh as f64 / 7.0),
             live_alarms,
+            pinned: (last_seq % 3 == 0).then(|| thresh as f64 / 11.0),
             promoted: (!has_thresh).then(|| (live_alarms as u32 % 672, thresh as f64 / 3.0)),
             train_sketch: None,
             test_sketch: None,
@@ -558,6 +559,7 @@ proptest! {
             match r {
                 WalRecord::Batch(b) => reframed.extend(frame_batch(b)),
                 WalRecord::Rollout(ev) => reframed.extend(frame_rollout(ev)),
+                WalRecord::Command(c) => reframed.extend(frame_command(c)),
             }
         }
         prop_assert_eq!(&reframed[..], &bytes[..valid as usize]);
@@ -614,7 +616,7 @@ proptest! {
         hosts in proptest::collection::vec((0u32..64, arb_host_state()), 0..8),
     ) {
         let hosts: BTreeMap<u32, HostState> = hosts.into_iter().collect();
-        let snap = Snapshot { seq, n_windows: WINDOWS_PER_WEEK, hosts, epoch: EpochState::default() };
+        let snap = Snapshot { seq, n_windows: WINDOWS_PER_WEEK, hosts, epoch: EpochState::default(), drained: Vec::new() };
         let decoded = Snapshot::decode(&snap.encode()).unwrap();
         prop_assert_eq!(decoded, snap);
     }
@@ -627,7 +629,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let hosts: BTreeMap<u32, HostState> = hosts.into_iter().collect();
-        let snap = Snapshot { seq: 7, n_windows: WINDOWS_PER_WEEK, hosts, epoch: EpochState::default() };
+        let snap = Snapshot { seq: 7, n_windows: WINDOWS_PER_WEEK, hosts, epoch: EpochState::default(), drained: vec![1] };
         let mut bytes = snap.encode();
         let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
         bytes[pos] ^= flip;
@@ -730,6 +732,7 @@ fn regression_snapshot_of_blank_host() {
         n_windows: WINDOWS_PER_WEEK,
         hosts,
         epoch: EpochState::default(),
+        drained: Vec::new(),
     };
     let decoded = Snapshot::decode(&snap.encode()).unwrap();
     assert_eq!(decoded, snap);
