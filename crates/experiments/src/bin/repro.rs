@@ -72,6 +72,9 @@ fn usage() -> String {
      front-end: severity 0 must reproduce the synthetic hosts CSV byte-for-byte, then a\n\
      --fault-severity sweep plus a seeded flood exercise shedding and degraded accounting\n\
      (--ingest-rate/--ingest-burst tune the per-source token bucket);\n\
+     pipeline (run only when named; not part of `all`) renders synthetic weeks to real pcap and\n\
+     drives them end to end — pcap → lossy decode → sanitize → features → threshold sweep — with\n\
+     per-stage timings and identity checks, recording BENCH_pipeline.json under --out;\n\
      scale experiments (run only when named; not part of `all`): megafleet sketchablate cluster\n\
      megafleet streams --users hosts through bounded-memory rank sketches (--sketch-eps, default 0.01);\n\
      sketchablate quantifies sketch-vs-exact error on the corpus;\n\
@@ -311,10 +314,14 @@ fn ingest_json(
     clean: &experiments::ingest::IngestRun,
     faulted: &experiments::ingest::IngestRun,
     events_per_sec: f64,
+    sanitize_dirty_bytes_per_sec: f64,
+    sanitize_dirty_ns_per_line: f64,
 ) -> String {
     format!(
         "{{\n  \"users\": {},\n  \"ingest_rate\": {},\n  \"ingest_burst\": {},\n  \
          \"fault_severity\": {},\n  \"threads\": {},\n  \"decode_events_per_sec_core\": {:.0},\n  \
+         \"sanitize_dirty_bytes_per_sec_core\": {:.0},\n  \
+         \"sanitize_dirty_ns_per_line\": {:.0},\n  \
          \"clean\": {{ \"received\": {}, \"accepted\": {}, \"shed\": {}, \"malformed\": {} }},\n  \
          \"faulted\": {{ \"received\": {}, \"accepted\": {}, \"shed\": {}, \"malformed\": {}, \
          \"flood_latched\": {} }}\n}}\n",
@@ -324,6 +331,8 @@ fn ingest_json(
         args.fault_severity,
         hids_core::current_threads(),
         events_per_sec,
+        sanitize_dirty_bytes_per_sec,
+        sanitize_dirty_ns_per_line,
         clean.stats.received,
         clean.stats.accepted,
         clean.stats.shed,
@@ -333,6 +342,35 @@ fn ingest_json(
         faulted.stats.shed,
         faulted.stats.malformed,
         faulted.stats.flood_latched,
+    )
+}
+
+/// `BENCH_pipeline.json`: the first end-to-end pcap→decode→sanitize→
+/// features→sweep figure, with per-stage wall-clock.
+fn pipeline_json(args: &Args, r: &experiments::pipeline::PipelineReport) -> String {
+    format!(
+        "{{\n  \"seed\": {},\n  \"users\": {},\n  \"windows_per_week\": {},\n  \
+         \"threads\": {},\n  \"frames\": {},\n  \"flows\": {},\n  \"pcap_bytes\": {},\n  \
+         \"wire_datagrams\": {},\n  \"wire_bytes\": {},\n  \
+         \"stage_secs\": {{ \"render\": {:.6}, \"capture\": {:.6}, \"features\": {:.6}, \
+         \"wire\": {:.6}, \"sweep\": {:.6} }},\n  \"total_secs\": {:.6},\n  \
+         \"end_to_end_events_per_sec\": {:.0}\n}}\n",
+        args.seed,
+        r.users,
+        r.span,
+        hids_core::current_threads(),
+        r.frames_written,
+        r.flows_rendered,
+        r.bytes_written,
+        r.wire_datagrams,
+        r.wire_bytes,
+        r.secs.render,
+        r.secs.capture,
+        r.secs.features,
+        r.secs.wire,
+        r.secs.sweep,
+        r.secs.total(),
+        r.events_per_sec,
     )
 }
 
@@ -507,6 +545,69 @@ fn main() -> ExitCode {
             }
             eprintln!("done in {secs:.1}s");
             return ExitCode::SUCCESS;
+        }
+    }
+
+    if named("pipeline") {
+        // Builds its own small population (independent of --users), so it
+        // runs before — and can entirely replace — corpus generation.
+        let scenario = experiments::pipeline::PipelineScenario {
+            seed: args.seed,
+            ..experiments::pipeline::PipelineScenario::default()
+        };
+        eprintln!(
+            "pipeline: {} users x {} windows x 2 weeks through pcap→decode→sanitize→features→sweep...",
+            scenario.n_users, scenario.n_windows
+        );
+        let t = Instant::now();
+        match experiments::pipeline::run(&scenario) {
+            Err(e) => {
+                eprintln!("pipeline experiment failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(r) => {
+                let secs = t.elapsed().as_secs_f64();
+                eprintln!("[timing] pipeline: {secs:.2}s");
+                println!("{}", experiments::pipeline::table(&r).render());
+                match r.check() {
+                    Ok(()) => {
+                        eprintln!(
+                            "pipeline capture check: clean pcap loss-free ({} records)",
+                            r.records_ok
+                        );
+                        eprintln!(
+                            "pipeline feature check: packet-path features identical to generated series ({} windows)",
+                            r.feature_windows
+                        );
+                        eprintln!(
+                            "pipeline wire check: {} hostile envelopes sanitized, decoded batches identical",
+                            r.wire_datagrams
+                        );
+                        eprintln!(
+                            "pipeline throughput: {:.0} window-events/sec end-to-end",
+                            r.events_per_sec
+                        );
+                    }
+                    Err(e) => eprintln!("warning: pipeline invariant FAILED: {e}"),
+                }
+                pre_timings.push(("pipeline".to_string(), secs));
+                if let Some(dir) = &args.out {
+                    let json = pipeline_json(&args, &r);
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(dir.join("BENCH_pipeline.json"), json))
+                    {
+                        eprintln!("warning: failed to write BENCH_pipeline.json: {e}");
+                    }
+                }
+                if args.experiments.iter().all(|e| e == "pipeline") {
+                    // Sole experiment: skip corpus generation entirely.
+                    if let Some(path) = &args.metrics_out {
+                        write_metrics(path, &mut metrics);
+                    }
+                    eprintln!("done in {secs:.1}s");
+                    return ExitCode::SUCCESS;
+                }
+            }
         }
     }
 
@@ -956,8 +1057,15 @@ fn main() -> ExitCode {
         // parser, recorded as a tracked benchmark artifact.
         let events_per_sec = experiments::ingest::measure_decode_throughput(200_000);
         eprintln!("ingest decode throughput: {events_per_sec:.0} events/sec/core");
+        let (sanitize_bps, sanitize_ns) =
+            experiments::ingest::measure_sanitize_dirty_throughput(200_000);
+        eprintln!(
+            "ingest sanitize dirty-path throughput: {sanitize_bps:.0} bytes/sec/core \
+             ({sanitize_ns:.0} ns/line)"
+        );
         if let Some(dir) = &args.out {
-            let json = ingest_json(&args, &clean, &faulted, events_per_sec);
+            let json =
+                ingest_json(&args, &clean, &faulted, events_per_sec, sanitize_bps, sanitize_ns);
             if let Err(e) = std::fs::create_dir_all(dir)
                 .and_then(|()| std::fs::write(dir.join("BENCH_ingest.json"), json))
             {

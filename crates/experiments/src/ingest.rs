@@ -287,6 +287,53 @@ pub fn measure_decode_throughput(n_events: u64) -> f64 {
     n_events as f64 / secs
 }
 
+/// Sanitize throughput on the dirty path, single-threaded: bytes/sec
+/// over `n_lines` rebuilds of a representative escape-laden line (ANSI
+/// CSI color codes plus BEL controls — the kind of console-hostile
+/// telemetry [`fleetd::sanitize`] exists to strip). Wall-clock, feeds
+/// `BENCH_ingest.json` only.
+pub fn measure_sanitize_dirty_throughput(n_lines: u64) -> (f64, f64) {
+    // Mirrors the `dirty_ansi_rebuilt` criterion bench line: a CSI color
+    // code every 16 chars and a BEL every 37, woven through a clean
+    // ~230-byte CEF-in-syslog line.
+    let clean = {
+        let counts: String = (0..24).map(|i| format!("{},", i * 7 % 97)).collect();
+        format!(
+            "<134>1 2009-04-07T12:00:00Z host042 hids - - - \
+             CEF:0|fleet|hids|1.0|batch|window batch|3|host=42 seq=9 week=test start=96 counts={}",
+            counts.trim_end_matches(',')
+        )
+    };
+    let mut line = String::new();
+    for (i, c) in clean.chars().enumerate() {
+        line.push(c);
+        if i % 16 == 0 {
+            line.push_str("\u{1b}[31m");
+        }
+        if i % 37 == 0 {
+            line.push('\u{7}');
+        }
+    }
+    let bytes_per_line = line.len() as u64;
+    // Best of several passes: a single pass is at the mercy of scheduler
+    // noise; the fastest pass is the closest estimate of the true per-line
+    // cost (same rationale as criterion's warmup + min-tracking).
+    let mut best_secs = f64::MAX;
+    for _ in 0..4 {
+        let t = Instant::now();
+        let mut total = 0usize;
+        for _ in 0..n_lines {
+            total += fleetd::sanitize(std::hint::black_box(&line), 8192).len();
+        }
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        assert!(total > 0, "sanitize produced no output");
+        best_secs = best_secs.min(secs);
+    }
+    let bytes_per_sec = (n_lines * bytes_per_line) as f64 / best_secs;
+    let ns_per_line = best_secs * 1e9 / n_lines as f64;
+    (bytes_per_sec, ns_per_line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

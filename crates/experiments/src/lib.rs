@@ -49,6 +49,7 @@ pub mod ingest;
 pub mod megafleet;
 pub mod multifeat;
 pub mod ops;
+pub mod pipeline;
 pub mod plot;
 pub mod report;
 pub mod rollout;

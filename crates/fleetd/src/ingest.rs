@@ -36,7 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use hids_metrics::{EventRing, Registry};
 use netpkt::dns::DNS_HEADER_LEN;
-use netpkt::{fold_name, DecodeError, DnsHeader, DnsQuestion, Layer};
+use netpkt::{fold_name, swar, DecodeError, DnsHeader, DnsQuestion, Layer};
 
 use std::borrow::Cow;
 
@@ -463,8 +463,10 @@ impl Ingestor {
 /// a hostile agent that embeds `ESC [ 2 J` or a NUL can corrupt every one
 /// of those surfaces. This strips all Unicode control characters (which
 /// covers NUL, 0x01–0x1F, DEL and C1), swallows whole CSI sequences
-/// (`ESC [ … final-byte`) rather than leaving their parameter bytes
-/// behind, and truncates to `max_len` characters.
+/// (`ESC [ … final-byte`) and whole OSC sequences (`ESC ] … BEL`/`ST`)
+/// rather than leaving their parameter bytes behind, and truncates to
+/// `max_len` characters. A bare or truncated `ESC` is dropped alone and
+/// the byte after it is re-examined normally.
 ///
 /// Idempotent: `sanitize(&sanitize(s, n), n) == sanitize(s, n)` for all
 /// inputs — the output contains nothing left to strip and is already
@@ -474,64 +476,130 @@ impl Ingestor {
 /// common case — contains nothing to strip, so the input is checked
 /// before anything is copied and clean text is returned borrowed
 /// ([`Cow::Borrowed`]), allocation-free. Only dirty input pays for the
-/// rebuild.
+/// rebuild. Both the identity scan and the rebuild classify bytes a
+/// machine word at a time ([`netpkt::swar`]); the per-character scalar
+/// implementation is retained in [`oracle`] and the pair is held
+/// byte-identical — including the `Cow` borrow/own decision — by
+/// differential proptests here and in `tests/ingest.rs`.
 pub fn sanitize(input: &str, max_len: usize) -> Cow<'_, str> {
     if sanitize_is_identity(input, max_len) {
         return Cow::Borrowed(input);
     }
-    let mut out = String::with_capacity(input.len().min(max_len * 4));
-    let mut kept = 0usize;
-    let mut chars = input.chars();
-    while let Some(c) = chars.next() {
-        if c == '\u{1b}' {
-            // CSI sequence: ESC '[' parameter/intermediate bytes, then a
-            // final byte in 0x40–0x7E. Swallow the whole thing; a bare or
-            // truncated ESC is simply dropped.
-            let mut rest = chars.clone();
-            if rest.next() == Some('[') {
-                for d in rest.by_ref() {
-                    if ('\u{40}'..='\u{7e}').contains(&d) {
-                        break;
-                    }
-                }
-                chars = rest;
-            }
-            continue;
-        }
-        if c.is_control() {
-            continue;
-        }
-        if kept >= max_len {
-            break;
-        }
-        out.push(c);
-        kept += 1;
-    }
-    Cow::Owned(out)
+    Cow::Owned(sanitize_rebuild(input, max_len))
 }
 
-/// Would [`sanitize`] return `input` unchanged?
+/// Would [`sanitize`] return `input` unchanged? True iff the input holds
+/// no Unicode control character (Cc: NUL–0x1F, DEL, C1 — which covers
+/// the ESC opening any ANSI sequence) and is within `max_len` chars.
 ///
-/// Printable ASCII within the length bound is decided byte-wise (one
-/// branch per byte, no decoding); anything else falls back to an exact
-/// character scan. Control characters (Cc: NUL–0x1F, DEL, C1) cover
-/// every strip case including the ESC that opens a CSI sequence.
+/// One SWAR pass: scan for C0/DEL/`0xC2` bytes (`0xC2` is the only lead
+/// byte that can open a C1 control in UTF-8), then bound the length —
+/// char count can only be needed when the byte count exceeds `max_len`.
 fn sanitize_is_identity(input: &str, max_len: usize) -> bool {
     let bytes = input.as_bytes();
-    if bytes.len() <= max_len && bytes.iter().all(|b| (0x20..0x7f).contains(b)) {
-        return true;
-    }
-    let mut count = 0usize;
-    for c in input.chars() {
-        if c.is_control() {
-            return false;
+    let mut i = 0usize;
+    while let Some(off) = swar::find_c0_del_or_c1_lead(&bytes[i..]) {
+        let p = i + off;
+        if bytes[p] != 0xc2 {
+            return false; // C0 control or DEL
         }
-        count += 1;
-        if count > max_len {
-            return false;
+        // Valid UTF-8 guarantees a continuation byte after a C2 lead;
+        // continuations 0x80..=0x9F are the C1 controls.
+        match bytes.get(p + 1) {
+            Some(&next) if next >= 0xa0 => i = p + 2,
+            _ => return false,
         }
     }
-    true
+    bytes.len() <= max_len || swar::count_utf8_chars(bytes) <= max_len
+}
+
+/// The dirty-path rebuild behind [`sanitize`]: copy maximal printable-
+/// ASCII runs in bulk, falling back to per-character work only at the
+/// bytes that need it (controls, escape sequences, non-ASCII).
+///
+/// Accumulates raw bytes and validates once at the end — every byte
+/// appended is either printable ASCII or a whole `char` encoding, so
+/// the final UTF-8 check is a formality (the lossy fallback only keeps
+/// the function total), and the hot loop skips the per-slice char
+/// boundary checks that `&str` pushes would repeat on every segment.
+fn sanitize_rebuild(input: &str, max_len: usize) -> String {
+    let finish = |out: Vec<u8>| {
+        String::from_utf8(out)
+            .unwrap_or_else(|e| String::from_utf8_lossy(&e.into_bytes()).into_owned())
+    };
+    let bytes = input.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(input.len().min(max_len.saturating_mul(4)));
+    let mut kept = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Bulk-copy the maximal printable-ASCII run starting at `i`
+        // (within a run, one byte is one char, so the length bound is a
+        // byte bound).
+        let run = swar::find_non_printable(&bytes[i..]).unwrap_or(bytes.len() - i);
+        if run > 0 {
+            let take = run.min(max_len - kept);
+            out.extend_from_slice(&bytes[i..i + take]);
+            kept += take;
+            if kept == max_len {
+                // Nothing past the bound can reach the output.
+                return finish(out);
+            }
+            i += run;
+            continue;
+        }
+        let b = bytes[i];
+        if b == 0x1b {
+            i = match bytes.get(i + 1) {
+                // CSI: ESC '[' parameter/intermediate bytes, swallowed
+                // through the final byte in 0x40–0x7E (to end of input
+                // if truncated).
+                Some(b'[') => match swar::find_ascii_range(&bytes[i + 2..], 0x40, 0x7e) {
+                    Some(f) => i + 2 + f + 1,
+                    None => bytes.len(),
+                },
+                // OSC: ESC ']' payload, swallowed through BEL or ST
+                // (ESC '\'); a bare ESC inside the payload terminates
+                // the OSC and is re-examined as a fresh escape.
+                Some(b']') => match swar::find_byte2(&bytes[i + 2..], 0x07, 0x1b) {
+                    None => bytes.len(),
+                    Some(off) => {
+                        let t = i + 2 + off;
+                        if bytes[t] == 0x07 {
+                            t + 1
+                        } else {
+                            match bytes.get(t + 1) {
+                                Some(b'\\') => t + 2, // ST consumed
+                                _ => t,               // re-examine the ESC
+                            }
+                        }
+                    }
+                },
+                // Bare or truncated ESC: drop it alone.
+                _ => i + 1,
+            };
+            continue;
+        }
+        if b < 0x20 || b == 0x7f {
+            i += 1; // C0 control or DEL: dropped
+            continue;
+        }
+        // Non-ASCII: decode one char to separate C1 controls (dropped)
+        // from printable text (kept). `i` is always a char boundary; the
+        // else branch is unreachable and only keeps the loop total.
+        let Some(c) = input[i..].chars().next() else {
+            break;
+        };
+        if !c.is_control() {
+            if kept >= max_len {
+                break;
+            }
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            kept += 1;
+        }
+        i += c.len_utf8();
+    }
+    finish(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -556,19 +624,20 @@ fn syslog_err(kind: netpkt::Error) -> DecodeError {
 }
 
 fn next_field(rest: &str, max_field_len: usize) -> Result<(&str, &str), DecodeError> {
-    let (field, rest) = rest
-        .split_once(' ')
-        .ok_or(syslog_err(netpkt::Error::Truncated {
-            needed: 1,
-            got: 0,
-        }))?;
+    // SWAR split on the next space; the delimiter is ASCII, so the byte
+    // index is a char boundary.
+    let sp = swar::find_byte(rest.as_bytes(), b' ').ok_or(syslog_err(netpkt::Error::Truncated {
+        needed: 1,
+        got: 0,
+    }))?;
+    let field = &rest[..sp];
     if field.is_empty() {
         return Err(syslog_err(netpkt::Error::Malformed));
     }
     if field.len() > max_field_len {
         return Err(syslog_err(netpkt::Error::BadLength));
     }
-    Ok((field, rest))
+    Ok((field, &rest[sp + 1..]))
 }
 
 /// Parse a sanitized RFC 5424 syslog line: `<PRI>1 TIMESTAMP HOSTNAME
@@ -580,6 +649,22 @@ fn next_field(rest: &str, max_field_len: usize) -> Result<(&str, &str), DecodeEr
 /// function: any input is either a [`SyslogMsg`] or a
 /// [`DecodeError`] at [`Layer::Syslog`].
 pub fn parse_syslog(line: &str, max_field_len: usize) -> Result<SyslogMsg, DecodeError> {
+    let (pri, hostname, app, msg) = parse_syslog_ref(line, max_field_len)?;
+    Ok(SyslogMsg {
+        pri,
+        hostname: hostname.to_string(),
+        app: app.to_string(),
+        msg: msg.to_string(),
+    })
+}
+
+/// Borrowed core of [`parse_syslog`]: `(pri, hostname, app, msg)` as
+/// slices of `line`. The decode hot path uses this directly so the MSG
+/// part — the entire CEF event — is never copied.
+fn parse_syslog_ref(
+    line: &str,
+    max_field_len: usize,
+) -> Result<(u16, &str, &str, &str), DecodeError> {
     let rest = line
         .strip_prefix('<')
         .ok_or(syslog_err(netpkt::Error::Malformed))?;
@@ -609,12 +694,7 @@ pub fn parse_syslog(line: &str, max_field_len: usize) -> Result<SyslogMsg, Decod
     let (_procid, rest) = next_field(rest, max_field_len)?;
     let (_msgid, rest) = next_field(rest, max_field_len)?;
     let msg = skip_structured_data(rest)?;
-    Ok(SyslogMsg {
-        pri,
-        hostname: hostname.to_string(),
-        app: app.to_string(),
-        msg: msg.to_string(),
-    })
+    Ok((pri, hostname, app, msg))
 }
 
 /// Consume the STRUCTURED-DATA element and return the MSG that follows.
@@ -693,26 +773,43 @@ fn cef_err(kind: netpkt::Error) -> DecodeError {
 
 /// Split the 7 `|`-separated CEF header fields (honoring `\|` and `\\`)
 /// and return them plus the raw extension string.
+///
+/// SWAR scan: jump from one `\`/`|` to the next a word at a time and
+/// bulk-copy everything between. Escape and delimiter bytes are ASCII,
+/// so every reported index is a char boundary.
 fn split_cef_header(rest: &str) -> Result<(Vec<String>, &str), DecodeError> {
+    let bytes = rest.as_bytes();
     let mut fields = Vec::with_capacity(7);
     let mut cur = String::new();
-    let mut esc = false;
-    for (i, c) in rest.char_indices() {
-        if esc {
-            cur.push(c);
-            esc = false;
-            continue;
-        }
-        match c {
-            '\\' => esc = true,
-            '|' => {
+    let mut seg = 0usize; // start of the pending clean segment
+    let mut i = 0usize;
+    while let Some(off) = swar::find_byte2(&bytes[i..], b'\\', b'|') {
+        let p = i + off;
+        if bytes[p] == b'|' {
+            if cur.is_empty() {
+                fields.push(rest[seg..p].to_string());
+            } else {
+                cur.push_str(&rest[seg..p]);
                 fields.push(std::mem::take(&mut cur));
-                if fields.len() == 7 {
-                    return Ok((fields, rest.get(i + 1..).unwrap_or("")));
-                }
             }
-            _ => cur.push(c),
+            if fields.len() == 7 {
+                return Ok((fields, rest.get(p + 1..).unwrap_or("")));
+            }
+            i = p + 1;
+        } else {
+            // Escape: the char after the backslash is taken verbatim.
+            cur.push_str(&rest[seg..p]);
+            match rest[p + 1..].chars().next() {
+                Some(c) => {
+                    cur.push(c);
+                    i = p + 1 + c.len_utf8();
+                }
+                // Trailing lone backslash: the scan ends mid-field, same
+                // as the scalar loop running out of input with esc set.
+                None => i = bytes.len(),
+            }
         }
+        seg = i;
     }
     Err(cef_err(netpkt::Error::Truncated {
         needed: 7,
@@ -722,23 +819,37 @@ fn split_cef_header(rest: &str) -> Result<(Vec<String>, &str), DecodeError> {
 
 /// Unescape a CEF extension value: `\\` → `\`, `\=` → `=`. A trailing
 /// lone backslash is malformed.
-fn unescape_ext(s: &str) -> Result<String, DecodeError> {
+///
+/// Zero-copy fast path: a value with no backslash — every value the
+/// honest encoder emits for the batch lane — is returned borrowed.
+fn unescape_ext(s: &str) -> Result<Cow<'_, str>, DecodeError> {
+    let bytes = s.as_bytes();
+    let Some(first) = swar::find_byte(bytes, b'\\') else {
+        return Ok(Cow::Borrowed(s));
+    };
     let mut out = String::with_capacity(s.len());
-    let mut esc = false;
-    for c in s.chars() {
-        if esc {
-            out.push(c);
-            esc = false;
-        } else if c == '\\' {
-            esc = true;
-        } else {
-            out.push(c);
+    out.push_str(&s[..first]);
+    let mut i = first;
+    loop {
+        // bytes[i] is a backslash: take the next char verbatim.
+        match s[i + 1..].chars().next() {
+            None => return Err(cef_err(netpkt::Error::Malformed)),
+            Some(c) => {
+                out.push(c);
+                i += 1 + c.len_utf8();
+            }
+        }
+        match swar::find_byte(&bytes[i..], b'\\') {
+            None => {
+                out.push_str(&s[i..]);
+                return Ok(Cow::Owned(out));
+            }
+            Some(off) => {
+                out.push_str(&s[i..i + off]);
+                i += off;
+            }
         }
     }
-    if esc {
-        return Err(cef_err(netpkt::Error::Malformed));
-    }
-    Ok(out)
 }
 
 /// Parse a sanitized CEF event string (`CEF:version|…|extensions`).
@@ -791,7 +902,7 @@ pub fn parse_cef(
             return Err(cef_err(netpkt::Error::BadLength));
         }
         let value = unescape_ext(value_raw)?;
-        extensions.push((key.to_string(), value));
+        extensions.push((key.to_string(), value.into_owned()));
     }
     Ok(CefEvent {
         version,
@@ -806,18 +917,19 @@ pub fn parse_cef(
 }
 
 /// Byte index of the first `=` not preceded by an odd run of `\`.
+///
+/// SWAR scan: jump from one `\`/`=` to the next a word at a time.
 fn find_unescaped_eq(token: &str) -> Option<usize> {
-    let mut esc = false;
-    for (i, c) in token.char_indices() {
-        if esc {
-            esc = false;
-            continue;
+    let bytes = token.as_bytes();
+    let mut i = 0usize;
+    while let Some(off) = swar::find_byte2(&bytes[i..], b'\\', b'=') {
+        let p = i + off;
+        if bytes[p] == b'=' {
+            return Some(p);
         }
-        match c {
-            '\\' => esc = true,
-            '=' => return Some(i),
-            _ => {}
-        }
+        // Skip the backslash and the char it escapes; a trailing lone
+        // backslash leaves nothing to scan.
+        i = p + 1 + token[p + 1..].chars().next().map_or(0, |c| c.len_utf8());
     }
     None
 }
@@ -841,8 +953,8 @@ pub fn batch_from_cef(event: &CefEvent) -> Result<WindowBatch, DecodeError> {
     let mut poison = false;
     for (key, value) in &event.extensions {
         match key.as_str() {
-            "host" => host = Some(parse_num::<u32>(value)?),
-            "seq" => seq = Some(parse_num::<u64>(value)?),
+            "host" => host = Some(parse_u32(value)?),
+            "seq" => seq = Some(parse_u64(value)?),
             "week" => {
                 week = Some(match value.as_str() {
                     "train" => Week::Train,
@@ -850,11 +962,9 @@ pub fn batch_from_cef(event: &CefEvent) -> Result<WindowBatch, DecodeError> {
                     _ => return Err(cef_err(netpkt::Error::Malformed)),
                 })
             }
-            "start" => start = Some(parse_num::<u32>(value)?),
+            "start" => start = Some(parse_u32(value)?),
             "counts" => {
-                let parsed: Result<Vec<u64>, DecodeError> =
-                    value.split(',').map(parse_num::<u64>).collect();
-                let parsed = parsed?;
+                let parsed = parse_counts(value)?;
                 if parsed.len() > MAX_BATCH_WINDOWS as usize {
                     return Err(cef_err(netpkt::Error::BadLength));
                 }
@@ -882,11 +992,72 @@ pub fn batch_from_cef(event: &CefEvent) -> Result<WindowBatch, DecodeError> {
     })
 }
 
-fn parse_num<T: core::str::FromStr>(s: &str) -> Result<T, DecodeError> {
-    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+/// Fused single-pass parse of a comma-separated `u64` list. Equivalent
+/// to `value.split(',').map(parse_u64).collect()` — an empty piece
+/// (including an empty value or a trailing comma), a non-digit byte, or
+/// overflow is malformed at the first offending byte, which yields the
+/// same `Result` as the split-then-parse composition since every
+/// failure mode maps to the same error. Avoids the per-piece iterator
+/// and call overhead on the hottest value in the batch datagram
+/// (`counts` carries one number per window, ~100 pieces).
+fn parse_counts(value: &str) -> Result<Vec<u64>, DecodeError> {
+    let bytes = value.as_bytes();
+    let mut counts = Vec::with_capacity(bytes.len() / 2 + 1);
+    let mut v: u64 = 0;
+    let mut digits = 0usize;
+    for &b in bytes {
+        if b == b',' {
+            if digits == 0 {
+                return Err(cef_err(netpkt::Error::Malformed));
+            }
+            counts.push(v);
+            v = 0;
+            digits = 0;
+        } else {
+            let d = b.wrapping_sub(b'0');
+            if d > 9 {
+                return Err(cef_err(netpkt::Error::Malformed));
+            }
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(d)))
+                .ok_or(cef_err(netpkt::Error::Malformed))?;
+            digits += 1;
+        }
+    }
+    if digits == 0 {
         return Err(cef_err(netpkt::Error::Malformed));
     }
-    s.parse().map_err(|_| cef_err(netpkt::Error::Malformed))
+    counts.push(v);
+    Ok(counts)
+}
+
+/// Single-pass unsigned decimal parse: digits only, overflow is
+/// malformed. Replaces the check-then-`parse` double scan on the hot
+/// path; [`oracle::parse_num`] keeps the two-pass original as the
+/// differential oracle.
+fn parse_u64(s: &str) -> Result<u64, DecodeError> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Err(cef_err(netpkt::Error::Malformed));
+    }
+    let mut v: u64 = 0;
+    for &b in bytes {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return Err(cef_err(netpkt::Error::Malformed));
+        }
+        v = v
+            .checked_mul(10)
+            .and_then(|v| v.checked_add(u64::from(d)))
+            .ok_or(cef_err(netpkt::Error::Malformed))?;
+    }
+    Ok(v)
+}
+
+/// [`parse_u64`] narrowed to `u32`; out-of-range is malformed.
+fn parse_u32(s: &str) -> Result<u32, DecodeError> {
+    u32::try_from(parse_u64(s)?).map_err(|_| cef_err(netpkt::Error::Malformed))
 }
 
 /// Decode one syslog-lane datagram end to end: UTF-8 (lossy) → sanitize
@@ -898,9 +1069,9 @@ pub fn decode_batch_datagram(
 ) -> Result<WindowBatch, DecodeError> {
     let text = String::from_utf8_lossy(payload);
     let clean = sanitize(&text, config.max_datagram_len);
-    let envelope = parse_syslog(&clean, config.max_field_len)?;
+    let (_pri, _hostname, _app, msg) = parse_syslog_ref(&clean, config.max_field_len)?;
     let event = parse_cef(
-        &envelope.msg,
+        msg,
         config.max_field_len,
         config.max_value_len,
         config.max_extensions,
@@ -969,6 +1140,196 @@ pub fn encode_dns_datagram(id: u16, name: &str) -> Result<Vec<u8>, DecodeError> 
         .map_err(|e| e.at(Layer::Dns))?;
     buf.truncate(len);
     Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar oracles
+// ---------------------------------------------------------------------------
+
+/// Reference byte/char-at-a-time implementations of every SWAR hot loop
+/// in this module, retained as differential-test oracles.
+///
+/// Each function is the pre-SWAR scalar implementation (plus the OSC
+/// swallow and `saturating_mul` capacity fixes, which are semantic and
+/// apply to both sides). The proptest suites in this module's tests and
+/// in `tests/ingest.rs` hold every SWAR path byte-identical to its
+/// oracle on arbitrary input — including the `Cow` borrow/own decision
+/// for [`sanitize`] and [`super::unescape_ext`]'s zero-copy fast path.
+/// Nothing here runs on the hot path.
+pub mod oracle {
+    use super::*;
+
+    /// Scalar [`super::sanitize`]: char-at-a-time strip/swallow/truncate.
+    pub fn sanitize(input: &str, max_len: usize) -> Cow<'_, str> {
+        if sanitize_is_identity(input, max_len) {
+            return Cow::Borrowed(input);
+        }
+        let mut out = String::with_capacity(input.len().min(max_len.saturating_mul(4)));
+        let mut kept = 0usize;
+        let mut chars = input.chars();
+        while let Some(c) = chars.next() {
+            if c == '\u{1b}' {
+                let mut rest = chars.clone();
+                match rest.next() {
+                    // CSI: swallow through the final byte in 0x40–0x7E.
+                    Some('[') => {
+                        for d in rest.by_ref() {
+                            if ('\u{40}'..='\u{7e}').contains(&d) {
+                                break;
+                            }
+                        }
+                        chars = rest;
+                    }
+                    // OSC: swallow through BEL or ST (ESC '\'); a bare
+                    // ESC in the payload terminates the OSC and is
+                    // re-examined as a fresh escape.
+                    Some(']') => {
+                        loop {
+                            let mut ahead = rest.clone();
+                            match ahead.next() {
+                                None | Some('\u{7}') => {
+                                    rest = ahead;
+                                    break;
+                                }
+                                Some('\u{1b}') => {
+                                    let mut st = ahead.clone();
+                                    if st.next() == Some('\\') {
+                                        rest = st;
+                                    }
+                                    break;
+                                }
+                                Some(_) => rest = ahead,
+                            }
+                        }
+                        chars = rest;
+                    }
+                    // Bare or truncated ESC: drop it alone.
+                    _ => {}
+                }
+                continue;
+            }
+            if c.is_control() {
+                continue;
+            }
+            if kept >= max_len {
+                break;
+            }
+            out.push(c);
+            kept += 1;
+        }
+        Cow::Owned(out)
+    }
+
+    /// Scalar [`super::sanitize`] identity check.
+    pub fn sanitize_is_identity(input: &str, max_len: usize) -> bool {
+        let bytes = input.as_bytes();
+        if bytes.len() <= max_len && bytes.iter().all(|b| (0x20..0x7f).contains(b)) {
+            return true;
+        }
+        let mut count = 0usize;
+        for c in input.chars() {
+            if c.is_control() {
+                return false;
+            }
+            count += 1;
+            if count > max_len {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Scalar [`super::next_field`]: `split_once` on the next space.
+    pub fn next_field(rest: &str, max_field_len: usize) -> Result<(&str, &str), DecodeError> {
+        let (field, rest) = rest
+            .split_once(' ')
+            .ok_or(syslog_err(netpkt::Error::Truncated { needed: 1, got: 0 }))?;
+        if field.is_empty() {
+            return Err(syslog_err(netpkt::Error::Malformed));
+        }
+        if field.len() > max_field_len {
+            return Err(syslog_err(netpkt::Error::BadLength));
+        }
+        Ok((field, rest))
+    }
+
+    /// Scalar [`super::split_cef_header`]: char-at-a-time with an
+    /// explicit escape flag.
+    pub fn split_cef_header(rest: &str) -> Result<(Vec<String>, &str), DecodeError> {
+        let mut fields = Vec::with_capacity(7);
+        let mut cur = String::new();
+        let mut esc = false;
+        for (i, c) in rest.char_indices() {
+            if esc {
+                cur.push(c);
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' => esc = true,
+                '|' => {
+                    fields.push(std::mem::take(&mut cur));
+                    if fields.len() == 7 {
+                        return Ok((fields, rest.get(i + 1..).unwrap_or("")));
+                    }
+                }
+                _ => cur.push(c),
+            }
+        }
+        Err(cef_err(netpkt::Error::Truncated {
+            needed: 7,
+            got: fields.len(),
+        }))
+    }
+
+    /// Scalar [`super::unescape_ext`]: char-at-a-time with an escape
+    /// flag. Always allocates (the SWAR side's `Cow::Borrowed` decision
+    /// is checked separately: it must borrow exactly when the input has
+    /// no backslash).
+    pub fn unescape_ext(s: &str) -> Result<String, DecodeError> {
+        let mut out = String::with_capacity(s.len());
+        let mut esc = false;
+        for c in s.chars() {
+            if esc {
+                out.push(c);
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else {
+                out.push(c);
+            }
+        }
+        if esc {
+            return Err(cef_err(netpkt::Error::Malformed));
+        }
+        Ok(out)
+    }
+
+    /// Scalar [`super::find_unescaped_eq`].
+    pub fn find_unescaped_eq(token: &str) -> Option<usize> {
+        let mut esc = false;
+        for (i, c) in token.char_indices() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' => esc = true,
+                '=' => return Some(i),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Scalar check-then-`parse` number parse (the pre-SWAR
+    /// [`super::parse_u64`]/[`super::parse_u32`]).
+    pub fn parse_num<T: core::str::FromStr>(s: &str) -> Result<T, DecodeError> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(cef_err(netpkt::Error::Malformed));
+        }
+        s.parse().map_err(|_| cef_err(netpkt::Error::Malformed))
+    }
 }
 
 #[cfg(test)]
@@ -1259,6 +1620,160 @@ mod tests {
         );
         assert_eq!(reg.gauge_value("ingest_sources", &[("state", "latched")]), 1);
         assert!(reg.events().events().any(|e| e.name == "flood_latched"));
+    }
+
+    #[test]
+    fn sanitize_swallows_osc_sequences() {
+        // BEL-terminated: payload must not leak into sanitized output.
+        assert_eq!(sanitize("a\u{1b}]0;evil title\u{7}b", 100), "ab");
+        // ST-terminated (ESC '\').
+        assert_eq!(sanitize("a\u{1b}]8;;http://x\u{1b}\\b", 100), "ab");
+        // Truncated OSC swallows to end of input.
+        assert_eq!(sanitize("a\u{1b}]0;half", 100), "a");
+        // A bare ESC inside the payload terminates the OSC; the CSI that
+        // follows is swallowed on re-examination.
+        assert_eq!(sanitize("a\u{1b}]0;x\u{1b}[2Jb", 100), "ab");
+        // Idempotence holds over OSC-bearing input.
+        for s in ["\u{1b}]0;t\u{7}x", "\u{1b}]no-term", "\u{1b}]a\u{1b}\\z", "\u{1b}]a\u{1b}z"] {
+            let once = sanitize(s, 50);
+            assert_eq!(sanitize(&once, 50), once.clone(), "idempotence on {s:?}");
+        }
+    }
+
+    #[test]
+    fn sanitize_scratch_capacity_boundary() {
+        // `max_len * 4` overflowed in debug builds for max_len near
+        // usize::MAX; saturating_mul keeps the dirty path total.
+        let dirty = "x\u{1b}[31my";
+        assert_eq!(sanitize(dirty, usize::MAX), "xy");
+        assert_eq!(sanitize(dirty, usize::MAX / 4 + 1), "xy");
+        assert_eq!(oracle::sanitize(dirty, usize::MAX), "xy");
+        assert_eq!(oracle::sanitize(dirty, usize::MAX / 4 + 1), "xy");
+    }
+
+    #[test]
+    fn sanitize_truncated_escape_boundaries_pinned() {
+        // Bare ESC at end of input: dropped alone.
+        assert_eq!(sanitize("abc\u{1b}", 100), "abc");
+        assert_eq!(sanitize("\u{1b}", 100), "");
+        // ESC followed by a non-introducer: the ESC is dropped and the
+        // following char is re-examined (kept — not double-consumed,
+        // not skipped).
+        assert_eq!(sanitize("\u{1b}A", 100), "A");
+        assert_eq!(sanitize("abc\u{1b}Az", 100), "abcAz");
+        assert_eq!(sanitize("\u{1b}\u{1b}A", 100), "A");
+        // ESC '[' at end: a truncated CSI swallows to end of input.
+        assert_eq!(sanitize("abc\u{1b}[", 100), "abc");
+        // The oracle implements the same spec at every boundary.
+        for s in ["abc\u{1b}", "\u{1b}A", "abc\u{1b}[", "\u{1b}]", "\u{1b}"] {
+            assert_eq!(oracle::sanitize(s, 100), sanitize(s, 100), "oracle divergence on {s:?}");
+        }
+    }
+
+    /// Escape-heavy text mixing C0/C1 controls, ANSI introducers, CEF
+    /// metacharacters and multi-byte chars — the shared fuel for the
+    /// SWAR-vs-oracle differential suites. Repeated entries weight the
+    /// interesting bytes.
+    const HOSTILE_TEXT: &str = "[\u{0}-\u{9f}\u{1b}\u{1b}\u{1b}\u{1b}\u{1b}\u{7}\u{7}\
+         \\[\\[\\[\\]\\]\\]\\\\\\\\\\\\||||====    ;;09AZaz\u{7f}\u{9b}\u{e9}\u{4e16}]{0,48}";
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn swar_sanitize_matches_oracle(s in HOSTILE_TEXT, max_len in 0usize..64) {
+            let swar_out = sanitize(&s, max_len);
+            let oracle_out = oracle::sanitize(&s, max_len);
+            // Byte-identical output AND the same Cow borrow/own decision.
+            prop_assert_eq!(
+                matches!(swar_out, Cow::Borrowed(_)),
+                matches!(oracle_out, Cow::Borrowed(_)),
+                "Cow decision diverged on {:?}", s
+            );
+            prop_assert_eq!(&swar_out, &oracle_out, "output diverged on {:?}", s);
+            // And the SWAR path stays idempotent.
+            prop_assert_eq!(sanitize(&swar_out, max_len), swar_out.clone());
+        }
+
+        #[test]
+        fn swar_identity_matches_oracle(s in HOSTILE_TEXT, max_len in 0usize..64) {
+            prop_assert_eq!(
+                sanitize_is_identity(&s, max_len),
+                oracle::sanitize_is_identity(&s, max_len)
+            );
+        }
+
+        #[test]
+        fn swar_next_field_matches_oracle(s in HOSTILE_TEXT, max_field_len in 0usize..32) {
+            prop_assert_eq!(
+                next_field(&s, max_field_len),
+                oracle::next_field(&s, max_field_len)
+            );
+        }
+
+        #[test]
+        fn swar_split_cef_header_matches_oracle(s in HOSTILE_TEXT) {
+            prop_assert_eq!(split_cef_header(&s), oracle::split_cef_header(&s));
+        }
+
+        #[test]
+        fn swar_unescape_ext_matches_oracle(s in HOSTILE_TEXT) {
+            let swar_out = unescape_ext(&s);
+            let oracle_out = oracle::unescape_ext(&s);
+            match (&swar_out, &oracle_out) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.as_ref(), b.as_str());
+                    // Zero-copy exactly when there is nothing to unescape.
+                    prop_assert_eq!(
+                        matches!(a, Cow::Borrowed(_)),
+                        !s.contains('\\'),
+                        "borrow decision diverged on {:?}", s
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "Ok/Err diverged on {:?}", s),
+            }
+        }
+
+        #[test]
+        fn swar_find_unescaped_eq_matches_oracle(s in HOSTILE_TEXT) {
+            prop_assert_eq!(find_unescaped_eq(&s), oracle::find_unescaped_eq(&s));
+        }
+
+        #[test]
+        fn swar_parse_num_matches_oracle(s in "[0-9a+ ]{0,24}") {
+            prop_assert_eq!(parse_u64(&s), oracle::parse_num::<u64>(&s));
+            prop_assert_eq!(parse_u32(&s), oracle::parse_num::<u32>(&s));
+        }
+
+        #[test]
+        fn fused_parse_counts_matches_split_composition(s in "[0-9,a ]{0,32}") {
+            let oracle: Result<Vec<u64>, DecodeError> =
+                s.split(',').map(|p| oracle::parse_num::<u64>(p)).collect();
+            prop_assert_eq!(parse_counts(&s), oracle);
+        }
+
+        #[test]
+        fn fused_parse_counts_matches_on_overflow_shapes(s in "[0-9]{0,24}(,[0-9]{0,24}){0,3}") {
+            let oracle: Result<Vec<u64>, DecodeError> =
+                s.split(',').map(|p| oracle::parse_num::<u64>(p)).collect();
+            prop_assert_eq!(parse_counts(&s), oracle);
+        }
+
+        #[test]
+        fn swar_syslog_parse_matches_scalar_composition(s in HOSTILE_TEXT) {
+            // The borrowed hot-path parse and the owning public parse
+            // must agree on every input.
+            let via_ref = parse_syslog_ref(&s, 32).map(|(pri, h, a, m)| SyslogMsg {
+                pri,
+                hostname: h.to_string(),
+                app: a.to_string(),
+                msg: m.to_string(),
+            });
+            prop_assert_eq!(via_ref, parse_syslog(&s, 32));
+        }
     }
 
     #[test]

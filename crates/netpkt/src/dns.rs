@@ -204,10 +204,18 @@ impl DnsQuestion {
 /// non-ASCII bytes are left untouched. Distinct-contact accounting must
 /// fold through this before counting, or one server queried under two
 /// spellings inflates the feature.
+///
+/// Folds word-at-a-time via [`crate::swar::ascii_lowercase`]; the
+/// per-character scalar fold is retained as [`fold_name_oracle`] and the
+/// pair is held byte-identical by a differential proptest.
 pub fn fold_name(name: &str) -> String {
-    name.chars()
-        .map(|c| c.to_ascii_lowercase())
-        .collect()
+    crate::swar::ascii_lowercase(name)
+}
+
+/// Reference scalar implementation of [`fold_name`], kept as the
+/// differential-test oracle for the SWAR fold. Not used on the hot path.
+pub fn fold_name_oracle(name: &str) -> String {
+    name.chars().map(|c| c.to_ascii_lowercase()).collect()
 }
 
 /// Length of `name` when wire-encoded (labels + length bytes + root byte).
@@ -489,6 +497,17 @@ mod tests {
         assert_eq!(fold_name("ÅNGSTRÖM.example"), "ÅngstrÖm.example");
         let once = fold_name("MiXeD.CaSe.Example");
         assert_eq!(fold_name(&once), once);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(512))]
+
+        /// The SWAR fold is byte-identical to the scalar oracle on
+        /// arbitrary strings (not just valid names).
+        #[test]
+        fn fold_name_matches_oracle(s in "\\PC{0,64}") {
+            proptest::prop_assert_eq!(fold_name(&s), fold_name_oracle(&s));
+        }
     }
 
     #[test]

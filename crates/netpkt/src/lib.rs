@@ -36,6 +36,7 @@ pub mod icmp;
 pub mod ipv4;
 pub mod ipv6;
 pub mod pcap;
+pub mod swar;
 pub mod tcp;
 pub mod tcpopt;
 pub mod testutil;
@@ -43,7 +44,8 @@ pub mod udp;
 
 pub use arp::{ArpOp, ArpPacket, ARP_LEN};
 pub use dns::{
-    fold_name, DnsHeader, DnsOpcode, DnsQuestion, DnsRcode, DnsRecord, DnsRecordType, RData,
+    fold_name, fold_name_oracle, DnsHeader, DnsOpcode, DnsQuestion, DnsRcode, DnsRecord,
+    DnsRecordType, RData,
 };
 pub use error::{DecodeError, Layer, LayerResultExt};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};

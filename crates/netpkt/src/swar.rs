@@ -1,0 +1,367 @@
+//! SWAR (SIMD-within-a-register) byte scanning primitives.
+//!
+//! The ingest hot loops — telemetry sanitization, the CEF `key=value`
+//! scan, the syslog field splitter, DNS name folding — spend their time
+//! asking simple per-byte questions: *where is the next byte below
+//! 0x20?*, *where is the next `\` or `|`?*, *is this byte an uppercase
+//! ASCII letter?*. Asking one byte at a time costs a branch per byte;
+//! these helpers ask one machine word at a time on stable Rust — no
+//! `std::simd`, no `unsafe` — using portable bit tricks in the
+//! Hacker's-Delight tradition.
+//!
+//! Correctness note: the classic `hasless`/`haszero` formulas let
+//! subtraction borrows leak across byte lanes, which is fine for "does
+//! any byte match" but wrong for per-lane masks that get negated or
+//! combined. Every classifier here is written in the borrow-free form
+//! (set the high bit of each lane before subtracting, so no lane can
+//! underflow), making each lane's verdict exact. The unit tests below
+//! and the differential proptest suites in consuming crates hold every
+//! scanner byte-identical to its one-line scalar equivalent on
+//! arbitrary input.
+//!
+//! All scanners operate on *bytes* and report *byte* indices. They are
+//! deliberately UTF-8-oblivious; callers that need character semantics
+//! build them from byte classes that are exact on UTF-8 by construction
+//! (e.g. [`count_utf8_chars`] counts non-continuation bytes).
+
+/// Bytes per scanning word.
+pub const WORD: usize = core::mem::size_of::<usize>();
+
+/// `0x0101…01` — one in every byte lane.
+const LO: usize = usize::MAX / 0xff;
+/// `0x8080…80` — the high bit of every byte lane.
+const HI: usize = LO * 0x80;
+
+/// The low seven bits of every lane (high bits cleared).
+#[inline(always)]
+fn low7(w: usize) -> usize {
+    w & !HI
+}
+
+/// Marker word: `0x80` in every lane whose byte is `< n`.
+///
+/// Exact per lane for `n <= 0x80`. Borrow-free: each lane computes
+/// `0x80 + (b & 0x7f) - n`, which cannot underflow, so no borrow ever
+/// crosses a lane boundary.
+#[inline(always)]
+fn lt_lanes(w: usize, n: u8) -> usize {
+    debug_assert!(n <= 0x80);
+    // (b & 0x7f) >= n, decided in the high bit of each lane.
+    let ge = ((low7(w) | HI) - LO * n as usize) & HI;
+    // byte < n  ⇔  high bit clear and low seven bits < n.
+    !ge & !w & HI
+}
+
+/// Marker word: `0x80` in every lane whose byte equals `b`. Exact.
+#[inline(always)]
+fn eq_lanes(w: usize, b: u8) -> usize {
+    let z = w ^ (LO * b as usize);
+    // low7(z) != 0, decided borrow-free in the high bit of each lane.
+    let nonzero_low7 = ((low7(z) | HI) - LO) & HI;
+    !nonzero_low7 & !z & HI
+}
+
+/// Marker word: `0x80` in every lane whose byte is in `lo..=hi`.
+///
+/// Exact per lane for `lo <= hi <= 0x7f` (ASCII ranges only).
+#[inline(always)]
+fn range_lanes(w: usize, lo: u8, hi: u8) -> usize {
+    debug_assert!(lo <= hi && hi <= 0x7f);
+    let l = low7(w) | HI;
+    let ge_lo = (l - LO * lo as usize) & HI;
+    let ge_past_hi = (l - LO * (hi as usize + 1)) & HI;
+    ge_lo & !ge_past_hi & !w & HI
+}
+
+/// Lowest marked lane index of a marker word, if any.
+#[inline(always)]
+fn first_lane(m: usize) -> Option<usize> {
+    if m == 0 {
+        None
+    } else {
+        // Marker words are loaded little-endian, so lane order is byte
+        // order and the lowest set high bit names the first match.
+        Some(m.trailing_zeros() as usize >> 3)
+    }
+}
+
+/// Word-at-a-time scan driver: `classify` marks lanes in a loaded word,
+/// `pred` is the byte-wise equivalent used when the slice is shorter
+/// than one word.
+///
+/// The tail is handled with the classic memchr trick: one final word
+/// loaded at `len - WORD` (overlapping bytes already scanned), with the
+/// re-scanned lanes masked off. Lane classifiers are exact per lane, so
+/// overlap cannot change any verdict. Only sub-word slices fall back to
+/// the byte loop.
+#[inline(always)]
+fn find_match(
+    haystack: &[u8],
+    classify: impl Fn(usize) -> usize,
+    pred: impl Fn(u8) -> bool,
+) -> Option<usize> {
+    let n = haystack.len();
+    if n < WORD {
+        return haystack.iter().position(|&b| pred(b));
+    }
+    let mut i = 0usize;
+    while i + WORD <= n {
+        match <[u8; WORD]>::try_from(&haystack[i..i + WORD]) {
+            Ok(arr) => {
+                if let Some(lane) = first_lane(classify(usize::from_le_bytes(arr))) {
+                    return Some(i + lane);
+                }
+            }
+            // The slice is exactly WORD long; the scalar fallback keeps
+            // the scan total without unwrap.
+            Err(_) => {
+                if let Some(off) = haystack[i..i + WORD].iter().position(|&b| pred(b)) {
+                    return Some(i + off);
+                }
+            }
+        }
+        i += WORD;
+    }
+    if i < n {
+        let start = n - WORD;
+        match <[u8; WORD]>::try_from(&haystack[start..]) {
+            Ok(arr) => {
+                // Mask off the lanes already covered by the loop above.
+                let m = classify(usize::from_le_bytes(arr)) & (usize::MAX << ((i - start) * 8));
+                if let Some(lane) = first_lane(m) {
+                    return Some(start + lane);
+                }
+            }
+            Err(_) => {
+                if let Some(off) = haystack[i..].iter().position(|&b| pred(b)) {
+                    return Some(i + off);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Index of the first occurrence of `b`, or `None`.
+///
+/// Scalar equivalent: `haystack.iter().position(|&x| x == b)`.
+#[inline]
+pub fn find_byte(haystack: &[u8], b: u8) -> Option<usize> {
+    find_match(haystack, |w| eq_lanes(w, b), |x| x == b)
+}
+
+/// Index of the first occurrence of `a` *or* `b`, or `None`.
+///
+/// Scalar equivalent: `haystack.iter().position(|&x| x == a || x == b)`.
+#[inline]
+pub fn find_byte2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
+    find_match(
+        haystack,
+        |w| eq_lanes(w, a) | eq_lanes(w, b),
+        |x| x == a || x == b,
+    )
+}
+
+/// Index of the first byte in `lo..=hi` (ASCII range: `lo <= hi <= 0x7f`).
+///
+/// Scalar equivalent: `haystack.iter().position(|&x| (lo..=hi).contains(&x))`.
+#[inline]
+pub fn find_ascii_range(haystack: &[u8], lo: u8, hi: u8) -> Option<usize> {
+    debug_assert!(lo <= hi && hi <= 0x7f);
+    find_match(
+        haystack,
+        |w| range_lanes(w, lo, hi),
+        |x| (lo..=hi).contains(&x),
+    )
+}
+
+/// Index of the first byte outside printable ASCII `0x20..=0x7e` — the
+/// first C0 control, DEL, or non-ASCII byte.
+///
+/// Scalar equivalent: `haystack.iter().position(|&x| !(0x20..0x7f).contains(&x))`.
+#[inline]
+pub fn find_non_printable(haystack: &[u8]) -> Option<usize> {
+    find_match(
+        haystack,
+        |w| lt_lanes(w, 0x20) | eq_lanes(w, 0x7f) | (w & HI),
+        |x| !(0x20..0x7f).contains(&x),
+    )
+}
+
+/// Index of the first byte that is a C0 control (`< 0x20`), DEL
+/// (`0x7f`), or `0xc2` — the only UTF-8 lead byte that can open a C1
+/// control (`U+0080..=U+009F` encodes as `C2 80..C2 9F`). In valid
+/// UTF-8, text with no such byte contains no Unicode `Cc` character.
+///
+/// Scalar equivalent:
+/// `haystack.iter().position(|&x| x < 0x20 || x == 0x7f || x == 0xc2)`.
+#[inline]
+pub fn find_c0_del_or_c1_lead(haystack: &[u8]) -> Option<usize> {
+    find_match(
+        haystack,
+        |w| lt_lanes(w, 0x20) | eq_lanes(w, 0x7f) | eq_lanes(w, 0xc2),
+        |x| x < 0x20 || x == 0x7f || x == 0xc2,
+    )
+}
+
+/// Number of UTF-8 scalar values in `haystack`, counted as the number
+/// of non-continuation bytes (exact when the bytes are valid UTF-8).
+///
+/// Scalar equivalent: `haystack.iter().filter(|&&b| (b & 0xc0) != 0x80).count()`.
+#[inline]
+pub fn count_utf8_chars(haystack: &[u8]) -> usize {
+    let mut chunks = haystack.chunks_exact(WORD);
+    let mut continuations = 0u32;
+    for chunk in chunks.by_ref() {
+        match <[u8; WORD]>::try_from(chunk) {
+            Ok(arr) => {
+                let w = usize::from_le_bytes(arr);
+                // Continuation byte ⇔ bit7 = 1 and bit6 = 0. `w << 1`
+                // lifts bit6 into bit7 of the same lane; the cross-lane
+                // spill into bit0 is masked off by HI.
+                continuations += (w & !(w << 1) & HI).count_ones();
+            }
+            Err(_) => {
+                continuations += chunk.iter().filter(|&&b| (b & 0xc0) == 0x80).count() as u32;
+            }
+        }
+    }
+    let tail = chunks
+        .remainder()
+        .iter()
+        .filter(|&&b| (b & 0xc0) == 0x80)
+        .count();
+    haystack.len() - continuations as usize - tail
+}
+
+/// ASCII-lowercase `s` word-at-a-time: bytes `A..=Z` get bit 5 set,
+/// every other byte — including multi-byte UTF-8 — passes through
+/// untouched (RFC 4343 folding semantics).
+///
+/// Scalar equivalent: `s.chars().map(|c| c.to_ascii_lowercase()).collect()`.
+#[inline]
+pub fn ascii_lowercase(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut chunks = bytes.chunks_exact(WORD);
+    for chunk in chunks.by_ref() {
+        match <[u8; WORD]>::try_from(chunk) {
+            Ok(arr) => {
+                let w = usize::from_le_bytes(arr);
+                let upper = range_lanes(w, b'A', b'Z');
+                out.extend_from_slice(&(w | (upper >> 2)).to_le_bytes());
+            }
+            Err(_) => out.extend(chunk.iter().map(|b| b.to_ascii_lowercase())),
+        }
+    }
+    out.extend(chunks.remainder().iter().map(|b| b.to_ascii_lowercase()));
+    // Only bit 5 of ASCII letters was touched, so the bytes are still
+    // valid UTF-8; the lossy fallback keeps the function total without
+    // unwrap.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exhaustive per-byte check of every lane classifier, in every lane
+    /// position, against its scalar predicate.
+    #[test]
+    fn lane_classifiers_exact_for_all_bytes_and_positions() {
+        for b in 0u16..=0xff {
+            let b = b as u8;
+            for lane in 0..WORD {
+                // Surround the probe byte with values chosen to provoke
+                // cross-lane borrows in the naive formulas.
+                for &fill in &[0x00u8, 0x1f, 0x20, 0x3f, 0x40, 0x7e, 0x7f, 0x80, 0xc2, 0xff] {
+                    let mut arr = [fill; WORD];
+                    arr[lane] = b;
+                    let w = usize::from_le_bytes(arr);
+                    let check = |m: usize, expect: bool, what: &str| {
+                        let got = m & (0x80usize << (lane * 8)) != 0;
+                        assert_eq!(got, expect, "{what} byte={b:#04x} lane={lane} fill={fill:#04x}");
+                    };
+                    check(lt_lanes(w, 0x20), b < 0x20, "lt 0x20");
+                    check(lt_lanes(w, 0x80), b < 0x80, "lt 0x80");
+                    check(eq_lanes(w, 0x7f), b == 0x7f, "eq 0x7f");
+                    check(eq_lanes(w, fill), b == fill, "eq fill");
+                    check(range_lanes(w, 0x40, 0x7e), (0x40..=0x7e).contains(&b), "range 40-7e");
+                    check(range_lanes(w, b'A', b'Z'), b.is_ascii_uppercase(), "range A-Z");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn find_byte_matches_scalar(
+            h in proptest::collection::vec(any::<u8>(), 0..80),
+            b in any::<u8>(),
+        ) {
+            prop_assert_eq!(find_byte(&h, b), h.iter().position(|&x| x == b));
+        }
+
+        #[test]
+        fn find_byte2_matches_scalar(
+            h in proptest::collection::vec(any::<u8>(), 0..80),
+            a in any::<u8>(),
+            b in any::<u8>(),
+        ) {
+            prop_assert_eq!(find_byte2(&h, a, b), h.iter().position(|&x| x == a || x == b));
+        }
+
+        #[test]
+        fn find_ascii_range_matches_scalar(
+            h in proptest::collection::vec(any::<u8>(), 0..80),
+            lo in 0u8..0x80,
+            span in 0u8..0x80,
+        ) {
+            let hi = lo.saturating_add(span).min(0x7f);
+            prop_assert_eq!(
+                find_ascii_range(&h, lo, hi),
+                h.iter().position(|&x| (lo..=hi).contains(&x))
+            );
+        }
+
+        #[test]
+        fn find_non_printable_matches_scalar(h in proptest::collection::vec(any::<u8>(), 0..80)) {
+            prop_assert_eq!(
+                find_non_printable(&h),
+                h.iter().position(|&x| !(0x20..0x7f).contains(&x))
+            );
+        }
+
+        #[test]
+        fn find_c0_del_or_c1_lead_matches_scalar(
+            h in proptest::collection::vec(any::<u8>(), 0..80),
+        ) {
+            prop_assert_eq!(
+                find_c0_del_or_c1_lead(&h),
+                h.iter().position(|&x| x < 0x20 || x == 0x7f || x == 0xc2)
+            );
+        }
+
+        #[test]
+        fn count_utf8_chars_matches_scalar(h in proptest::collection::vec(any::<u8>(), 0..80)) {
+            prop_assert_eq!(
+                count_utf8_chars(&h),
+                h.iter().filter(|&&b| (b & 0xc0) != 0x80).count()
+            );
+        }
+
+        #[test]
+        fn count_utf8_chars_matches_chars_count(s in "\\PC{0,40}") {
+            prop_assert_eq!(count_utf8_chars(s.as_bytes()), s.chars().count());
+        }
+
+        #[test]
+        fn ascii_lowercase_matches_scalar(s in "\\PC{0,40}") {
+            let oracle: String = s.chars().map(|c| c.to_ascii_lowercase()).collect();
+            prop_assert_eq!(ascii_lowercase(&s), oracle);
+        }
+    }
+}

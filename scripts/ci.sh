@@ -52,6 +52,14 @@
 # pin-threshold over raw TCP; we grep the control_* metric families, the
 # journaled config_rejected event, and every self-check line.
 #
+# The pipeline stages are the end-to-end gate: the root `tests/pipeline.rs`
+# suite asserts the cross-stage laws (loss-free clean capture, packet-path
+# feature identity, exact sanitize→decode wire round trip, the paper's
+# grouping ordering, exact replay), and the `repro pipeline` smoke drives
+# pcap → decode → sanitize → features → sweep at a fixed seed, printing
+# each self-check line (which we grep for) and recording the end-to-end
+# throughput figure in BENCH_pipeline.json (asserted nonzero).
+#
 # The megafleet smoke runs the sketch-backed fleet path at reduced scale
 # with its health gauges exported, asserting the tailstats_sketch_*
 # families exist and that the run's internal merge-order / rank-budget
@@ -68,6 +76,7 @@ cargo test -q --test rollout
 cargo test -q --test cluster
 cargo test -q --test metrics
 cargo test -q --test ingest
+cargo test -q --test pipeline
 cargo test -q --test control
 cargo clippy -q \
     -p netpkt -p flowtab -p tailstats -p synthgen -p hids-core \
@@ -194,6 +203,34 @@ if grep -q "FAILED" "$control_log"; then
     cat "$control_log" >&2
     exit 1
 fi
+pipeline_out="target/ci-pipeline"
+pipeline_log="target/ci-pipeline.log"
+rm -rf "$pipeline_out"
+rm -f "$pipeline_log"
+cargo run -q --release -p experiments --bin repro -- \
+    --seed 7 --out "$pipeline_out" pipeline 2> "$pipeline_log" > /dev/null
+for check in "pipeline capture check: clean pcap loss-free" \
+    "pipeline feature check: packet-path features identical" \
+    "pipeline wire check:" \
+    "pipeline throughput:"; do
+    grep -q "$check" "$pipeline_log" || {
+        echo "ci.sh: pipeline self-check missing: $check" >&2
+        cat "$pipeline_log" >&2
+        exit 1
+    }
+done
+if grep -q "FAILED" "$pipeline_log"; then
+    echo "ci.sh: pipeline self-check failed" >&2
+    cat "$pipeline_log" >&2
+    exit 1
+fi
+grep -Eq '"end_to_end_events_per_sec": [1-9][0-9]*' \
+    "$pipeline_out/BENCH_pipeline.json" || {
+    echo "ci.sh: BENCH_pipeline.json missing nonzero events/sec" >&2
+    cat "$pipeline_out/BENCH_pipeline.json" >&2
+    exit 1
+}
+cargo bench -p bench --bench pipeline -- --test
 mega_metrics="target/ci-megafleet.prom"
 mega_log="target/ci-megafleet.log"
 rm -f "$mega_metrics" "$mega_log"

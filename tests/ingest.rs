@@ -363,3 +363,157 @@ proptest! {
         prop_assert_eq!(decoded.as_ref().ok(), Some(&batch));
     }
 }
+
+// ---------------------------------------------------------------------
+// 4d. SWAR hot path vs scalar oracle (differential)
+// ---------------------------------------------------------------------
+//
+// The word-at-a-time sanitizer must be indistinguishable from the
+// retained per-character implementation (`fleetd::ingest::oracle`) on
+// every input — content, the `Cow` borrow/own decision, and idempotence.
+// The crate-internal suites pin each primitive; these acceptance suites
+// pin the public surface, on text skewed toward the bytes that matter
+// (ESC, CSI/OSC openers and terminators, C0/C1 controls, multi-byte).
+
+/// Generation weighted toward sanitizer-relevant bytes: escapes,
+/// brackets, terminators, controls, DEL, a C1, and multi-byte chars.
+const SANITIZER_HOSTILE: &str = "[\u{0}-\u{9f}\u{1b}\u{1b}\u{1b}\u{7}\u{7}\
+     \\[\\[\\]\\]\\\\09AZaz;=|\u{7f}\u{9b}\u{e9}\u{4e16}]{0,64}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// SWAR sanitize ≡ scalar oracle: same bytes out, same borrow/own
+    /// decision, and both idempotent, on hostile-skewed text.
+    #[test]
+    fn swar_sanitize_matches_scalar_oracle(
+        input in SANITIZER_HOSTILE,
+        max_len in 1usize..96,
+    ) {
+        let fast = sanitize(&input, max_len);
+        let slow = fleetd::ingest::oracle::sanitize(&input, max_len);
+        prop_assert_eq!(fast.as_ref(), slow.as_ref(), "content diverged on {:?}", input);
+        prop_assert_eq!(
+            matches!(fast, std::borrow::Cow::Borrowed(_)),
+            matches!(slow, std::borrow::Cow::Borrowed(_)),
+            "Cow decision diverged on {:?}", input
+        );
+        prop_assert_eq!(sanitize(&fast, max_len).as_ref(), fast.as_ref());
+    }
+
+    /// The equivalence survives the lossy-UTF-8 door raw datagrams come
+    /// through (replacement chars, truncated multi-byte tails).
+    #[test]
+    fn swar_sanitize_matches_oracle_on_lossy_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+        max_len in 1usize..96,
+    ) {
+        let input = String::from_utf8_lossy(&bytes);
+        let fast = sanitize(&input, max_len);
+        let slow = fleetd::ingest::oracle::sanitize(&input, max_len);
+        prop_assert_eq!(fast.as_ref(), slow.as_ref());
+        prop_assert_eq!(
+            matches!(fast, std::borrow::Cow::Borrowed(_)),
+            matches!(slow, std::borrow::Cow::Borrowed(_))
+        );
+    }
+
+    /// The SWAR DNS name fold ≡ its char-at-a-time oracle.
+    #[test]
+    fn dns_fold_matches_scalar_oracle(name in "\\PC{0,64}") {
+        prop_assert_eq!(netpkt::fold_name(&name), netpkt::fold_name_oracle(&name));
+    }
+}
+
+/// The pinned hostile corpus, replayed through both sanitizers: every
+/// adversarial payload that ever crashed a parser must sanitize to the
+/// same bytes with the same borrow decision on the SWAR and scalar
+/// paths.
+#[test]
+fn hostile_corpus_sanitizes_identically_on_swar_and_oracle() {
+    let corpus: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0],
+        vec![0xFF; 64],
+        vec![0xC3, 0x28, 0xE2, 0x82, 0x28, 0xF0, 0x90, 0x28],
+        b"<134>1 - h a - - - \x1b[2J\x1b[31mCEF:0|v|p|1|s|n|3|k=\x1b[0mv\x07".to_vec(),
+        b"\x1b]0;evil title\x07<134>1 - h a - - - msg".to_vec(),
+        b"\x1b]payload\x1b\\still here\x1b]unterminated".to_vec(),
+        (0u8..32).chain(0u8..32).collect(),
+        b"\x1b".to_vec(),
+        b"\x1bA".to_vec(),
+        b"abc\x1b[".to_vec(),
+        vec![0xC2, 0x9B, b'[', b'2', b'J'], // C1 CSI spelled in UTF-8
+        encode_batch_datagram(
+            &WindowBatch {
+                host: 1,
+                seq: 1,
+                week: Week::Train,
+                start: 0,
+                counts: vec![1, 2, 3],
+                poison: false,
+            },
+            "h",
+            "a",
+        ),
+    ];
+    for (i, payload) in corpus.iter().enumerate() {
+        let input = String::from_utf8_lossy(payload);
+        for max_len in [1usize, 7, 64, 8 * 1024] {
+            let fast = sanitize(&input, max_len);
+            let slow = fleetd::ingest::oracle::sanitize(&input, max_len);
+            assert_eq!(fast, slow, "corpus[{i}] content diverged at max_len {max_len}");
+            assert_eq!(
+                matches!(fast, std::borrow::Cow::Borrowed(_)),
+                matches!(slow, std::borrow::Cow::Borrowed(_)),
+                "corpus[{i}] Cow decision diverged at max_len {max_len}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4e. Pinned sanitizer regressions (OSC, capacity, truncated escapes)
+// ---------------------------------------------------------------------
+
+/// Pinned regression: OSC sequences (`ESC ] … BEL`/`ST`) are swallowed
+/// whole, exactly like CSI — previously their payload leaked through
+/// with only the controls stripped.
+#[test]
+fn sanitize_swallows_osc_like_csi() {
+    assert_eq!(sanitize("a\u{1b}]0;owned\u{7}b", 100), "ab");
+    assert_eq!(sanitize("a\u{1b}]0;owned\u{1b}\\b", 100), "ab"); // ST
+    assert_eq!(sanitize("a\u{1b}]no terminator", 100), "a");
+    // A bare ESC inside the payload ends the OSC and is re-examined.
+    assert_eq!(sanitize("a\u{1b}]x\u{1b}[31mz", 100), "az");
+    // Still idempotent with OSC in play.
+    let dirty = "pre\u{1b}]t\u{7}mid\u{1b}[0mpost";
+    let once = sanitize(dirty, 100);
+    assert_eq!(sanitize(&once, 100), once);
+}
+
+/// Pinned regression: the rebuild's scratch-capacity hint used
+/// `max_len * 4`, which overflows in debug builds when callers pass
+/// `usize::MAX`-ish bounds; it must saturate instead.
+#[test]
+fn sanitize_huge_max_len_does_not_overflow() {
+    for max_len in [usize::MAX, usize::MAX / 4 + 1, usize::MAX / 2] {
+        assert_eq!(sanitize("abc\u{1b}[31mdef", max_len), "abcdef");
+        assert_eq!(
+            fleetd::ingest::oracle::sanitize("abc\u{1b}[31mdef", max_len),
+            "abcdef"
+        );
+    }
+}
+
+/// Pinned: a bare or truncated ESC is dropped alone and the next byte is
+/// re-examined — it must not swallow what follows.
+#[test]
+fn sanitize_truncated_escape_tails_pinned() {
+    assert_eq!(sanitize("\u{1b}", 100), "");
+    assert_eq!(sanitize("\u{1b}A", 100), "A");
+    assert_eq!(sanitize("abc\u{1b}", 100), "abc");
+    assert_eq!(sanitize("abc\u{1b}Az", 100), "abcAz");
+    assert_eq!(sanitize("\u{1b}\u{1b}A", 100), "A");
+    assert_eq!(sanitize("abc\u{1b}[", 100), "abc");
+}

@@ -1,0 +1,82 @@
+//! Acceptance contract for the end-to-end measurement pipeline.
+//!
+//! `experiments::pipeline` drives synthetic weeks through every layer
+//! this repo builds — pcap render, fault-tolerant capture decode, flow
+//! extraction, per-window features, the hardened (sanitizing) syslog/CEF
+//! wire, and the paper's grouping sweep. The contract:
+//!
+//! 1. a clean capture is loss-free and the packet-measured features are
+//!    window-identical to the generated series;
+//! 2. the wire leg survives a hostile ANSI-laced envelope byte-exactly;
+//! 3. the sweep fits finite utilities for all three groupings, ordered
+//!    the way the paper orders them (diversity beats homogeneous);
+//! 4. counters replay exactly — the run is deterministic.
+
+use std::sync::OnceLock;
+
+use experiments::pipeline::{run, PipelineReport, PipelineScenario};
+
+fn scenario() -> PipelineScenario {
+    PipelineScenario {
+        n_users: 4,
+        n_windows: 12,
+        ..PipelineScenario::default()
+    }
+}
+
+/// One pair of identical runs, shared by every test in this binary (the
+/// pipeline is the expensive part; the assertions are cheap).
+fn runs() -> &'static (PipelineReport, PipelineReport) {
+    static RUNS: OnceLock<(PipelineReport, PipelineReport)> = OnceLock::new();
+    RUNS.get_or_init(|| {
+        let a = run(&scenario()).expect("pipeline runs");
+        let b = run(&scenario()).expect("pipeline runs");
+        (a, b)
+    })
+}
+
+#[test]
+fn pipeline_holds_every_cross_stage_law() {
+    let (r, _) = runs();
+    r.check().expect("cross-stage invariants");
+    assert!(r.frames_written > 0, "working-day span must carry traffic");
+    assert_eq!(r.records_ok, r.frames_written, "clean capture must be loss-free");
+    assert_eq!(r.feature_mismatches, 0, "packet path must add nothing");
+    assert_eq!(r.wire_mismatches, 0, "sanitized wire must be exact");
+    assert_eq!(r.wire_datagrams, 2 * 4, "one datagram per user-week");
+    assert!(r.events_per_sec > 0.0, "throughput figure must be nonzero");
+}
+
+#[test]
+fn pipeline_sweep_reproduces_the_papers_ordering() {
+    let (r, _) = runs();
+    let utility = |label: &str| -> f64 {
+        r.sweep
+            .iter()
+            .find(|row| row.grouping == label)
+            .unwrap_or_else(|| panic!("missing grouping {label}"))
+            .mean_utility
+    };
+    // The paper's core claim, visible even in this small packet-measured
+    // population: per-host thresholds beat one fleet-wide threshold.
+    assert!(
+        utility("Full Diversity") > utility("Homogeneous"),
+        "diversity {} must beat homogeneous {}",
+        utility("Full Diversity"),
+        utility("Homogeneous")
+    );
+}
+
+#[test]
+fn pipeline_counters_replay_exactly() {
+    let (a, b) = runs();
+    assert_eq!(a.frames_written, b.frames_written);
+    assert_eq!(a.flows_rendered, b.flows_rendered);
+    assert_eq!(a.bytes_written, b.bytes_written);
+    assert_eq!(a.records_ok, b.records_ok);
+    assert_eq!(a.wire_bytes, b.wire_bytes);
+    for (ra, rb) in a.sweep.iter().zip(&b.sweep) {
+        assert_eq!(ra.grouping, rb.grouping);
+        assert_eq!(ra.mean_utility.to_bits(), rb.mean_utility.to_bits());
+    }
+}
